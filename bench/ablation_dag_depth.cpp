@@ -1,0 +1,86 @@
+//===- bench/ablation_dag_depth.cpp - DAG depth bound ablation -------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation A2 (DESIGN.md): Section 3.4 bounds usage DAGs at depth n = 5.
+// Sweep n from 1 to 7 and measure, against ground truth:
+//
+//   * fix recall (fixes with a surviving usage change),
+//   * refactor false positives,
+//   * mean DAG size (cost proxy).
+//
+// Expected shape: depth 1 (root only) sees nothing; depth 2 misses
+// argument-level fixes (algorithm strings live at depth 2, so they appear
+// at depth >= 2); recall saturates by n = 3..5 while DAG size keeps
+// growing — the paper's n = 5 is on the flat part of the curve.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace diffcode;
+using namespace diffcode::core;
+
+int main(int argc, char **argv) {
+  std::printf("== Ablation A2: usage-DAG depth bound (paper: n = 5) ==\n\n");
+  bench::MinedCorpus Mined = bench::mineStandardCorpus(argc, argv);
+  const apimodel::CryptoApiModel &Api =
+      apimodel::CryptoApiModel::javaCryptoApi();
+
+  TablePrinter Table({"depth n", "fix recall", "refactor FP rate",
+                      "mean DAG nodes"});
+  for (unsigned Depth = 1; Depth <= 7; ++Depth) {
+    DiffCodeOptions Opts;
+    Opts.DagDepth = Depth;
+    DiffCode System(Api, Opts);
+
+    std::size_t FixTotal = 0, FixSurvive = 0, RefTotal = 0, RefSurvive = 0;
+    std::size_t DagNodes = 0, DagCount = 0;
+    for (const corpus::CodeChange *Change : Mined.Changes) {
+      bool IsFix = Change->isGroundTruthFix();
+      bool IsRefactor = Change->Kind == "refactor";
+      if (!IsFix && !IsRefactor)
+        continue;
+      bool Survives = false;
+      for (const std::string &Target : Api.targetClasses()) {
+        analysis::AnalysisResult NewResult =
+            System.analyzeSource(Change->NewCode);
+        for (const usage::UsageDag &Dag :
+             System.dagsForClass(NewResult, Target)) {
+          DagNodes += Dag.size();
+          ++DagCount;
+        }
+        for (const usage::UsageChange &UC :
+             System.usageChangesFor(*Change, Target))
+          Survives = Survives || classifySolo(UC) == FilterStage::Kept;
+      }
+      if (IsFix) {
+        ++FixTotal;
+        FixSurvive += Survives;
+      } else {
+        ++RefTotal;
+        RefSurvive += Survives;
+      }
+    }
+
+    char Recall[64], FP[64], Mean[32];
+    std::snprintf(Recall, sizeof(Recall), "%zu/%zu (%.1f%%)", FixSurvive,
+                  FixTotal, FixTotal ? 100.0 * FixSurvive / FixTotal : 0.0);
+    std::snprintf(FP, sizeof(FP), "%zu/%zu (%.2f%%)", RefSurvive, RefTotal,
+                  RefTotal ? 100.0 * RefSurvive / RefTotal : 0.0);
+    std::snprintf(Mean, sizeof(Mean), "%.2f",
+                  DagCount ? static_cast<double>(DagNodes) / DagCount : 0.0);
+    Table.addRow({std::to_string(Depth), Recall, FP, Mean});
+  }
+  Table.print(std::cout);
+  std::printf("\nreading: recall should saturate well before n = 5 on this "
+              "corpus while DAG size keeps growing.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- bench/bench_common.h - Shared benchmark harness helpers -------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared setup for the figure-reproduction benchmarks: a standard corpus
+/// configuration (overridable via argv) and the mined change list. Every
+/// figure benchmark prints our measured numbers next to the paper's
+/// reported ones; absolute values differ (synthetic corpus vs 461 mined
+/// GitHub repos) — the *shape* is the reproduction target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_BENCH_BENCH_COMMON_H
+#define DIFFCODE_BENCH_BENCH_COMMON_H
+
+#include "core/DiffCode.h"
+#include "corpus/CorpusGenerator.h"
+#include "corpus/Miner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace diffcode {
+namespace bench {
+
+/// Standard corpus for the figure benchmarks; argv[1] overrides the
+/// project count, argv[2] the seed.
+inline corpus::CorpusOptions standardCorpus(int argc, char **argv) {
+  corpus::CorpusOptions Opts;
+  Opts.NumProjects = 120;
+  Opts.Seed = 42;
+  if (argc > 1)
+    Opts.NumProjects = static_cast<unsigned>(std::atoi(argv[1]));
+  if (argc > 2)
+    Opts.Seed = std::strtoull(argv[2], nullptr, 10);
+  return Opts;
+}
+
+/// Generates, mines, and reports corpus-level stats.
+struct MinedCorpus {
+  corpus::Corpus Corpus;
+  std::vector<const corpus::CodeChange *> Changes;
+};
+
+inline MinedCorpus mineStandardCorpus(int argc, char **argv) {
+  corpus::CorpusOptions Opts = standardCorpus(argc, argv);
+  std::printf("corpus: %u synthetic projects (seed %llu)\n",
+              Opts.NumProjects,
+              static_cast<unsigned long long>(Opts.Seed));
+  MinedCorpus Out;
+  Out.Corpus = corpus::CorpusGenerator(Opts).generate();
+  corpus::Miner M(apimodel::CryptoApiModel::javaCryptoApi());
+  Out.Changes = M.mine(Out.Corpus);
+  std::printf("mined %zu crypto-touching code changes from %zu commits\n\n",
+              Out.Changes.size(), Out.Corpus.totalChanges());
+  return Out;
+}
+
+} // namespace bench
+} // namespace diffcode
+
+#endif // DIFFCODE_BENCH_BENCH_COMMON_H

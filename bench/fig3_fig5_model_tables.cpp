@@ -1,0 +1,101 @@
+//===- bench/fig3_fig5_model_tables.cpp - Reproduces Figures 3 and 5 -------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 3: the crypto-tailored abstract base-type domains. Each row is
+// *demonstrated live*: a Java snippet is pushed through the abstract
+// interpreter and the resulting abstract value printed next to the
+// domain the paper prescribes.
+//
+// Figure 5: the six target classes of the case study, read back from the
+// API model together with their modeled surface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AbstractInterpreter.h"
+#include "javaast/Parser.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace diffcode;
+using namespace diffcode::analysis;
+
+namespace {
+
+/// Analyzes a snippet that passes <Expr> as the IV to IvParameterSpec and
+/// returns the recorded abstract argument.
+AbstractValue abstractionOf(const std::string &Expr,
+                            const std::string &Params = "") {
+  std::string Source = "class Demo { void m(" + Params +
+                       ") throws Exception { "
+                       "IvParameterSpec probe = new IvParameterSpec(" +
+                       Expr + "); } }";
+  java::AstContext Ctx;
+  java::DiagnosticsEngine Diags;
+  java::CompilationUnit *Unit = java::parseJava(Source, Ctx, Diags);
+  AbstractInterpreter Interp(apimodel::CryptoApiModel::javaCryptoApi());
+  AnalysisResult Result = Interp.analyze(Unit);
+  UsageLog Merged = Result.mergedLog();
+  for (const auto &[ObjId, Events] : Merged)
+    for (const UsageEvent &Event : Events)
+      if (Event.MethodSig.rfind("IvParameterSpec.<init>", 0) == 0 &&
+          !Event.Args.empty())
+        return Event.Args[0];
+  return AbstractValue::unknown();
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Figure 3: abstract base-type domains (demonstrated live) "
+              "==\n\n");
+  struct Row {
+    const char *BaseType;
+    const char *PaperDomain;
+    std::string Expr;
+    std::string Params;
+  };
+  // The probe coerces through a byte[] parameter slot, so scalar rows use
+  // a cast; what matters is the printed abstract value.
+  const Row Rows[] = {
+      {"int (constant)", "Ints(P)", "1000", ""},
+      {"int (runtime)", "Tint", "n", "int n"},
+      {"int[] (literal)", "IntArrays(P)", "new int[] {1, 2, 3}", ""},
+      {"int[] (runtime)", "Tint[]", "arr", "int[] arr"},
+      {"string (constant)", "Strs(P)", "\"AES/CBC\"", ""},
+      {"string (runtime)", "Tstr", "s", "String s"},
+      {"byte[] (hard-coded)", "constbyte[]", "\"0123456789abcdef\".getBytes()",
+       ""},
+      {"byte[] (runtime)", "Tbyte[]", "raw", "byte[] raw"},
+  };
+
+  TablePrinter Fig3({"Base type", "paper domain", "probe expression",
+                     "measured abstraction"});
+  for (const Row &R : Rows)
+    Fig3.addRow({R.BaseType, R.PaperDomain, R.Expr,
+                 abstractionOf(R.Expr, R.Params).label()});
+  Fig3.print(std::cout);
+
+  std::printf("\n== Figure 5: target classes for learning usage changes "
+              "==\n\n");
+  const apimodel::CryptoApiModel &Api =
+      apimodel::CryptoApiModel::javaCryptoApi();
+  TablePrinter Fig5({"API Class", "modeled methods", "factory methods",
+                     "int constants"});
+  for (const std::string &Name : Api.targetClasses()) {
+    const apimodel::ApiClass *Class = Api.lookupClass(Name);
+    unsigned Factories = 0;
+    for (const apimodel::ApiMethod &M : Class->Methods)
+      Factories += M.IsFactory;
+    Fig5.addRow({Name, std::to_string(Class->Methods.size()),
+                 std::to_string(Factories),
+                 std::to_string(Class->IntConstants.size())});
+  }
+  Fig5.print(std::cout);
+  return 0;
+}

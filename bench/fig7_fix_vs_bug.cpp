@@ -1,0 +1,142 @@
+//===- bench/fig7_fix_vs_bug.cpp - Reproduces Figure 7 ---------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 7: classify every usage change as security fix / buggy change /
+// non-semantic with respect to the five CryptoLint rules CL1-CL5, and
+// cross-tabulate against the filter that removed it.
+//
+// Shape targets (paper):
+//   * most changes are "none" and are eliminated by the filters
+//     (dominated by fsame);
+//   * fixes heavily outnumber buggy changes (> 80% of semantic changes
+//     are fixes);
+//   * no fix is filtered except duplicates (fdup).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include "rules/BuiltinRules.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+#include <map>
+
+using namespace diffcode;
+using namespace diffcode::core;
+using namespace diffcode::rules;
+
+namespace {
+
+struct Tab {
+  std::size_t Total = 0;
+  std::map<FilterStage, std::size_t> Removed;
+  std::size_t Remaining = 0;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("== Figure 7: security fixes vs buggy changes vs non-semantic "
+              "changes under CL1-CL5 ==\n\n");
+  bench::MinedCorpus Mined = bench::mineStandardCorpus(argc, argv);
+
+  const apimodel::CryptoApiModel &Api =
+      apimodel::CryptoApiModel::javaCryptoApi();
+  core::DiffCodeOptions SysOpts;
+  SysOpts.Threads = 0; // all cores; results are order-deterministic
+  core::DiffCode System(Api, SysOpts);
+  std::vector<const Rule *> CLRules;
+  for (const Rule &R : cryptoLintRules())
+    CLRules.push_back(&R);
+
+  CorpusReport Report = System.runPipeline(Mined.Changes, Api.targetClasses(),
+                                           CLRules,
+                                           /*BuildDendrograms=*/false);
+
+  TablePrinter Table({"Rule", "Type", "Total", "fsame", "fadd", "frem",
+                      "fdup", "Remain."});
+  std::size_t SemanticFixes = 0, SemanticBugs = 0, FilteredFixes = 0,
+              DupFilteredFixes = 0;
+
+  for (const Rule *R : CLRules) {
+    // The rule's class determines which usage changes are counted (the
+    // paper counts "changes that are applicable to the rule").
+    const std::string &RuleClass = R->Clauses.front().TypeName;
+
+    // Gather (usage change, classification) pairs in pipeline order, then
+    // re-run the filter pipeline to attribute removals.
+    std::vector<usage::UsageChange> Changes;
+    std::vector<ChangeClass> Classes;
+    for (const ChangeRecord &Record : Report.Changes) {
+      auto It = Record.PerClass.find(RuleClass);
+      if (It == Record.PerClass.end())
+        continue;
+      ChangeClass Classification = Record.Classification.at(R->Id);
+      for (const usage::UsageChange &UC : It->second) {
+        Changes.push_back(UC);
+        Classes.push_back(Classification);
+      }
+    }
+    FilterResult Filtered = applyFilters(Changes);
+
+    std::map<ChangeClass, Tab> Tabs;
+    for (std::size_t I = 0; I < Changes.size(); ++I) {
+      Tab &T = Tabs[Classes[I]];
+      ++T.Total;
+      if (Filtered.Outcome[I] == FilterStage::Kept)
+        ++T.Remaining;
+      else
+        ++T.Removed[Filtered.Outcome[I]];
+    }
+
+    for (ChangeClass CC : {ChangeClass::SecurityFix, ChangeClass::BuggyChange,
+                           ChangeClass::NonSemantic}) {
+      const Tab &T = Tabs[CC];
+      Table.addRow({R->Id, changeClassName(CC), std::to_string(T.Total),
+                    std::to_string(T.Removed.count(FilterStage::FSame)
+                                       ? T.Removed.at(FilterStage::FSame)
+                                       : 0),
+                    std::to_string(T.Removed.count(FilterStage::FAdd)
+                                       ? T.Removed.at(FilterStage::FAdd)
+                                       : 0),
+                    std::to_string(T.Removed.count(FilterStage::FRem)
+                                       ? T.Removed.at(FilterStage::FRem)
+                                       : 0),
+                    std::to_string(T.Removed.count(FilterStage::FDup)
+                                       ? T.Removed.at(FilterStage::FDup)
+                                       : 0),
+                    std::to_string(T.Remaining)});
+      if (CC == ChangeClass::SecurityFix) {
+        SemanticFixes += T.Total;
+        DupFilteredFixes += T.Removed.count(FilterStage::FDup)
+                                ? T.Removed.at(FilterStage::FDup)
+                                : 0;
+        FilteredFixes += T.Total - T.Remaining -
+                         (T.Removed.count(FilterStage::FDup)
+                              ? T.Removed.at(FilterStage::FDup)
+                              : 0);
+      }
+      if (CC == ChangeClass::BuggyChange)
+        SemanticBugs += T.Total;
+    }
+  }
+  Table.print(std::cout);
+
+  std::printf("\nshape checks:\n");
+  std::printf("  security fixes: %zu, buggy changes: %zu  ->  %.1f%% of "
+              "semantic changes are fixes (paper: > 80%%)\n",
+              SemanticFixes, SemanticBugs,
+              SemanticFixes + SemanticBugs == 0
+                  ? 0.0
+                  : 100.0 * SemanticFixes / (SemanticFixes + SemanticBugs));
+  std::printf("  fixes removed by non-dup filters: %zu (paper: 0)\n",
+              FilteredFixes);
+  std::printf("  fixes removed as duplicates: %zu (paper: 1)\n",
+              DupFilteredFixes);
+  return 0;
+}

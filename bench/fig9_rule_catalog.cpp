@@ -1,0 +1,168 @@
+//===- bench/fig9_rule_catalog.cpp - Reproduces Figure 9 -------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 9: the catalog of the 13 elicited security rules. This harness
+// prints every rule in the paper's notation AND self-verifies it: each
+// rule is evaluated against a canonical violating snippet (must match)
+// and its fixed counterpart (must not). The CL1-CL5 CryptoLint rules and
+// the TLS generality set are appended.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AbstractInterpreter.h"
+#include "apimodel/TlsApiModel.h"
+#include "javaast/Parser.h"
+#include "rules/BuiltinRules.h"
+#include "rules/RuleSuggestion.h"
+#include "rules/TlsRules.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+using namespace diffcode;
+using namespace diffcode::rules;
+
+namespace {
+
+struct Snippets {
+  const char *Violating;
+  const char *Fixed;
+};
+
+/// Canonical (violating, fixed) pairs per rule id.
+const std::map<std::string, Snippets> &ruleSnippets() {
+  static const std::map<std::string, Snippets> Map = {
+      {"R1",
+       {"class A { void m() throws Exception { MessageDigest d = "
+        "MessageDigest.getInstance(\"SHA-1\"); } }",
+        "class A { void m() throws Exception { MessageDigest d = "
+        "MessageDigest.getInstance(\"SHA-256\"); } }"}},
+      {"R2",
+       {"class A { void m(char[] p, byte[] s) { PBEKeySpec k = new "
+        "PBEKeySpec(p, s, 100, 128); } }",
+        "class A { void m(char[] p, byte[] s) { PBEKeySpec k = new "
+        "PBEKeySpec(p, s, 10000, 128); } }"}},
+      {"R3",
+       {"class A { void m() { SecureRandom r = new SecureRandom(); } }",
+        "class A { void m() throws Exception { SecureRandom r = "
+        "SecureRandom.getInstance(\"SHA1PRNG\"); } }"}},
+      {"R4",
+       {"class A { void m() throws Exception { SecureRandom r = "
+        "SecureRandom.getInstanceStrong(); } }",
+        "class A { void m() throws Exception { SecureRandom r = "
+        "SecureRandom.getInstance(\"SHA1PRNG\"); } }"}},
+      {"R5",
+       {"class A { void m() throws Exception { Cipher c = "
+        "Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); } }",
+        "class A { void m() throws Exception { Cipher c = "
+        "Cipher.getInstance(\"AES/CBC/PKCS5Padding\", \"BC\"); } }"}},
+      {"R6",
+       {"class A { void m() { SecureRandom r = new SecureRandom(); } }",
+        "class A { int m(int x) { return x + 1; } }"}},
+      {"R7",
+       {"class A { void m() throws Exception { Cipher c = "
+        "Cipher.getInstance(\"AES\"); } }",
+        "class A { void m() throws Exception { Cipher c = "
+        "Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); } }"}},
+      {"R8",
+       {"class A { void m() throws Exception { Cipher c = "
+        "Cipher.getInstance(\"DES\"); } }",
+        "class A { void m() throws Exception { Cipher c = "
+        "Cipher.getInstance(\"AES/GCM/NoPadding\"); } }"}},
+      {"R9",
+       {"class A { void m() { IvParameterSpec iv = new IvParameterSpec("
+        "\"0123456789abcdef\".getBytes()); } }",
+        "class A { void m(byte[] raw) { IvParameterSpec iv = new "
+        "IvParameterSpec(raw); } }"}},
+      {"R10",
+       {"class A { void m() { SecretKeySpec k = new SecretKeySpec("
+        "\"sixteen-byte-key\".getBytes(), \"AES\"); } }",
+        "class A { void m(byte[] raw) { SecretKeySpec k = new "
+        "SecretKeySpec(raw, \"AES\"); } }"}},
+      {"R11",
+       {"class A { void m(char[] p) { PBEKeySpec k = new PBEKeySpec(p, "
+        "\"fixedsalt\".getBytes(), 10000, 128); } }",
+        "class A { void m(char[] p, byte[] s) { PBEKeySpec k = new "
+        "PBEKeySpec(p, s, 10000, 128); } }"}},
+      {"R12",
+       {"class A { void m() throws Exception { SecureRandom r = "
+        "SecureRandom.getInstance(\"SHA1PRNG\"); "
+        "r.setSeed(\"seed\".getBytes()); } }",
+        "class A { void m() throws Exception { SecureRandom r = "
+        "SecureRandom.getInstance(\"SHA1PRNG\"); "
+        "r.setSeed(r.generateSeed(16)); } }"}},
+      {"R13",
+       {"class A { void m(Key rsa, SecretKey k, byte[] d, byte[] iv) throws "
+        "Exception { Cipher w = Cipher.getInstance(\"RSA\"); "
+        "w.init(Cipher.WRAP_MODE, rsa); Cipher a = "
+        "Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); "
+        "a.init(Cipher.ENCRYPT_MODE, k, new IvParameterSpec(iv)); } }",
+        "class A { void m(Key rsa, SecretKey k, byte[] d, byte[] iv) throws "
+        "Exception { Cipher w = Cipher.getInstance(\"RSA\"); "
+        "w.init(Cipher.WRAP_MODE, rsa); Cipher a = "
+        "Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); "
+        "a.init(Cipher.ENCRYPT_MODE, k, new IvParameterSpec(iv)); "
+        "Mac m2 = Mac.getInstance(\"HmacSHA256\"); m2.init(k); } }"}},
+  };
+  return Map;
+}
+
+bool matches(const apimodel::CryptoApiModel &Api, const Rule &R,
+             const char *Source) {
+  java::AstContext Ctx;
+  java::DiagnosticsEngine Diags;
+  java::CompilationUnit *Unit = java::parseJava(Source, Ctx, Diags);
+  analysis::AbstractInterpreter Interp(Api);
+  analysis::AnalysisResult Result = Interp.analyze(Unit);
+  UnitFacts Facts = UnitFacts::from(Result);
+  ProjectMetadata Meta;
+  Meta.IsAndroid = true;
+  Meta.MinSdkVersion = 18;
+  Meta.HasLinuxPrngFix = false;
+  return ruleMatches(R, {Facts}, Meta);
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Figure 9: the elicited security rules R1-R13 "
+              "(self-verified) ==\n\n");
+  const apimodel::CryptoApiModel &Api =
+      apimodel::CryptoApiModel::javaCryptoApi();
+
+  unsigned Verified = 0, Failed = 0;
+  for (const Rule &R : elicitedRules()) {
+    std::printf("%-4s %s\n", R.Id.c_str(), R.Description.c_str());
+    std::printf("     %s\n", describeRule(R).c_str());
+    auto It = ruleSnippets().find(R.Id);
+    if (It == ruleSnippets().end())
+      continue;
+    bool Violates = matches(Api, R, It->second.Violating);
+    bool Clean = !matches(Api, R, It->second.Fixed);
+    bool Ok = Violates && Clean;
+    std::printf("     verify: violating snippet %s, fixed snippet %s -> "
+                "%s\n\n",
+                Violates ? "matched" : "MISSED",
+                Clean ? "clean" : "FLAGGED", Ok ? "OK" : "FAIL");
+    Ok ? ++Verified : ++Failed;
+  }
+
+  std::printf("== CryptoLint rules CL1-CL5 (used for Figure 7) ==\n\n");
+  for (const Rule &R : cryptoLintRules())
+    std::printf("%-4s %s\n     %s\n\n", R.Id.c_str(), R.Description.c_str(),
+                describeRule(R).c_str());
+
+  std::printf("== TLS generality rules T1-T3 ==\n\n");
+  for (const Rule &R : tlsRules())
+    std::printf("%-4s %s\n     %s\n\n", R.Id.c_str(), R.Description.c_str(),
+                describeRule(R).c_str());
+
+  std::printf("self-verification: %u/13 rules OK, %u failing\n", Verified,
+              Failed);
+  return Failed == 0 ? 0 : 1;
+}

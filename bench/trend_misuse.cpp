@@ -1,0 +1,85 @@
+//===- bench/trend_misuse.cpp - The paper's premise, measured over time ----===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 1's premise: "code changes that fix security problems are more
+// common than changes that introduce them" — which implies the misuse
+// rate *decays* along commit history even though most code starts
+// insecure. This harness measures that decay directly: for each history
+// decile, the fraction of file states violating at least one R-rule.
+//
+// Shape target: a monotone (noisily) decreasing curve whose start is high
+// (most initial implementations misuse the API) — the reason diff mining
+// beats "Big Code" majority mining on crypto APIs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include "rules/BuiltinRules.h"
+#include "rules/CryptoChecker.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace diffcode;
+using namespace diffcode::rules;
+
+int main(int argc, char **argv) {
+  std::printf("== Premise check: misuse rate along commit history ==\n\n");
+  corpus::CorpusOptions Opts = bench::standardCorpus(argc, argv);
+  Opts.NumProjects = std::min(Opts.NumProjects, 60u); // states x commits
+  std::printf("corpus: %u synthetic projects (seed %llu)\n\n",
+              Opts.NumProjects, static_cast<unsigned long long>(Opts.Seed));
+  corpus::Corpus C = corpus::CorpusGenerator(Opts).generate();
+
+  const apimodel::CryptoApiModel &Api =
+      apimodel::CryptoApiModel::javaCryptoApi();
+  core::DiffCode System(Api);
+  CryptoChecker Checker;
+
+  // Decile -> (violating file states, total file states).
+  std::map<unsigned, std::pair<unsigned, unsigned>> Buckets;
+
+  for (const corpus::Project &P : C.Projects) {
+    if (P.History.empty())
+      continue;
+    ProjectMetadata Meta = P.Meta;
+    for (const corpus::CodeChange &Change : P.History) {
+      unsigned Decile = static_cast<unsigned>(
+          10ull * Change.CommitIndex / P.History.size());
+      analysis::AnalysisResult Result = System.analyzeSource(Change.NewCode);
+      UnitFacts Facts = UnitFacts::from(Result);
+      bool Violates = Checker.checkProject({Facts}, Meta).anyMatch();
+      auto &[Bad, Total] = Buckets[Decile];
+      Bad += Violates;
+      ++Total;
+    }
+  }
+
+  std::printf("history decile | violating file states | misuse rate\n");
+  std::printf("---------------------------------------------------\n");
+  double First = -1.0, Last = -1.0;
+  for (const auto &[Decile, Counts] : Buckets) {
+    double Rate =
+        Counts.second ? 100.0 * Counts.first / Counts.second : 0.0;
+    if (First < 0)
+      First = Rate;
+    Last = Rate;
+    std::printf("      %2u0%%     |       %4u / %-4u      |  %5.1f%%  %s\n",
+                Decile, Counts.first, Counts.second, Rate,
+                std::string(static_cast<std::size_t>(Rate / 2), '#').c_str());
+  }
+  std::printf("\nshape check: misuse decays from %.1f%% to %.1f%% across the "
+              "history (%s)\n",
+              First, Last,
+              Last < First ? "DECREASING, as the premise predicts"
+                           : "not decreasing");
+  std::printf("reading: fixes outnumber regressions, so even though most "
+              "initial\nimplementations misuse the API, later states are "
+              "cleaner — the signal\nDiffCode mines.\n");
+  return 0;
+}

@@ -1,0 +1,232 @@
+//===- examples/diffcode_cli.cpp - Command-line driver ---------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+//
+// A small CLI over the public API:
+//
+//   diffcode_cli diff <old.java> <new.java> [--json]
+//       derive and print the usage changes between two file versions
+//       (all six target classes), with the filter verdict per change;
+//
+//   diffcode_cli check <file.java ...> [--json]
+//       run CryptoChecker (R1-R13) over the files as one project;
+//
+//   diffcode_cli suggest <old.java> <new.java>
+//       auto-suggest a rule from the change (Section 6.3).
+//
+//   diffcode_cli pipeline <corpus-dir> [--json]
+//       load a corpus from disk (see corpus/CorpusIO.h for the layout,
+//       exportable from git) and run the full mining -> abstraction ->
+//       filter -> cluster pipeline, printing the Figure-6-style table.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DiffCode.h"
+#include "core/ReportWriter.h"
+#include "corpus/CorpusIO.h"
+#include "corpus/Miner.h"
+#include "rules/BuiltinRules.h"
+#include "rules/CryptoChecker.h"
+#include "rules/RuleSuggestion.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace diffcode;
+
+namespace {
+
+int printUsage() {
+  std::fprintf(stderr,
+               "usage: diffcode_cli diff <old.java> <new.java> [--json]\n"
+               "       diffcode_cli check <file.java ...> [--json]\n"
+               "       diffcode_cli suggest <old.java> <new.java>\n"
+               "       diffcode_cli pipeline <corpus-dir> [--json]\n");
+  return 2;
+}
+
+bool readFile(const char *Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path);
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+int runDiff(int argc, char **argv, bool Json) {
+  if (argc < 4)
+    return printUsage();
+  corpus::CodeChange Change;
+  if (!readFile(argv[2], Change.OldCode) ||
+      !readFile(argv[3], Change.NewCode))
+    return 1;
+
+  const apimodel::CryptoApiModel &Api =
+      apimodel::CryptoApiModel::javaCryptoApi();
+  core::DiffCode System(Api);
+  bool AnySemantic = false;
+  for (const std::string &Target : Api.targetClasses()) {
+    for (const usage::UsageChange &UC :
+         System.usageChangesFor(Change, Target)) {
+      core::FilterStage Verdict = core::classifySolo(UC);
+      if (Json) {
+        std::printf("%s\n", core::usageChangeToJson(UC).c_str());
+      } else {
+        std::printf("[%s] %s\n%s", Target.c_str(),
+                    core::filterStageName(Verdict), UC.str().c_str());
+      }
+      AnySemantic = AnySemantic || Verdict == core::FilterStage::Kept;
+    }
+  }
+  if (!Json)
+    std::printf("%s\n", AnySemantic
+                            ? "=> semantic API usage change detected"
+                            : "=> no semantic API usage change");
+  return 0;
+}
+
+int runCheck(int argc, char **argv, bool Json) {
+  std::vector<std::string> Names;
+  std::vector<std::string> Codes;
+  for (int I = 2; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0)
+      continue;
+    std::string Code;
+    if (!readFile(argv[I], Code))
+      return 1;
+    Names.push_back(argv[I]);
+    Codes.push_back(std::move(Code));
+  }
+  if (Names.empty())
+    return printUsage();
+
+  core::DiffCode System(apimodel::CryptoApiModel::javaCryptoApi());
+  std::vector<analysis::AnalysisResult> Results;
+  for (const std::string &Code : Codes)
+    Results.push_back(System.analyzeSource(Code));
+  std::vector<rules::UnitFacts> Units;
+  for (const analysis::AnalysisResult &Result : Results)
+    Units.push_back(rules::UnitFacts::from(Result));
+
+  rules::CryptoChecker Checker;
+  rules::ProjectReport Report = Checker.checkProject(Units);
+  if (Json) {
+    std::printf("%s\n", core::projectReportToJson(Report).c_str());
+  } else {
+    for (const rules::RuleVerdict &V : Report.Verdicts) {
+      if (!V.Matched)
+        continue;
+      const rules::Rule *R = rules::findRule(V.RuleId);
+      std::printf("%s: %s\n", V.RuleId.c_str(),
+                  R ? R->Description.c_str() : "");
+      for (const rules::Violation &Site : V.Violations)
+        std::printf("  %s at %s:%s\n", Site.TypeName.c_str(),
+                    Names[Site.UnitIndex].c_str(),
+                    Site.SiteLabel.c_str() + 1); // drop the 'l'
+    }
+    if (!Report.anyMatch())
+      std::printf("no violations\n");
+  }
+  return Report.anyMatch() ? 1 : 0;
+}
+
+int runSuggest(int argc, char **argv) {
+  if (argc < 4)
+    return printUsage();
+  corpus::CodeChange Change;
+  if (!readFile(argv[2], Change.OldCode) ||
+      !readFile(argv[3], Change.NewCode))
+    return 1;
+  const apimodel::CryptoApiModel &Api =
+      apimodel::CryptoApiModel::javaCryptoApi();
+  core::DiffCode System(Api);
+  bool Suggested = false;
+  for (const std::string &Target : Api.targetClasses())
+    for (const usage::UsageChange &UC :
+         System.usageChangesFor(Change, Target)) {
+      if (core::classifySolo(UC) != core::FilterStage::Kept)
+        continue;
+      if (auto Rule = rules::suggestRule(UC, "suggested")) {
+        std::printf("%s\n", rules::describeRule(*Rule).c_str());
+        Suggested = true;
+      }
+    }
+  if (!Suggested)
+    std::printf("no rule could be suggested from this change\n");
+  return Suggested ? 0 : 1;
+}
+
+int runPipeline(int argc, char **argv, bool Json) {
+  if (argc < 3)
+    return printUsage();
+  std::string Error;
+  std::optional<corpus::Corpus> C = corpus::readCorpus(argv[2], &Error);
+  if (!C) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  const apimodel::CryptoApiModel &Api =
+      apimodel::CryptoApiModel::javaCryptoApi();
+  corpus::MinerOptions MinerOpts;
+  MinerOpts.MinCommitsPerProject = 1; // user-supplied corpora may be tiny
+  corpus::Miner M(Api, MinerOpts);
+  std::vector<const corpus::CodeChange *> Mined = M.mine(*C);
+  if (!Json)
+    std::printf("loaded %zu projects, mined %zu crypto-touching changes\n\n",
+                C->Projects.size(), Mined.size());
+
+  core::DiffCodeOptions Opts;
+  Opts.Threads = 0;
+  core::DiffCode System(Api, Opts);
+  core::CorpusReport Report =
+      System.runPipeline(Mined, Api.targetClasses(), {},
+                         /*BuildDendrograms=*/false);
+  if (Json) {
+    std::printf("%s\n", core::corpusReportToJson(Report).c_str());
+    return 0;
+  }
+  std::printf("%-16s %8s %7s %6s %6s %6s\n", "target class", "usages",
+              "fsame", "fadd", "frem", "fdup");
+  for (const core::ClassReport &Class : Report.PerClass)
+    std::printf("%-16s %8zu %7zu %6zu %6zu %6zu\n",
+                Class.TargetClass.c_str(), Class.Filtered.Total,
+                Class.Filtered.AfterSame, Class.Filtered.AfterAdd,
+                Class.Filtered.AfterRem, Class.Filtered.AfterDup);
+  for (const core::ClassReport &Class : Report.PerClass)
+    for (const usage::UsageChange &UC : Class.Filtered.Kept)
+      std::printf("\n[%s] %s\n%s", Class.TargetClass.c_str(),
+                  UC.Origin.c_str(), UC.str().c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return printUsage();
+  bool Json = false;
+  for (int I = 2; I < argc; ++I)
+    Json = Json || std::strcmp(argv[I], "--json") == 0;
+
+  if (std::strcmp(argv[1], "diff") == 0)
+    return runDiff(argc, argv, Json);
+  if (std::strcmp(argv[1], "check") == 0)
+    return runCheck(argc, argv, Json);
+  if (std::strcmp(argv[1], "suggest") == 0)
+    return runSuggest(argc, argv);
+  if (std::strcmp(argv[1], "pipeline") == 0)
+    return runPipeline(argc, argv, Json);
+  return printUsage();
+}

@@ -1,0 +1,46 @@
+//===- analysis/UsageEvent.h - Abstract usage records ----------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AUses : AObjs -> P(Methods x AStates), realized per execution. A
+/// UsageEvent pairs the invoked method with the abstract argument values
+/// at the call — the slice of the abstract state sigma^a the usage DAGs of
+/// Section 3.4 consume (children of a method node are its argument
+/// values).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_ANALYSIS_USAGEEVENT_H
+#define DIFFCODE_ANALYSIS_USAGEEVENT_H
+
+#include "analysis/AbstractValue.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace diffcode {
+namespace analysis {
+
+/// One (method, abstract state) pair attached to an abstract object.
+struct UsageEvent {
+  std::string MethodSig;           ///< "Cipher.init/3" style signature.
+  std::vector<AbstractValue> Args; ///< Argument values, receiver excluded.
+
+  bool operator==(const UsageEvent &Other) const {
+    return MethodSig == Other.MethodSig && Args == Other.Args;
+  }
+};
+
+/// The usage log of one forked execution: abstract object id -> events in
+/// program order (duplicates collapse in the DAG, which is a set).
+using UsageLog = std::map<unsigned, std::vector<UsageEvent>>;
+
+} // namespace analysis
+} // namespace diffcode
+
+#endif // DIFFCODE_ANALYSIS_USAGEEVENT_H

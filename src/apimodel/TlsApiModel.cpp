@@ -1,0 +1,82 @@
+//===- apimodel/TlsApiModel.cpp --------------------------------------------===//
+
+#include "apimodel/TlsApiModel.h"
+
+using namespace diffcode::apimodel;
+
+namespace {
+
+ApiMethod method(std::string ClassName, std::string Name,
+                 std::vector<std::string> Params, std::string Ret,
+                 bool IsStatic, bool IsFactory) {
+  ApiMethod M;
+  M.ClassName = std::move(ClassName);
+  M.Name = std::move(Name);
+  M.ParamTypes = std::move(Params);
+  M.ReturnType = std::move(Ret);
+  M.IsStatic = IsStatic;
+  M.IsFactory = IsFactory;
+  return M;
+}
+
+CryptoApiModel buildTlsApi() {
+  CryptoApiModel Model;
+
+  {
+    ApiClass C;
+    C.Name = "SSLContext";
+    C.IsTarget = true;
+    C.Methods = {
+        method("SSLContext", "getInstance", {"String"}, "SSLContext", true,
+               true),
+        method("SSLContext", "getInstance", {"String", "String"},
+               "SSLContext", true, true),
+        method("SSLContext", "init",
+               {"KeyManager[]", "TrustManager[]", "SecureRandom"}, "void",
+               false, false),
+        method("SSLContext", "getSocketFactory", {}, "SSLSocketFactory",
+               false, false),
+        method("SSLContext", "getDefault", {}, "SSLContext", true, true),
+    };
+    Model.addClass(std::move(C));
+  }
+  {
+    ApiClass C;
+    C.Name = "SSLSocketFactory";
+    C.IsTarget = true;
+    C.Methods = {
+        method("SSLSocketFactory", "getDefault", {}, "SSLSocketFactory",
+               true, true),
+        method("SSLSocketFactory", "createSocket",
+               {"String", "int"}, "Socket", false, false),
+    };
+    Model.addClass(std::move(C));
+  }
+  {
+    ApiClass C;
+    C.Name = "HttpsURLConnection";
+    C.Methods = {
+        method("HttpsURLConnection", "setDefaultHostnameVerifier",
+               {"HostnameVerifier"}, "void", true, false),
+        method("HttpsURLConnection", "setDefaultSSLSocketFactory",
+               {"SSLSocketFactory"}, "void", true, false),
+        method("HttpsURLConnection", "setHostnameVerifier",
+               {"HostnameVerifier"}, "void", false, false),
+    };
+    Model.addClass(std::move(C));
+  }
+  for (const char *Name :
+       {"KeyManager", "TrustManager", "HostnameVerifier", "Socket"}) {
+    ApiClass C;
+    C.Name = Name;
+    Model.addClass(std::move(C));
+  }
+  return Model;
+}
+
+} // namespace
+
+const CryptoApiModel &diffcode::apimodel::javaTlsApi() {
+  static const CryptoApiModel Model = buildTlsApi();
+  return Model;
+}

@@ -1,0 +1,31 @@
+//===- apimodel/TlsApiModel.h - JSSE/TLS API model (generality) ------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper closes with "while we focus on crypto APIs, the approach is
+/// general and can be applied to other types of APIs". This model
+/// exercises that claim: the JSSE TLS surface (SSLContext,
+/// SSLSocketFactory, HostnameVerifier) plugged into the same analyzer,
+/// DAG abstraction, filters, and rule language — nothing else changes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_APIMODEL_TLSAPIMODEL_H
+#define DIFFCODE_APIMODEL_TLSAPIMODEL_H
+
+#include "apimodel/CryptoApiModel.h"
+
+namespace diffcode {
+namespace apimodel {
+
+/// The JSSE model. Target classes: SSLContext, SSLSocketFactory.
+const CryptoApiModel &javaTlsApi();
+
+} // namespace apimodel
+} // namespace diffcode
+
+#endif // DIFFCODE_APIMODEL_TLSAPIMODEL_H

@@ -1,0 +1,76 @@
+//===- cluster/DendrogramExport.cpp ----------------------------------------===//
+
+#include "cluster/DendrogramExport.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace diffcode;
+using namespace diffcode::cluster;
+
+namespace {
+
+std::string escapeDot(const std::string &Text) {
+  std::string Out;
+  for (char C : Text) {
+    if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else if (C == '\\')
+      Out += "\\\\";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string diffcode::cluster::toDot(
+    const Dendrogram &Tree,
+    const std::function<std::string(std::size_t)> &LeafLabel,
+    const DotOptions &Opts) {
+  static const char *Palette[] = {"#a6cee3", "#b2df8a", "#fb9a99",
+                                  "#fdbf6f", "#cab2d6", "#ffff99"};
+  std::string Out = "digraph \"" + escapeDot(Opts.GraphName) + "\" {\n";
+  Out += "  rankdir=LR;\n  node [fontname=\"monospace\"];\n";
+  if (Tree.empty())
+    return Out + "}\n";
+
+  // Item -> cluster color (optional).
+  std::map<std::size_t, std::string> ItemColor;
+  if (Opts.ColorCutThreshold >= 0.0) {
+    std::size_t ClusterId = 0;
+    for (const std::vector<std::size_t> &Cluster :
+         Tree.cut(Opts.ColorCutThreshold)) {
+      for (std::size_t Item : Cluster)
+        ItemColor[Item] = Palette[ClusterId % std::size(Palette)];
+      ++ClusterId;
+    }
+  }
+
+  const std::vector<Dendrogram::Node> &Nodes = Tree.nodes();
+  for (std::size_t Index = 0; Index < Nodes.size(); ++Index) {
+    const Dendrogram::Node &Node = Nodes[Index];
+    if (Node.isLeaf()) {
+      std::string Attrs = "shape=box, label=\"" +
+                          escapeDot(LeafLabel(Node.Item)) + "\"";
+      auto It = ItemColor.find(Node.Item);
+      if (It != ItemColor.end())
+        Attrs += ", style=filled, fillcolor=\"" + It->second + "\"";
+      Out += "  n" + std::to_string(Index) + " [" + Attrs + "];\n";
+    } else {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.3f", Node.Height);
+      Out += "  n" + std::to_string(Index) +
+             " [shape=ellipse, label=\"" + Buf + "\"];\n";
+      Out += "  n" + std::to_string(Index) + " -> n" +
+             std::to_string(Node.Left) + ";\n";
+      Out += "  n" + std::to_string(Index) + " -> n" +
+             std::to_string(Node.Right) + ";\n";
+    }
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,45 @@
+//===- cluster/DendrogramExport.h - Graphviz export ------------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exports a dendrogram to Graphviz DOT for figures like the paper's
+/// Figure 8. Merge nodes are labeled with their linkage height; leaves
+/// with caller-provided text. Optionally colors the flat clusters at a
+/// cut threshold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_CLUSTER_DENDROGRAMEXPORT_H
+#define DIFFCODE_CLUSTER_DENDROGRAMEXPORT_H
+
+#include "cluster/HierarchicalClustering.h"
+
+#include <functional>
+#include <string>
+
+namespace diffcode {
+namespace cluster {
+
+/// Options for the DOT rendering.
+struct DotOptions {
+  /// Color the flat clusters obtained at this threshold; negative
+  /// disables coloring.
+  double ColorCutThreshold = -1.0;
+  /// Graph name in the DOT header.
+  std::string GraphName = "dendrogram";
+};
+
+/// Renders \p Tree to DOT. \p LeafLabel maps item indices to labels
+/// (newlines become \n escapes).
+std::string toDot(const Dendrogram &Tree,
+                  const std::function<std::string(std::size_t)> &LeafLabel,
+                  const DotOptions &Opts = DotOptions());
+
+} // namespace cluster
+} // namespace diffcode
+
+#endif // DIFFCODE_CLUSTER_DENDROGRAMEXPORT_H

@@ -1,0 +1,175 @@
+//===- cluster/HierarchicalClustering.cpp ----------------------------------===//
+
+#include "cluster/HierarchicalClustering.h"
+
+#include "cluster/Distance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace diffcode;
+using namespace diffcode::cluster;
+
+void Dendrogram::collectLeaves(int Index, std::vector<std::size_t> &Out) const {
+  const Node &N = Nodes[Index];
+  if (N.isLeaf()) {
+    Out.push_back(N.Item);
+    return;
+  }
+  collectLeaves(N.Left, Out);
+  collectLeaves(N.Right, Out);
+}
+
+std::vector<std::vector<std::size_t>> Dendrogram::cut(double Threshold) const {
+  std::vector<std::vector<std::size_t>> Clusters;
+  if (Nodes.empty())
+    return Clusters;
+
+  // Walk down from the root; a subtree whose merge height is within the
+  // threshold becomes one flat cluster.
+  std::vector<int> Work = {Root};
+  while (!Work.empty()) {
+    int Index = Work.back();
+    Work.pop_back();
+    const Node &N = Nodes[Index];
+    if (N.isLeaf() || N.Height <= Threshold) {
+      Clusters.emplace_back();
+      collectLeaves(Index, Clusters.back());
+      continue;
+    }
+    Work.push_back(N.Left);
+    Work.push_back(N.Right);
+  }
+  std::stable_sort(Clusters.begin(), Clusters.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.size() > B.size();
+                   });
+  return Clusters;
+}
+
+std::string Dendrogram::render(
+    const std::function<std::string(std::size_t)> &LeafLabel) const {
+  std::string Out;
+  if (Nodes.empty())
+    return Out;
+
+  std::function<void(int, std::string, bool)> Walk =
+      [&](int Index, std::string Prefix, bool IsLast) {
+        const Node &N = Nodes[Index];
+        std::string Branch = Prefix + (IsLast ? "`-- " : "|-- ");
+        std::string ChildPrefix = Prefix + (IsLast ? "    " : "|   ");
+        if (N.isLeaf()) {
+          std::string Label = LeafLabel(N.Item);
+          // Indent continuation lines of multi-line labels.
+          bool First = true;
+          std::size_t Start = 0;
+          while (Start <= Label.size()) {
+            std::size_t End = Label.find('\n', Start);
+            std::string Line =
+                Label.substr(Start, End == std::string::npos
+                                        ? std::string::npos
+                                        : End - Start);
+            if (!Line.empty() || First)
+              Out += (First ? Branch : ChildPrefix) + Line + "\n";
+            First = false;
+            if (End == std::string::npos)
+              break;
+            Start = End + 1;
+          }
+          return;
+        }
+        char Buf[32];
+        std::snprintf(Buf, sizeof(Buf), "%.3f", N.Height);
+        Out += Branch + "[" + Buf + "]\n";
+        Walk(N.Left, ChildPrefix, false);
+        Walk(N.Right, ChildPrefix, true);
+      };
+  Walk(Root, "", true);
+  return Out;
+}
+
+Dendrogram diffcode::cluster::agglomerativeCluster(
+    std::size_t NumItems,
+    const std::function<double(std::size_t, std::size_t)> &Dist) {
+  Dendrogram Tree;
+  Tree.NumLeaves = NumItems;
+  if (NumItems == 0)
+    return Tree;
+
+  // Leaves.
+  for (std::size_t I = 0; I < NumItems; ++I) {
+    Dendrogram::Node Leaf;
+    Leaf.Item = I;
+    Tree.Nodes.push_back(Leaf);
+  }
+  if (NumItems == 1) {
+    Tree.Root = 0;
+    return Tree;
+  }
+
+  // Precompute the item distance matrix once.
+  std::vector<std::vector<double>> D(NumItems, std::vector<double>(NumItems));
+  for (std::size_t I = 0; I < NumItems; ++I)
+    for (std::size_t J = I + 1; J < NumItems; ++J)
+      D[I][J] = D[J][I] = Dist(I, J);
+
+  // Active clusters: tree-node index + member items.
+  struct Cluster {
+    int NodeIndex;
+    std::vector<std::size_t> Members;
+  };
+  std::vector<Cluster> Active;
+  for (std::size_t I = 0; I < NumItems; ++I)
+    Active.push_back({static_cast<int>(I), {I}});
+
+  auto Linkage = [&](const Cluster &X, const Cluster &Y) {
+    double Max = 0.0;
+    for (std::size_t A : X.Members)
+      for (std::size_t B : Y.Members)
+        Max = std::max(Max, D[A][B]);
+    return Max;
+  };
+
+  while (Active.size() > 1) {
+    double BestDist = std::numeric_limits<double>::infinity();
+    std::size_t BestI = 0, BestJ = 1;
+    for (std::size_t I = 0; I < Active.size(); ++I)
+      for (std::size_t J = I + 1; J < Active.size(); ++J) {
+        double L = Linkage(Active[I], Active[J]);
+        if (L < BestDist) {
+          BestDist = L;
+          BestI = I;
+          BestJ = J;
+        }
+      }
+
+    Dendrogram::Node Merge;
+    Merge.Left = Active[BestI].NodeIndex;
+    Merge.Right = Active[BestJ].NodeIndex;
+    Merge.Height = BestDist;
+    int MergedIndex = static_cast<int>(Tree.Nodes.size());
+    Tree.Nodes.push_back(Merge);
+
+    Cluster Combined;
+    Combined.NodeIndex = MergedIndex;
+    Combined.Members = Active[BestI].Members;
+    Combined.Members.insert(Combined.Members.end(),
+                            Active[BestJ].Members.begin(),
+                            Active[BestJ].Members.end());
+    Active.erase(Active.begin() + BestJ);
+    Active.erase(Active.begin() + BestI);
+    Active.push_back(std::move(Combined));
+  }
+
+  Tree.Root = Active.front().NodeIndex;
+  return Tree;
+}
+
+Dendrogram diffcode::cluster::clusterUsageChanges(
+    const std::vector<usage::UsageChange> &Changes) {
+  return agglomerativeCluster(Changes.size(),
+                              [&](std::size_t I, std::size_t J) {
+                                return usageDist(Changes[I], Changes[J]);
+                              });
+}

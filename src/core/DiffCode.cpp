@@ -1,0 +1,148 @@
+//===- core/DiffCode.cpp ---------------------------------------------------===//
+
+#include "core/DiffCode.h"
+
+#include "javaast/Parser.h"
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+using namespace diffcode;
+using namespace diffcode::core;
+
+DiffCode::DiffCode(const apimodel::CryptoApiModel &Api, DiffCodeOptions Opts)
+    : Api(Api), Opts(Opts) {}
+
+analysis::AnalysisResult DiffCode::analyzeSource(std::string_view Source) const {
+  analysis::AnalysisResult Empty;
+  if (Source.empty())
+    return Empty;
+  java::AstContext Ctx;
+  java::DiagnosticsEngine Diags;
+  java::CompilationUnit *Unit = java::parseJava(Source, Ctx, Diags);
+  if (!Unit)
+    return Empty;
+  analysis::AbstractInterpreter Interp(Api, Opts.Analysis);
+  return Interp.analyze(Unit);
+}
+
+std::vector<usage::UsageDag>
+DiffCode::dagsForClass(const analysis::AnalysisResult &Result,
+                       const std::string &TargetClass) const {
+  std::vector<usage::UsageDag> Dags;
+  std::set<std::string> Seen;
+  for (const analysis::UsageLog &Log : Result.Executions) {
+    for (const auto &[ObjId, Events] : Log) {
+      if (Events.empty())
+        continue;
+      if (Result.Objects.get(ObjId).TypeName != TargetClass)
+        continue;
+      usage::UsageDag Dag =
+          usage::UsageDag::build(Result.Objects, Log, ObjId, Opts.DagDepth);
+      if (Seen.insert(Dag.canonicalString()).second)
+        Dags.push_back(std::move(Dag));
+    }
+  }
+  return Dags;
+}
+
+std::vector<usage::UsageChange>
+DiffCode::usageChangesFor(const corpus::CodeChange &Change,
+                          const std::string &TargetClass) const {
+  analysis::AnalysisResult OldResult = analyzeSource(Change.OldCode);
+  analysis::AnalysisResult NewResult = analyzeSource(Change.NewCode);
+  std::vector<usage::UsageChange> Changes = usage::deriveUsageChanges(
+      dagsForClass(OldResult, TargetClass), dagsForClass(NewResult, TargetClass),
+      TargetClass);
+  for (usage::UsageChange &C : Changes)
+    C.Origin = Change.origin();
+  return Changes;
+}
+
+ChangeRecord DiffCode::processChange(
+    const corpus::CodeChange &Change,
+    const std::vector<std::string> &TargetClasses,
+    const std::vector<const rules::Rule *> &ClassifyWith) const {
+  ChangeRecord Record;
+  Record.Origin = Change.origin();
+  Record.GroundTruthKind = Change.Kind;
+
+  analysis::AnalysisResult OldResult = analyzeSource(Change.OldCode);
+  analysis::AnalysisResult NewResult = analyzeSource(Change.NewCode);
+
+  for (const std::string &TargetClass : TargetClasses) {
+    std::vector<usage::UsageChange> Changes = usage::deriveUsageChanges(
+        dagsForClass(OldResult, TargetClass),
+        dagsForClass(NewResult, TargetClass), TargetClass);
+    for (usage::UsageChange &C : Changes)
+      C.Origin = Record.Origin;
+    if (!Changes.empty())
+      Record.PerClass.emplace(TargetClass, std::move(Changes));
+  }
+
+  if (!ClassifyWith.empty()) {
+    rules::UnitFacts OldFacts = rules::UnitFacts::from(OldResult);
+    rules::UnitFacts NewFacts = rules::UnitFacts::from(NewResult);
+    for (const rules::Rule *R : ClassifyWith)
+      Record.Classification.emplace(
+          R->Id, rules::classifyChange(*R, OldFacts, NewFacts));
+  }
+  return Record;
+}
+
+CorpusReport DiffCode::runPipeline(
+    const std::vector<const corpus::CodeChange *> &Changes,
+    const std::vector<std::string> &TargetClasses,
+    const std::vector<const rules::Rule *> &ClassifyWith,
+    bool BuildDendrograms) const {
+  CorpusReport Report;
+  Report.Changes.resize(Changes.size());
+
+  unsigned Threads = Opts.Threads == 0
+                         ? std::max(1u, std::thread::hardware_concurrency())
+                         : Opts.Threads;
+  Threads = std::min<unsigned>(
+      Threads, std::max<std::size_t>(Changes.size(), 1));
+  if (Threads <= 1 || Changes.size() < 2) {
+    for (std::size_t I = 0; I < Changes.size(); ++I)
+      Report.Changes[I] =
+          processChange(*Changes[I], TargetClasses, ClassifyWith);
+  } else {
+    // Each change is independent; workers pull indices from a shared
+    // counter and write into their own slot, so the result order (and
+    // therefore every downstream number) is identical to the serial run.
+    std::atomic<std::size_t> Next{0};
+    auto Worker = [&] {
+      while (true) {
+        std::size_t I = Next.fetch_add(1);
+        if (I >= Changes.size())
+          return;
+        Report.Changes[I] =
+            processChange(*Changes[I], TargetClasses, ClassifyWith);
+      }
+    };
+    std::vector<std::thread> Pool;
+    for (unsigned T = 0; T < Threads; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  for (const std::string &TargetClass : TargetClasses) {
+    ClassReport ClassOut;
+    ClassOut.TargetClass = TargetClass;
+    for (const ChangeRecord &Record : Report.Changes) {
+      auto It = Record.PerClass.find(TargetClass);
+      if (It == Record.PerClass.end())
+        continue;
+      ClassOut.AllChanges.insert(ClassOut.AllChanges.end(),
+                                 It->second.begin(), It->second.end());
+    }
+    ClassOut.Filtered = applyFilters(ClassOut.AllChanges);
+    if (BuildDendrograms && !ClassOut.Filtered.Kept.empty())
+      ClassOut.Tree = cluster::clusterUsageChanges(ClassOut.Filtered.Kept);
+    Report.PerClass.push_back(std::move(ClassOut));
+  }
+  return Report;
+}

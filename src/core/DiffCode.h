@@ -1,0 +1,116 @@
+//===- core/DiffCode.h - The end-to-end DiffCode pipeline ------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DiffCode system (Section 5): parse both versions of each code
+/// change, analyze them with the abstract interpreter, derive usage DAGs
+/// per target class, pair and diff them into usage changes, filter, and
+/// cluster — producing everything the paper's evaluation reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_CORE_DIFFCODE_H
+#define DIFFCODE_CORE_DIFFCODE_H
+
+#include "analysis/AbstractInterpreter.h"
+#include "cluster/HierarchicalClustering.h"
+#include "core/Filters.h"
+#include "corpus/RepoModel.h"
+#include "rules/ChangeClassifier.h"
+#include "usage/UsageChange.h"
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace diffcode {
+namespace core {
+
+/// Pipeline knobs.
+struct DiffCodeOptions {
+  analysis::AnalysisOptions Analysis;
+  unsigned DagDepth = 5; ///< Section 3.4's n.
+  /// Dendrogram cut threshold for flat clusters (manual-inspection aid).
+  double ClusterCut = 0.4;
+  /// Worker threads for runPipeline's per-change processing (each change
+  /// is independent: parse + analyze + diff). 1 = serial; 0 = one per
+  /// hardware thread. Results are deterministic regardless.
+  unsigned Threads = 1;
+};
+
+/// The per-code-change output: usage changes per target class, the
+/// rule-based classification, and provenance.
+struct ChangeRecord {
+  std::string Origin;
+  std::string GroundTruthKind; ///< Generator kind; empty for mined code.
+  /// Target class -> usage changes this code change produced.
+  std::map<std::string, std::vector<usage::UsageChange>> PerClass;
+  /// Rule id -> fix/bug/none classification (Section 6.2).
+  std::map<std::string, rules::ChangeClass> Classification;
+};
+
+/// Aggregated per-target-class results (Figure 6 row + Figure 8 input).
+struct ClassReport {
+  std::string TargetClass;
+  std::vector<usage::UsageChange> AllChanges;
+  FilterResult Filtered;
+  cluster::Dendrogram Tree; ///< Over Filtered.Kept (empty if not built).
+};
+
+/// Whole-corpus pipeline output.
+struct CorpusReport {
+  std::vector<ChangeRecord> Changes;
+  std::vector<ClassReport> PerClass;
+};
+
+/// The system facade.
+class DiffCode {
+public:
+  explicit DiffCode(const apimodel::CryptoApiModel &Api,
+                    DiffCodeOptions Opts = DiffCodeOptions());
+
+  const DiffCodeOptions &options() const { return Opts; }
+
+  /// Parses and abstractly interprets one Java source (empty source yields
+  /// an empty result — new/deleted files diff against nothing).
+  analysis::AnalysisResult analyzeSource(std::string_view Source) const;
+
+  /// Deduplicated usage DAGs of \p TargetClass across all executions.
+  std::vector<usage::UsageDag>
+  dagsForClass(const analysis::AnalysisResult &Result,
+               const std::string &TargetClass) const;
+
+  /// Usage changes of one code change for one target class.
+  std::vector<usage::UsageChange>
+  usageChangesFor(const corpus::CodeChange &Change,
+                  const std::string &TargetClass) const;
+
+  /// Processes one code change end to end for all \p TargetClasses,
+  /// classifying it under \p ClassifyWith (may be empty).
+  ChangeRecord
+  processChange(const corpus::CodeChange &Change,
+                const std::vector<std::string> &TargetClasses,
+                const std::vector<const rules::Rule *> &ClassifyWith) const;
+
+  /// Runs the full pipeline over mined changes. \p BuildDendrograms
+  /// controls whether the (O(n^2) distance) clustering step runs.
+  CorpusReport
+  runPipeline(const std::vector<const corpus::CodeChange *> &Changes,
+              const std::vector<std::string> &TargetClasses,
+              const std::vector<const rules::Rule *> &ClassifyWith = {},
+              bool BuildDendrograms = true) const;
+
+private:
+  const apimodel::CryptoApiModel &Api;
+  DiffCodeOptions Opts;
+};
+
+} // namespace core
+} // namespace diffcode
+
+#endif // DIFFCODE_CORE_DIFFCODE_H

@@ -1,0 +1,81 @@
+//===- core/Filters.cpp ----------------------------------------------------===//
+
+#include "core/Filters.h"
+
+using namespace diffcode;
+using namespace diffcode::core;
+using namespace diffcode::usage;
+
+const char *diffcode::core::filterStageName(FilterStage Stage) {
+  switch (Stage) {
+  case FilterStage::Kept:
+    return "kept";
+  case FilterStage::FSame:
+    return "fsame";
+  case FilterStage::FAdd:
+    return "fadd";
+  case FilterStage::FRem:
+    return "frem";
+  case FilterStage::FDup:
+    return "fdup";
+  }
+  return "kept";
+}
+
+FilterStage diffcode::core::classifySolo(const UsageChange &Change) {
+  if (Change.Removed.empty() && Change.Added.empty())
+    return FilterStage::FSame;
+  if (Change.Removed.empty())
+    return FilterStage::FAdd;
+  if (Change.Added.empty())
+    return FilterStage::FRem;
+  return FilterStage::Kept;
+}
+
+FilterResult
+diffcode::core::applyFilters(const std::vector<UsageChange> &Changes) {
+  FilterResult Result;
+  Result.Total = Changes.size();
+  Result.Outcome.reserve(Changes.size());
+
+  std::size_t RemovedSame = 0, RemovedAdd = 0, RemovedRem = 0,
+              RemovedDup = 0;
+  for (const UsageChange &Change : Changes) {
+    FilterStage Stage = classifySolo(Change);
+    switch (Stage) {
+    case FilterStage::FSame:
+      ++RemovedSame;
+      break;
+    case FilterStage::FAdd:
+      ++RemovedAdd;
+      break;
+    case FilterStage::FRem:
+      ++RemovedRem;
+      break;
+    default: {
+      // fdup: linear scan against the survivors; the post-filter scale is
+      // small (paper: 186 changes overall).
+      bool Duplicate = false;
+      for (const UsageChange &Kept : Result.Kept)
+        if (Kept.sameFeatures(Change)) {
+          Duplicate = true;
+          break;
+        }
+      if (Duplicate) {
+        Stage = FilterStage::FDup;
+        ++RemovedDup;
+      } else {
+        Result.Kept.push_back(Change);
+      }
+      break;
+    }
+    }
+    Result.Outcome.push_back(Stage);
+  }
+
+  Result.AfterSame = Result.Total - RemovedSame;
+  Result.AfterAdd = Result.AfterSame - RemovedAdd;
+  Result.AfterRem = Result.AfterAdd - RemovedRem;
+  Result.AfterDup = Result.AfterRem - RemovedDup;
+  return Result;
+}

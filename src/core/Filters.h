@@ -1,0 +1,63 @@
+//===- core/Filters.h - fsame / fadd / frem / fdup (Section 4.2) -----------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four usage-change filters, applied in order:
+///
+///   fsame  F- and F+ both empty          (refactoring / unrelated edit)
+///   fadd   F- empty                      (a usage was introduced)
+///   frem   F+ empty                      (a usage was deleted)
+///   fdup   identical (F-, F+) seen before (duplicate fix)
+///
+/// Each change is attributed to the first filter that removes it, so the
+/// per-stage attrition of Figures 6 and 7 can be reported exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_CORE_FILTERS_H
+#define DIFFCODE_CORE_FILTERS_H
+
+#include "usage/UsageChange.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace diffcode {
+namespace core {
+
+/// Which filter removed a change (Kept = survived all four).
+enum class FilterStage { Kept, FSame, FAdd, FRem, FDup };
+
+/// Display name ("fsame", ...).
+const char *filterStageName(FilterStage Stage);
+
+/// Result of running the filter pipeline over one class's usage changes.
+struct FilterResult {
+  /// Outcome per input change (parallel to the input vector).
+  std::vector<FilterStage> Outcome;
+  /// The surviving changes, in input order.
+  std::vector<usage::UsageChange> Kept;
+
+  // Remaining-change counts after each stage (Figure 6 columns).
+  std::size_t Total = 0;
+  std::size_t AfterSame = 0;
+  std::size_t AfterAdd = 0;
+  std::size_t AfterRem = 0;
+  std::size_t AfterDup = 0;
+};
+
+/// Runs the pipeline. Duplicate detection keeps the first occurrence of
+/// each distinct (F-, F+).
+FilterResult applyFilters(const std::vector<usage::UsageChange> &Changes);
+
+/// Classifies a single change in isolation (no duplicate stage).
+FilterStage classifySolo(const usage::UsageChange &Change);
+
+} // namespace core
+} // namespace diffcode
+
+#endif // DIFFCODE_CORE_FILTERS_H

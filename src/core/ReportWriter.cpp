@@ -1,0 +1,86 @@
+//===- core/ReportWriter.cpp -----------------------------------------------===//
+
+#include "core/ReportWriter.h"
+
+#include "support/JsonWriter.h"
+
+using namespace diffcode;
+using namespace diffcode::core;
+
+namespace {
+
+void emitPaths(JsonWriter &W, const char *Key,
+               const std::vector<usage::FeaturePath> &Paths) {
+  W.key(Key).beginArray();
+  for (const usage::FeaturePath &Path : Paths)
+    W.value(usage::pathToString(Path));
+  W.endArray();
+}
+
+void emitUsageChange(JsonWriter &W, const usage::UsageChange &Change) {
+  W.beginObject();
+  W.key("type").value(Change.TypeName);
+  W.key("origin").value(Change.Origin);
+  emitPaths(W, "removed", Change.Removed);
+  emitPaths(W, "added", Change.Added);
+  W.endObject();
+}
+
+} // namespace
+
+std::string diffcode::core::usageChangeToJson(const usage::UsageChange &Change) {
+  JsonWriter W;
+  emitUsageChange(W, Change);
+  return W.take();
+}
+
+std::string diffcode::core::corpusReportToJson(const CorpusReport &Report) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("classes").beginArray();
+  for (const ClassReport &Class : Report.PerClass) {
+    W.beginObject();
+    W.key("target").value(Class.TargetClass);
+    W.key("total").value(Class.Filtered.Total);
+    W.key("afterFsame").value(Class.Filtered.AfterSame);
+    W.key("afterFadd").value(Class.Filtered.AfterAdd);
+    W.key("afterFrem").value(Class.Filtered.AfterRem);
+    W.key("afterFdup").value(Class.Filtered.AfterDup);
+    W.key("kept").beginArray();
+    for (const usage::UsageChange &Change : Class.Filtered.Kept)
+      emitUsageChange(W, Change);
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.key("changes").value(Report.Changes.size());
+  W.endObject();
+  return W.take();
+}
+
+std::string
+diffcode::core::projectReportToJson(const rules::ProjectReport &Report) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("rules").beginArray();
+  for (const rules::RuleVerdict &Verdict : Report.Verdicts) {
+    W.beginObject();
+    W.key("id").value(Verdict.RuleId);
+    W.key("applicable").value(Verdict.Applicable);
+    W.key("matched").value(Verdict.Matched);
+    W.key("violations").beginArray();
+    for (const rules::Violation &V : Verdict.Violations) {
+      W.beginObject();
+      W.key("type").value(V.TypeName);
+      W.key("site").value(V.SiteLabel);
+      W.key("unit").value(static_cast<std::uint64_t>(V.UnitIndex));
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.key("anyMatch").value(Report.anyMatch());
+  W.endObject();
+  return W.take();
+}

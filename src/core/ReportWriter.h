@@ -1,0 +1,45 @@
+//===- core/ReportWriter.h - JSON export of pipeline results ---------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes the pipeline's outputs to JSON for downstream tooling: a
+/// usage change (its signed feature paths), a whole CorpusReport (per-
+/// class filter stats + kept changes), and a CryptoChecker ProjectReport
+/// (per-rule verdicts and violating sites). The paper published its
+/// commits and reports at diffcode.ethz.ch; this is the machine-readable
+/// equivalent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_CORE_REPORTWRITER_H
+#define DIFFCODE_CORE_REPORTWRITER_H
+
+#include "core/DiffCode.h"
+#include "rules/CryptoChecker.h"
+
+#include <string>
+
+namespace diffcode {
+namespace core {
+
+/// One usage change as a JSON object
+/// {"type":..,"origin":..,"removed":[..],"added":[..]}.
+std::string usageChangeToJson(const usage::UsageChange &Change);
+
+/// The whole corpus pipeline result:
+/// {"classes":[{"target":..,"total":..,"fsame":..,..,"kept":[...]}]}.
+std::string corpusReportToJson(const CorpusReport &Report);
+
+/// A CryptoChecker project report:
+/// {"rules":[{"id":..,"applicable":..,"matched":..,"violations":[..]}],
+///  "anyMatch":..}.
+std::string projectReportToJson(const rules::ProjectReport &Report);
+
+} // namespace core
+} // namespace diffcode
+
+#endif // DIFFCODE_CORE_REPORTWRITER_H

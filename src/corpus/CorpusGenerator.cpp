@@ -1,0 +1,145 @@
+//===- corpus/CorpusGenerator.cpp ------------------------------------------===//
+
+#include "corpus/CorpusGenerator.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace diffcode;
+using namespace diffcode::corpus;
+
+CorpusGenerator::CorpusGenerator(CorpusOptions Opts) : Opts(Opts) {}
+
+namespace {
+
+/// Mutable per-file generation state.
+struct FileState {
+  ScenarioInstance Instance;
+  std::string FileName;
+  bool EverExisted = true;
+};
+
+std::string drawClassName(Rng &R) {
+  static const std::vector<std::string> Prefixes = {
+      "Aes",  "Crypto",  "Secure", "Token", "Session", "Password",
+      "Data", "Auth",    "File",   "Net",   "Payload", "Message"};
+  static const std::vector<std::string> Suffixes = {
+      "Util",  "Helper", "Manager", "Service", "Handler",
+      "Codec", "Engine", "Store",   "Tool",    "Box"};
+  return R.pick(Prefixes) + R.pick(Suffixes);
+}
+
+} // namespace
+
+Project CorpusGenerator::generateProject(const std::string &Name, Rng &R) {
+  Project P;
+  P.Name = Name;
+  P.Meta.IsAndroid = R.chance(0.25);
+  P.Meta.MinSdkVersion = static_cast<int>(R.range(14, 26));
+  // Few projects shipped the Android LPRNG workaround (R6's fix).
+  P.Meta.HasLinuxPrngFix = R.chance(0.15);
+  std::string Package = "com.example." + Name;
+
+  // Initial files: distinct scenario kinds, drawn by real-world frequency
+  // weight, each starting insecure with the per-rule wild-misuse rate.
+  unsigned NumFiles = static_cast<unsigned>(
+      R.range(Opts.MinFilesPerProject, Opts.MaxFilesPerProject));
+  double TotalWeight = 0.0;
+  for (unsigned I = 0; I < NumScenarioKinds; ++I)
+    TotalWeight += scenarioWeight(static_cast<ScenarioKind>(I));
+
+  std::vector<ScenarioKind> ChosenKinds;
+  while (ChosenKinds.size() < NumFiles &&
+         ChosenKinds.size() < NumScenarioKinds) {
+    double Draw = R.uniform() * TotalWeight;
+    ScenarioKind Kind = ScenarioKind::Hashing;
+    for (unsigned I = 0; I < NumScenarioKinds; ++I) {
+      Kind = static_cast<ScenarioKind>(I);
+      Draw -= scenarioWeight(Kind);
+      if (Draw <= 0)
+        break;
+    }
+    if (std::find(ChosenKinds.begin(), ChosenKinds.end(), Kind) ==
+        ChosenKinds.end())
+      ChosenKinds.push_back(Kind);
+  }
+
+  std::vector<FileState> Files;
+  for (unsigned I = 0; I < ChosenKinds.size(); ++I) {
+    FileState F;
+    F.Instance.Kind = ChosenKinds[I];
+    F.Instance.Details = drawDetails(F.Instance.Kind, R);
+    F.Instance.Details.Secure =
+        !R.chance(scenarioInitialInsecureProb(F.Instance.Kind) *
+                  Opts.InitialInsecureProb / 0.8);
+    F.Instance.StyleSeed = R.engine()();
+    F.Instance.IncludeUsage = R.chance(Opts.InitialUsageProb);
+    F.Instance.PairEncDec =
+        F.Instance.Kind == ScenarioKind::BlockCipher && R.chance(0.35);
+    F.Instance.ClassName = drawClassName(R) + std::to_string(I);
+    F.FileName = F.Instance.ClassName + ".java";
+    Files.push_back(std::move(F));
+  }
+
+  unsigned NumCommits =
+      static_cast<unsigned>(R.range(Opts.MinCommits, Opts.MaxCommits));
+  for (unsigned Commit = 0; Commit < NumCommits; ++Commit) {
+    FileState &F = Files[R.index(Files.size())];
+    std::string OldCode = renderScenario(F.Instance, Package);
+
+    // Pick the commit kind; impossible kinds (fixing an already-secure
+    // file, ...) degrade to a refactoring, as in real histories where
+    // most commits do not touch security content.
+    double Draw = R.uniform();
+    std::string Kind = "refactor";
+    ScenarioInstance &Inst = F.Instance;
+    if (Draw < Opts.FixProb) {
+      if (Inst.IncludeUsage && !Inst.Details.Secure) {
+        Inst.Details.Secure = true;
+        Kind = std::string("fix:") + scenarioRuleId(Inst.Kind);
+      }
+    } else if (Draw < Opts.FixProb + Opts.BugProb) {
+      if (Inst.IncludeUsage && Inst.Details.Secure) {
+        Inst.Details.Secure = false;
+        Kind = std::string("bug:") + scenarioRuleId(Inst.Kind);
+      }
+    } else if (Draw < Opts.FixProb + Opts.BugProb + Opts.AddProb) {
+      if (!Inst.IncludeUsage) {
+        Inst.IncludeUsage = true;
+        Kind = "add";
+      }
+    } else if (Draw < Opts.FixProb + Opts.BugProb + Opts.AddProb +
+                          Opts.RemoveProb) {
+      if (Inst.IncludeUsage) {
+        Inst.IncludeUsage = false;
+        Kind = "remove";
+      }
+    }
+    if (Kind == "refactor")
+      Inst.StyleSeed = R.engine()();
+
+    CodeChange Change;
+    Change.ProjectName = P.Name;
+    Change.CommitIndex = Commit;
+    Change.FileName = F.FileName;
+    Change.OldCode = std::move(OldCode);
+    Change.NewCode = renderScenario(Inst, Package);
+    Change.Kind = Kind;
+    P.History.push_back(std::move(Change));
+  }
+
+  for (const FileState &F : Files)
+    P.Files.push_back({F.FileName, renderScenario(F.Instance, Package)});
+  return P;
+}
+
+Corpus CorpusGenerator::generate() {
+  Corpus Out;
+  Rng Root(Opts.Seed);
+  for (unsigned I = 0; I < Opts.NumProjects; ++I) {
+    Rng ProjectRng = Root.fork();
+    Out.Projects.push_back(
+        generateProject("proj" + std::to_string(I), ProjectRng));
+  }
+  return Out;
+}

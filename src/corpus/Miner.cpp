@@ -1,0 +1,36 @@
+//===- corpus/Miner.cpp ----------------------------------------------------===//
+
+#include "corpus/Miner.h"
+
+using namespace diffcode;
+using namespace diffcode::corpus;
+
+Miner::Miner(const apimodel::CryptoApiModel &Api, MinerOptions Opts)
+    : Api(Api), Opts(Opts) {}
+
+bool Miner::touchesTargetClass(const CodeChange &Change) const {
+  for (const std::string &Target : Api.targetClasses())
+    if (Change.OldCode.find(Target) != std::string::npos ||
+        Change.NewCode.find(Target) != std::string::npos)
+      return true;
+  return false;
+}
+
+std::vector<const CodeChange *> Miner::mineProject(const Project &P) const {
+  std::vector<const CodeChange *> Out;
+  if (P.History.size() < Opts.MinCommitsPerProject)
+    return Out;
+  for (const CodeChange &Change : P.History)
+    if (touchesTargetClass(Change))
+      Out.push_back(&Change);
+  return Out;
+}
+
+std::vector<const CodeChange *> Miner::mine(const Corpus &C) const {
+  std::vector<const CodeChange *> Out;
+  for (const Project &P : C.Projects) {
+    std::vector<const CodeChange *> Mined = mineProject(P);
+    Out.insert(Out.end(), Mined.begin(), Mined.end());
+  }
+  return Out;
+}

@@ -1,0 +1,58 @@
+//===- corpus/Miner.h - Commit mining (Section 6.1) ------------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mining front-end: walks project histories and keeps the code
+/// changes whose files use a target API class, mirroring the paper's
+/// selection ("for each commit that changes at least one target class, we
+/// fetched the versions before and after"). Also applies the project
+/// eligibility filter (minimum commit count) from Section 6.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_CORPUS_MINER_H
+#define DIFFCODE_CORPUS_MINER_H
+
+#include "apimodel/CryptoApiModel.h"
+#include "corpus/RepoModel.h"
+
+#include <vector>
+
+namespace diffcode {
+namespace corpus {
+
+/// Mining knobs (paper: projects with >= 30 commits; we default lower to
+/// match the synthetic histories' scale).
+struct MinerOptions {
+  unsigned MinCommitsPerProject = 8;
+};
+
+/// Selects the code changes that touch any of the model's target classes.
+class Miner {
+public:
+  explicit Miner(const apimodel::CryptoApiModel &Api,
+                 MinerOptions Opts = MinerOptions());
+
+  /// True when either version of the change mentions a target class.
+  bool touchesTargetClass(const CodeChange &Change) const;
+
+  /// All selected changes of one project (empty if the project is below
+  /// the commit threshold).
+  std::vector<const CodeChange *> mineProject(const Project &P) const;
+
+  /// All selected changes of the corpus.
+  std::vector<const CodeChange *> mine(const Corpus &C) const;
+
+private:
+  const apimodel::CryptoApiModel &Api;
+  MinerOptions Opts;
+};
+
+} // namespace corpus
+} // namespace diffcode
+
+#endif // DIFFCODE_CORPUS_MINER_H

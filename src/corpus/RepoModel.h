@@ -1,0 +1,80 @@
+//===- corpus/RepoModel.h - Projects, commits, code changes ----------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The repository model the mining stage produces: projects with commit
+/// histories, where each commit contributes a CodeChange — the (old
+/// version, new version) source pair of one Java file (Section 6.1 fetches
+/// exactly these pairs from GitHub).
+///
+/// Synthetic provenance: each change carries the generator's ground-truth
+/// kind ("refactor", "fix:R7", ...). The DiffCode pipeline never reads it;
+/// benchmarks use it to score filter precision/recall against the ground
+/// truth — something the paper could only approximate by manual
+/// inspection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_CORPUS_REPOMODEL_H
+#define DIFFCODE_CORPUS_REPOMODEL_H
+
+#include "rules/Rule.h"
+
+#include <string>
+#include <vector>
+
+namespace diffcode {
+namespace corpus {
+
+/// One commit's effect on one file.
+struct CodeChange {
+  std::string ProjectName;
+  unsigned CommitIndex = 0;
+  std::string FileName;
+  std::string OldCode;
+  std::string NewCode;
+  /// Generator ground truth: "refactor", "fix:<RuleId>", "bug:<RuleId>",
+  /// "add", "remove". Empty for mined (non-synthetic) changes.
+  std::string Kind;
+
+  std::string origin() const {
+    return ProjectName + "@c" + std::to_string(CommitIndex);
+  }
+  bool isGroundTruthFix() const { return Kind.rfind("fix:", 0) == 0; }
+  bool isGroundTruthBug() const { return Kind.rfind("bug:", 0) == 0; }
+};
+
+/// A file at HEAD.
+struct ProjectFile {
+  std::string Name;
+  std::string Code;
+};
+
+/// One repository.
+struct Project {
+  std::string Name;
+  rules::ProjectMetadata Meta;
+  std::vector<ProjectFile> Files;   ///< Final (HEAD) state.
+  std::vector<CodeChange> History;  ///< All commits, oldest first.
+};
+
+/// A mined corpus.
+struct Corpus {
+  std::vector<Project> Projects;
+
+  std::size_t totalChanges() const {
+    std::size_t N = 0;
+    for (const Project &P : Projects)
+      N += P.History.size();
+    return N;
+  }
+};
+
+} // namespace corpus
+} // namespace diffcode
+
+#endif // DIFFCODE_CORPUS_REPOMODEL_H

@@ -1,0 +1,805 @@
+//===- corpus/Scenario.cpp -------------------------------------------------===//
+
+#include "corpus/Scenario.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace diffcode;
+using namespace diffcode::corpus;
+
+const char *diffcode::corpus::scenarioRuleId(ScenarioKind Kind) {
+  switch (Kind) {
+  case ScenarioKind::Hashing:
+    return "R1";
+  case ScenarioKind::PbeIterations:
+    return "R2";
+  case ScenarioKind::PbeSalt:
+    return "R11";
+  case ScenarioKind::RandomInit:
+    return "R3";
+  case ScenarioKind::StrongRandom:
+    return "R4";
+  case ScenarioKind::ProviderChoice:
+    return "R5";
+  case ScenarioKind::BlockCipher:
+    return "R7";
+  case ScenarioKind::DesCipher:
+    return "R8";
+  case ScenarioKind::StaticIv:
+    return "R9";
+  case ScenarioKind::StaticKey:
+    return "R10";
+  case ScenarioKind::StaticSeed:
+    return "R12";
+  case ScenarioKind::KeyExchange:
+    return "R13";
+  }
+  return "";
+}
+
+const char *diffcode::corpus::scenarioName(ScenarioKind Kind) {
+  switch (Kind) {
+  case ScenarioKind::Hashing:
+    return "hashing";
+  case ScenarioKind::PbeIterations:
+    return "pbe-iterations";
+  case ScenarioKind::PbeSalt:
+    return "pbe-salt";
+  case ScenarioKind::RandomInit:
+    return "random-init";
+  case ScenarioKind::StrongRandom:
+    return "strong-random";
+  case ScenarioKind::ProviderChoice:
+    return "provider-choice";
+  case ScenarioKind::BlockCipher:
+    return "block-cipher";
+  case ScenarioKind::DesCipher:
+    return "des-cipher";
+  case ScenarioKind::StaticIv:
+    return "static-iv";
+  case ScenarioKind::StaticKey:
+    return "static-key";
+  case ScenarioKind::StaticSeed:
+    return "static-seed";
+  case ScenarioKind::KeyExchange:
+    return "key-exchange";
+  }
+  return "";
+}
+
+double diffcode::corpus::scenarioWeight(ScenarioKind Kind) {
+  switch (Kind) {
+  case ScenarioKind::Hashing:
+    return 3.0;
+  case ScenarioKind::BlockCipher:
+    return 3.0;
+  case ScenarioKind::ProviderChoice:
+    return 2.0;
+  case ScenarioKind::RandomInit:
+    return 2.0;
+  case ScenarioKind::StaticKey:
+    return 2.0;
+  case ScenarioKind::DesCipher:
+    return 1.0;
+  case ScenarioKind::StaticIv:
+    return 1.0;
+  case ScenarioKind::PbeIterations:
+    return 1.0;
+  case ScenarioKind::PbeSalt:
+    return 1.0;
+  case ScenarioKind::StaticSeed:
+    return 0.5;
+  case ScenarioKind::StrongRandom:
+    return 0.5;
+  case ScenarioKind::KeyExchange:
+    return 0.25;
+  }
+  return 1.0;
+}
+
+double diffcode::corpus::scenarioInitialInsecureProb(ScenarioKind Kind) {
+  switch (Kind) {
+  case ScenarioKind::ProviderChoice:
+    return 0.95; // paper: 97.6% of applicable projects violate R5
+  case ScenarioKind::RandomInit:
+    return 0.9; // R3: 94.8%
+  case ScenarioKind::Hashing:
+    return 0.5; // R1: 34.6%
+  case ScenarioKind::BlockCipher:
+    return 0.55; // R7: 28.4%
+  case ScenarioKind::PbeIterations:
+    return 0.5; // R2: 23.4%
+  case ScenarioKind::PbeSalt:
+    return 0.2; // R11: 11.0%
+  case ScenarioKind::DesCipher:
+    return 0.35; // R8: 9.5%
+  case ScenarioKind::StaticIv:
+    return 0.15; // R9: 5.6%
+  case ScenarioKind::StaticKey:
+    return 0.3; // R10: 5.2%
+  case ScenarioKind::StrongRandom:
+    return 0.1; // R4: 1.0%
+  case ScenarioKind::StaticSeed:
+    return 0.05; // R12: 0.3%
+  case ScenarioKind::KeyExchange:
+    return 0.6; // R13: 50%
+  }
+  return 0.5;
+}
+
+ScenarioDetails diffcode::corpus::drawDetails(ScenarioKind Kind, Rng &R) {
+  static const std::vector<std::string> WeakDigests = {"SHA-1", "SHA1",
+                                                       "MD5"};
+  static const std::vector<std::string> StrongDigests = {"SHA-256",
+                                                         "SHA-512"};
+  static const std::vector<std::string> EcbTransforms = {
+      "AES", "AES/ECB/PKCS5Padding", "AES/ECB/NoPadding"};
+  static const std::vector<std::string> SafeTransforms = {
+      "AES/CBC/PKCS5Padding", "AES/GCM/NoPadding", "AES/CTR/NoPadding",
+      "AES/CBC/NoPadding"};
+  static const std::vector<std::string> DesTransforms = {
+      "DES", "DES/CBC/PKCS5Padding", "DES/ECB/PKCS5Padding"};
+  static const std::vector<std::string> RsaTransforms = {
+      "RSA", "RSA/ECB/PKCS1Padding"};
+  static const std::vector<std::string> ConstLiterals = {
+      "0123456789abcdef", "sup3rs3cr3t!",     "1234567812345678",
+      "changeit",         "aaaabbbbccccdddd", "letmein0letmein0",
+      "s4lt&p3pper",      "fixedivfixediv16"};
+  static const std::vector<int> WeakIters = {1, 20, 100, 500};
+  static const std::vector<int> StrongIters = {1000, 2048, 10000, 65536};
+  static const std::vector<int> KeyLens = {128, 256};
+
+  ScenarioDetails D;
+  D.ConstLiteral = R.pick(ConstLiterals);
+  D.InsecureIter = R.pick(WeakIters);
+  D.SecureIter = R.pick(StrongIters);
+  D.KeyLen = R.pick(KeyLens);
+  D.UseArrayLiteral = R.chance(0.4);
+  for (int I = 0; I < 8; ++I)
+    D.ConstBytes.push_back(static_cast<int>(R.range(0, 127)));
+
+  switch (Kind) {
+  case ScenarioKind::Hashing:
+    D.InsecureAlgo = R.pick(WeakDigests);
+    D.SecureAlgo = R.pick(StrongDigests);
+    break;
+  case ScenarioKind::PbeIterations:
+  case ScenarioKind::PbeSalt:
+    D.InsecureAlgo = "PBKDF2WithHmacSHA1";
+    D.SecureAlgo = "PBKDF2WithHmacSHA1";
+    break;
+  case ScenarioKind::RandomInit:
+  case ScenarioKind::StrongRandom:
+  case ScenarioKind::StaticSeed:
+    D.InsecureAlgo = "";
+    D.SecureAlgo = "SHA1PRNG";
+    break;
+  case ScenarioKind::ProviderChoice:
+    D.InsecureAlgo = R.pick(SafeTransforms);
+    D.SecureAlgo = D.InsecureAlgo; // the fix adds the provider, not a mode
+    break;
+  case ScenarioKind::BlockCipher:
+    D.InsecureAlgo = R.pick(EcbTransforms);
+    D.SecureAlgo = R.pick(SafeTransforms);
+    break;
+  case ScenarioKind::DesCipher:
+    D.InsecureAlgo = R.pick(DesTransforms);
+    D.SecureAlgo = R.pick(SafeTransforms);
+    break;
+  case ScenarioKind::StaticIv:
+  case ScenarioKind::StaticKey:
+    D.InsecureAlgo = R.pick(SafeTransforms);
+    D.SecureAlgo = D.InsecureAlgo;
+    break;
+  case ScenarioKind::KeyExchange:
+    D.InsecureAlgo = R.pick(RsaTransforms);
+    D.SecureAlgo = R.chance(0.5) ? "HmacSHA256" : "HmacSHA1";
+    break;
+  }
+  return D;
+}
+
+namespace {
+
+/// Indentation-aware source builder.
+class Code {
+public:
+  void line(const std::string &Text) {
+    if (!Text.empty())
+      Out.append(Indent * 4, ' ');
+    Out += Text;
+    Out += '\n';
+  }
+  void open(const std::string &Text) {
+    line(Text + " {");
+    ++Indent;
+  }
+  void close(const std::string &Suffix = "") {
+    assert(Indent > 0 && "unbalanced close");
+    --Indent;
+    line("}" + Suffix);
+  }
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+  unsigned Indent = 0;
+};
+
+/// Naming/structure choices for one render.
+struct Style {
+  std::string MethodName;
+  std::string DataVar, KeyVar, CipherVar, DecVar, IvVar, IvBytesVar,
+      RandomVar, DigestVar, SaltVar, SpecVar, BufVar, MacVar, FactoryVar,
+      AlgoField;
+  bool AlgoInField = false;
+  bool WrapTry = false;
+  bool UseHelper = false;
+  bool PairEncDec = false;
+  unsigned NoiseCount = 0;
+  std::uint64_t NoiseSeed = 0;
+};
+
+Style drawStyle(const ScenarioInstance &Instance) {
+  ScenarioKind Kind = Instance.Kind;
+  std::uint64_t Seed = Instance.StyleSeed;
+  Rng R(Seed ^ 0x5ca1ab1eULL);
+
+  static const std::vector<std::string> EncryptNames = {
+      "encrypt", "encryptData", "seal", "protect", "encode"};
+  static const std::vector<std::string> HashNames = {
+      "hash", "computeHash", "fingerprint", "digestOf", "checksum"};
+  static const std::vector<std::string> DeriveNames = {
+      "deriveKey", "makeKey", "keyFromPassword", "derive"};
+  static const std::vector<std::string> RandomNames = {
+      "randomBytes", "nextToken", "generateNonce", "makeSalt"};
+  static const std::vector<std::string> ExchangeNames = {
+      "sealSession", "wrapAndSend", "exchange", "packageKey"};
+
+  Style S;
+  switch (Kind) {
+  case ScenarioKind::Hashing:
+    S.MethodName = R.pick(HashNames);
+    break;
+  case ScenarioKind::PbeIterations:
+  case ScenarioKind::PbeSalt:
+    S.MethodName = R.pick(DeriveNames);
+    break;
+  case ScenarioKind::RandomInit:
+  case ScenarioKind::StrongRandom:
+  case ScenarioKind::StaticSeed:
+    S.MethodName = R.pick(RandomNames);
+    break;
+  case ScenarioKind::KeyExchange:
+    S.MethodName = R.pick(ExchangeNames);
+    break;
+  default:
+    S.MethodName = R.pick(EncryptNames);
+    break;
+  }
+
+  static const std::vector<std::string> DataVars = {
+      "data", "input", "plaintext", "content", "payload"};
+  static const std::vector<std::string> KeyVars = {"key", "secretKey", "sk",
+                                                   "aesKey"};
+  static const std::vector<std::string> CipherVars = {"cipher", "enc", "c",
+                                                      "aesCipher"};
+  static const std::vector<std::string> IvVars = {"iv", "ivSpec", "ivParam"};
+  static const std::vector<std::string> RandomVars = {
+      "random", "rng", "sr", "secureRandom", "rand"};
+  static const std::vector<std::string> DigestVars = {"md", "digest",
+                                                      "hasher"};
+  static const std::vector<std::string> SaltVars = {"salt", "saltBytes",
+                                                    "saltValue"};
+  static const std::vector<std::string> SpecVars = {"spec", "keySpec",
+                                                    "pbeSpec"};
+  static const std::vector<std::string> BufVars = {"buf", "out", "bytes",
+                                                   "result"};
+
+  S.DataVar = R.pick(DataVars);
+  S.KeyVar = R.pick(KeyVars);
+  S.CipherVar = R.pick(CipherVars);
+  S.DecVar = S.CipherVar == "enc" ? "dec" : S.CipherVar + "Dec";
+  S.IvVar = R.pick(IvVars);
+  S.IvBytesVar = S.IvVar + "Bytes";
+  S.RandomVar = R.pick(RandomVars);
+  S.DigestVar = R.pick(DigestVars);
+  S.SaltVar = R.pick(SaltVars);
+  S.SpecVar = R.pick(SpecVars);
+  S.BufVar = R.pick(BufVars);
+  S.MacVar = R.chance(0.5) ? "mac" : "hmac";
+  S.FactoryVar = R.chance(0.5) ? "factory" : "skf";
+  S.AlgoField = R.chance(0.5) ? "ALGORITHM" : "TRANSFORM";
+
+  S.AlgoInField = R.chance(0.4);
+  S.WrapTry = R.chance(0.45);
+  S.UseHelper = R.chance(0.25);
+  S.PairEncDec = Instance.PairEncDec;
+  S.NoiseCount = static_cast<unsigned>(R.range(0, 2));
+  S.NoiseSeed = R.engine()();
+  return S;
+}
+
+void emitNoiseMethods(Code &C, const Style &S) {
+  Rng R(S.NoiseSeed);
+  static const std::vector<std::string> NameA = {"format", "describe",
+                                                 "render", "label"};
+  static const std::vector<std::string> NameB = {"count", "measure", "tally",
+                                                 "sum"};
+  for (unsigned I = 0; I < S.NoiseCount; ++I) {
+    switch (R.range(0, 3)) {
+    case 0: {
+      std::string Name = R.pick(NameA) + "Item";
+      C.line("");
+      C.open("private String " + Name + "(String name)");
+      C.open("if (name == null)");
+      C.line("return \"unknown\";");
+      C.close();
+      C.line("return \"[\" + name + \"]\";");
+      C.close();
+      break;
+    }
+    case 1: {
+      std::string Name = R.pick(NameB) + "Parts";
+      C.line("");
+      C.open("private int " + Name + "(String csv)");
+      C.line("int total = 0;");
+      C.line("int i = 0;");
+      C.open("while (i < csv.length())");
+      C.line("total = total + 1;");
+      C.line("i = i + 1;");
+      C.close();
+      C.line("return total;");
+      C.close();
+      break;
+    }
+    case 2: {
+      C.line("");
+      C.open("private boolean isEnabled(int flags)");
+      C.line("return (flags & " + std::to_string(R.range(1, 64)) + ") != 0;");
+      C.close();
+      break;
+    }
+    default: {
+      C.line("");
+      C.open("private String joinParts(String a, String b)");
+      C.line("return a + \"" + std::string(1, "/-:."[R.range(0, 3)]) +
+             "\" + b;");
+      C.close();
+      break;
+    }
+    }
+  }
+}
+
+/// Emits the idiomatic random fill of \p TargetVar (an already-declared
+/// byte[]). Uses `new SecureRandom()` — what real code overwhelmingly
+/// does (and the reason R3's violation rate is near-universal in the
+/// paper's Figure 10).
+void emitRandomFill(Code &C, const Style &S, const std::string &TargetVar) {
+  C.line("SecureRandom " + S.RandomVar + " = new SecureRandom();");
+  C.line(S.RandomVar + ".nextBytes(" + TargetVar + ");");
+}
+
+std::string quoted(const std::string &Text) { return "\"" + Text + "\""; }
+
+/// Hard-coded key/IV material: either a string's bytes or a byte-array
+/// literal, per the details.
+std::string constBytesExpr(const ScenarioDetails &D) {
+  if (!D.UseArrayLiteral)
+    return quoted(D.ConstLiteral) + ".getBytes()";
+  std::string Out = "new byte[] { ";
+  for (std::size_t I = 0; I < D.ConstBytes.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += std::to_string(D.ConstBytes[I]);
+  }
+  return Out + " }";
+}
+
+/// The scenario renderer: one Java file per instance.
+class Renderer {
+public:
+  Renderer(const ScenarioInstance &Instance, const std::string &PackageName)
+      : I(Instance), S(drawStyle(Instance)),
+        Package(PackageName) {}
+
+  std::string render();
+
+private:
+  const ScenarioDetails &details() const { return I.Details; }
+  std::string algo() const {
+    return details().Secure ? details().SecureAlgo : details().InsecureAlgo;
+  }
+  /// Algorithm expression, honoring the constant-in-field style.
+  std::string algoExpr() const {
+    return S.AlgoInField ? S.AlgoField : quoted(algo());
+  }
+  void emitAlgoField(Code &C) const {
+    if (S.AlgoInField)
+      C.line("private static final String " + S.AlgoField + " = " +
+             quoted(algo()) + ";");
+  }
+
+  void emitBody(Code &C);
+  void emitHashing(Code &C);
+  void emitPbe(Code &C, bool SaltScenario);
+  void emitRandomInit(Code &C);
+  void emitStrongRandom(Code &C);
+  void emitProviderChoice(Code &C);
+  void emitBlockCipher(Code &C);
+  void emitDesCipher(Code &C);
+  void emitStaticIv(Code &C);
+  void emitStaticKey(Code &C);
+  void emitStaticSeed(Code &C);
+  void emitKeyExchange(Code &C);
+
+  /// Wraps \p Emit in try/catch when the style asks for it. \p OnError is
+  /// the catch-block return ("return null;" etc., empty = none).
+  template <typename Fn>
+  void maybeTry(Code &C, const std::string &OnError, Fn Emit) {
+    if (!S.WrapTry) {
+      Emit();
+      return;
+    }
+    C.open("try");
+    Emit();
+    C.close();
+    C.open("catch (Exception e)");
+    if (!OnError.empty())
+      C.line(OnError);
+    C.close();
+  }
+
+  const ScenarioInstance &I;
+  Style S;
+  std::string Package;
+};
+
+std::string Renderer::render() {
+  Code C;
+  C.line("package " + Package + ";");
+  C.line("");
+  C.line("import java.security.Key;");
+  C.line("import java.security.MessageDigest;");
+  C.line("import java.security.SecureRandom;");
+  C.line("import javax.crypto.Cipher;");
+  C.line("import javax.crypto.Mac;");
+  C.line("import javax.crypto.SecretKey;");
+  C.line("import javax.crypto.SecretKeyFactory;");
+  C.line("import javax.crypto.spec.IvParameterSpec;");
+  C.line("import javax.crypto.spec.PBEKeySpec;");
+  C.line("import javax.crypto.spec.SecretKeySpec;");
+  C.line("");
+  C.open("public class " + I.ClassName);
+  emitBody(C);
+  emitNoiseMethods(C, S);
+  C.close();
+  return C.take();
+}
+
+void Renderer::emitBody(Code &C) {
+  if (!I.IncludeUsage) {
+    // The class exists but does not touch the crypto API yet.
+    C.line("");
+    C.open("public byte[] " + S.MethodName + "(String " + S.DataVar + ")");
+    C.line("return " + S.DataVar + ".getBytes();");
+    C.close();
+    return;
+  }
+  switch (I.Kind) {
+  case ScenarioKind::Hashing:
+    return emitHashing(C);
+  case ScenarioKind::PbeIterations:
+    return emitPbe(C, /*SaltScenario=*/false);
+  case ScenarioKind::PbeSalt:
+    return emitPbe(C, /*SaltScenario=*/true);
+  case ScenarioKind::RandomInit:
+    return emitRandomInit(C);
+  case ScenarioKind::StrongRandom:
+    return emitStrongRandom(C);
+  case ScenarioKind::ProviderChoice:
+    return emitProviderChoice(C);
+  case ScenarioKind::BlockCipher:
+    return emitBlockCipher(C);
+  case ScenarioKind::DesCipher:
+    return emitDesCipher(C);
+  case ScenarioKind::StaticIv:
+    return emitStaticIv(C);
+  case ScenarioKind::StaticKey:
+    return emitStaticKey(C);
+  case ScenarioKind::StaticSeed:
+    return emitStaticSeed(C);
+  case ScenarioKind::KeyExchange:
+    return emitKeyExchange(C);
+  }
+}
+
+void Renderer::emitHashing(Code &C) {
+  emitAlgoField(C);
+  C.line("");
+  C.open("public byte[] " + S.MethodName + "(String " + S.DataVar +
+         ") throws Exception");
+  maybeTry(C, "return null;", [&] {
+    if (S.UseHelper) {
+      C.line("MessageDigest " + S.DigestVar + " = newDigest();");
+    } else {
+      C.line("MessageDigest " + S.DigestVar +
+             " = MessageDigest.getInstance(" + algoExpr() + ");");
+    }
+    C.line(S.DigestVar + ".update(" + S.DataVar + ".getBytes());");
+    C.line("return " + S.DigestVar + ".digest();");
+  });
+  C.close();
+  if (S.UseHelper) {
+    C.line("");
+    C.open("private MessageDigest newDigest() throws Exception");
+    C.line("return MessageDigest.getInstance(" + algoExpr() + ");");
+    C.close();
+  }
+}
+
+void Renderer::emitPbe(Code &C, bool SaltScenario) {
+  const ScenarioDetails &D = details();
+  int Iterations = SaltScenario ? D.SecureIter
+                                : (D.Secure ? D.SecureIter : D.InsecureIter);
+  bool RandomSalt = SaltScenario ? D.Secure : true;
+
+  C.line("");
+  C.open("public SecretKey " + S.MethodName + "(char[] password)" +
+         " throws Exception");
+  if (RandomSalt) {
+    C.line("byte[] " + S.SaltVar + " = new byte[16];");
+    emitRandomFill(C, S, S.SaltVar);
+  } else {
+    C.line("byte[] " + S.SaltVar + " = " + quoted(D.ConstLiteral) +
+           ".getBytes();");
+  }
+  C.line("PBEKeySpec " + S.SpecVar + " = new PBEKeySpec(password, " +
+         S.SaltVar + ", " + std::to_string(Iterations) + ", " +
+         std::to_string(D.KeyLen) + ");");
+  C.line("SecretKeyFactory " + S.FactoryVar +
+         " = SecretKeyFactory.getInstance(" + quoted(D.SecureAlgo) + ");");
+  C.line("return " + S.FactoryVar + ".generateSecret(" + S.SpecVar + ");");
+  C.close();
+}
+
+void Renderer::emitRandomInit(Code &C) {
+  C.line("");
+  C.open("public byte[] " + S.MethodName + "(int n) throws Exception");
+  C.line("byte[] " + S.BufVar + " = new byte[n];");
+  if (details().Secure)
+    C.line("SecureRandom " + S.RandomVar +
+           " = SecureRandom.getInstance(\"SHA1PRNG\");");
+  else
+    C.line("SecureRandom " + S.RandomVar + " = new SecureRandom();");
+  C.line(S.RandomVar + ".nextBytes(" + S.BufVar + ");");
+  C.line("return " + S.BufVar + ";");
+  C.close();
+}
+
+void Renderer::emitStrongRandom(Code &C) {
+  C.line("");
+  C.open("public byte[] " + S.MethodName + "(int n) throws Exception");
+  C.line("byte[] " + S.BufVar + " = new byte[n];");
+  if (details().Secure)
+    C.line("SecureRandom " + S.RandomVar +
+           " = SecureRandom.getInstance(\"SHA1PRNG\");");
+  else
+    C.line("SecureRandom " + S.RandomVar +
+           " = SecureRandom.getInstanceStrong();");
+  C.line(S.RandomVar + ".nextBytes(" + S.BufVar + ");");
+  C.line("return " + S.BufVar + ";");
+  C.close();
+}
+
+void Renderer::emitProviderChoice(Code &C) {
+  emitAlgoField(C);
+  C.line("");
+  C.open("public byte[] " + S.MethodName + "(SecretKey " + S.KeyVar +
+         ", byte[] " + S.DataVar + ", byte[] " + S.IvBytesVar +
+         ") throws Exception");
+  maybeTry(C, "return null;", [&] {
+    // The fix swaps an explicit default provider for BouncyCastle. (A
+    // provider *addition* — getInstance/1 -> getInstance/2 — is a pure
+    // feature addition under the abstraction and would be filtered by
+    // fadd; see DESIGN.md.)
+    std::string Provider =
+        details().Secure ? ", \"BC\"" : ", \"SunJCE\"";
+    C.line("Cipher " + S.CipherVar + " = Cipher.getInstance(" + algoExpr() +
+           Provider + ");");
+    C.line("IvParameterSpec " + S.IvVar + " = new IvParameterSpec(" +
+           S.IvBytesVar + ");");
+    C.line(S.CipherVar + ".init(Cipher.ENCRYPT_MODE, " + S.KeyVar + ", " +
+           S.IvVar + ");");
+    C.line("return " + S.CipherVar + ".doFinal(" + S.DataVar + ");");
+  });
+  C.close();
+}
+
+void Renderer::emitBlockCipher(Code &C) {
+  // The Figure 2 scenario. Insecure: default/ECB transform, no IV.
+  // Secure: explicit feedback mode plus an IvParameterSpec derived from a
+  // caller-provided (unknown) string.
+  const ScenarioDetails &D = details();
+  if (S.PairEncDec) {
+    C.line("Cipher " + S.CipherVar + ";");
+    C.line("Cipher " + S.DecVar + ";");
+  }
+  emitAlgoField(C);
+  C.line("");
+  std::string Params = "SecretKey " + S.KeyVar;
+  if (D.Secure)
+    Params += ", String " + S.IvVar + "Hex";
+  std::string Ret = S.PairEncDec ? "void" : "Cipher";
+  C.open("public " + Ret + " " + S.MethodName + "(" + Params +
+         ") throws Exception");
+  maybeTry(C, S.PairEncDec ? "" : "return null;", [&] {
+    if (!S.PairEncDec)
+      C.line("Cipher " + S.CipherVar + ";");
+    if (D.Secure) {
+      C.line("byte[] " + S.IvBytesVar + " = Hex.decodeHex(" + S.IvVar +
+             "Hex.toCharArray());");
+      C.line("IvParameterSpec " + S.IvVar + " = new IvParameterSpec(" +
+             S.IvBytesVar + ");");
+    }
+    C.line(S.CipherVar + " = Cipher.getInstance(" + algoExpr() + ");");
+    std::string InitArgs = "Cipher.ENCRYPT_MODE, " + S.KeyVar;
+    if (D.Secure)
+      InitArgs += ", " + S.IvVar;
+    C.line(S.CipherVar + ".init(" + InitArgs + ");");
+    if (S.PairEncDec) {
+      C.line(S.DecVar + " = Cipher.getInstance(" + algoExpr() + ");");
+      std::string DecArgs = "Cipher.DECRYPT_MODE, " + S.KeyVar;
+      if (D.Secure)
+        DecArgs += ", " + S.IvVar;
+      C.line(S.DecVar + ".init(" + DecArgs + ");");
+    }
+  });
+  if (!S.PairEncDec)
+    C.line(S.WrapTry ? "return null;" : "return " + S.CipherVar + ";");
+  C.close();
+}
+
+void Renderer::emitDesCipher(Code &C) {
+  const ScenarioDetails &D = details();
+  emitAlgoField(C);
+  C.line("");
+  C.open("public byte[] " + S.MethodName + "(byte[] keyBytes, byte[] " +
+         S.DataVar + ", byte[] " + S.IvBytesVar + ") throws Exception");
+  maybeTry(C, "return null;", [&] {
+    // Key material comes from the caller — a benign SecretKeySpec usage
+    // (keeps R10's applicability high with a low violation rate, as in
+    // Figure 10).
+    std::string KeyAlgo = D.Secure ? "\"AES\"" : "\"DES\"";
+    C.line("SecretKeySpec " + S.KeyVar + " = new SecretKeySpec(keyBytes, " +
+           KeyAlgo + ");");
+    C.line("Cipher " + S.CipherVar + " = Cipher.getInstance(" + algoExpr() +
+           ");");
+    if (D.Secure) {
+      C.line("IvParameterSpec " + S.IvVar + " = new IvParameterSpec(" +
+             S.IvBytesVar + ");");
+      C.line(S.CipherVar + ".init(Cipher.ENCRYPT_MODE, " + S.KeyVar + ", " +
+             S.IvVar + ");");
+    } else {
+      C.line(S.CipherVar + ".init(Cipher.ENCRYPT_MODE, " + S.KeyVar + ");");
+    }
+    C.line("return " + S.CipherVar + ".doFinal(" + S.DataVar + ");");
+  });
+  C.close();
+}
+
+void Renderer::emitStaticIv(Code &C) {
+  const ScenarioDetails &D = details();
+  C.line("");
+  C.open("public byte[] " + S.MethodName + "(SecretKey " + S.KeyVar +
+         ", byte[] " + S.DataVar + ") throws Exception");
+  maybeTry(C, "return null;", [&] {
+    if (D.Secure) {
+      C.line("byte[] " + S.IvBytesVar + " = new byte[16];");
+      emitRandomFill(C, S, S.IvBytesVar);
+      C.line("IvParameterSpec " + S.IvVar + " = new IvParameterSpec(" +
+             S.IvBytesVar + ");");
+    } else {
+      C.line("IvParameterSpec " + S.IvVar + " = new IvParameterSpec(" +
+             constBytesExpr(D) + ");");
+    }
+    C.line("Cipher " + S.CipherVar + " = Cipher.getInstance(" +
+           quoted(D.InsecureAlgo) + ");");
+    C.line(S.CipherVar + ".init(Cipher.ENCRYPT_MODE, " + S.KeyVar + ", " +
+           S.IvVar + ");");
+    C.line("return " + S.CipherVar + ".doFinal(" + S.DataVar + ");");
+  });
+  C.close();
+}
+
+void Renderer::emitStaticKey(Code &C) {
+  const ScenarioDetails &D = details();
+  C.line("");
+  std::string Params = "byte[] " + S.DataVar + ", byte[] " + S.IvBytesVar;
+  if (D.Secure)
+    Params = "byte[] keyBytes, " + Params;
+  C.open("public byte[] " + S.MethodName + "(" + Params +
+         ") throws Exception");
+  maybeTry(C, "return null;", [&] {
+    if (D.Secure)
+      C.line("SecretKeySpec " + S.KeyVar +
+             " = new SecretKeySpec(keyBytes, \"AES\");");
+    else
+      C.line("SecretKeySpec " + S.KeyVar + " = new SecretKeySpec(" +
+             constBytesExpr(D) + ", \"AES\");");
+    C.line("Cipher " + S.CipherVar + " = Cipher.getInstance(" +
+           quoted(D.InsecureAlgo) + ");");
+    C.line("IvParameterSpec " + S.IvVar + " = new IvParameterSpec(" +
+           S.IvBytesVar + ");");
+    C.line(S.CipherVar + ".init(Cipher.ENCRYPT_MODE, " + S.KeyVar + ", " +
+           S.IvVar + ");");
+    C.line("return " + S.CipherVar + ".doFinal(" + S.DataVar + ");");
+  });
+  C.close();
+}
+
+void Renderer::emitStaticSeed(Code &C) {
+  const ScenarioDetails &D = details();
+  C.line("");
+  C.open("public byte[] " + S.MethodName + "(int n) throws Exception");
+  C.line("byte[] " + S.BufVar + " = new byte[n];");
+  C.line("SecureRandom " + S.RandomVar +
+         " = SecureRandom.getInstance(\"SHA1PRNG\");");
+  // The fix replaces the hard-coded seed with fresh entropy (rather than
+  // dropping the call) — the usual shape of real-world R12 fixes, and the
+  // reason the frem filter does not eat them.
+  if (D.Secure)
+    C.line(S.RandomVar + ".setSeed(" + S.RandomVar + ".generateSeed(16));");
+  else
+    C.line(S.RandomVar + ".setSeed(" + quoted(D.ConstLiteral) +
+           ".getBytes());");
+  C.line(S.RandomVar + ".nextBytes(" + S.BufVar + ");");
+  C.line("return " + S.BufVar + ";");
+  C.close();
+}
+
+void Renderer::emitKeyExchange(Code &C) {
+  const ScenarioDetails &D = details();
+  C.line("");
+  C.open("public byte[] " + S.MethodName + "(Key rsaKey, SecretKey " +
+         S.KeyVar + ", byte[] " + S.DataVar + ", byte[] " + S.IvBytesVar +
+         ") throws Exception");
+  maybeTry(C, "return null;", [&] {
+    // The fix both adds the HMAC and hardens the RSA padding to OAEP —
+    // the common shape of real key-exchange fixes, and what makes the
+    // change visible in the Cipher usage diff (Mac is not a target
+    // class).
+    std::string RsaTransform =
+        D.Secure ? "RSA/ECB/OAEPWithSHA-256AndMGF1Padding" : D.InsecureAlgo;
+    C.line("Cipher wrapper = Cipher.getInstance(" + quoted(RsaTransform) +
+           ");");
+    C.line("wrapper.init(Cipher.WRAP_MODE, rsaKey);");
+    C.line("byte[] wrapped = wrapper.wrap(" + S.KeyVar + ");");
+    C.line("Cipher " + S.CipherVar +
+           " = Cipher.getInstance(\"AES/CBC/PKCS5Padding\");");
+    C.line("IvParameterSpec " + S.IvVar + " = new IvParameterSpec(" +
+           S.IvBytesVar + ");");
+    C.line(S.CipherVar + ".init(Cipher.ENCRYPT_MODE, " + S.KeyVar + ", " +
+           S.IvVar + ");");
+    C.line("byte[] ct = " + S.CipherVar + ".doFinal(" + S.DataVar + ");");
+    if (D.Secure) {
+      C.line("Mac " + S.MacVar + " = Mac.getInstance(" +
+             quoted(D.SecureAlgo) + ");");
+      C.line(S.MacVar + ".init(" + S.KeyVar + ");");
+      C.line("byte[] tag = " + S.MacVar + ".doFinal(ct);");
+    }
+    C.line("return ct;");
+  });
+  C.close();
+}
+
+} // namespace
+
+std::string
+diffcode::corpus::renderScenario(const ScenarioInstance &Instance,
+                                 const std::string &PackageName) {
+  Renderer R(Instance, PackageName);
+  return R.render();
+}

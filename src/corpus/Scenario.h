@@ -1,0 +1,112 @@
+//===- corpus/Scenario.h - Crypto usage scenarios --------------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthetic corpus is built from *scenarios*: realistic Java Crypto
+/// API usage patterns, each with an insecure and a secure variant keyed to
+/// one of the paper's rules. A scenario instance renders to a full Java
+/// source file; the renderer varies naming and code structure (the
+/// *style*) independently of the security-relevant content (the
+/// *details*), so that
+///
+///   * refactoring commits re-render with a new style  -> fsame filters,
+///   * security fixes flip the variant                 -> survive filters,
+///   * detail pools make different projects' fixes differ -> fdup keeps
+///     genuinely distinct fixes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_CORPUS_SCENARIO_H
+#define DIFFCODE_CORPUS_SCENARIO_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+
+namespace diffcode {
+namespace corpus {
+
+/// The usage patterns; each maps to the rule it can violate.
+enum class ScenarioKind {
+  Hashing,          ///< R1: SHA-1/MD5 vs SHA-256 digests.
+  PbeIterations,    ///< R2/CL4: PBE iteration count.
+  PbeSalt,          ///< R11/CL5: constant vs random PBE salt.
+  RandomInit,       ///< R3: new SecureRandom() vs getInstance("SHA1PRNG").
+  StrongRandom,     ///< R4: getInstanceStrong vs getInstance("SHA1PRNG").
+  ProviderChoice,   ///< R5: default provider vs BouncyCastle.
+  BlockCipher,      ///< R7/CL1: ECB vs CBC/GCM (+IV) — the Figure 2 change.
+  DesCipher,        ///< R8: DES vs AES.
+  StaticIv,         ///< R9/CL2: hard-coded vs random IV.
+  StaticKey,        ///< R10/CL3: hard-coded vs supplied key.
+  StaticSeed,       ///< R12: constant seed vs default seeding.
+  KeyExchange,      ///< R13: RSA+AES/CBC with vs without an HMAC.
+};
+
+/// Number of ScenarioKind values (for sampling).
+constexpr unsigned NumScenarioKinds = 12;
+
+/// Rule id a scenario's insecure variant violates ("R7" ...).
+const char *scenarioRuleId(ScenarioKind Kind);
+
+/// Human-readable scenario name.
+const char *scenarioName(ScenarioKind Kind);
+
+/// Relative frequency of the scenario across projects, calibrated to the
+/// applicability column of Figure 10 (hashing and block ciphers are
+/// everywhere, getInstanceStrong and key exchanges are rare).
+double scenarioWeight(ScenarioKind Kind);
+
+/// Probability that a fresh instance of the scenario starts in its
+/// insecure variant, calibrated to the matching column of Figure 10
+/// (almost nobody passes a provider; almost nobody hard-codes a
+/// SecureRandom seed).
+double scenarioInitialInsecureProb(ScenarioKind Kind);
+
+/// Security-relevant content, chosen once per file and stable across
+/// refactorings; a fix flips Secure (the detail pools give each project
+/// its own concrete fix).
+struct ScenarioDetails {
+  bool Secure = false;
+  std::string InsecureAlgo; ///< e.g. "AES" / "SHA-1" / "DES".
+  std::string SecureAlgo;   ///< e.g. "AES/CBC/PKCS5Padding" / "SHA-256".
+  int InsecureIter = 100;
+  int SecureIter = 10000;
+  std::string ConstLiteral; ///< The hard-coded key/IV/salt/seed string.
+  int KeyLen = 128;
+  /// When true, hard-coded material is a byte-array literal
+  /// (`new byte[] {..}`) rather than `"..".getBytes()`; the element values
+  /// live in ConstBytes. Under the KeepAllConstants ablation these remain
+  /// distinguishable, under the paper abstraction they all collapse to
+  /// constbyte[].
+  bool UseArrayLiteral = false;
+  std::vector<int> ConstBytes;
+};
+
+/// Draws details for \p Kind from the per-rule pools.
+ScenarioDetails drawDetails(ScenarioKind Kind, Rng &R);
+
+/// One file's scenario instance.
+struct ScenarioInstance {
+  ScenarioKind Kind = ScenarioKind::Hashing;
+  ScenarioDetails Details;
+  std::uint64_t StyleSeed = 0; ///< Naming/structure; refactors redraw it.
+  bool IncludeUsage = true;    ///< false: the class exists, no crypto yet.
+  /// BlockCipher only: the Figure-2 paired enc/dec field layout. Stable
+  /// per file (a re-style must not add or remove cipher objects).
+  bool PairEncDec = false;
+  std::string ClassName;       ///< Stable per file.
+};
+
+/// Renders the instance to a complete Java source file.
+std::string renderScenario(const ScenarioInstance &Instance,
+                           const std::string &PackageName);
+
+} // namespace corpus
+} // namespace diffcode
+
+#endif // DIFFCODE_CORPUS_SCENARIO_H

@@ -1,0 +1,17 @@
+//===- javaast/Ast.cpp -----------------------------------------------------===//
+
+#include "javaast/Ast.h"
+
+using namespace diffcode::java;
+
+std::string TypeRef::baseName() const {
+  std::size_t Pos = Name.rfind('.');
+  return Pos == std::string::npos ? Name : Name.substr(Pos + 1);
+}
+
+std::string TypeRef::str() const {
+  std::string Out = Name;
+  for (unsigned I = 0; I < ArrayDims; ++I)
+    Out += "[]";
+  return Out;
+}

@@ -1,0 +1,211 @@
+//===- javaast/AstVisitor.cpp ----------------------------------------------===//
+
+#include "javaast/AstVisitor.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+
+using namespace diffcode;
+using namespace diffcode::java;
+
+void AstVisitor::walk(const AstNode *Node) {
+  if (!Node)
+    return;
+  if (const auto *Unit = dyn_cast<CompilationUnit>(Node)) {
+    if (!visitCompilationUnit(*Unit))
+      return;
+    for (const ClassDecl *Class : Unit->Types)
+      walkClass(*Class);
+    return;
+  }
+  if (const auto *Class = dyn_cast<ClassDecl>(Node)) {
+    walkClass(*Class);
+    return;
+  }
+  if (const auto *Field = dyn_cast<FieldDecl>(Node)) {
+    if (visitField(*Field))
+      walkExpr(Field->Init);
+    return;
+  }
+  if (const auto *Method = dyn_cast<MethodDecl>(Node)) {
+    if (visitMethod(*Method))
+      walkStmt(Method->Body);
+    return;
+  }
+  if (const auto *S = dyn_cast<Stmt>(Node)) {
+    walkStmt(S);
+    return;
+  }
+  if (const auto *E = dyn_cast<Expr>(Node)) {
+    walkExpr(E);
+    return;
+  }
+  assert(false && "unknown node category");
+}
+
+void AstVisitor::walkClass(const ClassDecl &Class) {
+  if (!visitClass(Class))
+    return;
+  for (const FieldDecl *Field : Class.Fields)
+    walk(Field);
+  for (const MethodDecl *Method : Class.Methods)
+    walk(Method);
+  for (const ClassDecl *Nested : Class.NestedClasses)
+    walkClass(*Nested);
+}
+
+void AstVisitor::walkStmt(const Stmt *S) {
+  if (!S)
+    return;
+  if (!visitStmt(*S))
+    return;
+  switch (S->getKind()) {
+  case NodeKind::BlockStmt:
+    for (const Stmt *Child : cast<Block>(S)->Stmts)
+      walkStmt(Child);
+    return;
+  case NodeKind::LocalVarDeclStmt:
+    walkExpr(cast<LocalVarDeclStmt>(S)->Init);
+    return;
+  case NodeKind::ExprStmt:
+    walkExpr(cast<ExprStmt>(S)->E);
+    return;
+  case NodeKind::IfStmt: {
+    const auto *If = cast<IfStmt>(S);
+    walkExpr(If->Cond);
+    walkStmt(If->Then);
+    walkStmt(If->Else);
+    return;
+  }
+  case NodeKind::WhileStmt: {
+    const auto *While = cast<WhileStmt>(S);
+    walkExpr(While->Cond);
+    walkStmt(While->Body);
+    return;
+  }
+  case NodeKind::DoStmt: {
+    const auto *Do = cast<DoStmt>(S);
+    walkStmt(Do->Body);
+    walkExpr(Do->Cond);
+    return;
+  }
+  case NodeKind::ForStmt: {
+    const auto *For = cast<ForStmt>(S);
+    walkStmt(For->Init);
+    walkExpr(For->Cond);
+    walkExpr(For->Update);
+    walkStmt(For->Body);
+    return;
+  }
+  case NodeKind::ReturnStmt:
+    walkExpr(cast<ReturnStmt>(S)->Value);
+    return;
+  case NodeKind::TryStmt: {
+    const auto *Try = cast<TryStmt>(S);
+    walkStmt(Try->Body);
+    for (const CatchClause &Clause : Try->Catches)
+      walkStmt(Clause.Body);
+    walkStmt(Try->Finally);
+    return;
+  }
+  case NodeKind::ThrowStmt:
+    walkExpr(cast<ThrowStmt>(S)->Value);
+    return;
+  case NodeKind::BreakStmt:
+  case NodeKind::ContinueStmt:
+  case NodeKind::EmptyStmt:
+    return;
+  default:
+    assert(false && "unhandled statement kind in visitor");
+  }
+}
+
+void AstVisitor::walkExpr(const Expr *E) {
+  if (!E)
+    return;
+  if (!visitExpr(*E))
+    return;
+  switch (E->getKind()) {
+  case NodeKind::IntLiteralExpr:
+  case NodeKind::LongLiteralExpr:
+  case NodeKind::StringLiteralExpr:
+  case NodeKind::CharLiteralExpr:
+  case NodeKind::BoolLiteralExpr:
+  case NodeKind::NullLiteralExpr:
+    visitLiteral(*E);
+    return;
+  case NodeKind::NameExpr:
+    visitName(*cast<NameExpr>(E));
+    return;
+  case NodeKind::ThisExpr:
+    return;
+  case NodeKind::FieldAccessExpr:
+    walkExpr(cast<FieldAccessExpr>(E)->Base);
+    return;
+  case NodeKind::MethodCallExpr: {
+    const auto *Call = cast<MethodCallExpr>(E);
+    if (!visitCall(*Call))
+      return;
+    walkExpr(Call->Base);
+    for (const Expr *Arg : Call->Args)
+      walkExpr(Arg);
+    return;
+  }
+  case NodeKind::NewObjectExpr: {
+    const auto *New = cast<NewObjectExpr>(E);
+    if (!visitNewObject(*New))
+      return;
+    for (const Expr *Arg : New->Args)
+      walkExpr(Arg);
+    return;
+  }
+  case NodeKind::NewArrayExpr: {
+    const auto *New = cast<NewArrayExpr>(E);
+    for (const Expr *Dim : New->DimExprs)
+      walkExpr(Dim);
+    walkExpr(New->Init);
+    return;
+  }
+  case NodeKind::ArrayInitExpr:
+    for (const Expr *Elem : cast<ArrayInitExpr>(E)->Elements)
+      walkExpr(Elem);
+    return;
+  case NodeKind::ArrayAccessExpr: {
+    const auto *Access = cast<ArrayAccessExpr>(E);
+    walkExpr(Access->Base);
+    walkExpr(Access->Index);
+    return;
+  }
+  case NodeKind::AssignExpr: {
+    const auto *Assign = cast<AssignExpr>(E);
+    walkExpr(Assign->Lhs);
+    walkExpr(Assign->Rhs);
+    return;
+  }
+  case NodeKind::BinaryExpr: {
+    const auto *Bin = cast<BinaryExpr>(E);
+    walkExpr(Bin->Lhs);
+    walkExpr(Bin->Rhs);
+    return;
+  }
+  case NodeKind::UnaryExpr:
+    walkExpr(cast<UnaryExpr>(E)->Operand);
+    return;
+  case NodeKind::CastExpr:
+    walkExpr(cast<CastExpr>(E)->Operand);
+    return;
+  case NodeKind::ConditionalExpr: {
+    const auto *Cond = cast<ConditionalExpr>(E);
+    walkExpr(Cond->Cond);
+    walkExpr(Cond->TrueExpr);
+    walkExpr(Cond->FalseExpr);
+    return;
+  }
+  case NodeKind::InstanceofExpr:
+    walkExpr(cast<InstanceofExpr>(E)->Operand);
+    return;
+  default:
+    assert(false && "unhandled expression kind in visitor");
+  }
+}

@@ -1,0 +1,62 @@
+//===- javaast/AstVisitor.h - Generic AST traversal -------------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A preorder AST walker. Clients subclass AstVisitor and override the
+/// visit hooks they care about; `walk` performs the full structural
+/// recursion (declarations, statements, expressions) so clients never
+/// re-implement it. Hooks return `true` to descend into children (the
+/// default) or `false` to prune the subtree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_JAVAAST_ASTVISITOR_H
+#define DIFFCODE_JAVAAST_ASTVISITOR_H
+
+#include "javaast/Ast.h"
+
+namespace diffcode {
+namespace java {
+
+/// Preorder visitor over the javaast tree. Null children are skipped.
+class AstVisitor {
+public:
+  virtual ~AstVisitor() = default;
+
+  /// Walks \p Node (any node kind; null is a no-op).
+  void walk(const AstNode *Node);
+
+protected:
+  // Declaration hooks.
+  virtual bool visitCompilationUnit(const CompilationUnit &) { return true; }
+  virtual bool visitClass(const ClassDecl &) { return true; }
+  virtual bool visitField(const FieldDecl &) { return true; }
+  virtual bool visitMethod(const MethodDecl &) { return true; }
+
+  // Statement hooks. visitStmt fires for every statement before the
+  // kind-specific recursion.
+  virtual bool visitStmt(const Stmt &) { return true; }
+
+  // Expression hooks. visitExpr fires for every expression; the
+  // kind-specific hooks below fire for the cases analyses most often
+  // need.
+  virtual bool visitExpr(const Expr &) { return true; }
+  virtual bool visitCall(const MethodCallExpr &) { return true; }
+  virtual bool visitNewObject(const NewObjectExpr &) { return true; }
+  virtual bool visitName(const NameExpr &) { return true; }
+  virtual bool visitLiteral(const Expr &) { return true; }
+
+private:
+  void walkClass(const ClassDecl &Class);
+  void walkStmt(const Stmt *S);
+  void walkExpr(const Expr *E);
+};
+
+} // namespace java
+} // namespace diffcode
+
+#endif // DIFFCODE_JAVAAST_ASTVISITOR_H

@@ -1,0 +1,12 @@
+//===- javaast/Diagnostics.cpp --------------------------------------------===//
+
+#include "javaast/Diagnostics.h"
+
+using namespace diffcode::java;
+
+std::string Diagnostic::str() const {
+  std::string Out = Loc.isValid() ? Loc.str() + ": " : std::string();
+  Out += Level == DiagLevel::Error ? "error: " : "warning: ";
+  Out += Message;
+  return Out;
+}

@@ -1,0 +1,70 @@
+//===- javaast/Diagnostics.h - Error collection ----------------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic sink shared by the lexer and parser. DiffCode analyzes
+/// partial programs mined from commits, so the frontend must degrade
+/// gracefully: errors are collected, never thrown, and the parser recovers
+/// where it can (Section 5.1: the analyzer "supports (partial) code
+/// snippets").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_JAVAAST_DIAGNOSTICS_H
+#define DIFFCODE_JAVAAST_DIAGNOSTICS_H
+
+#include "javaast/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace diffcode {
+namespace java {
+
+/// Severity of a reported diagnostic.
+enum class DiagLevel { Warning, Error };
+
+/// One reported problem with its location.
+struct Diagnostic {
+  DiagLevel Level = DiagLevel::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Renders as "line:col: error: message" (tool style, lowercase, no
+  /// trailing period).
+  std::string str() const;
+};
+
+/// Accumulates diagnostics for one frontend run.
+class DiagnosticsEngine {
+public:
+  void error(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagLevel::Error, Loc, std::move(Message)});
+  }
+
+  void warning(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagLevel::Warning, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const {
+    for (const Diagnostic &D : Diags)
+      if (D.Level == DiagLevel::Error)
+        return true;
+    return false;
+  }
+
+  const std::vector<Diagnostic> &all() const { return Diags; }
+  void clear() { Diags.clear(); }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace java
+} // namespace diffcode
+
+#endif // DIFFCODE_JAVAAST_DIAGNOSTICS_H

@@ -1,0 +1,327 @@
+//===- javaast/Lexer.cpp ---------------------------------------------------===//
+
+#include "javaast/Lexer.h"
+
+#include <cctype>
+
+using namespace diffcode::java;
+
+Lexer::Lexer(std::string_view Buffer, DiagnosticsEngine &Diags)
+    : Buffer(Buffer), Diags(Diags) {}
+
+char Lexer::peek(std::size_t Ahead) const {
+  return Pos + Ahead < Buffer.size() ? Buffer[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Buffer[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (atEnd() || Buffer[Pos] != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+SourceLocation Lexer::here() const {
+  return {Line, Col, static_cast<std::uint32_t>(Pos)};
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLocation Start = here();
+      advance();
+      advance();
+      bool Closed = false;
+      while (!atEnd()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLocation Loc, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLocation Loc) {
+  std::size_t Start = Pos;
+  while (!atEnd() &&
+         (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+          peek() == '$'))
+    advance();
+  std::string Text(Buffer.substr(Start, Pos - Start));
+  TokenKind Kind = lookupKeyword(Text);
+  return makeToken(Kind, Loc, std::move(Text));
+}
+
+Token Lexer::lexNumber(SourceLocation Loc) {
+  std::size_t Start = Pos;
+  bool IsHex = false;
+  // Java allows '_' separators inside numeric literals (1_000_000).
+  auto IsDigitSep = [this](bool Hex) {
+    char C = peek();
+    if (C == '_')
+      return true;
+    return Hex ? std::isxdigit(static_cast<unsigned char>(C)) != 0
+               : std::isdigit(static_cast<unsigned char>(C)) != 0;
+  };
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    IsHex = true;
+    while (!atEnd() && IsDigitSep(true))
+      advance();
+  } else if (peek() == '0' && (peek(1) == 'b' || peek(1) == 'B')) {
+    advance();
+    advance();
+    IsHex = true; // no fractional part either
+    while (!atEnd() && (peek() == '0' || peek() == '1' || peek() == '_'))
+      advance();
+  } else {
+    while (!atEnd() && IsDigitSep(false))
+      advance();
+  }
+  // Fractional part (parsed but treated as an opaque literal; the abstract
+  // domains in Figure 3 only track ints, strings, and bytes).
+  if (!IsHex && peek() == '.' &&
+      std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    advance();
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  TokenKind Kind = TokenKind::IntLiteral;
+  if (peek() == 'L' || peek() == 'l') {
+    advance();
+    Kind = TokenKind::LongLiteral;
+  } else if (peek() == 'f' || peek() == 'F' || peek() == 'd' || peek() == 'D') {
+    advance();
+  }
+  std::string Text(Buffer.substr(Start, Pos - Start));
+  return makeToken(Kind, Loc, std::move(Text));
+}
+
+char Lexer::lexEscape() {
+  if (atEnd())
+    return '\\';
+  char C = advance();
+  switch (C) {
+  case 'n':
+    return '\n';
+  case 't':
+    return '\t';
+  case 'r':
+    return '\r';
+  case 'b':
+    return '\b';
+  case 'f':
+    return '\f';
+  case '0':
+    return '\0';
+  case '\'':
+  case '"':
+  case '\\':
+    return C;
+  case 'u': {
+    // \uXXXX: decode and narrow to one byte (best effort; the corpus is
+    // ASCII).
+    unsigned Value = 0;
+    for (int I = 0; I < 4 && !atEnd() &&
+                    std::isxdigit(static_cast<unsigned char>(peek()));
+         ++I) {
+      char H = advance();
+      Value = Value * 16 +
+              (std::isdigit(static_cast<unsigned char>(H))
+                   ? static_cast<unsigned>(H - '0')
+                   : static_cast<unsigned>(std::tolower(H) - 'a') + 10);
+    }
+    return static_cast<char>(Value & 0xFF);
+  }
+  default:
+    return C;
+  }
+}
+
+Token Lexer::lexString(SourceLocation Loc) {
+  advance(); // opening quote
+  std::string Text;
+  while (!atEnd() && peek() != '"' && peek() != '\n') {
+    char C = advance();
+    if (C == '\\')
+      C = lexEscape();
+    Text += C;
+  }
+  if (atEnd() || peek() == '\n') {
+    Diags.error(Loc, "unterminated string literal");
+  } else {
+    advance(); // closing quote
+  }
+  return makeToken(TokenKind::StringLiteral, Loc, std::move(Text));
+}
+
+Token Lexer::lexChar(SourceLocation Loc) {
+  advance(); // opening quote
+  std::string Text;
+  if (!atEnd() && peek() != '\'') {
+    char C = advance();
+    if (C == '\\')
+      C = lexEscape();
+    Text += C;
+  }
+  if (!match('\''))
+    Diags.error(Loc, "unterminated char literal");
+  return makeToken(TokenKind::CharLiteral, Loc, std::move(Text));
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLocation Loc = here();
+  if (atEnd())
+    return makeToken(TokenKind::EndOfFile, Loc, "");
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$')
+    return lexIdentifierOrKeyword(Loc);
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+  if (C == '"')
+    return lexString(Loc);
+  if (C == '\'')
+    return lexChar(Loc);
+
+  advance();
+  switch (C) {
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc, "{");
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc, "}");
+  case '(':
+    return makeToken(TokenKind::LParen, Loc, "(");
+  case ')':
+    return makeToken(TokenKind::RParen, Loc, ")");
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc, "[");
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc, "]");
+  case ';':
+    return makeToken(TokenKind::Semi, Loc, ";");
+  case ',':
+    return makeToken(TokenKind::Comma, Loc, ",");
+  case '.':
+    if (peek() == '.' && peek(1) == '.') {
+      advance();
+      advance();
+      return makeToken(TokenKind::Ellipsis, Loc, "...");
+    }
+    return makeToken(TokenKind::Dot, Loc, ".");
+  case '@':
+    return makeToken(TokenKind::At, Loc, "@");
+  case '?':
+    return makeToken(TokenKind::Question, Loc, "?");
+  case ':':
+    if (match(':'))
+      return makeToken(TokenKind::ColonColon, Loc, "::");
+    return makeToken(TokenKind::Colon, Loc, ":");
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqualEqual, Loc, "==");
+    return makeToken(TokenKind::Assign, Loc, "=");
+  case '+':
+    if (match('='))
+      return makeToken(TokenKind::PlusAssign, Loc, "+=");
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus, Loc, "++");
+    return makeToken(TokenKind::Plus, Loc, "+");
+  case '-':
+    if (match('='))
+      return makeToken(TokenKind::MinusAssign, Loc, "-=");
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus, Loc, "--");
+    if (match('>'))
+      return makeToken(TokenKind::Arrow, Loc, "->");
+    return makeToken(TokenKind::Minus, Loc, "-");
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarAssign, Loc, "*=");
+    return makeToken(TokenKind::Star, Loc, "*");
+  case '/':
+    if (match('='))
+      return makeToken(TokenKind::SlashAssign, Loc, "/=");
+    return makeToken(TokenKind::Slash, Loc, "/");
+  case '%':
+    return makeToken(TokenKind::Percent, Loc, "%");
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::NotEqual, Loc, "!=");
+    return makeToken(TokenKind::Not, Loc, "!");
+  case '~':
+    return makeToken(TokenKind::Tilde, Loc, "~");
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Loc, "&&");
+    return makeToken(TokenKind::Amp, Loc, "&");
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Loc, "||");
+    return makeToken(TokenKind::Pipe, Loc, "|");
+  case '^':
+    return makeToken(TokenKind::Caret, Loc, "^");
+  case '<':
+    if (match('='))
+      return makeToken(TokenKind::LessEqual, Loc, "<=");
+    if (match('<'))
+      return makeToken(TokenKind::Shl, Loc, "<<");
+    return makeToken(TokenKind::Less, Loc, "<");
+  case '>':
+    if (match('='))
+      return makeToken(TokenKind::GreaterEqual, Loc, ">=");
+    if (match('>'))
+      return makeToken(TokenKind::Shr, Loc, ">>");
+    return makeToken(TokenKind::Greater, Loc, ">");
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return makeToken(TokenKind::Unknown, Loc, std::string(1, C));
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::EndOfFile))
+      return Tokens;
+  }
+}

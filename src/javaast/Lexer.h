@@ -1,0 +1,66 @@
+//===- javaast/Lexer.h - Java subset lexer ---------------------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the Java subset. Comments (line and block) and
+/// whitespace are skipped; malformed input produces diagnostics and an
+/// Unknown token so the parser can attempt recovery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_JAVAAST_LEXER_H
+#define DIFFCODE_JAVAAST_LEXER_H
+
+#include "javaast/Diagnostics.h"
+#include "javaast/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace diffcode {
+namespace java {
+
+/// Single-pass lexer over an in-memory buffer.
+class Lexer {
+public:
+  Lexer(std::string_view Buffer, DiagnosticsEngine &Diags);
+
+  /// Lexes and returns the next token; returns EndOfFile forever once the
+  /// buffer is exhausted.
+  Token next();
+
+  /// Lexes the entire buffer. The trailing EndOfFile token is included.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(std::size_t Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  bool atEnd() const { return Pos >= Buffer.size(); }
+  SourceLocation here() const;
+  void skipTrivia();
+
+  Token makeToken(TokenKind Kind, SourceLocation Loc, std::string Text);
+  Token lexIdentifierOrKeyword(SourceLocation Loc);
+  Token lexNumber(SourceLocation Loc);
+  Token lexString(SourceLocation Loc);
+  Token lexChar(SourceLocation Loc);
+  /// Decodes one escape sequence after a backslash; returns the decoded
+  /// character (best effort on invalid escapes).
+  char lexEscape();
+
+  std::string_view Buffer;
+  DiagnosticsEngine &Diags;
+  std::size_t Pos = 0;
+  std::uint32_t Line = 1;
+  std::uint32_t Col = 1;
+};
+
+} // namespace java
+} // namespace diffcode
+
+#endif // DIFFCODE_JAVAAST_LEXER_H

@@ -1,0 +1,1370 @@
+//===- javaast/Parser.cpp --------------------------------------------------===//
+
+#include "javaast/Parser.h"
+
+#include "javaast/Lexer.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace diffcode::java;
+
+Parser::Parser(std::vector<Token> Tokens, AstContext &Ctx,
+               DiagnosticsEngine &Diags)
+    : Tokens(std::move(Tokens)), Ctx(Ctx), Diags(Diags) {
+  assert(!this->Tokens.empty() &&
+         this->Tokens.back().is(TokenKind::EndOfFile) &&
+         "token stream must end with EOF");
+}
+
+const Token &Parser::peek(std::size_t Ahead) const {
+  std::size_t At = Index + Ahead;
+  if (At >= Tokens.size())
+    At = Tokens.size() - 1; // EOF
+  return Tokens[At];
+}
+
+Token Parser::advance() {
+  Token T = cur();
+  if (!atEnd())
+    ++Index;
+  return T;
+}
+
+bool Parser::accept(TokenKind K) {
+  if (!at(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, std::string_view Context) {
+  if (accept(K))
+    return true;
+  Diags.error(cur().Loc, std::string("expected ") +
+                             std::string(tokenKindName(K)) + " " +
+                             std::string(Context) + ", found " +
+                             std::string(tokenKindName(cur().Kind)));
+  return false;
+}
+
+void Parser::skipTo(std::initializer_list<TokenKind> Kinds) {
+  while (!atEnd()) {
+    for (TokenKind K : Kinds)
+      if (at(K))
+        return;
+    // Do not run past a closing brace that likely ends our scope.
+    if (at(TokenKind::RBrace))
+      return;
+    if (at(TokenKind::LBrace)) {
+      skipBalanced(TokenKind::LBrace, TokenKind::RBrace);
+      continue;
+    }
+    advance();
+  }
+}
+
+void Parser::skipBalanced(TokenKind Open, TokenKind Close) {
+  assert(at(Open) && "skipBalanced must start at the opening token");
+  int Depth = 0;
+  while (!atEnd()) {
+    if (at(Open))
+      ++Depth;
+    else if (at(Close))
+      --Depth;
+    advance();
+    if (Depth == 0)
+      return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+CompilationUnit *Parser::parseCompilationUnit() {
+  auto *Unit = Ctx.create<CompilationUnit>(cur().Loc);
+  if (at(TokenKind::KwPackage))
+    parsePackageDecl(Unit);
+  while (at(TokenKind::KwImport))
+    parseImportDecl(Unit);
+
+  while (!atEnd()) {
+    skipAnnotations();
+    if (atEnd())
+      break;
+    unsigned Modifiers = parseModifiers();
+    if (at(TokenKind::KwClass) || at(TokenKind::KwInterface)) {
+      if (ClassDecl *Class = parseClassDecl(Modifiers))
+        Unit->Types.push_back(Class);
+      continue;
+    }
+    if (at(TokenKind::Semi)) {
+      advance();
+      continue;
+    }
+    Diags.error(cur().Loc, "expected class or interface declaration, found " +
+                               std::string(tokenKindName(cur().Kind)));
+    advance();
+  }
+  return Unit;
+}
+
+void Parser::parsePackageDecl(CompilationUnit *Unit) {
+  advance(); // 'package'
+  Unit->PackageName = parseQualifiedName();
+  expect(TokenKind::Semi, "after package declaration");
+}
+
+void Parser::parseImportDecl(CompilationUnit *Unit) {
+  advance(); // 'import'
+  accept(TokenKind::KwStatic);
+  std::string Name = parseQualifiedName();
+  if (accept(TokenKind::Dot)) {
+    // `import a.b.*;`
+    if (accept(TokenKind::Star))
+      Name += ".*";
+  }
+  Unit->Imports.push_back(std::move(Name));
+  expect(TokenKind::Semi, "after import declaration");
+}
+
+std::string Parser::parseQualifiedName() {
+  std::string Name;
+  if (!at(TokenKind::Identifier)) {
+    Diags.error(cur().Loc, "expected identifier in qualified name");
+    return Name;
+  }
+  Name = advance().Text;
+  while (at(TokenKind::Dot) && peek().is(TokenKind::Identifier)) {
+    advance();
+    Name += '.';
+    Name += advance().Text;
+  }
+  return Name;
+}
+
+unsigned Parser::parseModifiers() {
+  unsigned Modifiers = ModNone;
+  while (true) {
+    switch (cur().Kind) {
+    case TokenKind::KwPublic:
+      Modifiers |= ModPublic;
+      break;
+    case TokenKind::KwPrivate:
+      Modifiers |= ModPrivate;
+      break;
+    case TokenKind::KwProtected:
+      Modifiers |= ModProtected;
+      break;
+    case TokenKind::KwStatic:
+      Modifiers |= ModStatic;
+      break;
+    case TokenKind::KwFinal:
+      Modifiers |= ModFinal;
+      break;
+    case TokenKind::KwAbstract:
+      Modifiers |= ModAbstract;
+      break;
+    case TokenKind::KwSynchronized:
+      // `synchronized` is a statement keyword too; only a modifier when a
+      // member declaration follows (heuristic: not followed by '(').
+      if (peek().is(TokenKind::LParen))
+        return Modifiers;
+      Modifiers |= ModSynchronized;
+      break;
+    case TokenKind::At:
+      skipAnnotations();
+      continue;
+    default:
+      return Modifiers;
+    }
+    advance();
+  }
+}
+
+void Parser::skipAnnotations() {
+  while (at(TokenKind::At)) {
+    advance();
+    if (at(TokenKind::KwInterface)) { // @interface declaration — skip whole.
+      advance();
+      if (at(TokenKind::Identifier))
+        advance();
+      if (at(TokenKind::LBrace))
+        skipBalanced(TokenKind::LBrace, TokenKind::RBrace);
+      continue;
+    }
+    if (at(TokenKind::Identifier))
+      parseQualifiedName();
+    if (at(TokenKind::LParen))
+      skipBalanced(TokenKind::LParen, TokenKind::RParen);
+  }
+}
+
+ClassDecl *Parser::parseClassDecl(unsigned Modifiers) {
+  bool IsInterface = at(TokenKind::KwInterface);
+  SourceLocation Loc = advance().Loc; // 'class'/'interface'
+  if (!at(TokenKind::Identifier)) {
+    Diags.error(cur().Loc, "expected class name");
+    skipTo({TokenKind::LBrace});
+    if (at(TokenKind::LBrace))
+      skipBalanced(TokenKind::LBrace, TokenKind::RBrace);
+    return nullptr;
+  }
+  auto *Class = Ctx.create<ClassDecl>(Loc, Modifiers, advance().Text);
+  Class->IsInterface = IsInterface;
+  if (at(TokenKind::Less))
+    skipGenericArgs();
+  if (accept(TokenKind::KwExtends)) {
+    Class->SuperClass = parseQualifiedName();
+    if (at(TokenKind::Less))
+      skipGenericArgs();
+    // Interfaces may extend several interfaces.
+    while (accept(TokenKind::Comma)) {
+      Class->Interfaces.push_back(parseQualifiedName());
+      if (at(TokenKind::Less))
+        skipGenericArgs();
+    }
+  }
+  if (accept(TokenKind::KwImplements)) {
+    do {
+      Class->Interfaces.push_back(parseQualifiedName());
+      if (at(TokenKind::Less))
+        skipGenericArgs();
+    } while (accept(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::LBrace, "to open class body"))
+    return Class;
+  parseClassBody(Class);
+  return Class;
+}
+
+void Parser::parseClassBody(ClassDecl *Class) {
+  while (!atEnd() && !at(TokenKind::RBrace))
+    parseMember(Class);
+  expect(TokenKind::RBrace, "to close class body");
+}
+
+void Parser::parseMember(ClassDecl *Class) {
+  if (accept(TokenKind::Semi))
+    return;
+  skipAnnotations();
+  unsigned Modifiers = parseModifiers();
+
+  // Nested class / interface.
+  if (at(TokenKind::KwClass) || at(TokenKind::KwInterface)) {
+    if (ClassDecl *Nested = parseClassDecl(Modifiers))
+      Class->NestedClasses.push_back(Nested);
+    return;
+  }
+
+  // Static / instance initializer block: lower to a synthetic method so
+  // the analyzer treats it as ordinary code.
+  if (at(TokenKind::LBrace)) {
+    Block *Body = parseBlock();
+    auto *Init = Ctx.create<MethodDecl>(
+        Body->getLoc(), Modifiers, TypeRef{"void", 0, Body->getLoc()},
+        "$init" + std::to_string(Class->Methods.size()),
+        std::vector<ParamDecl>(), Body, /*IsConstructor=*/false);
+    Class->Methods.push_back(Init);
+    return;
+  }
+
+  // Constructor: `Name (` where Name is the class name.
+  if (at(TokenKind::Identifier) && cur().Text == Class->Name &&
+      peek().is(TokenKind::LParen)) {
+    SourceLocation Loc = cur().Loc;
+    std::string Name = advance().Text;
+    advance(); // '('
+    std::vector<ParamDecl> Params;
+    if (!at(TokenKind::RParen)) {
+      do {
+        skipAnnotations();
+        accept(TokenKind::KwFinal);
+        TypeRef PType = parseType();
+        accept(TokenKind::Ellipsis);
+        std::string PName =
+            at(TokenKind::Identifier) ? advance().Text : std::string();
+        Params.push_back({std::move(PType), std::move(PName)});
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "to close parameter list");
+    auto *Method = Ctx.create<MethodDecl>(
+        Loc, Modifiers, TypeRef{"void", 0, Loc}, std::move(Name),
+        std::move(Params), nullptr, /*IsConstructor=*/true);
+    if (accept(TokenKind::KwThrows)) {
+      do {
+        Method->Throws.push_back(TypeRef{parseQualifiedName(), 0, cur().Loc});
+      } while (accept(TokenKind::Comma));
+    }
+    if (at(TokenKind::LBrace))
+      Method->Body = parseBlock();
+    else
+      expect(TokenKind::Semi, "after constructor declaration");
+    Class->Methods.push_back(Method);
+    return;
+  }
+
+  // Method or field: parse type, then name.
+  if (at(TokenKind::Less))
+    skipGenericArgs(); // method type parameters `<T> T foo(...)`
+  if (!atTypeStart() && !at(TokenKind::KwVoid)) {
+    Diags.error(cur().Loc, "expected member declaration, found " +
+                               std::string(tokenKindName(cur().Kind)));
+    skipTo({TokenKind::Semi, TokenKind::RBrace});
+    accept(TokenKind::Semi);
+    return;
+  }
+
+  TypeRef Type;
+  if (at(TokenKind::KwVoid)) {
+    Type = TypeRef{"void", 0, cur().Loc};
+    advance();
+  } else {
+    Type = parseType();
+  }
+
+  if (!at(TokenKind::Identifier)) {
+    Diags.error(cur().Loc, "expected member name");
+    skipTo({TokenKind::Semi, TokenKind::RBrace});
+    accept(TokenKind::Semi);
+    return;
+  }
+  SourceLocation NameLoc = cur().Loc;
+  std::string Name = advance().Text;
+
+  if (at(TokenKind::LParen)) {
+    // Method declaration.
+    advance();
+    std::vector<ParamDecl> Params;
+    if (!at(TokenKind::RParen)) {
+      do {
+        skipAnnotations();
+        accept(TokenKind::KwFinal);
+        TypeRef PType = parseType();
+        accept(TokenKind::Ellipsis);
+        std::string PName =
+            at(TokenKind::Identifier) ? advance().Text : std::string();
+        // C-style trailing array dims on the parameter name.
+        while (at(TokenKind::LBracket) && peek().is(TokenKind::RBracket)) {
+          advance();
+          advance();
+          ++PType.ArrayDims;
+        }
+        Params.push_back({std::move(PType), std::move(PName)});
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "to close parameter list");
+    auto *Method = Ctx.create<MethodDecl>(NameLoc, Modifiers, std::move(Type),
+                                          std::move(Name), std::move(Params),
+                                          nullptr, /*IsConstructor=*/false);
+    if (accept(TokenKind::KwThrows)) {
+      do {
+        Method->Throws.push_back(TypeRef{parseQualifiedName(), 0, cur().Loc});
+      } while (accept(TokenKind::Comma));
+    }
+    if (at(TokenKind::LBrace))
+      Method->Body = parseBlock();
+    else
+      expect(TokenKind::Semi, "after abstract method declaration");
+    Class->Methods.push_back(Method);
+    return;
+  }
+
+  // Field declaration(s): `T a = init, b;`
+  while (true) {
+    TypeRef FieldType = Type;
+    while (at(TokenKind::LBracket) && peek().is(TokenKind::RBracket)) {
+      advance();
+      advance();
+      ++FieldType.ArrayDims;
+    }
+    Expr *Init = nullptr;
+    if (accept(TokenKind::Assign))
+      Init = at(TokenKind::LBrace) ? parseArrayInit() : parseExpr();
+    Class->Fields.push_back(Ctx.create<FieldDecl>(
+        NameLoc, Modifiers, std::move(FieldType), std::move(Name), Init));
+    if (!accept(TokenKind::Comma))
+      break;
+    if (!at(TokenKind::Identifier)) {
+      Diags.error(cur().Loc, "expected field name after ','");
+      break;
+    }
+    NameLoc = cur().Loc;
+    Name = advance().Text;
+  }
+  expect(TokenKind::Semi, "after field declaration");
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+static bool isPrimitiveTypeKeyword(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::KwBoolean:
+  case TokenKind::KwByte:
+  case TokenKind::KwChar:
+  case TokenKind::KwDouble:
+  case TokenKind::KwFloat:
+  case TokenKind::KwInt:
+  case TokenKind::KwLong:
+  case TokenKind::KwShort:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Parser::atTypeStart() const {
+  return at(TokenKind::Identifier) || isPrimitiveTypeKeyword(cur().Kind);
+}
+
+TypeRef Parser::parseType() {
+  SourceLocation Loc = cur().Loc;
+  std::string Name;
+  if (isPrimitiveTypeKeyword(cur().Kind)) {
+    Name = advance().Text;
+  } else if (at(TokenKind::Identifier)) {
+    Name = parseQualifiedName();
+    if (at(TokenKind::Less))
+      skipGenericArgs();
+    // Nested access after generics, e.g. `Map<K,V>.Entry` (rare) — fold
+    // into the name.
+    while (at(TokenKind::Dot) && peek().is(TokenKind::Identifier)) {
+      advance();
+      Name += '.';
+      Name += advance().Text;
+      if (at(TokenKind::Less))
+        skipGenericArgs();
+    }
+  } else {
+    Diags.error(Loc, "expected type, found " +
+                         std::string(tokenKindName(cur().Kind)));
+    return TypeRef{"<error>", 0, Loc};
+  }
+  TypeRef Type{std::move(Name), 0, Loc};
+  while (at(TokenKind::LBracket) && peek().is(TokenKind::RBracket)) {
+    advance();
+    advance();
+    ++Type.ArrayDims;
+  }
+  return Type;
+}
+
+void Parser::skipGenericArgs() {
+  assert(at(TokenKind::Less) && "must start at '<'");
+  int Depth = 0;
+  while (!atEnd()) {
+    switch (cur().Kind) {
+    case TokenKind::Less:
+      ++Depth;
+      break;
+    case TokenKind::Greater:
+      --Depth;
+      break;
+    case TokenKind::Shr:
+      Depth -= 2;
+      break;
+    case TokenKind::Semi:
+    case TokenKind::LBrace:
+      // A generic argument list never contains these; bail out so a stray
+      // '<' comparison does not eat the rest of the file.
+      return;
+    default:
+      break;
+    }
+    advance();
+    if (Depth <= 0)
+      return;
+  }
+}
+
+std::size_t Parser::scanType(std::size_t From) const {
+  std::size_t I = From;
+  auto TokAt = [&](std::size_t Idx) -> const Token & {
+    return Tokens[Idx < Tokens.size() ? Idx : Tokens.size() - 1];
+  };
+  if (isPrimitiveTypeKeyword(TokAt(I).Kind)) {
+    ++I;
+  } else if (TokAt(I).is(TokenKind::Identifier)) {
+    ++I;
+    while (TokAt(I).is(TokenKind::Dot) &&
+           TokAt(I + 1).is(TokenKind::Identifier))
+      I += 2;
+    if (TokAt(I).is(TokenKind::Less)) {
+      // Balanced scan of generic args; reject if it does not close sanely.
+      int Depth = 0;
+      while (I < Tokens.size()) {
+        TokenKind K = TokAt(I).Kind;
+        if (K == TokenKind::Less)
+          ++Depth;
+        else if (K == TokenKind::Greater)
+          --Depth;
+        else if (K == TokenKind::Shr)
+          Depth -= 2;
+        else if (K == TokenKind::Semi || K == TokenKind::LBrace ||
+                 K == TokenKind::EndOfFile)
+          return 0;
+        ++I;
+        if (Depth <= 0)
+          break;
+      }
+    }
+  } else {
+    return 0;
+  }
+  while (TokAt(I).is(TokenKind::LBracket) &&
+         TokAt(I + 1).is(TokenKind::RBracket))
+    I += 2;
+  return I;
+}
+
+bool Parser::isLocalVarDeclStart() const {
+  if (at(TokenKind::KwFinal))
+    return true;
+  if (isPrimitiveTypeKeyword(cur().Kind))
+    return true;
+  if (!at(TokenKind::Identifier))
+    return false;
+  std::size_t After = scanType(Index);
+  if (After == 0)
+    return false;
+  // A declaration continues with `name ;`, `name =`, `name ,` or `name :`
+  // (enhanced for).
+  if (!Tokens[std::min(After, Tokens.size() - 1)].is(TokenKind::Identifier))
+    return false;
+  TokenKind Next = Tokens[std::min(After + 1, Tokens.size() - 1)].Kind;
+  return Next == TokenKind::Semi || Next == TokenKind::Assign ||
+         Next == TokenKind::Comma || Next == TokenKind::Colon ||
+         Next == TokenKind::LBracket;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+Block *Parser::parseBlock() {
+  SourceLocation Loc = cur().Loc;
+  expect(TokenKind::LBrace, "to open block");
+  std::vector<Stmt *> Stmts;
+  while (!atEnd() && !at(TokenKind::RBrace)) {
+    std::size_t Before = Index;
+    if (Stmt *S = parseStatement())
+      Stmts.push_back(S);
+    if (Index == Before) {
+      // No progress — force it to avoid an infinite loop on broken input.
+      Diags.error(cur().Loc, "cannot parse statement, skipping token");
+      advance();
+    }
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return Ctx.create<Block>(Loc, std::move(Stmts));
+}
+
+Stmt *Parser::parseStatement() {
+  switch (cur().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::Semi:
+    return Ctx.create<EmptyStmt>(advance().Loc);
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwDo:
+    return parseDo();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwTry:
+    return parseTry();
+  case TokenKind::KwSwitch:
+    return parseSwitch();
+  case TokenKind::KwSynchronized:
+    return parseSynchronized();
+  case TokenKind::KwAssert: {
+    // `assert cond : message;` — evaluate both operands for their
+    // side effects; the assertion itself has no abstract meaning.
+    SourceLocation Loc = advance().Loc;
+    Expr *Cond = parseExpr();
+    std::vector<Stmt *> Lowered;
+    Lowered.push_back(Ctx.create<ExprStmt>(Loc, Cond));
+    if (accept(TokenKind::Colon)) {
+      Expr *Message = parseExpr();
+      Lowered.push_back(Ctx.create<ExprStmt>(Message->getLoc(), Message));
+    }
+    expect(TokenKind::Semi, "after assert statement");
+    return Ctx.create<Block>(Loc, std::move(Lowered));
+  }
+  case TokenKind::KwReturn: {
+    SourceLocation Loc = advance().Loc;
+    Expr *Value = at(TokenKind::Semi) ? nullptr : parseExpr();
+    expect(TokenKind::Semi, "after return statement");
+    return Ctx.create<ReturnStmt>(Loc, Value);
+  }
+  case TokenKind::KwThrow: {
+    SourceLocation Loc = advance().Loc;
+    Expr *Value = parseExpr();
+    expect(TokenKind::Semi, "after throw statement");
+    return Ctx.create<ThrowStmt>(Loc, Value);
+  }
+  case TokenKind::KwBreak: {
+    SourceLocation Loc = advance().Loc;
+    accept(TokenKind::Identifier); // label
+    expect(TokenKind::Semi, "after break");
+    return Ctx.create<BreakStmt>(Loc);
+  }
+  case TokenKind::KwContinue: {
+    SourceLocation Loc = advance().Loc;
+    accept(TokenKind::Identifier); // label
+    expect(TokenKind::Semi, "after continue");
+    return Ctx.create<ContinueStmt>(Loc);
+  }
+  default:
+    break;
+  }
+
+  // Labeled statement: `label: while (...) ...` — the label itself has no
+  // semantic weight for the analysis; skip it.
+  if (at(TokenKind::Identifier) && peek().is(TokenKind::Colon)) {
+    advance();
+    advance();
+    return parseStatement();
+  }
+
+  if (isLocalVarDeclStart())
+    return parseLocalVarDecl();
+
+  SourceLocation Loc = cur().Loc;
+  Expr *E = parseExpr();
+  expect(TokenKind::Semi, "after expression statement");
+  return Ctx.create<ExprStmt>(Loc, E);
+}
+
+Stmt *Parser::parseLocalVarDecl() {
+  SourceLocation Loc = cur().Loc;
+  accept(TokenKind::KwFinal);
+  skipAnnotations();
+  TypeRef Type = parseType();
+
+  std::vector<Stmt *> Decls;
+  while (true) {
+    if (!at(TokenKind::Identifier)) {
+      Diags.error(cur().Loc, "expected variable name");
+      skipTo({TokenKind::Semi});
+      break;
+    }
+    SourceLocation NameLoc = cur().Loc;
+    std::string Name = advance().Text;
+    TypeRef VarType = Type;
+    while (at(TokenKind::LBracket) && peek().is(TokenKind::RBracket)) {
+      advance();
+      advance();
+      ++VarType.ArrayDims;
+    }
+    Expr *Init = nullptr;
+    if (accept(TokenKind::Assign))
+      Init = at(TokenKind::LBrace) ? parseArrayInit() : parseExpr();
+    Decls.push_back(Ctx.create<LocalVarDeclStmt>(NameLoc, std::move(VarType),
+                                                 std::move(Name), Init));
+    if (!accept(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::Semi, "after variable declaration");
+  if (Decls.size() == 1)
+    return Decls.front();
+  return Ctx.create<Block>(Loc, std::move(Decls));
+}
+
+Stmt *Parser::parseIf() {
+  SourceLocation Loc = advance().Loc; // 'if'
+  expect(TokenKind::LParen, "after 'if'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after if condition");
+  Stmt *Then = parseStatement();
+  Stmt *Else = nullptr;
+  if (accept(TokenKind::KwElse))
+    Else = parseStatement();
+  return Ctx.create<IfStmt>(Loc, Cond, Then, Else);
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLocation Loc = advance().Loc; // 'while'
+  expect(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after while condition");
+  Stmt *Body = parseStatement();
+  return Ctx.create<WhileStmt>(Loc, Cond, Body);
+}
+
+Stmt *Parser::parseDo() {
+  SourceLocation Loc = advance().Loc; // 'do'
+  Stmt *Body = parseStatement();
+  expect(TokenKind::KwWhile, "after do body");
+  expect(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after do-while condition");
+  expect(TokenKind::Semi, "after do-while statement");
+  return Ctx.create<DoStmt>(Loc, Body, Cond);
+}
+
+Stmt *Parser::parseFor() {
+  SourceLocation Loc = advance().Loc; // 'for'
+  expect(TokenKind::LParen, "after 'for'");
+
+  // Enhanced for: `for (T x : e) body` lowers to
+  //   { T x = e.$element(); while (true) body }
+  // The analyzer forks 0/1 iterations at `while` and treats the unknown
+  // call result as top, which matches the paper's abstraction of loop
+  // values.
+  if (isLocalVarDeclStart()) {
+    std::size_t Save = Index;
+    accept(TokenKind::KwFinal);
+    TypeRef Type = parseType();
+    if (at(TokenKind::Identifier) && peek().is(TokenKind::Colon)) {
+      SourceLocation NameLoc = cur().Loc;
+      std::string Name = advance().Text;
+      advance(); // ':'
+      Expr *Range = parseExpr();
+      expect(TokenKind::RParen, "after for-each header");
+      Stmt *Body = parseStatement();
+      auto *Element = Ctx.create<MethodCallExpr>(
+          NameLoc, Range, "$element", std::vector<Expr *>());
+      auto *Decl = Ctx.create<LocalVarDeclStmt>(NameLoc, std::move(Type),
+                                                std::move(Name), Element);
+      auto *Loop = Ctx.create<WhileStmt>(
+          Loc, Ctx.create<BoolLiteralExpr>(Loc, true), Body);
+      return Ctx.create<Block>(Loc, std::vector<Stmt *>{Decl, Loop});
+    }
+    Index = Save; // plain for with a declaration initializer
+  }
+
+  Stmt *Init = nullptr;
+  if (!at(TokenKind::Semi)) {
+    if (isLocalVarDeclStart()) {
+      Init = parseLocalVarDecl(); // consumes ';'
+    } else {
+      Expr *E = parseExpr();
+      Init = Ctx.create<ExprStmt>(E->getLoc(), E);
+      expect(TokenKind::Semi, "after for initializer");
+    }
+  } else {
+    advance();
+  }
+
+  Expr *Cond = at(TokenKind::Semi) ? nullptr : parseExpr();
+  expect(TokenKind::Semi, "after for condition");
+  Expr *Update = at(TokenKind::RParen) ? nullptr : parseExpr();
+  // Extra update expressions `i++, j++` — keep the first, parse the rest.
+  while (accept(TokenKind::Comma))
+    parseExpr();
+  expect(TokenKind::RParen, "after for header");
+  Stmt *Body = parseStatement();
+  return Ctx.create<ForStmt>(Loc, Init, Cond, Update, Body);
+}
+
+Stmt *Parser::parseTry() {
+  SourceLocation Loc = advance().Loc; // 'try'
+  // try-with-resources: lower resource declarations to leading locals.
+  std::vector<Stmt *> Resources;
+  if (at(TokenKind::LParen)) {
+    advance();
+    while (!atEnd() && !at(TokenKind::RParen)) {
+      if (isLocalVarDeclStart()) {
+        accept(TokenKind::KwFinal);
+        TypeRef Type = parseType();
+        if (at(TokenKind::Identifier)) {
+          SourceLocation NameLoc = cur().Loc;
+          std::string Name = advance().Text;
+          Expr *Init = nullptr;
+          if (accept(TokenKind::Assign))
+            Init = parseExpr();
+          Resources.push_back(Ctx.create<LocalVarDeclStmt>(
+              NameLoc, std::move(Type), std::move(Name), Init));
+        }
+      } else {
+        parseExpr();
+      }
+      if (!accept(TokenKind::Semi))
+        break;
+    }
+    expect(TokenKind::RParen, "after try resources");
+  }
+
+  Block *Body = parseBlock();
+  if (!Resources.empty()) {
+    Resources.push_back(Body);
+    Body = Ctx.create<Block>(Loc, std::move(Resources));
+  }
+
+  std::vector<CatchClause> Catches;
+  while (at(TokenKind::KwCatch)) {
+    advance();
+    expect(TokenKind::LParen, "after 'catch'");
+    CatchClause Clause;
+    accept(TokenKind::KwFinal);
+    Clause.Types.push_back(parseType());
+    while (accept(TokenKind::Pipe))
+      Clause.Types.push_back(parseType());
+    if (at(TokenKind::Identifier))
+      Clause.Name = advance().Text;
+    expect(TokenKind::RParen, "after catch parameter");
+    Clause.Body = parseBlock();
+    Catches.push_back(std::move(Clause));
+  }
+
+  Block *Finally = nullptr;
+  if (accept(TokenKind::KwFinally))
+    Finally = parseBlock();
+
+  if (Catches.empty() && !Finally && Resources.empty())
+    Diags.warning(Loc, "try statement without catch or finally");
+  return Ctx.create<TryStmt>(Loc, Body, std::move(Catches), Finally);
+}
+
+Stmt *Parser::parseSwitch() {
+  // `switch (e) { case c1: S1... case c2: S2... default: Sd }` lowers to
+  //   { e; if ($case) {S1} else if ($case) {S2} else {Sd} }
+  // with `$case` an opaque name (abstractly unknown), preserving the
+  // per-case fork semantics of the analyzer — a *constant* condition
+  // would be pruned by the interpreter's constant-branch elimination.
+  SourceLocation Loc = advance().Loc; // 'switch'
+  expect(TokenKind::LParen, "after 'switch'");
+  Expr *Scrutinee = parseExpr();
+  expect(TokenKind::RParen, "after switch expression");
+  expect(TokenKind::LBrace, "to open switch body");
+
+  std::vector<Block *> Arms;
+  std::vector<Stmt *> CurrentArm;
+  SourceLocation ArmLoc = Loc;
+  bool HaveArm = false;
+  auto FlushArm = [&]() {
+    if (HaveArm)
+      Arms.push_back(Ctx.create<Block>(ArmLoc, std::move(CurrentArm)));
+    CurrentArm.clear();
+  };
+
+  while (!atEnd() && !at(TokenKind::RBrace)) {
+    if (at(TokenKind::KwCase)) {
+      FlushArm();
+      HaveArm = true;
+      ArmLoc = advance().Loc;
+      parseExpr(); // case label value
+      expect(TokenKind::Colon, "after case label");
+      continue;
+    }
+    if (at(TokenKind::KwDefault)) {
+      FlushArm();
+      HaveArm = true;
+      ArmLoc = advance().Loc;
+      expect(TokenKind::Colon, "after 'default'");
+      continue;
+    }
+    std::size_t Before = Index;
+    if (Stmt *S = parseStatement())
+      CurrentArm.push_back(S);
+    if (Index == Before)
+      advance();
+  }
+  FlushArm();
+  expect(TokenKind::RBrace, "to close switch body");
+
+  Stmt *Chain = nullptr;
+  for (auto It = Arms.rbegin(); It != Arms.rend(); ++It) {
+    Expr *Cond = Ctx.create<NameExpr>((*It)->getLoc(), "$case");
+    Chain = Ctx.create<IfStmt>((*It)->getLoc(), Cond, *It, Chain);
+  }
+  std::vector<Stmt *> Lowered;
+  Lowered.push_back(Ctx.create<ExprStmt>(Loc, Scrutinee));
+  if (Chain)
+    Lowered.push_back(Chain);
+  return Ctx.create<Block>(Loc, std::move(Lowered));
+}
+
+Stmt *Parser::parseSynchronized() {
+  SourceLocation Loc = advance().Loc; // 'synchronized'
+  expect(TokenKind::LParen, "after 'synchronized'");
+  Expr *Monitor = parseExpr();
+  expect(TokenKind::RParen, "after synchronized monitor");
+  Block *Body = parseBlock();
+  return Ctx.create<Block>(
+      Loc, std::vector<Stmt *>{Ctx.create<ExprStmt>(Loc, Monitor), Body});
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::makeErrorExpr(SourceLocation Loc) {
+  return Ctx.create<NullLiteralExpr>(Loc);
+}
+
+Expr *Parser::parseExpr() { return parseAssignment(); }
+
+Expr *Parser::parseAssignment() {
+  // Lambdas are opaque to the analysis (deferred execution): parse the
+  // whole construct, discard the body, and yield an unknown value.
+  if (at(TokenKind::Identifier) && peek().is(TokenKind::Arrow)) {
+    SourceLocation Loc = advance().Loc; // parameter
+    advance();                          // '->'
+    if (at(TokenKind::LBrace))
+      skipBalanced(TokenKind::LBrace, TokenKind::RBrace);
+    else
+      parseAssignment();
+    return Ctx.create<NameExpr>(Loc, "$lambda");
+  }
+  if (at(TokenKind::LParen)) {
+    // `(params) -> ...`: scan the balanced parens and peek for '->'.
+    std::size_t Depth = 0, I = Index;
+    while (I < Tokens.size()) {
+      if (Tokens[I].is(TokenKind::LParen))
+        ++Depth;
+      else if (Tokens[I].is(TokenKind::RParen) && --Depth == 0)
+        break;
+      ++I;
+    }
+    if (I + 1 < Tokens.size() && Tokens[I + 1].is(TokenKind::Arrow)) {
+      SourceLocation Loc = cur().Loc;
+      skipBalanced(TokenKind::LParen, TokenKind::RParen);
+      advance(); // '->'
+      if (at(TokenKind::LBrace))
+        skipBalanced(TokenKind::LBrace, TokenKind::RBrace);
+      else
+        parseAssignment();
+      return Ctx.create<NameExpr>(Loc, "$lambda");
+    }
+  }
+
+  Expr *Lhs = parseConditional();
+  AssignOp Op;
+  switch (cur().Kind) {
+  case TokenKind::Assign:
+    Op = AssignOp::Assign;
+    break;
+  case TokenKind::PlusAssign:
+    Op = AssignOp::AddAssign;
+    break;
+  case TokenKind::MinusAssign:
+    Op = AssignOp::SubAssign;
+    break;
+  case TokenKind::StarAssign:
+  case TokenKind::SlashAssign:
+    Op = AssignOp::Assign; // value becomes non-constant either way
+    break;
+  default:
+    return Lhs;
+  }
+  SourceLocation Loc = advance().Loc;
+  Expr *Rhs = at(TokenKind::LBrace) ? parseArrayInit() : parseAssignment();
+  return Ctx.create<AssignExpr>(Loc, Op, Lhs, Rhs);
+}
+
+Expr *Parser::parseConditional() {
+  Expr *Cond = parseBinary(0);
+  if (!at(TokenKind::Question))
+    return Cond;
+  SourceLocation Loc = advance().Loc;
+  Expr *TrueExpr = parseAssignment();
+  expect(TokenKind::Colon, "in conditional expression");
+  Expr *FalseExpr = parseAssignment();
+  return Ctx.create<ConditionalExpr>(Loc, Cond, TrueExpr, FalseExpr);
+}
+
+namespace {
+/// Binary operator precedence; higher binds tighter. Returns -1 for
+/// non-binary tokens.
+int binaryPrec(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    return 1;
+  case TokenKind::AmpAmp:
+    return 2;
+  case TokenKind::Pipe:
+    return 3;
+  case TokenKind::Caret:
+    return 4;
+  case TokenKind::Amp:
+    return 5;
+  case TokenKind::EqualEqual:
+  case TokenKind::NotEqual:
+    return 6;
+  case TokenKind::Less:
+  case TokenKind::Greater:
+  case TokenKind::LessEqual:
+  case TokenKind::GreaterEqual:
+  case TokenKind::KwInstanceof:
+    return 7;
+  case TokenKind::Shl:
+  case TokenKind::Shr:
+    return 8;
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+    return 9;
+  case TokenKind::Star:
+  case TokenKind::Slash:
+  case TokenKind::Percent:
+    return 10;
+  default:
+    return -1;
+  }
+}
+
+BinaryOp binaryOpFor(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    return BinaryOp::Or;
+  case TokenKind::AmpAmp:
+    return BinaryOp::And;
+  case TokenKind::Pipe:
+    return BinaryOp::BitOr;
+  case TokenKind::Caret:
+    return BinaryOp::BitXor;
+  case TokenKind::Amp:
+    return BinaryOp::BitAnd;
+  case TokenKind::EqualEqual:
+    return BinaryOp::Eq;
+  case TokenKind::NotEqual:
+    return BinaryOp::Ne;
+  case TokenKind::Less:
+    return BinaryOp::Lt;
+  case TokenKind::Greater:
+    return BinaryOp::Gt;
+  case TokenKind::LessEqual:
+    return BinaryOp::Le;
+  case TokenKind::GreaterEqual:
+    return BinaryOp::Ge;
+  case TokenKind::Shl:
+    return BinaryOp::Shl;
+  case TokenKind::Shr:
+    return BinaryOp::Shr;
+  case TokenKind::Plus:
+    return BinaryOp::Add;
+  case TokenKind::Minus:
+    return BinaryOp::Sub;
+  case TokenKind::Star:
+    return BinaryOp::Mul;
+  case TokenKind::Slash:
+    return BinaryOp::Div;
+  case TokenKind::Percent:
+    return BinaryOp::Rem;
+  default:
+    assert(false && "not a binary operator token");
+    return BinaryOp::Add;
+  }
+}
+} // namespace
+
+Expr *Parser::parseBinary(int MinPrec) {
+  Expr *Lhs = parseUnary();
+  while (true) {
+    int Prec = binaryPrec(cur().Kind);
+    if (Prec < MinPrec || Prec == -1)
+      return Lhs;
+    if (at(TokenKind::KwInstanceof)) {
+      SourceLocation Loc = advance().Loc;
+      TypeRef Type = parseType();
+      Lhs = Ctx.create<InstanceofExpr>(Loc, Lhs, std::move(Type));
+      continue;
+    }
+    TokenKind OpTok = cur().Kind;
+    SourceLocation Loc = advance().Loc;
+    Expr *Rhs = parseBinary(Prec + 1);
+    Lhs = Ctx.create<BinaryExpr>(Loc, binaryOpFor(OpTok), Lhs, Rhs);
+  }
+}
+
+bool Parser::isCastStart() const {
+  if (!at(TokenKind::LParen))
+    return false;
+  std::size_t After = scanType(Index + 1);
+  if (After == 0 || After >= Tokens.size())
+    return false;
+  if (!Tokens[After].is(TokenKind::RParen))
+    return false;
+  // Primitive and array casts are unambiguous. For `(Name) x` require the
+  // next token to plausibly begin an operand, ruling out `(a) + b`.
+  const Token &TypeTok = Tokens[Index + 1];
+  bool Primitive = isPrimitiveTypeKeyword(TypeTok.Kind);
+  bool Array = Tokens[After - 1].is(TokenKind::RBracket);
+  if (Primitive || Array)
+    return true;
+  const Token &Next = Tokens[std::min(After + 1, Tokens.size() - 1)];
+  switch (Next.Kind) {
+  case TokenKind::Identifier:
+  case TokenKind::IntLiteral:
+  case TokenKind::LongLiteral:
+  case TokenKind::StringLiteral:
+  case TokenKind::CharLiteral:
+  case TokenKind::LParen:
+  case TokenKind::Not:
+  case TokenKind::Tilde:
+  case TokenKind::KwNew:
+  case TokenKind::KwThis:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Expr *Parser::parseUnary() {
+  SourceLocation Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::Minus:
+    advance();
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::Neg, parseUnary());
+  case TokenKind::Plus:
+    advance();
+    return parseUnary();
+  case TokenKind::Not:
+    advance();
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::Not, parseUnary());
+  case TokenKind::Tilde:
+    advance();
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::BitNot, parseUnary());
+  case TokenKind::PlusPlus:
+    advance();
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::PreInc, parseUnary());
+  case TokenKind::MinusMinus:
+    advance();
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::PreDec, parseUnary());
+  case TokenKind::LParen:
+    if (isCastStart()) {
+      advance(); // '('
+      TypeRef Type = parseType();
+      expect(TokenKind::RParen, "after cast type");
+      Expr *Operand = parseUnary();
+      return Ctx.create<CastExpr>(Loc, std::move(Type), Operand);
+    }
+    break;
+  default:
+    break;
+  }
+  return parsePostfix(parsePrimary());
+}
+
+Expr *Parser::parsePostfix(Expr *Base) {
+  while (true) {
+    SourceLocation Loc = cur().Loc;
+    if (at(TokenKind::Dot)) {
+      advance();
+      if (!at(TokenKind::Identifier) && !at(TokenKind::KwClass) &&
+          !at(TokenKind::KwThis)) {
+        Diags.error(cur().Loc, "expected member name after '.'");
+        return Base;
+      }
+      std::string Name = advance().Text;
+      if (at(TokenKind::Less) && scanType(Index) != 0) {
+        // Explicit generic method call `obj.<T>method(...)` — unusual;
+        // just drop the type arguments.
+        skipGenericArgs();
+      }
+      if (at(TokenKind::LParen)) {
+        std::vector<Expr *> Args = parseArgList();
+        Base = Ctx.create<MethodCallExpr>(Loc, Base, std::move(Name),
+                                          std::move(Args));
+      } else {
+        Base = Ctx.create<FieldAccessExpr>(Loc, Base, std::move(Name));
+      }
+      continue;
+    }
+    if (at(TokenKind::LBracket)) {
+      advance();
+      Expr *Idx = parseExpr();
+      expect(TokenKind::RBracket, "after array index");
+      Base = Ctx.create<ArrayAccessExpr>(Loc, Base, Idx);
+      continue;
+    }
+    if (at(TokenKind::ColonColon)) {
+      // Method reference `Type::method` / `obj::method` / `Type::new` —
+      // opaque to the analysis, like lambdas.
+      advance();
+      if (at(TokenKind::Identifier) || at(TokenKind::KwNew))
+        advance();
+      Base = Ctx.create<NameExpr>(Loc, "$methodref");
+      continue;
+    }
+    if (at(TokenKind::PlusPlus)) {
+      advance();
+      Base = Ctx.create<UnaryExpr>(Loc, UnaryOp::PreInc, Base);
+      continue;
+    }
+    if (at(TokenKind::MinusMinus)) {
+      advance();
+      Base = Ctx.create<UnaryExpr>(Loc, UnaryOp::PreDec, Base);
+      continue;
+    }
+    return Base;
+  }
+}
+
+std::vector<Expr *> Parser::parseArgList() {
+  expect(TokenKind::LParen, "to open argument list");
+  std::vector<Expr *> Args;
+  if (!at(TokenKind::RParen)) {
+    do {
+      Args.push_back(parseExpr());
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close argument list");
+  return Args;
+}
+
+Expr *Parser::parseNew() {
+  SourceLocation Loc = advance().Loc; // 'new'
+  TypeRef Type;
+  Type.Loc = cur().Loc;
+  if (isPrimitiveTypeKeyword(cur().Kind)) {
+    Type.Name = advance().Text;
+  } else if (at(TokenKind::Identifier)) {
+    Type.Name = parseQualifiedName();
+    if (at(TokenKind::Less))
+      skipGenericArgs();
+  } else {
+    Diags.error(cur().Loc, "expected type after 'new'");
+    return makeErrorExpr(Loc);
+  }
+
+  if (at(TokenKind::LBracket)) {
+    // Array creation.
+    std::vector<Expr *> Dims;
+    unsigned EmptyDims = 0;
+    while (at(TokenKind::LBracket)) {
+      advance();
+      if (at(TokenKind::RBracket)) {
+        ++EmptyDims;
+        advance();
+      } else {
+        Dims.push_back(parseExpr());
+        expect(TokenKind::RBracket, "after array dimension");
+      }
+    }
+    Type.ArrayDims = static_cast<unsigned>(Dims.size()) + EmptyDims;
+    Expr *Init = nullptr;
+    if (at(TokenKind::LBrace))
+      Init = parseArrayInit();
+    return Ctx.create<NewArrayExpr>(Loc, std::move(Type), std::move(Dims),
+                                    Init);
+  }
+
+  std::vector<Expr *> Args = parseArgList();
+  auto *New = Ctx.create<NewObjectExpr>(Loc, std::move(Type), std::move(Args));
+  // Anonymous class body — parse and discard its members; the allocation
+  // site itself is what the analysis tracks.
+  if (at(TokenKind::LBrace))
+    skipBalanced(TokenKind::LBrace, TokenKind::RBrace);
+  return New;
+}
+
+Expr *Parser::parseArrayInit() {
+  SourceLocation Loc = cur().Loc;
+  expect(TokenKind::LBrace, "to open array initializer");
+  std::vector<Expr *> Elements;
+  if (!at(TokenKind::RBrace)) {
+    do {
+      if (at(TokenKind::RBrace))
+        break; // trailing comma
+      Elements.push_back(at(TokenKind::LBrace) ? parseArrayInit()
+                                               : parseExpr());
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RBrace, "to close array initializer");
+  return Ctx.create<ArrayInitExpr>(Loc, std::move(Elements));
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLocation Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::IntLiteral: {
+    Token T = advance();
+    return Ctx.create<IntLiteralExpr>(
+        Loc, std::strtoll(T.Text.c_str(), nullptr, 0), T.Text);
+  }
+  case TokenKind::LongLiteral: {
+    Token T = advance();
+    return Ctx.create<LongLiteralExpr>(
+        Loc, std::strtoll(T.Text.c_str(), nullptr, 0), T.Text);
+  }
+  case TokenKind::StringLiteral:
+    return Ctx.create<StringLiteralExpr>(Loc, advance().Text);
+  case TokenKind::CharLiteral: {
+    Token T = advance();
+    return Ctx.create<CharLiteralExpr>(Loc, T.Text.empty() ? '\0' : T.Text[0]);
+  }
+  case TokenKind::KwTrue:
+    advance();
+    return Ctx.create<BoolLiteralExpr>(Loc, true);
+  case TokenKind::KwFalse:
+    advance();
+    return Ctx.create<BoolLiteralExpr>(Loc, false);
+  case TokenKind::KwNull:
+    advance();
+    return Ctx.create<NullLiteralExpr>(Loc);
+  case TokenKind::KwThis: {
+    advance();
+    if (at(TokenKind::LParen)) {
+      // `this(...)` constructor delegation — model as a call.
+      std::vector<Expr *> Args = parseArgList();
+      return Ctx.create<MethodCallExpr>(Loc, nullptr, "this",
+                                        std::move(Args));
+    }
+    return Ctx.create<ThisExpr>(Loc);
+  }
+  case TokenKind::KwSuper: {
+    advance();
+    if (at(TokenKind::LParen)) {
+      std::vector<Expr *> Args = parseArgList();
+      return Ctx.create<MethodCallExpr>(Loc, nullptr, "super",
+                                        std::move(Args));
+    }
+    // `super.method(...)` / `super.field` — treat `super` as `this`.
+    return Ctx.create<ThisExpr>(Loc);
+  }
+  case TokenKind::KwNew:
+    return parseNew();
+  case TokenKind::Identifier: {
+    std::string Name = advance().Text;
+    if (at(TokenKind::LParen)) {
+      std::vector<Expr *> Args = parseArgList();
+      return Ctx.create<MethodCallExpr>(Loc, nullptr, std::move(Name),
+                                        std::move(Args));
+    }
+    return Ctx.create<NameExpr>(Loc, std::move(Name));
+  }
+  case TokenKind::LParen: {
+    advance();
+    Expr *Inner = parseExpr();
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return Inner;
+  }
+  case TokenKind::KwVoid:
+  case TokenKind::KwInt:
+  case TokenKind::KwByte:
+  case TokenKind::KwChar:
+  case TokenKind::KwLong:
+  case TokenKind::KwBoolean:
+  case TokenKind::KwShort:
+  case TokenKind::KwFloat:
+  case TokenKind::KwDouble: {
+    // `int.class`, `byte[].class` etc.
+    TypeRef Type = parseType();
+    if (at(TokenKind::Dot) && peek().is(TokenKind::KwClass)) {
+      advance();
+      advance();
+    }
+    return Ctx.create<NameExpr>(Loc, Type.str());
+  }
+  default:
+    Diags.error(Loc, "expected expression, found " +
+                         std::string(tokenKindName(cur().Kind)));
+    advance();
+    return makeErrorExpr(Loc);
+  }
+}
+
+CompilationUnit *diffcode::java::parseJava(std::string_view Source,
+                                           AstContext &Ctx,
+                                           DiagnosticsEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Ctx, Diags);
+  return P.parseCompilationUnit();
+}

@@ -1,0 +1,120 @@
+//===- javaast/Parser.h - Recursive-descent Java subset parser -------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing the javaast tree. Designed for
+/// partial, possibly uncompilable programs (Section 5.1 of the paper):
+/// errors are reported to the DiagnosticsEngine and the parser re-syncs at
+/// statement/member boundaries instead of giving up.
+///
+/// Constructs outside the analyzed core are accepted and desugared:
+///   * generics are parsed and discarded;
+///   * annotations are skipped;
+///   * `switch` lowers to an if/else-if chain (the analyzer forks at
+///     branches, which preserves the per-case abstract executions);
+///   * enhanced-for lowers to a fresh local bound to an opaque call plus a
+///     `while`, matching the analyzer's 0/1-iteration loop policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_JAVAAST_PARSER_H
+#define DIFFCODE_JAVAAST_PARSER_H
+
+#include "javaast/Ast.h"
+#include "javaast/Diagnostics.h"
+#include "javaast/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace diffcode {
+namespace java {
+
+/// Parses one compilation unit from a token stream.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, AstContext &Ctx,
+         DiagnosticsEngine &Diags);
+
+  /// Parses the whole buffer. Always returns a unit (possibly with fewer
+  /// members than the source on errors); check Diags for problems.
+  CompilationUnit *parseCompilationUnit();
+
+private:
+  // Token stream helpers.
+  const Token &cur() const { return Tokens[Index]; }
+  const Token &peek(std::size_t Ahead = 1) const;
+  bool at(TokenKind K) const { return cur().is(K); }
+  bool atEnd() const { return at(TokenKind::EndOfFile); }
+  Token advance();
+  bool accept(TokenKind K);
+  bool expect(TokenKind K, std::string_view Context);
+  void skipTo(std::initializer_list<TokenKind> Kinds);
+  void skipBalanced(TokenKind Open, TokenKind Close);
+
+  // Declarations.
+  void parsePackageDecl(CompilationUnit *Unit);
+  void parseImportDecl(CompilationUnit *Unit);
+  ClassDecl *parseClassDecl(unsigned Modifiers);
+  void parseClassBody(ClassDecl *Class);
+  void parseMember(ClassDecl *Class);
+  unsigned parseModifiers();
+  void skipAnnotations();
+  std::string parseQualifiedName();
+
+  // Types.
+  bool atTypeStart() const;
+  TypeRef parseType();
+  void skipGenericArgs();
+  /// Speculative check: does a local-variable declaration start here?
+  bool isLocalVarDeclStart() const;
+  /// Scans a type at \p From without consuming; returns the index one past
+  /// the type, or 0 if no type starts there.
+  std::size_t scanType(std::size_t From) const;
+
+  // Statements.
+  Block *parseBlock();
+  Stmt *parseStatement();
+  Stmt *parseLocalVarDecl();
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseDo();
+  Stmt *parseFor();
+  Stmt *parseTry();
+  Stmt *parseSwitch();
+  Stmt *parseSynchronized();
+
+  // Expressions.
+  Expr *parseExpr();
+  Expr *parseAssignment();
+  Expr *parseConditional();
+  Expr *parseBinary(int MinPrec);
+  Expr *parseUnary();
+  Expr *parsePostfix(Expr *Base);
+  Expr *parsePrimary();
+  Expr *parseNew();
+  Expr *parseArrayInit();
+  std::vector<Expr *> parseArgList();
+  /// True when '(' at the current position begins a cast expression.
+  bool isCastStart() const;
+
+  Expr *makeErrorExpr(SourceLocation Loc);
+
+  std::vector<Token> Tokens;
+  std::size_t Index = 0;
+  AstContext &Ctx;
+  DiagnosticsEngine &Diags;
+};
+
+/// Convenience: lex + parse \p Source in one call.
+CompilationUnit *parseJava(std::string_view Source, AstContext &Ctx,
+                           DiagnosticsEngine &Diags);
+
+} // namespace java
+} // namespace diffcode
+
+#endif // DIFFCODE_JAVAAST_PARSER_H

@@ -1,0 +1,45 @@
+//===- javaast/SourceLocation.h - Source positions ------------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column positions for tokens, AST nodes, and diagnostics. Offsets
+/// are byte offsets into the file buffer; lines and columns are 1-based.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_JAVAAST_SOURCELOCATION_H
+#define DIFFCODE_JAVAAST_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace diffcode {
+namespace java {
+
+/// A position in a source buffer. Line 0 denotes an invalid/unknown
+/// location (e.g., synthesized nodes).
+struct SourceLocation {
+  std::uint32_t Line = 0;
+  std::uint32_t Column = 0;
+  std::uint32_t Offset = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  /// Renders as "line:column" for diagnostics.
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+
+  bool operator==(const SourceLocation &Other) const {
+    return Line == Other.Line && Column == Other.Column;
+  }
+};
+
+} // namespace java
+} // namespace diffcode
+
+#endif // DIFFCODE_JAVAAST_SOURCELOCATION_H

@@ -1,0 +1,162 @@
+//===- javaast/Token.h - Java token definitions ----------------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the Java subset the DiffCode frontend understands. The
+/// subset covers the constructs that appear around Java Crypto API usages
+/// in real commits (Figure 2 of the paper is representative).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_JAVAAST_TOKEN_H
+#define DIFFCODE_JAVAAST_TOKEN_H
+
+#include "javaast/SourceLocation.h"
+
+#include <string>
+#include <string_view>
+
+namespace diffcode {
+namespace java {
+
+/// Lexical classes. Keywords get dedicated kinds so the parser can switch
+/// on them directly.
+enum class TokenKind {
+  EndOfFile,
+  Unknown,
+
+  Identifier,
+  IntLiteral,
+  LongLiteral,
+  StringLiteral,
+  CharLiteral,
+
+  // Keywords.
+  KwAbstract,
+  KwAssert,
+  KwBoolean,
+  KwBreak,
+  KwByte,
+  KwCase,
+  KwCatch,
+  KwChar,
+  KwClass,
+  KwContinue,
+  KwDefault,
+  KwDo,
+  KwDouble,
+  KwElse,
+  KwExtends,
+  KwFalse,
+  KwFinal,
+  KwFinally,
+  KwFloat,
+  KwFor,
+  KwIf,
+  KwImplements,
+  KwImport,
+  KwInstanceof,
+  KwInt,
+  KwInterface,
+  KwLong,
+  KwNew,
+  KwNull,
+  KwPackage,
+  KwPrivate,
+  KwProtected,
+  KwPublic,
+  KwReturn,
+  KwShort,
+  KwStatic,
+  KwSuper,
+  KwSwitch,
+  KwSynchronized,
+  KwThis,
+  KwThrow,
+  KwThrows,
+  KwTrue,
+  KwTry,
+  KwVoid,
+  KwWhile,
+
+  // Punctuation and operators.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Ellipsis,
+  At,
+  Question,
+  Colon,
+  ColonColon,
+  Arrow,
+
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  PlusPlus,
+  MinusMinus,
+
+  Not,
+  Tilde,
+  Amp,
+  AmpAmp,
+  Pipe,
+  PipePipe,
+  Caret,
+
+  Less,
+  Greater,
+  LessEqual,
+  GreaterEqual,
+  EqualEqual,
+  NotEqual,
+  Shl,
+  Shr,
+};
+
+/// A lexed token: kind, spelling, and position. Spelling views into the
+/// source buffer for identifiers; literal tokens carry decoded text in
+/// Text (e.g., string literals without quotes, escapes resolved).
+struct Token {
+  TokenKind Kind = TokenKind::Unknown;
+  SourceLocation Loc;
+  std::string Text;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+
+  /// True for any keyword token.
+  bool isKeyword() const {
+    return Kind >= TokenKind::KwAbstract && Kind <= TokenKind::KwWhile;
+  }
+};
+
+/// Human-readable token-kind name for diagnostics ("identifier", "'{'").
+std::string_view tokenKindName(TokenKind Kind);
+
+/// Maps identifier spelling to a keyword kind; returns
+/// TokenKind::Identifier when \p Spelling is not a keyword.
+TokenKind lookupKeyword(std::string_view Spelling);
+
+} // namespace java
+} // namespace diffcode
+
+#endif // DIFFCODE_JAVAAST_TOKEN_H

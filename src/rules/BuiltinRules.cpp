@@ -1,0 +1,282 @@
+//===- rules/BuiltinRules.cpp ----------------------------------------------===//
+
+#include "rules/BuiltinRules.h"
+
+using namespace diffcode;
+using namespace diffcode::rules;
+
+namespace {
+
+ArgConstraint argAny(unsigned Index) {
+  ArgConstraint C;
+  C.Index = Index;
+  C.K = ArgConstraint::Kind::Any;
+  return C;
+}
+
+ArgConstraint argEquals(unsigned Index, std::vector<std::string> Values) {
+  ArgConstraint C;
+  C.Index = Index;
+  C.K = ArgConstraint::Kind::StrEquals;
+  C.Values = std::move(Values);
+  return C;
+}
+
+ArgConstraint argNotEquals(unsigned Index, std::vector<std::string> Values) {
+  ArgConstraint C;
+  C.Index = Index;
+  C.K = ArgConstraint::Kind::StrNotEquals;
+  C.Values = std::move(Values);
+  return C;
+}
+
+ArgConstraint argStartsWith(unsigned Index, std::vector<std::string> Values) {
+  ArgConstraint C;
+  C.Index = Index;
+  C.K = ArgConstraint::Kind::StrStartsWith;
+  C.Values = std::move(Values);
+  return C;
+}
+
+ArgConstraint argIntLess(unsigned Index, std::int64_t Bound) {
+  ArgConstraint C;
+  C.Index = Index;
+  C.K = ArgConstraint::Kind::IntLess;
+  C.IntBound = Bound;
+  return C;
+}
+
+ArgConstraint argConst(unsigned Index) {
+  ArgConstraint C;
+  C.Index = Index;
+  C.K = ArgConstraint::Kind::IsConstant;
+  return C;
+}
+
+CallPattern call(std::string ClassName, std::string MethodName, int Arity,
+                 std::vector<ArgConstraint> Args) {
+  CallPattern P;
+  P.ClassName = std::move(ClassName);
+  P.MethodName = std::move(MethodName);
+  P.Arity = Arity;
+  P.Args = std::move(Args);
+  return P;
+}
+
+Rule simpleRule(std::string Id, std::string Description, std::string TypeName,
+                ObjectFormula Formula) {
+  Rule R;
+  R.Id = std::move(Id);
+  R.Description = std::move(Description);
+  R.Clauses.push_back({std::move(TypeName), std::move(Formula), false});
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared formula fragments
+//===----------------------------------------------------------------------===//
+
+/// Cipher created in ECB mode: getInstance("AES") (ECB is the JCA default)
+/// or an explicit ".../ECB..." transform.
+ObjectFormula ecbCipherFormula() {
+  return ObjectFormula::any({
+      ObjectFormula::exists(call("Cipher", "getInstance", -1,
+                                 {argEquals(1, {"AES", "DES", "AES/ECB"})})),
+      ObjectFormula::exists(call(
+          "Cipher", "getInstance", -1,
+          {argStartsWith(1, {"AES/ECB/", "DES/ECB/", "AES/ECB",
+                             "DES/ECB"})})),
+  });
+}
+
+/// IvParameterSpec constructed from a program constant.
+ObjectFormula staticIvFormula() {
+  return ObjectFormula::exists(
+      call("IvParameterSpec", "<init>", -1, {argConst(1)}));
+}
+
+/// SecretKeySpec built from a hard-coded key.
+ObjectFormula staticKeyFormula() {
+  return ObjectFormula::exists(
+      call("SecretKeySpec", "<init>", -1, {argConst(1)}));
+}
+
+/// PBEKeySpec with iteration count below 1000 (arity-4 and arity-3 forms
+/// both carry the count as the third argument).
+ObjectFormula lowIterationsFormula() {
+  return ObjectFormula::exists(
+      call("PBEKeySpec", "<init>", -1, {argIntLess(3, 1000)}));
+}
+
+/// PBEKeySpec with a constant salt (second argument).
+ObjectFormula staticSaltFormula() {
+  return ObjectFormula::exists(
+      call("PBEKeySpec", "<init>", -1, {argConst(2)}));
+}
+
+std::vector<Rule> buildElicited() {
+  std::vector<Rule> Rules;
+
+  // R1: Use SHA-256 instead of SHA-1.
+  Rules.push_back(simpleRule(
+      "R1", "Use SHA-256 instead of SHA-1", "MessageDigest",
+      ObjectFormula::exists(
+          call("MessageDigest", "getInstance", -1,
+               {argEquals(1, {"SHA-1", "SHA1", "MD5", "MD4", "MD2"})}))));
+
+  // R2: PBE iteration count must be >= 1000.
+  Rules.push_back(simpleRule(
+      "R2", "Do not use password-based encryption with iteration count < 1000",
+      "PBEKeySpec", lowIterationsFormula()));
+
+  // R3: SecureRandom should be used with SHA1PRNG: a direct constructor or
+  // a getInstance with another algorithm violates.
+  Rules.push_back(simpleRule(
+      "R3", "SecureRandom should be used with SHA1PRNG", "SecureRandom",
+      ObjectFormula::any({
+          ObjectFormula::exists(call("SecureRandom", "<init>", -1, {})),
+          ObjectFormula::exists(
+              call("SecureRandom", "getInstance", -1,
+                   {argNotEquals(1, {"SHA1PRNG", "SHA-1PRNG"})})),
+      })));
+
+  // R4: getInstanceStrong blocks on server-side Linux — avoid it.
+  Rules.push_back(simpleRule(
+      "R4", "SecureRandom.getInstanceStrong should be avoided", "SecureRandom",
+      ObjectFormula::exists(
+          call("SecureRandom", "getInstanceStrong", -1, {}))));
+
+  // R5: Use the BouncyCastle provider for Cipher (no 128-bit key cap).
+  Rules.push_back(simpleRule(
+      "R5", "Use the BouncyCastle provider for Cipher", "Cipher",
+      ObjectFormula::any({
+          ObjectFormula::exists(
+              call("Cipher", "getInstance", 1, {argAny(1)})),
+          ObjectFormula::exists(call("Cipher", "getInstance", 2,
+                                     {argNotEquals(2, {"BC"})})),
+      })));
+
+  // R6: Android PRNG vulnerability on SDK 16-18 without the LPRNG fix.
+  {
+    Rule R = simpleRule(
+        "R6", "Underlying PRNG is vulnerable on Android v16-18", "SecureRandom",
+        ObjectFormula::any({
+            ObjectFormula::exists(call("SecureRandom", "<init>", -1, {})),
+            ObjectFormula::exists(
+                call("SecureRandom", "getInstance", -1, {})),
+        }));
+    R.RequireAndroid = true;
+    R.MinSdkAtLeast = 16;
+    R.RequireNoLprngFix = true;
+    Rules.push_back(std::move(R));
+  }
+
+  // R7: Do not use Cipher in AES/ECB mode.
+  Rules.push_back(simpleRule(
+      "R7", "Do not use Cipher in AES/ECB mode", "Cipher",
+      ObjectFormula::any({
+          ObjectFormula::exists(call("Cipher", "getInstance", -1,
+                                     {argEquals(1, {"AES", "AES/ECB"})})),
+          ObjectFormula::exists(call("Cipher", "getInstance", -1,
+                                     {argStartsWith(1, {"AES/ECB/"})})),
+      })));
+
+  // R8: Do not use Cipher with DES.
+  Rules.push_back(simpleRule(
+      "R8", "Do not use Cipher with DES", "Cipher",
+      ObjectFormula::any({
+          ObjectFormula::exists(call("Cipher", "getInstance", -1,
+                                     {argEquals(1, {"DES"})})),
+          ObjectFormula::exists(call("Cipher", "getInstance", -1,
+                                     {argStartsWith(1, {"DES/"})})),
+      })));
+
+  // R9: IvParameterSpec should not be initialized with a static byte array.
+  Rules.push_back(simpleRule(
+      "R9", "IvParameterSpec should not use a static byte array",
+      "IvParameterSpec", staticIvFormula()));
+
+  // R10: SecretKeySpec should not be static.
+  Rules.push_back(simpleRule("R10", "SecretKeySpec should not be static",
+                             "SecretKeySpec", staticKeyFormula()));
+
+  // R11: Do not use password-based encryption with a static salt.
+  Rules.push_back(simpleRule(
+      "R11", "Do not use password-based encryption with a static salt",
+      "PBEKeySpec", staticSaltFormula()));
+
+  // R12: Do not seed SecureRandom statically.
+  Rules.push_back(simpleRule(
+      "R12", "Do not use a static SecureRandom seed", "SecureRandom",
+      ObjectFormula::exists(
+          call("SecureRandom", "setSeed", -1, {argConst(1)}))));
+
+  // R13: Missing integrity check after symmetric key exchange (composite).
+  {
+    Rule R;
+    R.Id = "R13";
+    R.Description = "Missing integrity check after symmetric key exchange";
+    R.Clauses.push_back(
+        {"Cipher",
+         ObjectFormula::exists(call("Cipher", "getInstance", -1,
+                                    {argStartsWith(1, {"AES/CBC"})})),
+         false});
+    R.Clauses.push_back(
+        {"Cipher",
+         ObjectFormula::any({
+             ObjectFormula::exists(call("Cipher", "getInstance", -1,
+                                        {argEquals(1, {"RSA"})})),
+             ObjectFormula::exists(call("Cipher", "getInstance", -1,
+                                        {argStartsWith(1, {"RSA/"})})),
+         }),
+         false});
+    R.Clauses.push_back(
+        {"Mac",
+         ObjectFormula::exists(call("Mac", "getInstance", -1,
+                                    {argStartsWith(1, {"Hmac", "HMAC",
+                                                       "HMac"})})),
+         true});
+    Rules.push_back(std::move(R));
+  }
+
+  return Rules;
+}
+
+std::vector<Rule> buildCryptoLint() {
+  std::vector<Rule> Rules;
+  Rules.push_back(simpleRule("CL1", "Do not use ECB mode for encryption",
+                             "Cipher", ecbCipherFormula()));
+  Rules.push_back(simpleRule("CL2",
+                             "Do not use a non-random IV for CBC encryption",
+                             "IvParameterSpec", staticIvFormula()));
+  Rules.push_back(simpleRule("CL3", "Do not use hard-coded encryption keys",
+                             "SecretKeySpec", staticKeyFormula()));
+  Rules.push_back(simpleRule(
+      "CL4", "Do not use fewer than 1000 iterations for PBE", "PBEKeySpec",
+      lowIterationsFormula()));
+  Rules.push_back(simpleRule("CL5", "Do not use a static salt for PBE",
+                             "PBEKeySpec", staticSaltFormula()));
+  return Rules;
+}
+
+} // namespace
+
+const std::vector<Rule> &diffcode::rules::elicitedRules() {
+  static const std::vector<Rule> Rules = buildElicited();
+  return Rules;
+}
+
+const std::vector<Rule> &diffcode::rules::cryptoLintRules() {
+  static const std::vector<Rule> Rules = buildCryptoLint();
+  return Rules;
+}
+
+const Rule *diffcode::rules::findRule(const std::string &Id) {
+  for (const Rule &R : elicitedRules())
+    if (R.Id == Id)
+      return &R;
+  for (const Rule &R : cryptoLintRules())
+    if (R.Id == Id)
+      return &R;
+  return nullptr;
+}

@@ -1,0 +1,49 @@
+//===- rules/BuiltinRules.h - R1-R13 and CL1-CL5 ---------------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thirteen security rules elicited in the paper (Figure 9) and the
+/// five CryptoLint rules (Egele et al., CCS'13) the paper re-encodes for
+/// the fix/bug classification of Figure 7:
+///
+///   CL1 do not use ECB mode           (Cipher)
+///   CL2 do not use a static IV        (IvParameterSpec)
+///   CL3 do not hard-code secret keys  (SecretKeySpec)
+///   CL4 PBE iteration count >= 1000   (PBEKeySpec)
+///   CL5 do not use a static PBE salt  (PBEKeySpec)
+///
+/// Encoding notes (documented divergences):
+///   * R4's figure prints "¬getInstanceStrong"; the prose says the call
+///     "should be avoided", so the violation matches its presence.
+///   * R5 matches both a missing provider argument and a provider other
+///     than "BC".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_RULES_BUILTINRULES_H
+#define DIFFCODE_RULES_BUILTINRULES_H
+
+#include "rules/Rule.h"
+
+#include <vector>
+
+namespace diffcode {
+namespace rules {
+
+/// The thirteen elicited rules R1-R13 in Figure 9 order.
+const std::vector<Rule> &elicitedRules();
+
+/// The five CryptoLint rules CL1-CL5 used for change classification.
+const std::vector<Rule> &cryptoLintRules();
+
+/// Lookup by id ("R7", "CL2"); null when unknown.
+const Rule *findRule(const std::string &Id);
+
+} // namespace rules
+} // namespace diffcode
+
+#endif // DIFFCODE_RULES_BUILTINRULES_H

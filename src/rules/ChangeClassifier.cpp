@@ -1,0 +1,37 @@
+//===- rules/ChangeClassifier.cpp ------------------------------------------===//
+
+#include "rules/ChangeClassifier.h"
+
+using namespace diffcode;
+using namespace diffcode::rules;
+
+ChangeClass diffcode::rules::classifyChange(const Rule &R,
+                                            const UnitFacts &OldFacts,
+                                            const UnitFacts &NewFacts,
+                                            const ProjectMetadata &Meta) {
+  bool OldTriggers = ruleMatches(R, {OldFacts}, Meta);
+  bool NewTriggers = ruleMatches(R, {NewFacts}, Meta);
+  // A *fix* repairs a usage that still exists: if the trigger vanished
+  // only because the usage itself was deleted, the change is a removal,
+  // not a fix (and symmetrically for introductions). Without this
+  // refinement every crypto-code deletion would count as a security fix.
+  if (OldTriggers && !NewTriggers)
+    return ruleApplicable(R, {NewFacts}, Meta) ? ChangeClass::SecurityFix
+                                         : ChangeClass::NonSemantic;
+  if (!OldTriggers && NewTriggers)
+    return ruleApplicable(R, {OldFacts}, Meta) ? ChangeClass::BuggyChange
+                                         : ChangeClass::NonSemantic;
+  return ChangeClass::NonSemantic;
+}
+
+const char *diffcode::rules::changeClassName(ChangeClass C) {
+  switch (C) {
+  case ChangeClass::SecurityFix:
+    return "fix";
+  case ChangeClass::BuggyChange:
+    return "bug";
+  case ChangeClass::NonSemantic:
+    return "none";
+  }
+  return "none";
+}

@@ -1,0 +1,51 @@
+//===- rules/CryptoChecker.cpp ---------------------------------------------===//
+
+#include "rules/CryptoChecker.h"
+
+#include "rules/BuiltinRules.h"
+
+using namespace diffcode;
+using namespace diffcode::rules;
+
+CryptoChecker::CryptoChecker() : Rules(elicitedRules()) {}
+
+CryptoChecker::CryptoChecker(std::vector<Rule> Rules)
+    : Rules(std::move(Rules)) {}
+
+std::vector<Violation>
+CryptoChecker::collectViolations(const Rule &R,
+                                 const std::vector<UnitFacts> &Units) const {
+  std::vector<Violation> Out;
+  for (const Rule::Clause &Clause : R.Clauses) {
+    if (Clause.Negated)
+      continue;
+    for (unsigned UnitIndex = 0; UnitIndex < Units.size(); ++UnitIndex) {
+      const UnitFacts &Facts = Units[UnitIndex];
+      for (const auto &[ObjId, Events] : Facts.Merged) {
+        const analysis::AbstractObject &Obj = Facts.Objects->get(ObjId);
+        if (Obj.TypeName != Clause.TypeName)
+          continue;
+        if (Clause.Formula.eval(Events))
+          Out.push_back({R.Id, Obj.TypeName, Obj.siteLabel(), UnitIndex});
+      }
+    }
+  }
+  return Out;
+}
+
+ProjectReport
+CryptoChecker::checkProject(const std::vector<UnitFacts> &Units,
+                            const ProjectMetadata &Meta) const {
+  ProjectReport Report;
+  for (const Rule &R : Rules) {
+    RuleVerdict Verdict;
+    Verdict.RuleId = R.Id;
+    Verdict.Applicable = ruleApplicable(R, Units, Meta);
+    if (Verdict.Applicable && ruleMatches(R, Units, Meta)) {
+      Verdict.Matched = true;
+      Verdict.Violations = collectViolations(R, Units);
+    }
+    Report.Verdicts.push_back(std::move(Verdict));
+  }
+  return Report;
+}

@@ -1,0 +1,81 @@
+//===- rules/CryptoChecker.h - The CryptoChecker tool (Section 6.4) --------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CryptoChecker evaluates a rule set against whole projects (sets of
+/// analyzed compilation units) and reports, per rule, applicability and
+/// matches plus the concrete violating allocation sites — the data behind
+/// Figure 10.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_RULES_CRYPTOCHECKER_H
+#define DIFFCODE_RULES_CRYPTOCHECKER_H
+
+#include "rules/Rule.h"
+
+#include <string>
+#include <vector>
+
+namespace diffcode {
+namespace rules {
+
+/// One concrete violation: which rule, where.
+struct Violation {
+  std::string RuleId;
+  std::string TypeName;
+  std::string SiteLabel; ///< "l<line>" of the violating allocation site.
+  unsigned UnitIndex = 0;
+};
+
+/// Per-rule project verdict.
+struct RuleVerdict {
+  std::string RuleId;
+  bool Applicable = false;
+  bool Matched = false;
+  std::vector<Violation> Violations;
+};
+
+/// Whole-project report.
+struct ProjectReport {
+  std::vector<RuleVerdict> Verdicts;
+
+  bool anyMatch() const {
+    for (const RuleVerdict &V : Verdicts)
+      if (V.Matched)
+        return true;
+    return false;
+  }
+};
+
+/// The checker: a rule set applied to analyzed projects.
+class CryptoChecker {
+public:
+  /// Uses the full elicited rule set R1-R13 by default.
+  CryptoChecker();
+  explicit CryptoChecker(std::vector<Rule> Rules);
+
+  const std::vector<Rule> &rules() const { return Rules; }
+
+  /// Checks one project (a set of analyzed units plus metadata).
+  ProjectReport checkProject(const std::vector<UnitFacts> &Units,
+                             const ProjectMetadata &Meta =
+                                 ProjectMetadata()) const;
+
+private:
+  /// Collects the violating sites of a matched rule (positive clauses
+  /// only; negated clauses have no site to report).
+  std::vector<Violation>
+  collectViolations(const Rule &R, const std::vector<UnitFacts> &Units) const;
+
+  std::vector<Rule> Rules;
+};
+
+} // namespace rules
+} // namespace diffcode
+
+#endif // DIFFCODE_RULES_CRYPTOCHECKER_H

@@ -1,0 +1,215 @@
+//===- rules/Rule.cpp ------------------------------------------------------===//
+
+#include "rules/Rule.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace diffcode;
+using namespace diffcode::rules;
+using namespace diffcode::analysis;
+
+bool ArgConstraint::matches(const AbstractValue &Value) const {
+  switch (K) {
+  case Kind::Any:
+    return true;
+  case Kind::StrEquals:
+    if (Value.kind() != AVKind::StrConst)
+      return false;
+    return std::find(Values.begin(), Values.end(), Value.strValue()) !=
+           Values.end();
+  case Kind::StrNotEquals:
+    if (Value.kind() != AVKind::StrConst)
+      return true; // an unknown string is "not provably the safe value"
+    return std::find(Values.begin(), Values.end(), Value.strValue()) ==
+           Values.end();
+  case Kind::StrStartsWith: {
+    if (Value.kind() != AVKind::StrConst)
+      return false;
+    for (const std::string &Prefix : Values)
+      if (Value.strValue().rfind(Prefix, 0) == 0)
+        return true;
+    return false;
+  }
+  case Kind::IntLess:
+    return Value.kind() == AVKind::IntConst && Value.intValue() < IntBound;
+  case Kind::IntAtLeast:
+    return Value.kind() == AVKind::IntConst && Value.intValue() >= IntBound;
+  case Kind::IntEquals:
+    return Value.kind() == AVKind::IntConst && Value.intValue() == IntBound;
+  case Kind::IsConstant:
+    return Value.isConstant();
+  case Kind::IsTop:
+    return !Value.isConstant();
+  }
+  return false;
+}
+
+bool CallPattern::matchesEvent(const UsageEvent &Event) const {
+  // Signatures are "Class.name/arity".
+  std::size_t Slash = Event.MethodSig.rfind('/');
+  std::size_t Dot = Event.MethodSig.rfind('.', Slash);
+  if (Slash == std::string::npos || Dot == std::string::npos)
+    return false;
+  std::string EventClass = Event.MethodSig.substr(0, Dot);
+  std::string EventName = Event.MethodSig.substr(Dot + 1, Slash - Dot - 1);
+
+  if (!ClassName.empty() && EventClass != ClassName)
+    return false;
+  if (EventName != MethodName)
+    return false;
+  if (Arity >= 0 && Event.Args.size() != static_cast<std::size_t>(Arity))
+    return false;
+  for (const ArgConstraint &Constraint : Args) {
+    assert(Constraint.Index >= 1 && "argument indices are 1-based");
+    if (Constraint.Index > Event.Args.size())
+      return false;
+    if (!Constraint.matches(Event.Args[Constraint.Index - 1]))
+      return false;
+  }
+  return true;
+}
+
+ObjectFormula ObjectFormula::exists(CallPattern Pattern) {
+  ObjectFormula F;
+  F.K = Kind::Exists;
+  F.Pattern = std::move(Pattern);
+  return F;
+}
+
+ObjectFormula ObjectFormula::notExists(CallPattern Pattern) {
+  ObjectFormula F;
+  F.K = Kind::NotExists;
+  F.Pattern = std::move(Pattern);
+  return F;
+}
+
+ObjectFormula ObjectFormula::all(std::vector<ObjectFormula> Children) {
+  ObjectFormula F;
+  F.K = Kind::And;
+  F.Children = std::move(Children);
+  return F;
+}
+
+ObjectFormula ObjectFormula::any(std::vector<ObjectFormula> Children) {
+  ObjectFormula F;
+  F.K = Kind::Or;
+  F.Children = std::move(Children);
+  return F;
+}
+
+bool ObjectFormula::eval(const std::vector<UsageEvent> &Usage) const {
+  switch (K) {
+  case Kind::Exists:
+    for (const UsageEvent &Event : Usage)
+      if (Pattern.matchesEvent(Event))
+        return true;
+    return false;
+  case Kind::NotExists:
+    for (const UsageEvent &Event : Usage)
+      if (Pattern.matchesEvent(Event))
+        return false;
+    return true;
+  case Kind::And:
+    for (const ObjectFormula &Child : Children)
+      if (!Child.eval(Usage))
+        return false;
+    return true;
+  case Kind::Or:
+    for (const ObjectFormula &Child : Children)
+      if (Child.eval(Usage))
+        return true;
+    return false;
+  }
+  return false;
+}
+
+std::vector<std::string> Rule::applicableTypes() const {
+  std::vector<std::string> Types;
+  for (const Clause &C : Clauses)
+    if (!C.Negated &&
+        std::find(Types.begin(), Types.end(), C.TypeName) == Types.end())
+      Types.push_back(C.TypeName);
+  return Types;
+}
+
+bool diffcode::rules::someObjectSatisfies(const UnitFacts &Facts,
+                                          const std::string &TypeName,
+                                          const ObjectFormula &Formula) {
+  for (const auto &[ObjId, Events] : Facts.Merged) {
+    if (Facts.Objects->get(ObjId).TypeName != TypeName)
+      continue;
+    if (Formula.eval(Events))
+      return true;
+  }
+  return false;
+}
+
+bool diffcode::rules::hasObjectOfType(const UnitFacts &Facts,
+                                      const std::string &TypeName) {
+  for (const auto &[ObjId, Events] : Facts.Merged)
+    if (Facts.Objects->get(ObjId).TypeName == TypeName)
+      return true;
+  return false;
+}
+
+bool diffcode::rules::ruleApplicable(const Rule &R,
+                                     const std::vector<UnitFacts> &Units,
+                                     const ProjectMetadata &Meta) {
+  if (R.RequireAndroid && !Meta.IsAndroid)
+    return false;
+  // Composite rules (R13): applicable only when every positive clause is
+  // satisfied — Figure 10 counts 8 projects (1.5%) as applicable to R13,
+  // far fewer than the 211 with any Cipher usage, so presence of the
+  // clause *types* alone cannot be the paper's notion.
+  if (R.Clauses.size() > 1) {
+    for (const Rule::Clause &Clause : R.Clauses) {
+      if (Clause.Negated)
+        continue;
+      bool Satisfied = false;
+      for (const UnitFacts &Facts : Units)
+        if (someObjectSatisfies(Facts, Clause.TypeName, Clause.Formula)) {
+          Satisfied = true;
+          break;
+        }
+      if (!Satisfied)
+        return false;
+    }
+    return true;
+  }
+
+  for (const std::string &Type : R.applicableTypes()) {
+    bool Found = false;
+    for (const UnitFacts &Facts : Units)
+      if (hasObjectOfType(Facts, Type)) {
+        Found = true;
+        break;
+      }
+    if (!Found)
+      return false;
+  }
+  return !R.applicableTypes().empty();
+}
+
+bool diffcode::rules::ruleMatches(const Rule &R,
+                                  const std::vector<UnitFacts> &Units,
+                                  const ProjectMetadata &Meta) {
+  if (R.RequireAndroid && !Meta.IsAndroid)
+    return false;
+  if (R.MinSdkAtLeast >= 0 && Meta.MinSdkVersion < R.MinSdkAtLeast)
+    return false;
+  if (R.RequireNoLprngFix && Meta.HasLinuxPrngFix)
+    return false;
+
+  for (const Rule::Clause &Clause : R.Clauses) {
+    bool Satisfied = false;
+    for (const UnitFacts &Facts : Units)
+      if (someObjectSatisfies(Facts, Clause.TypeName, Clause.Formula)) {
+        Satisfied = true;
+        break;
+      }
+    if (Clause.Negated ? Satisfied : !Satisfied)
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,156 @@
+//===- rules/Rule.h - Security-rule language (Section 6.3) -----------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rules of the form `t : phi` where phi is interpreted over an abstract
+/// object's usage set S in P(Methods x AStates). Atoms test for the
+/// (non-)existence of a call matching a CallPattern; formulas compose with
+/// and/or; whole-object clauses compose conjunctively into composite rules
+/// and may be negated (R13 requires the *absence* of an HMAC object).
+///
+/// Example (R1): MessageDigest : getInstance(X) /\ X = "SHA-1"
+///
+///   Rule{ Clauses: [ {TypeName: "MessageDigest",
+///                     Formula: exists(getInstance, arg(1) in {SHA-1,SHA1})} ] }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_RULES_RULE_H
+#define DIFFCODE_RULES_RULE_H
+
+#include "analysis/AbstractInterpreter.h"
+#include "analysis/UsageEvent.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace diffcode {
+namespace rules {
+
+/// Constraint on one argument of a matched call (1-based index).
+struct ArgConstraint {
+  enum class Kind {
+    Any,           ///< Always satisfied (placeholder `_`).
+    StrEquals,     ///< Value is a string constant equal to one of Values.
+    StrNotEquals,  ///< Value is absent/top/other than all of Values.
+    StrStartsWith, ///< String constant with one of Values as prefix.
+    IntLess,       ///< Integer constant < IntBound.
+    IntAtLeast,    ///< Integer constant >= IntBound.
+    IntEquals,     ///< Integer constant == IntBound.
+    IsConstant,    ///< Program constant (e.g. constbyte[] — static IV/key).
+    IsTop,         ///< Not a program constant.
+  };
+
+  unsigned Index = 1;
+  Kind K = Kind::Any;
+  std::vector<std::string> Values;
+  std::int64_t IntBound = 0;
+
+  bool matches(const analysis::AbstractValue &Value) const;
+};
+
+/// Pattern over a single (method, state) pair.
+struct CallPattern {
+  std::string ClassName;  ///< Empty = any declaring class.
+  std::string MethodName; ///< "<init>", "getInstance", ...
+  int Arity = -1;         ///< -1 = any arity.
+  std::vector<ArgConstraint> Args;
+
+  bool matchesEvent(const analysis::UsageEvent &Event) const;
+};
+
+/// Formula phi over a usage set S.
+class ObjectFormula {
+public:
+  enum class Kind { Exists, NotExists, And, Or };
+
+  static ObjectFormula exists(CallPattern Pattern);
+  static ObjectFormula notExists(CallPattern Pattern);
+  static ObjectFormula all(std::vector<ObjectFormula> Children); // and
+  static ObjectFormula any(std::vector<ObjectFormula> Children); // or
+
+  /// S |= phi.
+  bool eval(const std::vector<analysis::UsageEvent> &Usage) const;
+
+  Kind kind() const { return K; }
+  const CallPattern &pattern() const { return Pattern; }
+  const std::vector<ObjectFormula> &children() const { return Children; }
+
+private:
+  Kind K = Kind::Exists;
+  CallPattern Pattern;
+  std::vector<ObjectFormula> Children;
+};
+
+/// Metadata the Android-specific rule R6 consults; for mined projects this
+/// comes from the manifest, for the synthetic corpus from the generator.
+struct ProjectMetadata {
+  bool IsAndroid = false;
+  int MinSdkVersion = 0;
+  bool HasLinuxPrngFix = true;
+};
+
+/// A (possibly composite) security rule.
+struct Rule {
+  /// One `t : phi` clause; Negated clauses require that *no* object of the
+  /// type satisfies phi.
+  struct Clause {
+    std::string TypeName;
+    ObjectFormula Formula;
+    bool Negated = false;
+  };
+
+  std::string Id;          ///< "R1" ... "R13", "CL1" ... "CL5".
+  std::string Description; ///< Human-readable summary (Figure 9).
+  std::vector<Clause> Clauses;
+
+  // Metadata guards (R6). MinSdkAtLeast < 0 disables the guard;
+  // RequireAndroid additionally gates *applicability* (an Android-only
+  // rule is not applicable to a server-side project at all).
+  int MinSdkAtLeast = -1;
+  bool RequireNoLprngFix = false;
+  bool RequireAndroid = false;
+
+  /// The API classes whose presence makes the rule *applicable* (the
+  /// positive clauses' types).
+  std::vector<std::string> applicableTypes() const;
+};
+
+/// The facts CryptoChecker evaluates rules against: one analyzed
+/// compilation unit (its allocation sites and merged usage log).
+struct UnitFacts {
+  const analysis::ObjectTable *Objects = nullptr;
+  analysis::UsageLog Merged;
+
+  static UnitFacts from(const analysis::AnalysisResult &Result) {
+    return {&Result.Objects, Result.mergedLog()};
+  }
+};
+
+/// True when some object of \p TypeName in \p Facts satisfies \p Formula.
+bool someObjectSatisfies(const UnitFacts &Facts, const std::string &TypeName,
+                         const ObjectFormula &Formula);
+
+/// True when \p Facts contains at least one object of \p TypeName.
+bool hasObjectOfType(const UnitFacts &Facts, const std::string &TypeName);
+
+/// Rule applicability over a set of units (a project).
+bool ruleApplicable(const Rule &R, const std::vector<UnitFacts> &Units,
+                    const ProjectMetadata &Meta = ProjectMetadata());
+
+/// Rule match over a set of units: every positive clause satisfied by
+/// some object in some unit, every negated clause unsatisfied everywhere,
+/// metadata guards hold.
+bool ruleMatches(const Rule &R, const std::vector<UnitFacts> &Units,
+                 const ProjectMetadata &Meta = ProjectMetadata());
+
+} // namespace rules
+} // namespace diffcode
+
+#endif // DIFFCODE_RULES_RULE_H

@@ -1,0 +1,64 @@
+//===- rules/RuleSuggestion.h - Automatic rule construction (Sec. 6.3) -----===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "On Automating Rule Elicitation": from a usage change (F-, F+),
+/// construct the predicate that matches any usage which still has the
+/// removed features and has not adopted the added ones — i.e. code that
+/// needs the same fix. For the Figure 2 example this produces:
+///
+///   Cipher : (getInstance(X) /\ X = "AES")
+///          /\ (getInstance(Y) => Y != "AES/CBC/PKCS5Padding")
+///          /\ (init(...) => arg3 != IVParameterSpec)
+///
+/// Feature paths deeper than root-method-argument are approximated by
+/// their first method/argument pair (and reported as such); determining
+/// whether a suggested rule is *security relevant* remains manual, exactly
+/// as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_RULES_RULESUGGESTION_H
+#define DIFFCODE_RULES_RULESUGGESTION_H
+
+#include "rules/Rule.h"
+#include "usage/UsageChange.h"
+
+#include <optional>
+#include <string>
+
+namespace diffcode {
+namespace rules {
+
+/// Builds a candidate rule from one usage change. Returns nullopt when
+/// the change carries no convertible feature (e.g. only paths the
+/// approximation cannot express).
+std::optional<Rule> suggestRule(const usage::UsageChange &Change,
+                                const std::string &Id = "suggested");
+
+/// Generalizes a whole cluster of usage changes into one candidate rule —
+/// the step the paper performed manually over each dendrogram cluster.
+/// Heuristics:
+///   * only methods removed by *every* member become Exists atoms;
+///   * string constants that differ across members generalize to their
+///     common prefix (length >= 3) or to the value set;
+///   * integer constants paired with integer *additions* generalize to
+///     "< min(added values)" (the R2 iteration-count shape);
+///   * NotExists atoms are emitted only for additions shared verbatim by
+///     every member.
+/// Returns nullopt if no common removed feature exists.
+std::optional<Rule>
+suggestRuleForCluster(const std::vector<usage::UsageChange> &Members,
+                      const std::string &Id = "cluster");
+
+/// Renders a rule's formula in the paper's notation for display.
+std::string describeRule(const Rule &R);
+
+} // namespace rules
+} // namespace diffcode
+
+#endif // DIFFCODE_RULES_RULESUGGESTION_H

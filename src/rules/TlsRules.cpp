@@ -1,0 +1,75 @@
+//===- rules/TlsRules.cpp --------------------------------------------------===//
+
+#include "rules/TlsRules.h"
+
+using namespace diffcode;
+using namespace diffcode::rules;
+
+namespace {
+
+std::vector<Rule> buildTlsRules() {
+  std::vector<Rule> Rules;
+
+  auto DeprecatedProtocols = [] {
+    ArgConstraint C;
+    C.Index = 1;
+    C.K = ArgConstraint::Kind::StrEquals;
+    C.Values = {"SSL", "SSLv2", "SSLv3", "TLS", "TLSv1", "TLSv1.1"};
+    return C;
+  };
+
+  {
+    Rule R;
+    R.Id = "T1";
+    R.Description = "Do not request deprecated TLS/SSL protocol versions";
+    CallPattern P;
+    P.ClassName = "SSLContext";
+    P.MethodName = "getInstance";
+    P.Args = {DeprecatedProtocols()};
+    R.Clauses.push_back(
+        {"SSLContext", ObjectFormula::exists(std::move(P)), false});
+    Rules.push_back(std::move(R));
+  }
+
+  {
+    Rule R;
+    R.Id = "T2";
+    R.Description =
+        "Deprecated protocol combined with an unvetted trust configuration";
+    CallPattern Proto;
+    Proto.ClassName = "SSLContext";
+    Proto.MethodName = "getInstance";
+    Proto.Args = {DeprecatedProtocols()};
+    CallPattern Init;
+    Init.ClassName = "SSLContext";
+    Init.MethodName = "init";
+    R.Clauses.push_back(
+        {"SSLContext",
+         ObjectFormula::all({ObjectFormula::exists(std::move(Proto)),
+                             ObjectFormula::exists(std::move(Init))}),
+         false});
+    Rules.push_back(std::move(R));
+  }
+
+  {
+    Rule R;
+    R.Id = "T3";
+    R.Description =
+        "Avoid SSLSocketFactory.getDefault(); configure an SSLContext";
+    CallPattern P;
+    P.ClassName = "SSLSocketFactory";
+    P.MethodName = "getDefault";
+    R.Clauses.push_back(
+        {"SSLSocketFactory", ObjectFormula::exists(std::move(P)), false});
+    Rules.push_back(std::move(R));
+  }
+
+  return Rules;
+}
+
+} // namespace
+
+const std::vector<Rule> &diffcode::rules::tlsRules() {
+  static const std::vector<Rule> Rules = buildTlsRules();
+  return Rules;
+}

@@ -1,0 +1,37 @@
+//===- rules/TlsRules.h - TLS security rules (generality) ------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rules over the JSSE model (apimodel/TlsApiModel.h), demonstrating that
+/// the rule language and CryptoChecker are API-agnostic:
+///
+///   T1  do not request deprecated protocols (SSL, SSLv3, TLSv1, TLSv1.1)
+///   T2  do not use SSLContext.getInstance("SSL"-family) with a null-ish
+///       trust configuration — approximated as init with an unknown
+///       TrustManager[] argument plus a deprecated protocol
+///   T3  SSLSocketFactory.getDefault() should be avoided in favor of a
+///       configured SSLContext
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_RULES_TLSRULES_H
+#define DIFFCODE_RULES_TLSRULES_H
+
+#include "rules/Rule.h"
+
+#include <vector>
+
+namespace diffcode {
+namespace rules {
+
+/// The TLS rule set T1-T3.
+const std::vector<Rule> &tlsRules();
+
+} // namespace rules
+} // namespace diffcode
+
+#endif // DIFFCODE_RULES_TLSRULES_H

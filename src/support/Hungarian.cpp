@@ -1,0 +1,88 @@
+//===- support/Hungarian.cpp ----------------------------------------------===//
+
+#include "support/Hungarian.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace diffcode;
+
+// Kuhn–Munkres with row/column potentials (the classic O(n^3) "e-maxx"
+// formulation, 1-indexed internally). Works on a square matrix; callers
+// with rectangular inputs are padded with zero-cost entries below.
+static std::vector<std::size_t>
+solveSquare(const std::vector<std::vector<double>> &A) {
+  const std::size_t N = A.size();
+  const double Inf = std::numeric_limits<double>::infinity();
+  std::vector<double> U(N + 1, 0.0), V(N + 1, 0.0);
+  std::vector<std::size_t> P(N + 1, 0), Way(N + 1, 0);
+
+  for (std::size_t I = 1; I <= N; ++I) {
+    P[0] = I;
+    std::size_t J0 = 0;
+    std::vector<double> MinV(N + 1, Inf);
+    std::vector<bool> Used(N + 1, false);
+    do {
+      Used[J0] = true;
+      std::size_t I0 = P[J0], J1 = 0;
+      double Delta = Inf;
+      for (std::size_t J = 1; J <= N; ++J) {
+        if (Used[J])
+          continue;
+        double Cur = A[I0 - 1][J - 1] - U[I0] - V[J];
+        if (Cur < MinV[J]) {
+          MinV[J] = Cur;
+          Way[J] = J0;
+        }
+        if (MinV[J] < Delta) {
+          Delta = MinV[J];
+          J1 = J;
+        }
+      }
+      for (std::size_t J = 0; J <= N; ++J) {
+        if (Used[J]) {
+          U[P[J]] += Delta;
+          V[J] -= Delta;
+        } else {
+          MinV[J] -= Delta;
+        }
+      }
+      J0 = J1;
+    } while (P[J0] != 0);
+    do {
+      std::size_t J1 = Way[J0];
+      P[J0] = P[J1];
+      J0 = J1;
+    } while (J0 != 0);
+  }
+
+  // P[J] = row assigned to column J; invert.
+  std::vector<std::size_t> RowToCol(N, 0);
+  for (std::size_t J = 1; J <= N; ++J)
+    RowToCol[P[J] - 1] = J - 1;
+  return RowToCol;
+}
+
+Assignment diffcode::solveAssignment(const CostMatrix &Costs) {
+  const std::size_t N = std::max(Costs.rows(), Costs.cols());
+  Assignment Result;
+  if (N == 0)
+    return Result;
+
+  std::vector<std::vector<double>> Square(N, std::vector<double>(N, 0.0));
+  for (std::size_t R = 0; R < Costs.rows(); ++R)
+    for (std::size_t C = 0; C < Costs.cols(); ++C)
+      Square[R][C] = Costs.at(R, C);
+
+  std::vector<std::size_t> RowToCol = solveSquare(Square);
+
+  Result.RowToCol.assign(Costs.rows(), Assignment::Unmatched);
+  for (std::size_t R = 0; R < Costs.rows(); ++R) {
+    std::size_t C = RowToCol[R];
+    if (C < Costs.cols()) {
+      Result.RowToCol[R] = C;
+      Result.TotalCost += Costs.at(R, C);
+    }
+  }
+  return Result;
+}

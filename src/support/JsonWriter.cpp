@@ -1,0 +1,143 @@
+//===- support/JsonWriter.cpp ----------------------------------------------===//
+
+#include "support/JsonWriter.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace diffcode;
+
+std::string JsonWriter::escape(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::separator() {
+  if (PendingKey) {
+    PendingKey = false;
+    return; // the key already emitted "name":
+  }
+  if (!NeedComma.empty()) {
+    if (NeedComma.back())
+      Out += ',';
+    NeedComma.back() = true;
+  }
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  separator();
+  Out += '{';
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!NeedComma.empty() && "endObject without beginObject");
+  NeedComma.pop_back();
+  Out += '}';
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  separator();
+  Out += '[';
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!NeedComma.empty() && "endArray without beginArray");
+  NeedComma.pop_back();
+  Out += ']';
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(std::string_view Name) {
+  assert(!PendingKey && "key after key");
+  separator();
+  Out += '"';
+  Out += escape(Name);
+  Out += "\":";
+  PendingKey = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::string_view Text) {
+  separator();
+  Out += '"';
+  Out += escape(Text);
+  Out += '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::int64_t Number) {
+  separator();
+  Out += std::to_string(Number);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::uint64_t Number) {
+  separator();
+  Out += std::to_string(Number);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double Number) {
+  separator();
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", Number);
+  Out += Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool Flag) {
+  separator();
+  Out += Flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  separator();
+  Out += "null";
+  return *this;
+}
+
+std::string JsonWriter::take() {
+  assert(NeedComma.empty() && "unbalanced containers at take()");
+  PendingKey = false;
+  return std::move(Out);
+}

@@ -1,0 +1,70 @@
+//===- support/JsonWriter.h - Minimal JSON emission ------------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer (objects, arrays, scalars, correct
+/// string escaping) used by the report exporters. No external
+/// dependencies; output is deterministic and minified.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_SUPPORT_JSONWRITER_H
+#define DIFFCODE_SUPPORT_JSONWRITER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace diffcode {
+
+/// Streaming JSON builder. Usage:
+/// \code
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("name").value("diffcode");
+///   W.key("counts").beginArray().value(1).value(2).endArray();
+///   W.endObject();
+///   std::string Json = W.take();
+/// \endcode
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits an object key; must be inside an object.
+  JsonWriter &key(std::string_view Name);
+
+  JsonWriter &value(std::string_view Text);
+  JsonWriter &value(const char *Text) { return value(std::string_view(Text)); }
+  JsonWriter &value(std::int64_t Number);
+  JsonWriter &value(std::uint64_t Number);
+  JsonWriter &value(int Number) { return value(static_cast<std::int64_t>(Number)); }
+  JsonWriter &value(double Number);
+  JsonWriter &value(bool Flag);
+  JsonWriter &null();
+
+  /// The finished document (writer resets to empty).
+  std::string take();
+
+  /// Escapes \p Text per RFC 8259 (without surrounding quotes).
+  static std::string escape(std::string_view Text);
+
+private:
+  void separator();
+
+  std::string Out;
+  /// Stack of "needs comma before next element" flags per open container.
+  std::vector<bool> NeedComma;
+  bool PendingKey = false;
+};
+
+} // namespace diffcode
+
+#endif // DIFFCODE_SUPPORT_JSONWRITER_H

@@ -1,0 +1,40 @@
+//===- support/TablePrinter.cpp -------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+
+using namespace diffcode;
+
+TablePrinter::TablePrinter(std::vector<std::string> Header)
+    : NumCols(Header.size()) {
+  Rows.push_back(std::move(Header));
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Cells.resize(NumCols);
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::print(std::ostream &OS) const {
+  std::vector<std::size_t> Width(NumCols, 0);
+  for (const auto &Row : Rows)
+    for (std::size_t C = 0; C < NumCols; ++C)
+      Width[C] = std::max(Width[C], Row[C].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (std::size_t C = 0; C < NumCols; ++C) {
+      OS << Row[C] << std::string(Width[C] - Row[C].size(), ' ');
+      OS << (C + 1 == NumCols ? "" : "  ");
+    }
+    OS << '\n';
+  };
+
+  PrintRow(Rows.front());
+  std::size_t Total = 0;
+  for (std::size_t C = 0; C < NumCols; ++C)
+    Total += Width[C] + (C + 1 == NumCols ? 0 : 2);
+  OS << std::string(Total, '-') << '\n';
+  for (std::size_t R = 1; R < Rows.size(); ++R)
+    PrintRow(Rows[R]);
+}

@@ -1,0 +1,42 @@
+//===- support/TablePrinter.h - Aligned console tables --------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal fixed-width table renderer used by the benchmark harnesses to
+/// print the paper's figures as console tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_SUPPORT_TABLEPRINTER_H
+#define DIFFCODE_SUPPORT_TABLEPRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace diffcode {
+
+/// Collects rows of cells and renders them with per-column alignment.
+/// The first added row is treated as the header.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table to \p OS with a separator under the header.
+  void print(std::ostream &OS) const;
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+  std::size_t NumCols;
+};
+
+} // namespace diffcode
+
+#endif // DIFFCODE_SUPPORT_TABLEPRINTER_H

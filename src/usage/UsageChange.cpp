@@ -1,0 +1,109 @@
+//===- usage/UsageChange.cpp -----------------------------------------------===//
+
+#include "usage/UsageChange.h"
+
+#include "support/Hungarian.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace diffcode;
+using namespace diffcode::usage;
+
+bool UsageChange::sameFeatures(const UsageChange &Other) const {
+  return TypeName == Other.TypeName && Removed == Other.Removed &&
+         Added == Other.Added;
+}
+
+std::string UsageChange::str() const {
+  std::string Out;
+  for (const FeaturePath &Path : Removed)
+    Out += "- " + pathToString(Path) + "\n";
+  for (const FeaturePath &Path : Added)
+    Out += "+ " + pathToString(Path) + "\n";
+  return Out;
+}
+
+std::vector<FeaturePath>
+diffcode::usage::shortestPaths(std::vector<FeaturePath> Paths) {
+  auto IsStrictPrefix = [](const FeaturePath &A, const FeaturePath &B) {
+    if (A.size() >= B.size())
+      return false;
+    return std::equal(A.begin(), A.end(), B.begin());
+  };
+  std::vector<FeaturePath> Out;
+  for (const FeaturePath &Candidate : Paths) {
+    bool HasPrefix = false;
+    for (const FeaturePath &Other : Paths)
+      if (IsStrictPrefix(Other, Candidate)) {
+        HasPrefix = true;
+        break;
+      }
+    if (!HasPrefix)
+      Out.push_back(Candidate);
+  }
+  return Out;
+}
+
+std::vector<FeaturePath> diffcode::usage::removedPaths(const UsageDag &G1,
+                                                       const UsageDag &G2) {
+  std::set<std::string> InG2;
+  for (const FeaturePath &Path : G2.paths())
+    InG2.insert(pathToString(Path));
+
+  std::vector<FeaturePath> OnlyInG1;
+  for (FeaturePath &Path : G1.paths())
+    if (!InG2.count(pathToString(Path)))
+      OnlyInG1.push_back(std::move(Path));
+  return shortestPaths(std::move(OnlyInG1));
+}
+
+UsageChange diffcode::usage::diffDags(const UsageDag &G1, const UsageDag &G2) {
+  UsageChange Change;
+  Change.TypeName = G1.typeName();
+  Change.Removed = removedPaths(G1, G2);
+  Change.Added = removedPaths(G2, G1);
+  return Change;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+diffcode::usage::pairDags(const std::vector<UsageDag> &Old,
+                          const std::vector<UsageDag> &New) {
+  std::vector<std::pair<std::size_t, std::size_t>> Pairs;
+  if (Old.empty() && New.empty())
+    return Pairs;
+
+  CostMatrix Costs(Old.size(), New.size());
+  for (std::size_t R = 0; R < Old.size(); ++R)
+    for (std::size_t C = 0; C < New.size(); ++C)
+      Costs.at(R, C) = dagDistance(Old[R], New[C]);
+
+  Assignment Result = solveAssignment(Costs);
+  std::vector<bool> NewMatched(New.size(), false);
+  for (std::size_t R = 0; R < Old.size(); ++R) {
+    std::size_t C = Result.RowToCol[R];
+    Pairs.emplace_back(R, C);
+    if (C != Assignment::Unmatched)
+      NewMatched[C] = true;
+  }
+  for (std::size_t C = 0; C < New.size(); ++C)
+    if (!NewMatched[C])
+      Pairs.emplace_back(Assignment::Unmatched, C);
+  return Pairs;
+}
+
+std::vector<UsageChange>
+diffcode::usage::deriveUsageChanges(const std::vector<UsageDag> &Old,
+                                    const std::vector<UsageDag> &New,
+                                    const std::string &TypeName) {
+  std::vector<UsageChange> Changes;
+  UsageDag Padding = UsageDag::emptyFor(TypeName);
+  for (auto [OldIdx, NewIdx] : pairDags(Old, New)) {
+    const UsageDag &G1 =
+        OldIdx == Assignment::Unmatched ? Padding : Old[OldIdx];
+    const UsageDag &G2 =
+        NewIdx == Assignment::Unmatched ? Padding : New[NewIdx];
+    Changes.push_back(diffDags(G1, G2));
+  }
+  return Changes;
+}

@@ -1,0 +1,69 @@
+//===- usage/UsageChange.h - Usage changes (F-, F+) ------------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semantic diff of one paired (old, new) usage DAG: the sets of
+/// shortest-removed and shortest-added feature paths (Section 3.5), plus
+/// provenance so elicited rules can cite concrete commits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_USAGE_USAGECHANGE_H
+#define DIFFCODE_USAGE_USAGECHANGE_H
+
+#include "usage/UsageDag.h"
+
+#include <string>
+#include <vector>
+
+namespace diffcode {
+namespace usage {
+
+/// A usage change Diff(G1, G2) = (F-, F+).
+struct UsageChange {
+  std::string TypeName; ///< Target API class of the paired DAGs.
+  std::vector<FeaturePath> Removed; ///< F-: shortest paths only in old.
+  std::vector<FeaturePath> Added;   ///< F+: shortest paths only in new.
+  std::string Origin; ///< Provenance, e.g. "project-17@commit-4".
+
+  bool isEmpty() const { return Removed.empty() && Added.empty(); }
+
+  /// Equality over features only (provenance excluded) — this is the
+  /// notion the fdup filter uses.
+  bool sameFeatures(const UsageChange &Other) const;
+
+  /// Multi-line display: "- <path>" / "+ <path>".
+  std::string str() const;
+};
+
+/// Shortest(P): keeps only paths with no strict prefix in \p Paths.
+std::vector<FeaturePath> shortestPaths(std::vector<FeaturePath> Paths);
+
+/// Removed(G1, G2) = Shortest(Paths(G1) \ Paths(G2)).
+std::vector<FeaturePath> removedPaths(const UsageDag &G1, const UsageDag &G2);
+
+/// Diff(G1, G2) = (Removed(G1,G2), Removed(G2,G1)).
+UsageChange diffDags(const UsageDag &G1, const UsageDag &G2);
+
+/// Pairs old-version DAGs with new-version DAGs by minimum total
+/// dagDistance (Section 3.5), padding the shorter side with root-only
+/// DAGs. Returns index pairs (OldIdx, NewIdx); SIZE_MAX denotes a padding
+/// partner.
+std::vector<std::pair<std::size_t, std::size_t>>
+pairDags(const std::vector<UsageDag> &Old, const std::vector<UsageDag> &New);
+
+/// End-to-end Section 3.5: pair the two versions' DAGs of one target type
+/// and diff every pair. Empty diffs are kept (the fsame filter counts
+/// them).
+std::vector<UsageChange> deriveUsageChanges(const std::vector<UsageDag> &Old,
+                                            const std::vector<UsageDag> &New,
+                                            const std::string &TypeName);
+
+} // namespace usage
+} // namespace diffcode
+
+#endif // DIFFCODE_USAGE_USAGECHANGE_H

@@ -1,0 +1,215 @@
+//===- usage/UsageDag.cpp --------------------------------------------------===//
+
+#include "usage/UsageDag.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <set>
+
+using namespace diffcode;
+using namespace diffcode::usage;
+using namespace diffcode::analysis;
+
+NodeLabel NodeLabel::root(std::string TypeName) {
+  NodeLabel L;
+  L.K = Kind::Root;
+  L.Text = std::move(TypeName);
+  return L;
+}
+
+NodeLabel NodeLabel::method(std::string Signature) {
+  NodeLabel L;
+  L.K = Kind::Method;
+  // Node labels carry "Class.name" without the arity suffix: the paper's
+  // Figure 2 diff localizes the init/2 -> init/3 change to the added
+  // arg3 path, which requires the two init nodes to share a label.
+  std::size_t Slash = Signature.rfind('/');
+  if (Slash != std::string::npos)
+    Signature.resize(Slash);
+  L.Text = std::move(Signature);
+  return L;
+}
+
+NodeLabel NodeLabel::arg(unsigned Index, const AbstractValue &Value) {
+  NodeLabel L;
+  L.K = Kind::Arg;
+  L.ArgIndex = Index;
+  L.ValueIsString = Value.kind() == AVKind::StrConst;
+  L.Text = Value.label();
+  return L;
+}
+
+std::string NodeLabel::str() const {
+  switch (K) {
+  case Kind::Root:
+  case Kind::Method:
+    return Text;
+  case Kind::Arg:
+    return "arg" + std::to_string(ArgIndex) + ":" + Text;
+  }
+  return Text;
+}
+
+std::string diffcode::usage::pathToString(const FeaturePath &Path) {
+  std::string Out;
+  for (std::size_t I = 0; I < Path.size(); ++I) {
+    if (I != 0)
+      Out += ' ';
+    Out += Path[I].str();
+  }
+  return Out;
+}
+
+UsageDag UsageDag::emptyFor(std::string TypeName) {
+  UsageDag Dag;
+  Dag.Nodes.push_back({NodeLabel::root(std::move(TypeName)), {}});
+  return Dag;
+}
+
+UsageDag UsageDag::build(const ObjectTable &Objects, const UsageLog &Log,
+                         unsigned RootObj, unsigned MaxDepth) {
+  UsageDag Dag;
+  Dag.Nodes.push_back(
+      {NodeLabel::root(Objects.get(RootObj).TypeName), {}});
+
+  // Expand an object node: one method child per distinct usage event, one
+  // argument child per parameter; tracked-object arguments recurse.
+  // PathObjs guards against cycles (an object is expanded at most once per
+  // root-to-node path).
+  std::function<void(unsigned, unsigned, unsigned, std::set<unsigned>)>
+      ExpandObject = [&](unsigned NodeIdx, unsigned ObjId, unsigned Depth,
+                         std::set<unsigned> PathObjs) {
+        if (Depth >= MaxDepth)
+          return;
+        auto LogIt = Log.find(ObjId);
+        if (LogIt == Log.end())
+          return;
+        PathObjs.insert(ObjId);
+
+        // Distinct events only — the DAG is a set of (m, sigma) nodes.
+        std::vector<const UsageEvent *> Distinct;
+        for (const UsageEvent &Event : LogIt->second) {
+          bool Seen = false;
+          for (const UsageEvent *Prev : Distinct)
+            Seen = Seen || (*Prev == Event);
+          if (!Seen)
+            Distinct.push_back(&Event);
+        }
+
+        for (const UsageEvent *Event : Distinct) {
+          // The paper's no-cycle rule: an event whose arguments refer back
+          // to an object on the current path would close a cycle (e.g.
+          // re-expanding Cipher.init underneath the IvParameterSpec it
+          // received) — skip it.
+          bool ClosesCycle = false;
+          for (const AbstractValue &Arg : Event->Args)
+            if (Arg.isTrackedObject() && PathObjs.count(Arg.objectId()))
+              ClosesCycle = true;
+          if (ClosesCycle && Depth > 0)
+            continue;
+          unsigned MethodIdx = static_cast<unsigned>(Dag.Nodes.size());
+          Dag.Nodes.push_back({NodeLabel::method(Event->MethodSig), {}});
+          Dag.Nodes[NodeIdx].Children.push_back(MethodIdx);
+          if (Depth + 1 >= MaxDepth)
+            continue;
+          for (std::size_t I = 0; I < Event->Args.size(); ++I) {
+            const AbstractValue &Arg = Event->Args[I];
+            unsigned ArgIdx = static_cast<unsigned>(Dag.Nodes.size());
+            Dag.Nodes.push_back(
+                {NodeLabel::arg(static_cast<unsigned>(I + 1), Arg), {}});
+            Dag.Nodes[MethodIdx].Children.push_back(ArgIdx);
+            if (Arg.isTrackedObject() && !PathObjs.count(Arg.objectId()))
+              ExpandObject(ArgIdx, Arg.objectId(), Depth + 2, PathObjs);
+          }
+        }
+      };
+
+  ExpandObject(0, RootObj, 0, {});
+  return Dag;
+}
+
+std::vector<FeaturePath> UsageDag::paths() const {
+  std::vector<FeaturePath> Out;
+  std::set<std::string> Seen;
+  FeaturePath Current;
+
+  std::function<void(unsigned)> Walk = [&](unsigned Index) {
+    Current.push_back(Nodes[Index].Label);
+    std::string Key = pathToString(Current);
+    if (Seen.insert(Key).second)
+      Out.push_back(Current);
+    for (unsigned Child : Nodes[Index].Children)
+      Walk(Child);
+    Current.pop_back();
+  };
+  Walk(0);
+  return Out;
+}
+
+std::vector<NodeLabel> UsageDag::labelSet() const {
+  std::vector<NodeLabel> Labels;
+  Labels.reserve(Nodes.size());
+  for (const Node &N : Nodes)
+    Labels.push_back(N.Label);
+  std::sort(Labels.begin(), Labels.end());
+  Labels.erase(std::unique(Labels.begin(), Labels.end()), Labels.end());
+  return Labels;
+}
+
+std::string UsageDag::canonicalString() const {
+  std::function<std::string(unsigned)> Print = [&](unsigned Index) {
+    std::string Out = Nodes[Index].Label.str();
+    if (Nodes[Index].Children.empty())
+      return Out;
+    std::vector<std::string> Kids;
+    for (unsigned Child : Nodes[Index].Children)
+      Kids.push_back(Print(Child));
+    std::sort(Kids.begin(), Kids.end());
+    Out += '(';
+    for (std::size_t I = 0; I < Kids.size(); ++I) {
+      if (I != 0)
+        Out += ',';
+      Out += Kids[I];
+    }
+    Out += ')';
+    return Out;
+  };
+  return Print(0);
+}
+
+std::string UsageDag::str() const {
+  std::string Out;
+  std::function<void(unsigned, unsigned)> Walk = [&](unsigned Index,
+                                                     unsigned Depth) {
+    Out.append(Depth * 2, ' ');
+    Out += Nodes[Index].Label.str();
+    Out += '\n';
+    for (unsigned Child : Nodes[Index].Children)
+      Walk(Child, Depth + 1);
+  };
+  Walk(0, 0);
+  return Out;
+}
+
+double diffcode::usage::dagDistance(const UsageDag &A, const UsageDag &B) {
+  std::vector<NodeLabel> LA = A.labelSet();
+  std::vector<NodeLabel> LB = B.labelSet();
+  std::size_t Common = 0;
+  std::size_t I = 0, J = 0;
+  while (I < LA.size() && J < LB.size()) {
+    if (LA[I] == LB[J]) {
+      ++Common;
+      ++I;
+      ++J;
+    } else if (LA[I] < LB[J]) {
+      ++I;
+    } else {
+      ++J;
+    }
+  }
+  std::size_t Union = LA.size() + LB.size() - Common;
+  if (Union == 0)
+    return 0.0;
+  return 1.0 - static_cast<double>(Common) / static_cast<double>(Union);
+}

@@ -1,0 +1,122 @@
+//===- tests/test_abstract_value.cpp - Figure-3 domain tests ---------------===//
+
+#include "analysis/AbstractValue.h"
+
+#include <gtest/gtest.h>
+
+using namespace diffcode::analysis;
+
+TEST(AbstractValue, LabelsMatchPaperNotation) {
+  EXPECT_EQ(AbstractValue::intConst(42).label(), "42");
+  EXPECT_EQ(AbstractValue::intConst(1, "ENCRYPT_MODE").label(),
+            "ENCRYPT_MODE");
+  EXPECT_EQ(AbstractValue::intTop().label(), "⊤int");
+  EXPECT_EQ(AbstractValue::strConst("AES/CBC").label(), "AES/CBC");
+  EXPECT_EQ(AbstractValue::strTop().label(), "⊤str");
+  EXPECT_EQ(AbstractValue::byteConst().label(), "constbyte");
+  EXPECT_EQ(AbstractValue::byteTop().label(), "⊤byte");
+  EXPECT_EQ(AbstractValue::byteArrayConst().label(), "constbyte[]");
+  EXPECT_EQ(AbstractValue::byteArrayTop().label(), "⊤byte[]");
+  EXPECT_EQ(AbstractValue::intArrayTop().label(), "⊤int[]");
+  EXPECT_EQ(AbstractValue::null().label(), "null");
+  EXPECT_EQ(AbstractValue::object(3, "Cipher").label(), "Cipher");
+  EXPECT_EQ(AbstractValue::topObject("Secret").label(), "Secret");
+}
+
+TEST(AbstractValue, IntArrayConstKeepsElements) {
+  AbstractValue V = AbstractValue::intArrayConst({1, 2, 3});
+  EXPECT_EQ(V.label(), "[1,2,3]");
+  EXPECT_EQ(V.intElements().size(), 3u);
+}
+
+TEST(AbstractValue, ConstancyClassification) {
+  EXPECT_TRUE(AbstractValue::intConst(5).isConstant());
+  EXPECT_TRUE(AbstractValue::strConst("x").isConstant());
+  EXPECT_TRUE(AbstractValue::byteArrayConst().isConstant());
+  EXPECT_TRUE(AbstractValue::unknownConst().isConstant());
+  EXPECT_TRUE(AbstractValue::null().isConstant());
+  EXPECT_FALSE(AbstractValue::intTop().isConstant());
+  EXPECT_FALSE(AbstractValue::byteArrayTop().isConstant());
+  EXPECT_FALSE(AbstractValue::unknown().isConstant());
+  EXPECT_FALSE(AbstractValue::object(0, "Cipher").isConstant());
+  EXPECT_FALSE(AbstractValue::topObject("Key").isConstant());
+}
+
+TEST(AbstractValue, EqualityRespectsContent) {
+  EXPECT_EQ(AbstractValue::intConst(1), AbstractValue::intConst(1));
+  EXPECT_NE(AbstractValue::intConst(1), AbstractValue::intConst(2));
+  // A symbolic constant differs from a bare one with the same value: the
+  // paper's labels distinguish ENCRYPT_MODE from 1.
+  EXPECT_NE(AbstractValue::intConst(1, "ENCRYPT_MODE"),
+            AbstractValue::intConst(1));
+  EXPECT_EQ(AbstractValue::strConst("AES"), AbstractValue::strConst("AES"));
+  EXPECT_NE(AbstractValue::strConst("AES"), AbstractValue::strConst("DES"));
+  EXPECT_EQ(AbstractValue::object(2, "Cipher"),
+            AbstractValue::object(2, "Cipher"));
+  EXPECT_NE(AbstractValue::object(2, "Cipher"),
+            AbstractValue::object(3, "Cipher"));
+  EXPECT_EQ(AbstractValue::topObject("Key"), AbstractValue::topObject("Key"));
+  EXPECT_NE(AbstractValue::topObject("Key"),
+            AbstractValue::topObject("Cipher"));
+  EXPECT_NE(AbstractValue::intTop(), AbstractValue::strTop());
+}
+
+TEST(AbstractValueJoin, IdenticalValuesJoinToThemselves) {
+  AbstractValue V = AbstractValue::strConst("AES");
+  EXPECT_EQ(AbstractValue::join(V, V), V);
+}
+
+TEST(AbstractValueJoin, SameDomainDifferentValuesWiden) {
+  EXPECT_EQ(AbstractValue::join(AbstractValue::intConst(1),
+                                AbstractValue::intConst(2)),
+            AbstractValue::intTop());
+  EXPECT_EQ(AbstractValue::join(AbstractValue::strConst("a"),
+                                AbstractValue::strConst("b")),
+            AbstractValue::strTop());
+  EXPECT_EQ(AbstractValue::join(AbstractValue::byteArrayConst(),
+                                AbstractValue::byteArrayTop()),
+            AbstractValue::byteArrayTop());
+}
+
+TEST(AbstractValueJoin, CrossDomainWidensToUnknown) {
+  EXPECT_EQ(AbstractValue::join(AbstractValue::intConst(1),
+                                AbstractValue::strConst("x"))
+                .kind(),
+            AVKind::Unknown);
+}
+
+TEST(AbstractValueJoin, ObjectsOfSameTypeJoinToTopObject) {
+  AbstractValue A = AbstractValue::object(0, "Cipher");
+  AbstractValue B = AbstractValue::object(1, "Cipher");
+  AbstractValue J = AbstractValue::join(A, B);
+  EXPECT_EQ(J.kind(), AVKind::TopObject);
+  EXPECT_EQ(J.typeName(), "Cipher");
+}
+
+TEST(AbstractValueJoin, ObjectsOfDifferentTypesJoinToUnknown) {
+  EXPECT_EQ(AbstractValue::join(AbstractValue::object(0, "Cipher"),
+                                AbstractValue::object(1, "Mac"))
+                .kind(),
+            AVKind::Unknown);
+}
+
+TEST(AbstractValueJoin, CommutativeOnSamples) {
+  std::vector<AbstractValue> Samples = {
+      AbstractValue::unknown(),        AbstractValue::unknownConst(),
+      AbstractValue::null(),           AbstractValue::intConst(7),
+      AbstractValue::intTop(),         AbstractValue::strConst("AES"),
+      AbstractValue::byteArrayConst(), AbstractValue::byteArrayTop(),
+      AbstractValue::object(1, "Cipher"), AbstractValue::topObject("Key")};
+  for (const AbstractValue &A : Samples)
+    for (const AbstractValue &B : Samples)
+      EXPECT_EQ(AbstractValue::join(A, B), AbstractValue::join(B, A))
+          << A.label() << " vs " << B.label();
+}
+
+TEST(AbstractValueJoin, Idempotent) {
+  std::vector<AbstractValue> Samples = {
+      AbstractValue::intConst(7), AbstractValue::strTop(),
+      AbstractValue::byteArrayConst(), AbstractValue::topObject("Key")};
+  for (const AbstractValue &A : Samples)
+    EXPECT_EQ(AbstractValue::join(A, A), A);
+}

@@ -1,0 +1,123 @@
+//===- tests/test_apimodel.cpp - Crypto API model tests --------------------===//
+
+#include "apimodel/CryptoApiModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace diffcode::apimodel;
+
+namespace {
+const CryptoApiModel &api() { return CryptoApiModel::javaCryptoApi(); }
+} // namespace
+
+TEST(ApiModel, SixTargetClasses) {
+  const std::vector<std::string> &Targets = api().targetClasses();
+  ASSERT_EQ(Targets.size(), 6u);
+  for (const char *Name :
+       {"Cipher", "IvParameterSpec", "MessageDigest", "SecretKeySpec",
+        "SecureRandom", "PBEKeySpec"})
+    EXPECT_TRUE(api().isTargetClass(Name)) << Name;
+}
+
+TEST(ApiModel, AuxiliaryClassesAreNotTargets) {
+  for (const char *Name : {"Mac", "KeyGenerator", "SecretKeyFactory", "Key"})
+    EXPECT_FALSE(api().isTargetClass(Name)) << Name;
+  EXPECT_NE(api().lookupClass("Mac"), nullptr);
+}
+
+TEST(ApiModel, UnknownClass) {
+  EXPECT_EQ(api().lookupClass("NotAClass"), nullptr);
+  EXPECT_FALSE(api().isTargetClass("NotAClass"));
+  EXPECT_EQ(api().lookupMethod("NotAClass", "foo", 0), nullptr);
+}
+
+TEST(ApiModel, CipherFactoryLookup) {
+  const ApiMethod *M = api().lookupMethod("Cipher", "getInstance", 1);
+  ASSERT_NE(M, nullptr);
+  EXPECT_TRUE(M->IsStatic);
+  EXPECT_TRUE(M->IsFactory);
+  EXPECT_EQ(M->ReturnType, "Cipher");
+  EXPECT_EQ(M->signature(), "Cipher.getInstance/1");
+}
+
+TEST(ApiModel, OverloadSelectionByArity) {
+  const ApiMethod *Init2 = api().lookupMethod("Cipher", "init", 2);
+  const ApiMethod *Init3 = api().lookupMethod("Cipher", "init", 3);
+  ASSERT_NE(Init2, nullptr);
+  ASSERT_NE(Init3, nullptr);
+  EXPECT_EQ(Init2->arity(), 2u);
+  EXPECT_EQ(Init3->arity(), 3u);
+  EXPECT_EQ(Init3->ParamTypes[2], "AlgorithmParameterSpec");
+}
+
+TEST(ApiModel, ClosestArityFallback) {
+  // No 7-ary init exists; the lookup degrades to the closest overload
+  // rather than failing (partial programs call odd overloads).
+  const ApiMethod *M = api().lookupMethod("Cipher", "init", 7);
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Name, "init");
+}
+
+TEST(ApiModel, UnknownMethodIsNull) {
+  EXPECT_EQ(api().lookupMethod("Cipher", "notAMethod", 1), nullptr);
+}
+
+TEST(ApiModel, CipherConstants) {
+  auto Enc = api().lookupConstant("Cipher", "ENCRYPT_MODE");
+  auto Dec = api().lookupConstant("Cipher", "DECRYPT_MODE");
+  auto Wrap = api().lookupConstant("Cipher", "WRAP_MODE");
+  ASSERT_TRUE(Enc.has_value());
+  ASSERT_TRUE(Dec.has_value());
+  ASSERT_TRUE(Wrap.has_value());
+  EXPECT_EQ(*Enc, 1);
+  EXPECT_EQ(*Dec, 2);
+  EXPECT_EQ(*Wrap, 3);
+  EXPECT_FALSE(api().lookupConstant("Cipher", "NOT_A_CONST").has_value());
+  EXPECT_FALSE(api().lookupConstant("NotAClass", "X").has_value());
+}
+
+TEST(ApiModel, ConstructorsAreFactories) {
+  for (const char *Class :
+       {"IvParameterSpec", "SecretKeySpec", "PBEKeySpec", "SecureRandom"}) {
+    const ApiMethod *Ctor = api().lookupMethod(Class, "<init>", 1);
+    ASSERT_NE(Ctor, nullptr) << Class;
+    EXPECT_TRUE(Ctor->IsFactory) << Class;
+    EXPECT_EQ(Ctor->ReturnType, Class);
+  }
+}
+
+TEST(ApiModel, GetInstanceStrongExists) {
+  const ApiMethod *M = api().lookupMethod("SecureRandom", "getInstanceStrong", 0);
+  ASSERT_NE(M, nullptr);
+  EXPECT_TRUE(M->IsFactory);
+}
+
+TEST(ApiModel, NonFactoryInstanceMethods) {
+  const ApiMethod *Digest = api().lookupMethod("MessageDigest", "digest", 0);
+  ASSERT_NE(Digest, nullptr);
+  EXPECT_FALSE(Digest->IsFactory);
+  EXPECT_EQ(Digest->ReturnType, "byte[]");
+  const ApiMethod *SetSeed = api().lookupMethod("SecureRandom", "setSeed", 1);
+  ASSERT_NE(SetSeed, nullptr);
+  EXPECT_FALSE(SetSeed->IsFactory);
+}
+
+TEST(ApiModel, ExtensibleWithCustomClass) {
+  CryptoApiModel Model;
+  ApiClass Custom;
+  Custom.Name = "KeyStore";
+  Custom.IsTarget = true;
+  ApiMethod M;
+  M.ClassName = "KeyStore";
+  M.Name = "getInstance";
+  M.ParamTypes = {"String"};
+  M.ReturnType = "KeyStore";
+  M.IsStatic = true;
+  M.IsFactory = true;
+  Custom.Methods.push_back(M);
+  Model.addClass(std::move(Custom));
+
+  EXPECT_TRUE(Model.isTargetClass("KeyStore"));
+  EXPECT_NE(Model.lookupMethod("KeyStore", "getInstance", 1), nullptr);
+  ASSERT_EQ(Model.targetClasses().size(), 1u);
+}

@@ -1,0 +1,195 @@
+//===- tests/test_classifier.cpp - fix/bug/none + rule suggestion tests ----===//
+
+#include "rules/ChangeClassifier.h"
+#include "rules/RuleSuggestion.h"
+
+#include "analysis/AbstractInterpreter.h"
+#include "javaast/Parser.h"
+#include "rules/BuiltinRules.h"
+#include "usage/UsageChange.h"
+
+#include <gtest/gtest.h>
+
+using namespace diffcode;
+using namespace diffcode::analysis;
+using namespace diffcode::rules;
+using namespace diffcode::usage;
+
+namespace {
+
+AnalysisResult analyze(std::string_view Source) {
+  java::AstContext Ctx;
+  java::DiagnosticsEngine Diags;
+  java::CompilationUnit *Unit = java::parseJava(Source, Ctx, Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  AbstractInterpreter Interp(apimodel::CryptoApiModel::javaCryptoApi());
+  return Interp.analyze(Unit);
+}
+
+ChangeClass classify(const char *RuleId, std::string_view OldSrc,
+                     std::string_view NewSrc) {
+  const Rule *R = findRule(RuleId);
+  EXPECT_NE(R, nullptr);
+  AnalysisResult OldR = analyze(OldSrc);
+  AnalysisResult NewR = analyze(NewSrc);
+  return classifyChange(*R, UnitFacts::from(OldR), UnitFacts::from(NewR));
+}
+
+const char *EcbVersion =
+    "class A { void m(Key k) throws Exception { "
+    "Cipher c = Cipher.getInstance(\"AES\"); "
+    "c.init(Cipher.ENCRYPT_MODE, k); } }";
+const char *CbcVersion =
+    "class A { void m(Key k, byte[] ivb) throws Exception { "
+    "Cipher c = Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); "
+    "c.init(Cipher.ENCRYPT_MODE, k, new IvParameterSpec(ivb)); } }";
+
+} // namespace
+
+TEST(ChangeClassifier, FixDetected) {
+  EXPECT_EQ(classify("CL1", EcbVersion, CbcVersion),
+            ChangeClass::SecurityFix);
+}
+
+TEST(ChangeClassifier, BugDetected) {
+  EXPECT_EQ(classify("CL1", CbcVersion, EcbVersion),
+            ChangeClass::BuggyChange);
+}
+
+TEST(ChangeClassifier, RefactoringIsNone) {
+  const char *Renamed =
+      "class A { void configure(Key secret) throws Exception { "
+      "Cipher cipher = Cipher.getInstance(\"AES\"); "
+      "cipher.init(Cipher.ENCRYPT_MODE, secret); } }";
+  EXPECT_EQ(classify("CL1", EcbVersion, Renamed), ChangeClass::NonSemantic);
+}
+
+TEST(ChangeClassifier, BothViolatingIsNone) {
+  const char *StillEcb =
+      "class A { void m(Key k) throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES/ECB/PKCS5Padding\"); "
+      "c.init(Cipher.ENCRYPT_MODE, k); } }";
+  EXPECT_EQ(classify("CL1", EcbVersion, StillEcb), ChangeClass::NonSemantic);
+}
+
+TEST(ChangeClassifier, UnrelatedRuleIsNone) {
+  // CL4 (PBE iterations) does not apply to a Cipher-only change.
+  EXPECT_EQ(classify("CL4", EcbVersion, CbcVersion),
+            ChangeClass::NonSemantic);
+}
+
+TEST(ChangeClassifier, IntroductionsAndDeletionsAreNotFixesOrBugs) {
+  // Introducing a violating usage from nothing is an addition, not a
+  // regression of existing code; deleting it is a removal, not a fix.
+  EXPECT_EQ(classify("CL1", "class A { }", EcbVersion),
+            ChangeClass::NonSemantic);
+  EXPECT_EQ(classify("CL1", EcbVersion, "class A { }"),
+            ChangeClass::NonSemantic);
+}
+
+TEST(ChangeClassifier, Names) {
+  EXPECT_STREQ(changeClassName(ChangeClass::SecurityFix), "fix");
+  EXPECT_STREQ(changeClassName(ChangeClass::BuggyChange), "bug");
+  EXPECT_STREQ(changeClassName(ChangeClass::NonSemantic), "none");
+}
+
+//===----------------------------------------------------------------------===//
+// Rule suggestion (Section 6.3)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+NodeLabel rootL(const char *T) { return NodeLabel::root(T); }
+NodeLabel methodL(const char *Sig) { return NodeLabel::method(Sig); }
+
+UsageChange figure2Change() {
+  UsageChange C;
+  C.TypeName = "Cipher";
+  C.Removed = {{rootL("Cipher"), methodL("Cipher.getInstance/1"),
+                NodeLabel::arg(1, AbstractValue::strConst("AES"))}};
+  C.Added = {{rootL("Cipher"), methodL("Cipher.getInstance/1"),
+              NodeLabel::arg(1, AbstractValue::strConst(
+                                    "AES/CBC/PKCS5Padding"))},
+             {rootL("Cipher"), methodL("Cipher.init/3"),
+              NodeLabel::arg(3, AbstractValue::topObject(
+                                    "IvParameterSpec"))}};
+  return C;
+}
+
+} // namespace
+
+TEST(RuleSuggestion, Figure2SuggestionMatchesUnfixedCode) {
+  auto Suggested = suggestRule(figure2Change(), "fig2");
+  ASSERT_TRUE(Suggested.has_value());
+  ASSERT_EQ(Suggested->Clauses.size(), 1u);
+  EXPECT_EQ(Suggested->Clauses[0].TypeName, "Cipher");
+
+  AnalysisResult OldR = analyze(EcbVersion);
+  AnalysisResult NewR = analyze(CbcVersion);
+  EXPECT_TRUE(ruleMatches(*Suggested, {UnitFacts::from(OldR)}));
+  EXPECT_FALSE(ruleMatches(*Suggested, {UnitFacts::from(NewR)}));
+}
+
+TEST(RuleSuggestion, ConstByteArrayBecomesIsConstant) {
+  UsageChange C;
+  C.TypeName = "IvParameterSpec";
+  C.Removed = {{rootL("IvParameterSpec"),
+                methodL("IvParameterSpec.<init>/1"),
+                NodeLabel::arg(1, AbstractValue::byteArrayConst())}};
+  C.Added = {{rootL("IvParameterSpec"),
+              methodL("IvParameterSpec.<init>/1"),
+              NodeLabel::arg(1, AbstractValue::byteArrayTop())}};
+  auto Suggested = suggestRule(C);
+  ASSERT_TRUE(Suggested.has_value());
+
+  AnalysisResult Bad = analyze(
+      "class A { void m() { IvParameterSpec iv = new IvParameterSpec("
+      "\"0123456789abcdef\".getBytes()); } }");
+  AnalysisResult Good = analyze(
+      "class A { void m(byte[] raw) { "
+      "IvParameterSpec iv = new IvParameterSpec(raw); } }");
+  EXPECT_TRUE(ruleMatches(*Suggested, {UnitFacts::from(Bad)}));
+  EXPECT_FALSE(ruleMatches(*Suggested, {UnitFacts::from(Good)}));
+}
+
+TEST(RuleSuggestion, IntegerConstraint) {
+  UsageChange C;
+  C.TypeName = "PBEKeySpec";
+  C.Removed = {{rootL("PBEKeySpec"), methodL("PBEKeySpec.<init>/4"),
+                NodeLabel::arg(3, AbstractValue::intConst(100))}};
+  C.Added = {{rootL("PBEKeySpec"), methodL("PBEKeySpec.<init>/4"),
+              NodeLabel::arg(3, AbstractValue::intConst(10000))}};
+  auto Suggested = suggestRule(C);
+  ASSERT_TRUE(Suggested.has_value());
+  AnalysisResult Bad = analyze(
+      "class A { void m(char[] p, byte[] s) { "
+      "PBEKeySpec k = new PBEKeySpec(p, s, 100, 128); } }");
+  AnalysisResult Good = analyze(
+      "class A { void m(char[] p, byte[] s) { "
+      "PBEKeySpec k = new PBEKeySpec(p, s, 10000, 128); } }");
+  EXPECT_TRUE(ruleMatches(*Suggested, {UnitFacts::from(Bad)}));
+  EXPECT_FALSE(ruleMatches(*Suggested, {UnitFacts::from(Good)}));
+}
+
+TEST(RuleSuggestion, EmptyChangeGivesNothing) {
+  UsageChange Empty;
+  Empty.TypeName = "Cipher";
+  EXPECT_FALSE(suggestRule(Empty).has_value());
+}
+
+TEST(RuleSuggestion, PathWithoutMethodSkipped) {
+  UsageChange C;
+  C.TypeName = "Cipher";
+  C.Removed = {{rootL("Cipher")}}; // root-only path carries no pattern
+  EXPECT_FALSE(suggestRule(C).has_value());
+}
+
+TEST(RuleSuggestion, DescribeRuleRendersPaperNotation) {
+  std::string Text = describeRule(*findRule("R1"));
+  EXPECT_NE(Text.find("R1"), std::string::npos);
+  EXPECT_NE(Text.find("MessageDigest"), std::string::npos);
+  EXPECT_NE(Text.find("getInstance"), std::string::npos);
+
+  std::string R13Text = describeRule(*findRule("R13"));
+  EXPECT_NE(R13Text.find("¬Mac"), std::string::npos);
+}

@@ -1,0 +1,188 @@
+//===- tests/test_cluster_suggestion.cpp - Cluster generalization tests ----===//
+
+#include "rules/RuleSuggestion.h"
+
+#include "analysis/AbstractInterpreter.h"
+#include "javaast/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace diffcode;
+using namespace diffcode::analysis;
+using namespace diffcode::rules;
+using namespace diffcode::usage;
+
+namespace {
+
+NodeLabel rootL(const char *T) { return NodeLabel::root(T); }
+NodeLabel methodL(const char *Sig) { return NodeLabel::method(Sig); }
+
+UsageChange modeFix(const char *From, const char *To) {
+  UsageChange C;
+  C.TypeName = "Cipher";
+  C.Removed = {{rootL("Cipher"), methodL("Cipher.getInstance/1"),
+                NodeLabel::arg(1, AbstractValue::strConst(From))}};
+  C.Added = {{rootL("Cipher"), methodL("Cipher.getInstance/1"),
+              NodeLabel::arg(1, AbstractValue::strConst(To))},
+             {rootL("Cipher"), methodL("Cipher.init/3"),
+              NodeLabel::arg(3, AbstractValue::topObject(
+                                    "IvParameterSpec"))}};
+  return C;
+}
+
+UsageChange iterFix(int From, int To) {
+  UsageChange C;
+  C.TypeName = "PBEKeySpec";
+  C.Removed = {{rootL("PBEKeySpec"), methodL("PBEKeySpec.<init>/4"),
+                NodeLabel::arg(3, AbstractValue::intConst(From))}};
+  C.Added = {{rootL("PBEKeySpec"), methodL("PBEKeySpec.<init>/4"),
+              NodeLabel::arg(3, AbstractValue::intConst(To))}};
+  return C;
+}
+
+AnalysisResult analyze(std::string_view Source) {
+  java::AstContext Ctx;
+  java::DiagnosticsEngine Diags;
+  java::CompilationUnit *Unit = java::parseJava(Source, Ctx, Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  AbstractInterpreter Interp(apimodel::CryptoApiModel::javaCryptoApi());
+  return Interp.analyze(Unit);
+}
+
+} // namespace
+
+TEST(ClusterSuggestion, EmptyAndSingleton) {
+  EXPECT_FALSE(suggestRuleForCluster({}).has_value());
+  auto Single = suggestRuleForCluster({modeFix("AES", "AES/CBC/PKCS5Padding")});
+  ASSERT_TRUE(Single.has_value()); // falls back to suggestRule
+}
+
+TEST(ClusterSuggestion, PrefixCollidingWithAddedValuesFallsBackToValueSet) {
+  // The removed values share the "AES" prefix, but the secure values do
+  // too — so the generalization must stay with the exact value set.
+  std::vector<UsageChange> Members = {
+      modeFix("AES", "AES/CBC/PKCS5Padding"),
+      modeFix("AES/ECB/PKCS5Padding", "AES/GCM/NoPadding"),
+      modeFix("AES/ECB/NoPadding", "AES/CTR/NoPadding"),
+  };
+  auto Rule = suggestRuleForCluster(Members, "r7-like");
+  ASSERT_TRUE(Rule.has_value());
+
+  AnalysisResult Ecb = analyze(
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES\"); } }");
+  EXPECT_TRUE(ruleMatches(*Rule, {UnitFacts::from(Ecb)}));
+  // The fixed form must pass.
+  AnalysisResult Cbc = analyze(
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); } }");
+  EXPECT_FALSE(ruleMatches(*Rule, {UnitFacts::from(Cbc)}));
+}
+
+TEST(ClusterSuggestion, StringValuesGeneralizeToCommonPrefix) {
+  // Removed values share "AES/ECB/", which covers none of the secure
+  // values -> prefix generalization flags unseen ECB paddings too.
+  std::vector<UsageChange> Members = {
+      modeFix("AES/ECB/PKCS5Padding", "AES/GCM/NoPadding"),
+      modeFix("AES/ECB/NoPadding", "AES/CTR/NoPadding"),
+  };
+  auto Rule = suggestRuleForCluster(Members, "r7-like");
+  ASSERT_TRUE(Rule.has_value());
+
+  AnalysisResult UnseenEcb = analyze(
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES/ECB/ISO10126Padding\"); } }");
+  EXPECT_TRUE(ruleMatches(*Rule, {UnitFacts::from(UnseenEcb)}));
+  AnalysisResult Cbc = analyze(
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); } }");
+  EXPECT_FALSE(ruleMatches(*Rule, {UnitFacts::from(Cbc)}));
+}
+
+TEST(ClusterSuggestion, DistinctValuesWithoutPrefixBecomeValueSet) {
+  std::vector<UsageChange> Members = {
+      modeFix("DES", "AES/CBC/PKCS5Padding"),
+      modeFix("RC4", "AES/GCM/NoPadding"),
+  };
+  auto Rule = suggestRuleForCluster(Members);
+  ASSERT_TRUE(Rule.has_value());
+  AnalysisResult Des = analyze(
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"DES\"); } }");
+  AnalysisResult Rc4 = analyze(
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"RC4\"); } }");
+  AnalysisResult Aes = analyze(
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); } }");
+  EXPECT_TRUE(ruleMatches(*Rule, {UnitFacts::from(Des)}));
+  EXPECT_TRUE(ruleMatches(*Rule, {UnitFacts::from(Rc4)}));
+  EXPECT_FALSE(ruleMatches(*Rule, {UnitFacts::from(Aes)}));
+}
+
+TEST(ClusterSuggestion, IterationCountsGeneralizeToThreshold) {
+  std::vector<UsageChange> Members = {
+      iterFix(100, 10000),
+      iterFix(20, 1000),
+      iterFix(500, 65536),
+  };
+  auto Rule = suggestRuleForCluster(Members, "r2-like");
+  ASSERT_TRUE(Rule.has_value());
+  // Threshold = min(added) = 1000.
+  AnalysisResult Low = analyze(
+      "class A { void m(char[] p, byte[] s) { "
+      "PBEKeySpec k = new PBEKeySpec(p, s, 999, 128); } }");
+  AnalysisResult High = analyze(
+      "class A { void m(char[] p, byte[] s) { "
+      "PBEKeySpec k = new PBEKeySpec(p, s, 1000, 128); } }");
+  EXPECT_TRUE(ruleMatches(*Rule, {UnitFacts::from(Low)}));
+  EXPECT_FALSE(ruleMatches(*Rule, {UnitFacts::from(High)}));
+}
+
+TEST(ClusterSuggestion, MixedTypeClustersRejected) {
+  UsageChange Cipher = modeFix("AES", "AES/CBC/PKCS5Padding");
+  UsageChange Pbe = iterFix(100, 1000);
+  EXPECT_FALSE(suggestRuleForCluster({Cipher, Pbe}).has_value());
+}
+
+TEST(ClusterSuggestion, NonSharedRemovalsDropOut) {
+  // One member removes getInstance+init features, the other only
+  // getInstance; only the shared method survives as an atom.
+  UsageChange A = modeFix("AES", "AES/CBC/PKCS5Padding");
+  UsageChange B = modeFix("AES/ECB/NoPadding", "AES/GCM/NoPadding");
+  UsageChange C;
+  C.TypeName = "Cipher";
+  C.Removed = {{rootL("Cipher"), methodL("Cipher.doFinal/0")}};
+  C.Added = {};
+  B.Removed.push_back(C.Removed.front()); // only B removes doFinal
+  auto Rule = suggestRuleForCluster({A, B});
+  ASSERT_TRUE(Rule.has_value());
+  std::string Text = describeRule(*Rule);
+  EXPECT_EQ(Text.find("doFinal"), std::string::npos);
+  EXPECT_NE(Text.find("getInstance"), std::string::npos);
+}
+
+TEST(ClusterSuggestion, ConstantMaterialGeneralizes) {
+  // Two static-IV fixes: constbyte[] -> top.
+  auto MakeIvFix = [] {
+    UsageChange C;
+    C.TypeName = "IvParameterSpec";
+    C.Removed = {{rootL("IvParameterSpec"),
+                  methodL("IvParameterSpec.<init>/1"),
+                  NodeLabel::arg(1, AbstractValue::byteArrayConst())}};
+    C.Added = {{rootL("IvParameterSpec"),
+                methodL("IvParameterSpec.<init>/1"),
+                NodeLabel::arg(1, AbstractValue::byteArrayTop())}};
+    return C;
+  };
+  auto Rule = suggestRuleForCluster({MakeIvFix(), MakeIvFix()});
+  ASSERT_TRUE(Rule.has_value());
+  AnalysisResult Bad = analyze(
+      "class A { void m() { IvParameterSpec iv = new IvParameterSpec("
+      "\"0123456789abcdef\".getBytes()); } }");
+  AnalysisResult Good = analyze(
+      "class A { void m(byte[] raw) { "
+      "IvParameterSpec iv = new IvParameterSpec(raw); } }");
+  EXPECT_TRUE(ruleMatches(*Rule, {UnitFacts::from(Bad)}));
+  EXPECT_FALSE(ruleMatches(*Rule, {UnitFacts::from(Good)}));
+}

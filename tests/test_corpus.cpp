@@ -1,0 +1,259 @@
+//===- tests/test_corpus.cpp - Corpus generator & miner tests --------------===//
+
+#include "corpus/CorpusGenerator.h"
+#include "corpus/Miner.h"
+
+#include "analysis/AbstractInterpreter.h"
+#include "javaast/Parser.h"
+#include "rules/BuiltinRules.h"
+#include "rules/ChangeClassifier.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace diffcode;
+using namespace diffcode::corpus;
+
+namespace {
+
+CorpusOptions smallOptions(std::uint64_t Seed = 11) {
+  CorpusOptions Opts;
+  Opts.Seed = Seed;
+  Opts.NumProjects = 12;
+  return Opts;
+}
+
+} // namespace
+
+TEST(Scenario, RuleIdsAndNamesDefined) {
+  for (unsigned I = 0; I < NumScenarioKinds; ++I) {
+    ScenarioKind Kind = static_cast<ScenarioKind>(I);
+    EXPECT_STRNE(scenarioRuleId(Kind), "");
+    EXPECT_STRNE(scenarioName(Kind), "");
+  }
+}
+
+TEST(Scenario, DetailsComeFromPools) {
+  Rng R(3);
+  ScenarioDetails D = drawDetails(ScenarioKind::BlockCipher, R);
+  EXPECT_FALSE(D.InsecureAlgo.empty());
+  EXPECT_FALSE(D.SecureAlgo.empty());
+  EXPECT_LT(D.InsecureIter, 1000);
+  EXPECT_GE(D.SecureIter, 1000);
+  EXPECT_FALSE(D.ConstLiteral.empty());
+}
+
+TEST(Scenario, RenderIsDeterministic) {
+  Rng R(5);
+  ScenarioInstance Inst;
+  Inst.Kind = ScenarioKind::StaticIv;
+  Inst.Details = drawDetails(Inst.Kind, R);
+  Inst.StyleSeed = 99;
+  Inst.ClassName = "Demo";
+  EXPECT_EQ(renderScenario(Inst, "com.x"), renderScenario(Inst, "com.x"));
+}
+
+TEST(Scenario, StyleSeedChangesTextNotSemantics) {
+  Rng R(5);
+  ScenarioInstance A;
+  A.Kind = ScenarioKind::Hashing;
+  A.Details = drawDetails(A.Kind, R);
+  A.StyleSeed = 1;
+  A.ClassName = "Demo";
+  ScenarioInstance B = A;
+  B.StyleSeed = 2;
+  EXPECT_NE(renderScenario(A, "com.x"), renderScenario(B, "com.x"));
+}
+
+TEST(Scenario, NoUsageVariantOmitsCrypto) {
+  Rng R(5);
+  ScenarioInstance Inst;
+  Inst.Kind = ScenarioKind::BlockCipher;
+  Inst.Details = drawDetails(Inst.Kind, R);
+  Inst.StyleSeed = 7;
+  Inst.IncludeUsage = false;
+  Inst.ClassName = "Demo";
+  std::string Code = renderScenario(Inst, "com.x");
+  EXPECT_EQ(Code.find("Cipher.getInstance"), std::string::npos);
+}
+
+TEST(CorpusGenerator, DeterministicForSeed) {
+  Corpus A = CorpusGenerator(smallOptions()).generate();
+  Corpus B = CorpusGenerator(smallOptions()).generate();
+  ASSERT_EQ(A.Projects.size(), B.Projects.size());
+  for (std::size_t I = 0; I < A.Projects.size(); ++I) {
+    EXPECT_EQ(A.Projects[I].Name, B.Projects[I].Name);
+    ASSERT_EQ(A.Projects[I].History.size(), B.Projects[I].History.size());
+    for (std::size_t J = 0; J < A.Projects[I].History.size(); ++J) {
+      EXPECT_EQ(A.Projects[I].History[J].NewCode,
+                B.Projects[I].History[J].NewCode);
+      EXPECT_EQ(A.Projects[I].History[J].Kind,
+                B.Projects[I].History[J].Kind);
+    }
+  }
+}
+
+TEST(CorpusGenerator, DifferentSeedsDiffer) {
+  Corpus A = CorpusGenerator(smallOptions(1)).generate();
+  Corpus B = CorpusGenerator(smallOptions(2)).generate();
+  bool AnyDiff = false;
+  for (std::size_t I = 0; I < A.Projects.size(); ++I)
+    AnyDiff = AnyDiff || A.Projects[I].History.size() !=
+                             B.Projects[I].History.size() ||
+              A.Projects[I].Files[0].Code != B.Projects[I].Files[0].Code;
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(CorpusGenerator, CommitMixIsRefactoringDominated) {
+  CorpusOptions Opts;
+  Opts.Seed = 21;
+  Opts.NumProjects = 60;
+  Corpus C = CorpusGenerator(Opts).generate();
+  std::map<std::string, unsigned> Kinds;
+  for (const Project &P : C.Projects)
+    for (const CodeChange &Change : P.History)
+      ++Kinds[Change.Kind.substr(0, Change.Kind.find(':'))];
+  EXPECT_GT(Kinds["refactor"], Kinds["fix"] * 5);
+  EXPECT_GT(Kinds["fix"], Kinds["bug"]); // fixes dominate regressions
+  EXPECT_GT(Kinds["fix"], 0u);
+  EXPECT_GT(Kinds["add"], 0u);
+}
+
+TEST(CorpusGenerator, ChangesActuallyChangeCode) {
+  Corpus C = CorpusGenerator(smallOptions()).generate();
+  unsigned NonTrivial = 0, Total = 0;
+  for (const Project &P : C.Projects)
+    for (const CodeChange &Change : P.History) {
+      ++Total;
+      if (Change.OldCode != Change.NewCode)
+        ++NonTrivial;
+    }
+  // Style reseeding nearly always alters the text.
+  EXPECT_GT(NonTrivial * 10, Total * 9);
+}
+
+TEST(CorpusGenerator, MetadataInRealisticRanges) {
+  Corpus C = CorpusGenerator(smallOptions()).generate();
+  for (const Project &P : C.Projects) {
+    EXPECT_GE(P.Meta.MinSdkVersion, 14);
+    EXPECT_LE(P.Meta.MinSdkVersion, 26);
+  }
+}
+
+TEST(CorpusGenerator, HeadStateMatchesLastCommit) {
+  Corpus C = CorpusGenerator(smallOptions()).generate();
+  for (const Project &P : C.Projects) {
+    for (const ProjectFile &File : P.Files) {
+      // The final code of each file equals the NewCode of its last commit
+      // (if any commit touched it).
+      const CodeChange *Last = nullptr;
+      for (const CodeChange &Change : P.History)
+        if (Change.FileName == File.Name)
+          Last = &Change;
+      if (Last)
+        EXPECT_EQ(File.Code, Last->NewCode);
+    }
+  }
+}
+
+TEST(CorpusGenerator, GroundTruthFixesAreRealFixes) {
+  // Every generated "fix:<rule>" commit must classify as a SecurityFix
+  // under that rule (the generator and the checker agree on semantics).
+  CorpusOptions Opts = smallOptions(31);
+  Opts.NumProjects = 40; // misuse rates are calibrated low; need volume
+  Corpus C = CorpusGenerator(Opts).generate();
+  analysis::AbstractInterpreter Interp(
+      apimodel::CryptoApiModel::javaCryptoApi());
+  unsigned Checked = 0;
+  for (const Project &P : C.Projects) {
+    for (const CodeChange &Change : P.History) {
+      if (!Change.isGroundTruthFix())
+        continue;
+      std::string RuleId = Change.Kind.substr(4);
+      const rules::Rule *R = rules::findRule(RuleId);
+      ASSERT_NE(R, nullptr) << RuleId;
+
+      java::AstContext Ctx;
+      java::DiagnosticsEngine Diags;
+      auto *OldUnit = java::parseJava(Change.OldCode, Ctx, Diags);
+      auto *NewUnit = java::parseJava(Change.NewCode, Ctx, Diags);
+      ASSERT_FALSE(Diags.hasErrors());
+      auto OldRes = Interp.analyze(OldUnit);
+      auto NewRes = Interp.analyze(NewUnit);
+      rules::ProjectMetadata Meta = P.Meta;
+      if (RuleId == "R6") { // rule guarded by metadata; force applicable
+        Meta.IsAndroid = true;
+        Meta.MinSdkVersion = 18;
+        Meta.HasLinuxPrngFix = false;
+      }
+      EXPECT_EQ(rules::classifyChange(*R, rules::UnitFacts::from(OldRes),
+                                      rules::UnitFacts::from(NewRes), Meta),
+                rules::ChangeClass::SecurityFix)
+          << Change.origin() << " " << Change.Kind;
+      ++Checked;
+    }
+  }
+  EXPECT_GT(Checked, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Miner
+//===----------------------------------------------------------------------===//
+
+TEST(Miner, SelectsCryptoTouchingChanges) {
+  const apimodel::CryptoApiModel &Api =
+      apimodel::CryptoApiModel::javaCryptoApi();
+  Miner M(Api);
+  CodeChange Touching;
+  Touching.OldCode = "class A { Cipher c; }";
+  Touching.NewCode = "class A { }";
+  EXPECT_TRUE(M.touchesTargetClass(Touching));
+
+  CodeChange Plain;
+  Plain.OldCode = "class A { int x; }";
+  Plain.NewCode = "class A { int y; }";
+  EXPECT_FALSE(M.touchesTargetClass(Plain));
+
+  CodeChange NewOnly;
+  NewOnly.NewCode = "class A { MessageDigest d; }";
+  EXPECT_TRUE(M.touchesTargetClass(NewOnly));
+}
+
+TEST(Miner, EnforcesCommitThreshold) {
+  const apimodel::CryptoApiModel &Api =
+      apimodel::CryptoApiModel::javaCryptoApi();
+  MinerOptions Opts;
+  Opts.MinCommitsPerProject = 100;
+  Miner M(Api, Opts);
+  Corpus C = CorpusGenerator(smallOptions()).generate();
+  EXPECT_TRUE(M.mine(C).empty());
+}
+
+TEST(Miner, MinesWholeCorpus) {
+  const apimodel::CryptoApiModel &Api =
+      apimodel::CryptoApiModel::javaCryptoApi();
+  Miner M(Api);
+  Corpus C = CorpusGenerator(smallOptions()).generate();
+  std::vector<const CodeChange *> Mined = M.mine(C);
+  EXPECT_GT(Mined.size(), 0u);
+  EXPECT_LE(Mined.size(), C.totalChanges());
+  for (const CodeChange *Change : Mined)
+    EXPECT_TRUE(M.touchesTargetClass(*Change));
+}
+
+TEST(Scenario, WeightsAndRatesWellFormed) {
+  double Total = 0;
+  for (unsigned I = 0; I < NumScenarioKinds; ++I) {
+    ScenarioKind Kind = static_cast<ScenarioKind>(I);
+    EXPECT_GT(scenarioWeight(Kind), 0.0);
+    EXPECT_GE(scenarioInitialInsecureProb(Kind), 0.0);
+    EXPECT_LE(scenarioInitialInsecureProb(Kind), 1.0);
+    Total += scenarioWeight(Kind);
+  }
+  EXPECT_GT(Total, 1.0);
+  // Calibration sanity: provider misuse is near-universal, static seeds
+  // are near-extinct (Figure 10 ordering).
+  EXPECT_GT(scenarioInitialInsecureProb(ScenarioKind::ProviderChoice),
+            scenarioInitialInsecureProb(ScenarioKind::StaticSeed));
+}

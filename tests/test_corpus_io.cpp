@@ -1,0 +1,140 @@
+//===- tests/test_corpus_io.cpp - Corpus persistence tests -----------------===//
+
+#include "corpus/CorpusIO.h"
+
+#include "corpus/CorpusGenerator.h"
+#include "corpus/Miner.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace fs = std::filesystem;
+
+using namespace diffcode;
+using namespace diffcode::corpus;
+
+namespace {
+
+class CorpusIOTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Root = fs::temp_directory_path() /
+           ("diffcode-corpusio-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(Root);
+  }
+  void TearDown() override { fs::remove_all(Root); }
+
+  fs::path Root;
+};
+
+Corpus smallCorpus(std::uint64_t Seed = 13) {
+  CorpusOptions Opts;
+  Opts.Seed = Seed;
+  Opts.NumProjects = 4;
+  Opts.MinCommits = 3;
+  Opts.MaxCommits = 6;
+  return CorpusGenerator(Opts).generate();
+}
+
+} // namespace
+
+TEST_F(CorpusIOTest, RoundTripPreservesEverything) {
+  Corpus Original = smallCorpus();
+  std::string Error;
+  ASSERT_TRUE(writeCorpus(Original, Root.string(), &Error)) << Error;
+
+  std::optional<Corpus> Loaded = readCorpus(Root.string(), &Error);
+  ASSERT_TRUE(Loaded.has_value()) << Error;
+  ASSERT_EQ(Loaded->Projects.size(), Original.Projects.size());
+
+  // readCorpus orders projects lexicographically; compare by name.
+  for (const Project &Want : Original.Projects) {
+    const Project *Got = nullptr;
+    for (const Project &P : Loaded->Projects)
+      if (P.Name == Want.Name)
+        Got = &P;
+    ASSERT_NE(Got, nullptr) << Want.Name;
+    EXPECT_EQ(Got->Meta.IsAndroid, Want.Meta.IsAndroid);
+    EXPECT_EQ(Got->Meta.MinSdkVersion, Want.Meta.MinSdkVersion);
+    EXPECT_EQ(Got->Meta.HasLinuxPrngFix, Want.Meta.HasLinuxPrngFix);
+    ASSERT_EQ(Got->Files.size(), Want.Files.size());
+    ASSERT_EQ(Got->History.size(), Want.History.size());
+    for (std::size_t I = 0; I < Want.History.size(); ++I) {
+      EXPECT_EQ(Got->History[I].Kind, Want.History[I].Kind);
+      EXPECT_EQ(Got->History[I].FileName, Want.History[I].FileName);
+      EXPECT_EQ(Got->History[I].OldCode, Want.History[I].OldCode);
+      EXPECT_EQ(Got->History[I].NewCode, Want.History[I].NewCode);
+      EXPECT_EQ(Got->History[I].CommitIndex, Want.History[I].CommitIndex);
+    }
+    for (const ProjectFile &File : Want.Files) {
+      bool Found = false;
+      for (const ProjectFile &Candidate : Got->Files)
+        Found = Found || (Candidate.Name == File.Name &&
+                          Candidate.Code == File.Code);
+      EXPECT_TRUE(Found) << File.Name;
+    }
+  }
+}
+
+TEST_F(CorpusIOTest, ReadMissingDirectoryFails) {
+  std::string Error;
+  EXPECT_FALSE(readCorpus((Root / "nope").string(), &Error).has_value());
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST_F(CorpusIOTest, EmptyCorpusRoundTrips) {
+  Corpus Empty;
+  std::string Error;
+  ASSERT_TRUE(writeCorpus(Empty, Root.string(), &Error)) << Error;
+  std::optional<Corpus> Loaded = readCorpus(Root.string(), &Error);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_TRUE(Loaded->Projects.empty());
+}
+
+TEST_F(CorpusIOTest, HandLaidOutProjectLoads) {
+  // A minimal hand-written layout (what a git exporter would produce).
+  fs::create_directories(Root / "myproj" / "commits" / "c0001");
+  fs::create_directories(Root / "myproj" / "head");
+  {
+    std::ofstream(Root / "myproj" / "project.meta")
+        << "isAndroid=true\nminSdkVersion=21\nhasLinuxPrngFix=false\n";
+    std::ofstream(Root / "myproj" / "head" / "A.java")
+        << "class A { }";
+    std::ofstream(Root / "myproj" / "commits" / "c0001" / "old.java")
+        << "class A { Cipher c; }";
+    std::ofstream(Root / "myproj" / "commits" / "c0001" / "new.java")
+        << "class A { }";
+    std::ofstream(Root / "myproj" / "commits" / "c0001" / "file.txt")
+        << "A.java\n";
+  }
+  std::string Error;
+  std::optional<Corpus> Loaded = readCorpus(Root.string(), &Error);
+  ASSERT_TRUE(Loaded.has_value()) << Error;
+  ASSERT_EQ(Loaded->Projects.size(), 1u);
+  const Project &P = Loaded->Projects[0];
+  EXPECT_EQ(P.Name, "myproj");
+  EXPECT_TRUE(P.Meta.IsAndroid);
+  EXPECT_EQ(P.Meta.MinSdkVersion, 21);
+  ASSERT_EQ(P.History.size(), 1u);
+  EXPECT_EQ(P.History[0].CommitIndex, 1u);
+  EXPECT_EQ(P.History[0].FileName, "A.java");
+  EXPECT_TRUE(P.History[0].Kind.empty()); // no kind.txt -> mined change
+  EXPECT_NE(P.History[0].OldCode.find("Cipher"), std::string::npos);
+}
+
+TEST_F(CorpusIOTest, LoadedCorpusMinesIdentically) {
+  Corpus Original = smallCorpus(29);
+  std::string Error;
+  ASSERT_TRUE(writeCorpus(Original, Root.string(), &Error)) << Error;
+  std::optional<Corpus> Loaded = readCorpus(Root.string(), &Error);
+  ASSERT_TRUE(Loaded.has_value());
+
+  Miner M(apimodel::CryptoApiModel::javaCryptoApi());
+  EXPECT_EQ(M.mine(Original).size(), M.mine(*Loaded).size());
+}

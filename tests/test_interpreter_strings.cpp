@@ -1,0 +1,177 @@
+//===- tests/test_interpreter_strings.cpp - String semantics tests ---------===//
+//
+// The string built-ins matter disproportionately: algorithm transforms
+// are strings, and the abstraction's whole value rests on tracking them
+// precisely through concatenation, case mapping, and conversion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AbstractInterpreter.h"
+
+#include "javaast/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace diffcode;
+using namespace diffcode::analysis;
+
+namespace {
+
+AnalysisResult analyze(std::string_view Source) {
+  java::AstContext Ctx;
+  java::DiagnosticsEngine Diags;
+  java::CompilationUnit *Unit = java::parseJava(Source, Ctx, Diags);
+  EXPECT_FALSE(Diags.hasErrors())
+      << (Diags.all().empty() ? "" : Diags.all().front().str());
+  AbstractInterpreter Interp(apimodel::CryptoApiModel::javaCryptoApi());
+  return Interp.analyze(Unit);
+}
+
+/// The first argument of the single getInstance event of \p Type.
+AbstractValue firstArg(const AnalysisResult &R, const std::string &Type,
+                       const char *SigPrefix = ".getInstance") {
+  UsageLog Merged = R.mergedLog();
+  for (const auto &[ObjId, Events] : Merged) {
+    if (R.Objects.get(ObjId).TypeName != Type)
+      continue;
+    for (const UsageEvent &Event : Events)
+      if (Event.MethodSig.find(SigPrefix) != std::string::npos &&
+          !Event.Args.empty())
+        return Event.Args[0];
+  }
+  return AbstractValue::unknown();
+}
+
+/// Analyzes `String algo = <Expr>; Cipher c = Cipher.getInstance(algo);`
+AbstractValue algoOf(const std::string &Expr,
+                     const std::string &Params = "") {
+  AnalysisResult R = analyze("class A { void m(" + Params +
+                             ") throws Exception { String algo = " + Expr +
+                             "; Cipher c = Cipher.getInstance(algo); } }");
+  return firstArg(R, "Cipher");
+}
+
+} // namespace
+
+TEST(InterpreterStrings, ConcatChainFolds) {
+  EXPECT_EQ(algoOf("\"AES\" + \"/\" + \"CBC\" + \"/PKCS5Padding\""),
+            AbstractValue::strConst("AES/CBC/PKCS5Padding"));
+}
+
+TEST(InterpreterStrings, ConcatWithIntFolds) {
+  EXPECT_EQ(algoOf("\"AES-\" + 256"), AbstractValue::strConst("AES-256"));
+}
+
+TEST(InterpreterStrings, ConcatWithUnknownWidens) {
+  EXPECT_EQ(algoOf("\"AES/\" + mode", "String mode"),
+            AbstractValue::strTop());
+}
+
+TEST(InterpreterStrings, CompoundAssignFolds) {
+  AnalysisResult R = analyze(
+      "class A { void m() throws Exception { "
+      "String algo = \"AES\"; algo += \"/GCM\"; algo += \"/NoPadding\"; "
+      "Cipher c = Cipher.getInstance(algo); } }");
+  EXPECT_EQ(firstArg(R, "Cipher"),
+            AbstractValue::strConst("AES/GCM/NoPadding"));
+}
+
+TEST(InterpreterStrings, CaseMappingFolds) {
+  EXPECT_EQ(algoOf("\"aes\".toUpperCase()"), AbstractValue::strConst("AES"));
+  EXPECT_EQ(algoOf("\"AES\".toLowerCase()"), AbstractValue::strConst("aes"));
+}
+
+TEST(InterpreterStrings, SubstringFolds) {
+  EXPECT_EQ(algoOf("\"XXAESXX\".substring(2, 5)"),
+            AbstractValue::strConst("AES"));
+  EXPECT_EQ(algoOf("\"XXAES\".substring(2)"), AbstractValue::strConst("AES"));
+  // Out-of-range degrades to top, not UB.
+  EXPECT_EQ(algoOf("\"AES\".substring(10, 20)"), AbstractValue::strTop());
+}
+
+TEST(InterpreterStrings, ConcatMethodFolds) {
+  EXPECT_EQ(algoOf("\"AES\".concat(\"/CTR/NoPadding\")"),
+            AbstractValue::strConst("AES/CTR/NoPadding"));
+}
+
+TEST(InterpreterStrings, TrimFolds) {
+  EXPECT_EQ(algoOf("\"AES\".trim()"), AbstractValue::strConst("AES"));
+}
+
+TEST(InterpreterStrings, LengthFoldsToInt) {
+  AnalysisResult R = analyze(
+      "class A { void m(char[] pw, byte[] salt) { "
+      "int n = \"0123456789\".length() * 100; "
+      "PBEKeySpec k = new PBEKeySpec(pw, salt, n, 128); } }");
+  // The password parameter lives in the byte/char array domain.
+  EXPECT_EQ(firstArg(R, "PBEKeySpec", ".<init>"),
+            AbstractValue::byteArrayTop());
+  // The iteration count (arg index 2) folded to 1000.
+  UsageLog Merged = R.mergedLog();
+  bool Saw1000 = false;
+  for (const auto &[ObjId, Events] : Merged)
+    for (const UsageEvent &Event : Events)
+      if (Event.MethodSig.rfind("PBEKeySpec.<init>", 0) == 0 &&
+          Event.Args.size() >= 3)
+        Saw1000 = Saw1000 || Event.Args[2] == AbstractValue::intConst(1000);
+  EXPECT_TRUE(Saw1000);
+}
+
+TEST(InterpreterStrings, GetBytesConstancyTracksReceiver) {
+  AnalysisResult ConstR = analyze(
+      "class A { void m() { byte[] b = \"key0\".getBytes(); "
+      "SecretKeySpec k = new SecretKeySpec(b, \"AES\"); } }");
+  EXPECT_EQ(firstArg(ConstR, "SecretKeySpec", ".<init>"),
+            AbstractValue::byteArrayConst());
+
+  AnalysisResult TopR = analyze(
+      "class A { void m(String s) { byte[] b = s.getBytes(); "
+      "SecretKeySpec k = new SecretKeySpec(b, \"AES\"); } }");
+  EXPECT_EQ(firstArg(TopR, "SecretKeySpec", ".<init>"),
+            AbstractValue::byteArrayTop());
+}
+
+TEST(InterpreterStrings, EqualsReturnsUnknownBool) {
+  AnalysisResult R = analyze(
+      "class A { void m() throws Exception { "
+      "boolean eq = \"AES\".equals(\"DES\"); "
+      "if (eq) { Cipher c = Cipher.getInstance(\"AES\"); } "
+      "else { Cipher c = Cipher.getInstance(\"DES\"); } } }");
+  // equals is not folded -> both branches explored.
+  unsigned Ciphers = 0;
+  for (const AbstractObject &Obj : R.Objects.all())
+    if (Obj.TypeName == "Cipher")
+      ++Ciphers;
+  EXPECT_EQ(Ciphers, 2u);
+}
+
+TEST(InterpreterStrings, ValueOfAndToStringFold) {
+  EXPECT_EQ(algoOf("\"AES-\" + Integer.toString(128)"),
+            AbstractValue::strConst("AES-128"));
+  EXPECT_EQ(algoOf("String.valueOf(\"AES\")"), AbstractValue::strConst("AES"));
+}
+
+TEST(InterpreterStrings, StringFlowThroughTernary) {
+  // Both arms constant but different -> join to top at the use.
+  EXPECT_EQ(algoOf("flag ? \"AES\" : \"DES\"", "boolean flag"),
+            AbstractValue::strTop());
+  // Identical arms stay constant.
+  EXPECT_EQ(algoOf("flag ? \"AES\" : \"AES\"", "boolean flag"),
+            AbstractValue::strConst("AES"));
+}
+
+TEST(InterpreterStrings, StringArrayElementAccess) {
+  AnalysisResult R = analyze(
+      "class A { void m() throws Exception { "
+      "String[] algos = { \"SHA-256\", \"MD5\" }; "
+      "MessageDigest d = MessageDigest.getInstance(algos[0]); } }");
+  EXPECT_EQ(firstArg(R, "MessageDigest"), AbstractValue::strConst("SHA-256"));
+}
+
+TEST(InterpreterStrings, StringArrayUnknownIndexWidens) {
+  AnalysisResult R = analyze(
+      "class A { void m(int i) throws Exception { "
+      "String[] algos = { \"SHA-256\", \"MD5\" }; "
+      "MessageDigest d = MessageDigest.getInstance(algos[i]); } }");
+  EXPECT_EQ(firstArg(R, "MessageDigest"), AbstractValue::strTop());
+}

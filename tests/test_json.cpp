@@ -1,0 +1,143 @@
+//===- tests/test_json.cpp - JsonWriter & ReportWriter tests ---------------===//
+
+#include "core/ReportWriter.h"
+#include "support/JsonWriter.h"
+
+#include "corpus/CorpusGenerator.h"
+#include "corpus/Miner.h"
+#include "rules/CryptoChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace diffcode;
+
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+TEST(JsonWriter, ScalarsAndNesting) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("name").value("diffcode");
+  W.key("count").value(42);
+  W.key("ratio").value(0.5);
+  W.key("ok").value(true);
+  W.key("nothing").null();
+  W.key("list").beginArray().value(1).value(2).endArray();
+  W.key("nested").beginObject().key("x").value("y").endObject();
+  W.endObject();
+  EXPECT_EQ(W.take(),
+            "{\"name\":\"diffcode\",\"count\":42,\"ratio\":0.5,"
+            "\"ok\":true,\"nothing\":null,\"list\":[1,2],"
+            "\"nested\":{\"x\":\"y\"}}");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("arr").beginArray().endArray();
+  W.key("obj").beginObject().endObject();
+  W.endObject();
+  EXPECT_EQ(W.take(), "{\"arr\":[],\"obj\":{}}");
+}
+
+TEST(JsonWriter, ArrayOfObjects) {
+  JsonWriter W;
+  W.beginArray();
+  W.beginObject().key("a").value(1).endObject();
+  W.beginObject().key("b").value(2).endObject();
+  W.endArray();
+  EXPECT_EQ(W.take(), "[{\"a\":1},{\"b\":2}]");
+}
+
+TEST(JsonWriter, EscapesSpecials) {
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+  // UTF-8 passes through (the top symbol in labels).
+  EXPECT_EQ(JsonWriter::escape("⊤byte[]"), "⊤byte[]");
+}
+
+TEST(JsonWriter, NegativeAndLargeNumbers) {
+  JsonWriter W;
+  W.beginArray();
+  W.value(static_cast<std::int64_t>(-5));
+  W.value(static_cast<std::uint64_t>(1) << 40);
+  W.endArray();
+  EXPECT_EQ(W.take(), "[-5,1099511627776]");
+}
+
+//===----------------------------------------------------------------------===//
+// ReportWriter
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+usage::UsageChange sampleChange() {
+  usage::UsageChange C;
+  C.TypeName = "Cipher";
+  C.Origin = "proj1@c3";
+  C.Removed = {{usage::NodeLabel::root("Cipher"),
+                usage::NodeLabel::method("Cipher.getInstance/1"),
+                usage::NodeLabel::arg(
+                    1, analysis::AbstractValue::strConst("AES"))}};
+  C.Added = {{usage::NodeLabel::root("Cipher"),
+              usage::NodeLabel::method("Cipher.getInstance/1"),
+              usage::NodeLabel::arg(1, analysis::AbstractValue::strConst(
+                                           "AES/CBC/PKCS5Padding"))}};
+  return C;
+}
+
+} // namespace
+
+TEST(ReportWriter, UsageChangeJson) {
+  std::string Json = core::usageChangeToJson(sampleChange());
+  EXPECT_EQ(Json,
+            "{\"type\":\"Cipher\",\"origin\":\"proj1@c3\","
+            "\"removed\":[\"Cipher Cipher.getInstance arg1:AES\"],"
+            "\"added\":[\"Cipher Cipher.getInstance "
+            "arg1:AES/CBC/PKCS5Padding\"]}");
+}
+
+TEST(ReportWriter, CorpusReportJsonStructure) {
+  corpus::CorpusOptions Opts;
+  Opts.NumProjects = 6;
+  Opts.Seed = 3;
+  corpus::Corpus C = corpus::CorpusGenerator(Opts).generate();
+  corpus::Miner M(apimodel::CryptoApiModel::javaCryptoApi());
+  core::DiffCode System(apimodel::CryptoApiModel::javaCryptoApi());
+  core::CorpusReport Report = System.runPipeline(
+      M.mine(C), {"Cipher"}, {}, /*BuildDendrograms=*/false);
+  std::string Json = core::corpusReportToJson(Report);
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_EQ(Json.back(), '}');
+  EXPECT_NE(Json.find("\"target\":\"Cipher\""), std::string::npos);
+  EXPECT_NE(Json.find("\"afterFdup\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"kept\":["), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  long Depth = 0;
+  for (char Ch : Json) {
+    if (Ch == '{' || Ch == '[')
+      ++Depth;
+    if (Ch == '}' || Ch == ']')
+      --Depth;
+    EXPECT_GE(Depth, 0);
+  }
+  EXPECT_EQ(Depth, 0);
+}
+
+TEST(ReportWriter, ProjectReportJson) {
+  core::DiffCode System(apimodel::CryptoApiModel::javaCryptoApi());
+  analysis::AnalysisResult Result = System.analyzeSource(
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"DES\"); } }");
+  rules::UnitFacts Facts = rules::UnitFacts::from(Result);
+  rules::CryptoChecker Checker;
+  std::string Json =
+      core::projectReportToJson(Checker.checkProject({Facts}));
+  EXPECT_NE(Json.find("\"id\":\"R8\",\"applicable\":true,\"matched\":true"),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"anyMatch\":true"), std::string::npos);
+  EXPECT_NE(Json.find("\"site\":\"l1\""), std::string::npos);
+}

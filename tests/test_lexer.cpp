@@ -1,0 +1,188 @@
+//===- tests/test_lexer.cpp - Java lexer unit tests ------------------------===//
+
+#include "javaast/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace diffcode::java;
+
+namespace {
+
+std::vector<Token> lex(std::string_view Source) {
+  DiagnosticsEngine Diags;
+  Lexer L(Source, Diags);
+  return L.lexAll();
+}
+
+std::vector<Token> lexExpectErrors(std::string_view Source,
+                                   DiagnosticsEngine &Diags) {
+  Lexer L(Source, Diags);
+  return L.lexAll();
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInput) {
+  std::vector<Token> Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, Identifiers) {
+  std::vector<Token> Tokens = lex("foo _bar $baz a1b2");
+  ASSERT_EQ(Tokens.size(), 5u);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Tokens[I].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "_bar");
+  EXPECT_EQ(Tokens[2].Text, "$baz");
+  EXPECT_EQ(Tokens[3].Text, "a1b2");
+}
+
+TEST(Lexer, Keywords) {
+  std::vector<Token> Tokens = lex("class if else while new return try");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwClass);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::KwIf);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::KwElse);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::KwWhile);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::KwNew);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::KwReturn);
+  EXPECT_EQ(Tokens[6].Kind, TokenKind::KwTry);
+}
+
+TEST(Lexer, KeywordPrefixIsIdentifier) {
+  std::vector<Token> Tokens = lex("classy ifx news");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, IntLiterals) {
+  std::vector<Token> Tokens = lex("0 42 0x1F 123L");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[0].Text, "0");
+  EXPECT_EQ(Tokens[1].Text, "42");
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[2].Text, "0x1F");
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::LongLiteral);
+}
+
+TEST(Lexer, FloatLiteralLexedAsNumber) {
+  std::vector<Token> Tokens = lex("3.14f 2.5");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[0].Text, "3.14f");
+  EXPECT_EQ(Tokens[1].Text, "2.5");
+}
+
+TEST(Lexer, StringLiteralDecodesEscapes) {
+  std::vector<Token> Tokens = lex(R"("a\nb\"c\\d")");
+  ASSERT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Tokens[0].Text, "a\nb\"c\\d");
+}
+
+TEST(Lexer, StringLiteralPlain) {
+  std::vector<Token> Tokens = lex("\"AES/CBC/PKCS5Padding\"");
+  ASSERT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Tokens[0].Text, "AES/CBC/PKCS5Padding");
+}
+
+TEST(Lexer, CharLiteral) {
+  std::vector<Token> Tokens = lex("'x' '\\n' '\\''");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::CharLiteral);
+  EXPECT_EQ(Tokens[0].Text, "x");
+  EXPECT_EQ(Tokens[1].Text, "\n");
+  EXPECT_EQ(Tokens[2].Text, "'");
+}
+
+TEST(Lexer, UnicodeEscape) {
+  std::vector<Token> Tokens = lex(R"("A")");
+  EXPECT_EQ(Tokens[0].Text, "A");
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  std::vector<Token> Tokens = lex("a // comment with * and /\nb");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(Lexer, BlockCommentsSkipped) {
+  std::vector<Token> Tokens = lex("a /* multi\nline\ncomment */ b");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(Lexer, UnterminatedBlockCommentDiagnosed) {
+  DiagnosticsEngine Diags;
+  lexExpectErrors("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnterminatedStringDiagnosed) {
+  DiagnosticsEngine Diags;
+  lexExpectErrors("\"open\n", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  std::vector<Token> Tokens =
+      lex("{ } ( ) [ ] ; , . == != <= >= && || += -= ++ -- << >> ...");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LBrace,     TokenKind::RBrace,       TokenKind::LParen,
+      TokenKind::RParen,     TokenKind::LBracket,     TokenKind::RBracket,
+      TokenKind::Semi,       TokenKind::Comma,        TokenKind::Dot,
+      TokenKind::EqualEqual, TokenKind::NotEqual,     TokenKind::LessEqual,
+      TokenKind::GreaterEqual, TokenKind::AmpAmp,     TokenKind::PipePipe,
+      TokenKind::PlusAssign, TokenKind::MinusAssign,  TokenKind::PlusPlus,
+      TokenKind::MinusMinus, TokenKind::Shl,          TokenKind::Shr,
+      TokenKind::Ellipsis};
+  ASSERT_GE(Tokens.size(), Expected.size());
+  for (std::size_t I = 0; I < Expected.size(); ++I)
+    EXPECT_EQ(Tokens[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(Lexer, MaximalMunch) {
+  // `a+++b` lexes as a ++ + b.
+  std::vector<Token> Tokens = lex("a+++b");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::PlusPlus);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Plus);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  std::vector<Token> Tokens = lex("a\n  b");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+}
+
+TEST(Lexer, UnknownCharacterDiagnosed) {
+  DiagnosticsEngine Diags;
+  std::vector<Token> Tokens = lexExpectErrors("a # b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // Lexing continues past the bad character.
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::EndOfFile);
+  EXPECT_EQ(Tokens[2].Text, "b");
+}
+
+TEST(Lexer, AnnotationAt) {
+  std::vector<Token> Tokens = lex("@Override");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::At);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+}
+
+TEST(TokenNames, CoverCommonKinds) {
+  EXPECT_EQ(tokenKindName(TokenKind::Identifier), "identifier");
+  EXPECT_EQ(tokenKindName(TokenKind::KwClass), "'class'");
+  EXPECT_EQ(tokenKindName(TokenKind::LBrace), "'{'");
+  EXPECT_EQ(tokenKindName(TokenKind::EndOfFile), "end of file");
+}
+
+TEST(Keywords, LookupRoundTrip) {
+  EXPECT_EQ(lookupKeyword("class"), TokenKind::KwClass);
+  EXPECT_EQ(lookupKeyword("synchronized"), TokenKind::KwSynchronized);
+  EXPECT_EQ(lookupKeyword("notakeyword"), TokenKind::Identifier);
+  EXPECT_EQ(lookupKeyword(""), TokenKind::Identifier);
+}

@@ -1,0 +1,164 @@
+//===- tests/test_misc_coverage.cpp - Cross-cutting coverage ---------------===//
+
+#include "analysis/AbstractInterpreter.h"
+#include "javaast/Parser.h"
+#include "rules/BuiltinRules.h"
+#include "rules/RuleSuggestion.h"
+#include "rules/TlsRules.h"
+#include "usage/UsageDag.h"
+
+#include <gtest/gtest.h>
+
+using namespace diffcode;
+using namespace diffcode::analysis;
+
+namespace {
+
+AnalysisResult analyze(std::string_view Source) {
+  java::AstContext Ctx;
+  java::DiagnosticsEngine Diags;
+  java::CompilationUnit *Unit = java::parseJava(Source, Ctx, Diags);
+  EXPECT_FALSE(Diags.hasErrors())
+      << (Diags.all().empty() ? "" : Diags.all().front().str());
+  AbstractInterpreter Interp(apimodel::CryptoApiModel::javaCryptoApi());
+  return Interp.analyze(Unit);
+}
+
+bool hasEvent(const AnalysisResult &R, const std::string &Type,
+              const std::string &SigPrefix) {
+  UsageLog Merged = R.mergedLog();
+  for (const auto &[ObjId, Events] : Merged) {
+    if (R.Objects.get(ObjId).TypeName != Type)
+      continue;
+    for (const UsageEvent &Event : Events)
+      if (Event.MethodSig.rfind(SigPrefix, 0) == 0)
+        return true;
+  }
+  return false;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Interpreter: inheritance, static initializers, synchronized, instanceof
+//===----------------------------------------------------------------------===//
+
+TEST(InterpreterCoverage, InheritedHelperMethodInlined) {
+  AnalysisResult R = analyze(
+      "class Base { protected Cipher create(String algo) throws Exception { "
+      "return Cipher.getInstance(algo); } } "
+      "class Derived extends Base { "
+      "void m(Key k) throws Exception { "
+      "Cipher c = create(\"DES\"); c.init(Cipher.ENCRYPT_MODE, k); } }");
+  EXPECT_TRUE(hasEvent(R, "Cipher", "Cipher.getInstance"));
+  EXPECT_TRUE(hasEvent(R, "Cipher", "Cipher.init"));
+}
+
+TEST(InterpreterCoverage, InheritedFieldTypeKnown) {
+  AnalysisResult R = analyze(
+      "class Base { protected String algorithm = \"SHA-1\"; } "
+      "class Derived extends Base { "
+      "void m() throws Exception { "
+      "MessageDigest d = MessageDigest.getInstance(algorithm); } }");
+  // The field is declared in the superclass; its initializer runs in
+  // Base's context, so Derived sees the declared-type top.
+  EXPECT_TRUE(hasEvent(R, "MessageDigest", "MessageDigest.getInstance"));
+}
+
+TEST(InterpreterCoverage, StaticInitializerBlockAnalyzed) {
+  AnalysisResult R = analyze(
+      "class A { static SecureRandom shared; "
+      "static { shared = new SecureRandom(); } }");
+  EXPECT_TRUE(hasEvent(R, "SecureRandom", "SecureRandom.<init>"));
+}
+
+TEST(InterpreterCoverage, SynchronizedBlockBodyAnalyzed) {
+  AnalysisResult R = analyze(
+      "class A { Object lock; void m() throws Exception { "
+      "synchronized (lock) { Cipher c = Cipher.getInstance(\"AES\"); } } }");
+  EXPECT_TRUE(hasEvent(R, "Cipher", "Cipher.getInstance"));
+}
+
+TEST(InterpreterCoverage, ForEachBodyAnalyzed) {
+  AnalysisResult R = analyze(
+      "class A { void m(String[] algos) throws Exception { "
+      "for (String algo : algos) { "
+      "MessageDigest d = MessageDigest.getInstance(algo); } } }");
+  EXPECT_TRUE(hasEvent(R, "MessageDigest", "MessageDigest.getInstance"));
+}
+
+TEST(InterpreterCoverage, CastPreservesObjectIdentity) {
+  AnalysisResult R = analyze(
+      "class A { void m(Key k) throws Exception { "
+      "Object o = Cipher.getInstance(\"AES\"); "
+      "Cipher c = (Cipher) o; "
+      "c.init(Cipher.ENCRYPT_MODE, k); } }");
+  EXPECT_TRUE(hasEvent(R, "Cipher", "Cipher.init"));
+}
+
+TEST(InterpreterCoverage, KeyGeneratorChainTyped) {
+  AnalysisResult R = analyze(
+      "class A { byte[] m(byte[] iv, byte[] data) throws Exception { "
+      "KeyGenerator kg = KeyGenerator.getInstance(\"AES\"); "
+      "kg.init(256); "
+      "SecretKey key = kg.generateKey(); "
+      "Cipher c = Cipher.getInstance(\"AES/GCM/NoPadding\"); "
+      "c.init(Cipher.ENCRYPT_MODE, key, new IvParameterSpec(iv)); "
+      "return c.doFinal(data); } }");
+  EXPECT_TRUE(hasEvent(R, "KeyGenerator", "KeyGenerator.init"));
+  EXPECT_TRUE(hasEvent(R, "Cipher", "Cipher.init"));
+}
+
+//===----------------------------------------------------------------------===//
+// UsageDag rendering
+//===----------------------------------------------------------------------===//
+
+TEST(UsageDagStr, RendersIndentedTree) {
+  AnalysisResult R = analyze(
+      "class A { void m(Key k) throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES\"); "
+      "c.init(Cipher.ENCRYPT_MODE, k); } }");
+  unsigned CipherId = 0;
+  bool Found = false;
+  for (const AbstractObject &Obj : R.Objects.all())
+    if (Obj.TypeName == "Cipher") {
+      CipherId = Obj.Id;
+      Found = true;
+    }
+  ASSERT_TRUE(Found);
+  usage::UsageDag Dag =
+      usage::UsageDag::build(R.Objects, R.mergedLog(), CipherId);
+  std::string Out = Dag.str();
+  EXPECT_EQ(Out.rfind("Cipher\n", 0), 0u);
+  EXPECT_NE(Out.find("  Cipher.getInstance\n"), std::string::npos);
+  EXPECT_NE(Out.find("    arg1:AES\n"), std::string::npos);
+  EXPECT_NE(Out.find("    arg1:ENCRYPT_MODE\n"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Rule descriptions
+//===----------------------------------------------------------------------===//
+
+TEST(RuleDescriptions, EveryBuiltinRuleDescribable) {
+  auto CheckSet = [](const std::vector<rules::Rule> &Rules) {
+    for (const rules::Rule &R : Rules) {
+      std::string Text = rules::describeRule(R);
+      EXPECT_EQ(Text.rfind(R.Id + ":", 0), 0u) << Text;
+      EXPECT_GT(Text.size(), R.Id.size() + 5) << Text;
+      EXPECT_FALSE(R.Description.empty()) << R.Id;
+    }
+  };
+  CheckSet(rules::elicitedRules());
+  CheckSet(rules::cryptoLintRules());
+  CheckSet(rules::tlsRules());
+}
+
+TEST(RuleDescriptions, FormulaKindsRendered) {
+  std::string R3 = rules::describeRule(*rules::findRule("R3"));
+  EXPECT_NE(R3.find("∨"), std::string::npos); // Or formula
+  std::string R13 = rules::describeRule(*rules::findRule("R13"));
+  EXPECT_NE(R13.find("∧"), std::string::npos); // clause conjunction
+  EXPECT_NE(R13.find("startsWith"), std::string::npos);
+  std::string R2 = rules::describeRule(*rules::findRule("R2"));
+  EXPECT_NE(R2.find("< 1000"), std::string::npos);
+}

@@ -1,0 +1,431 @@
+//===- tests/test_rules.cpp - Rule language & builtin rule tests -----------===//
+
+#include "rules/BuiltinRules.h"
+#include "rules/CryptoChecker.h"
+
+#include "analysis/AbstractInterpreter.h"
+#include "javaast/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace diffcode;
+using namespace diffcode::analysis;
+using namespace diffcode::rules;
+
+namespace {
+
+AnalysisResult analyze(std::string_view Source) {
+  java::AstContext Ctx;
+  java::DiagnosticsEngine Diags;
+  java::CompilationUnit *Unit = java::parseJava(Source, Ctx, Diags);
+  EXPECT_FALSE(Diags.hasErrors())
+      << (Diags.all().empty() ? "" : Diags.all().front().str());
+  AbstractInterpreter Interp(apimodel::CryptoApiModel::javaCryptoApi());
+  return Interp.analyze(Unit);
+}
+
+bool matchesRule(const char *RuleId, std::string_view Source,
+                 ProjectMetadata Meta = ProjectMetadata()) {
+  const Rule *R = findRule(RuleId);
+  EXPECT_NE(R, nullptr) << RuleId;
+  AnalysisResult Result = analyze(Source);
+  UnitFacts Facts = UnitFacts::from(Result);
+  return ruleMatches(*R, {Facts}, Meta);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ArgConstraint unit tests
+//===----------------------------------------------------------------------===//
+
+TEST(ArgConstraint, StrEquals) {
+  ArgConstraint C;
+  C.K = ArgConstraint::Kind::StrEquals;
+  C.Values = {"SHA-1", "SHA1"};
+  EXPECT_TRUE(C.matches(AbstractValue::strConst("SHA-1")));
+  EXPECT_TRUE(C.matches(AbstractValue::strConst("SHA1")));
+  EXPECT_FALSE(C.matches(AbstractValue::strConst("SHA-256")));
+  EXPECT_FALSE(C.matches(AbstractValue::strTop()));
+  EXPECT_FALSE(C.matches(AbstractValue::intConst(1)));
+}
+
+TEST(ArgConstraint, StrNotEqualsTreatsUnknownAsViolating) {
+  ArgConstraint C;
+  C.K = ArgConstraint::Kind::StrNotEquals;
+  C.Values = {"BC"};
+  EXPECT_FALSE(C.matches(AbstractValue::strConst("BC")));
+  EXPECT_TRUE(C.matches(AbstractValue::strConst("SunJCE")));
+  EXPECT_TRUE(C.matches(AbstractValue::strTop()));
+}
+
+TEST(ArgConstraint, StrStartsWith) {
+  ArgConstraint C;
+  C.K = ArgConstraint::Kind::StrStartsWith;
+  C.Values = {"AES/CBC"};
+  EXPECT_TRUE(C.matches(AbstractValue::strConst("AES/CBC/PKCS5Padding")));
+  EXPECT_TRUE(C.matches(AbstractValue::strConst("AES/CBC")));
+  EXPECT_FALSE(C.matches(AbstractValue::strConst("AES/GCM/NoPadding")));
+  EXPECT_FALSE(C.matches(AbstractValue::strTop()));
+}
+
+TEST(ArgConstraint, IntComparisons) {
+  ArgConstraint Less;
+  Less.K = ArgConstraint::Kind::IntLess;
+  Less.IntBound = 1000;
+  EXPECT_TRUE(Less.matches(AbstractValue::intConst(100)));
+  EXPECT_FALSE(Less.matches(AbstractValue::intConst(1000)));
+  EXPECT_FALSE(Less.matches(AbstractValue::intTop()));
+
+  ArgConstraint Eq;
+  Eq.K = ArgConstraint::Kind::IntEquals;
+  Eq.IntBound = 16;
+  EXPECT_TRUE(Eq.matches(AbstractValue::intConst(16)));
+  EXPECT_FALSE(Eq.matches(AbstractValue::intConst(17)));
+}
+
+TEST(ArgConstraint, Constancy) {
+  ArgConstraint Const;
+  Const.K = ArgConstraint::Kind::IsConstant;
+  EXPECT_TRUE(Const.matches(AbstractValue::byteArrayConst()));
+  EXPECT_FALSE(Const.matches(AbstractValue::byteArrayTop()));
+
+  ArgConstraint Top;
+  Top.K = ArgConstraint::Kind::IsTop;
+  EXPECT_FALSE(Top.matches(AbstractValue::byteArrayConst()));
+  EXPECT_TRUE(Top.matches(AbstractValue::byteArrayTop()));
+}
+
+//===----------------------------------------------------------------------===//
+// CallPattern
+//===----------------------------------------------------------------------===//
+
+TEST(CallPattern, MatchesSignatureParts) {
+  CallPattern P;
+  P.ClassName = "Cipher";
+  P.MethodName = "getInstance";
+  UsageEvent Match{"Cipher.getInstance/1", {AbstractValue::strConst("AES")}};
+  UsageEvent WrongClass{"Mac.getInstance/1",
+                        {AbstractValue::strConst("AES")}};
+  UsageEvent WrongName{"Cipher.init/1", {AbstractValue::strConst("AES")}};
+  EXPECT_TRUE(P.matchesEvent(Match));
+  EXPECT_FALSE(P.matchesEvent(WrongClass));
+  EXPECT_FALSE(P.matchesEvent(WrongName));
+}
+
+TEST(CallPattern, ArityFilter) {
+  CallPattern P;
+  P.MethodName = "getInstance";
+  P.Arity = 2;
+  UsageEvent One{"Cipher.getInstance/1", {AbstractValue::strConst("AES")}};
+  UsageEvent Two{"Cipher.getInstance/2",
+                 {AbstractValue::strConst("AES"),
+                  AbstractValue::strConst("BC")}};
+  EXPECT_FALSE(P.matchesEvent(One));
+  EXPECT_TRUE(P.matchesEvent(Two));
+}
+
+TEST(CallPattern, MissingArgumentFailsConstraint) {
+  CallPattern P;
+  P.MethodName = "init";
+  ArgConstraint C;
+  C.Index = 3;
+  C.K = ArgConstraint::Kind::Any;
+  P.Args = {C};
+  UsageEvent TwoArgs{"Cipher.init/2",
+                     {AbstractValue::intConst(1), AbstractValue::unknown()}};
+  EXPECT_FALSE(P.matchesEvent(TwoArgs));
+}
+
+//===----------------------------------------------------------------------===//
+// ObjectFormula
+//===----------------------------------------------------------------------===//
+
+TEST(ObjectFormula, ExistsAndNotExists) {
+  CallPattern P;
+  P.MethodName = "setSeed";
+  std::vector<UsageEvent> WithSeed = {
+      {"SecureRandom.setSeed/1", {AbstractValue::byteArrayConst()}}};
+  std::vector<UsageEvent> WithoutSeed = {
+      {"SecureRandom.nextBytes/1", {AbstractValue::byteArrayTop()}}};
+  EXPECT_TRUE(ObjectFormula::exists(P).eval(WithSeed));
+  EXPECT_FALSE(ObjectFormula::exists(P).eval(WithoutSeed));
+  EXPECT_FALSE(ObjectFormula::notExists(P).eval(WithSeed));
+  EXPECT_TRUE(ObjectFormula::notExists(P).eval(WithoutSeed));
+}
+
+TEST(ObjectFormula, AndOrComposition) {
+  CallPattern GetInstance;
+  GetInstance.MethodName = "getInstance";
+  CallPattern Init;
+  Init.MethodName = "init";
+  std::vector<UsageEvent> Both = {{"Cipher.getInstance/1", {}},
+                                  {"Cipher.init/2", {}}};
+  std::vector<UsageEvent> OnlyGet = {{"Cipher.getInstance/1", {}}};
+  ObjectFormula AndF = ObjectFormula::all(
+      {ObjectFormula::exists(GetInstance), ObjectFormula::exists(Init)});
+  ObjectFormula OrF = ObjectFormula::any(
+      {ObjectFormula::exists(GetInstance), ObjectFormula::exists(Init)});
+  EXPECT_TRUE(AndF.eval(Both));
+  EXPECT_FALSE(AndF.eval(OnlyGet));
+  EXPECT_TRUE(OrF.eval(OnlyGet));
+  EXPECT_FALSE(OrF.eval({}));
+}
+
+//===----------------------------------------------------------------------===//
+// Builtin rules against real Java snippets
+//===----------------------------------------------------------------------===//
+
+TEST(BuiltinRules, AllRulesPresent) {
+  EXPECT_EQ(elicitedRules().size(), 13u);
+  EXPECT_EQ(cryptoLintRules().size(), 5u);
+  for (int I = 1; I <= 13; ++I)
+    EXPECT_NE(findRule("R" + std::to_string(I)), nullptr) << I;
+  for (int I = 1; I <= 5; ++I)
+    EXPECT_NE(findRule("CL" + std::to_string(I)), nullptr) << I;
+  EXPECT_EQ(findRule("R99"), nullptr);
+}
+
+TEST(BuiltinRules, R1_Sha1Digest) {
+  EXPECT_TRUE(matchesRule("R1",
+      "class A { void m() throws Exception { "
+      "MessageDigest d = MessageDigest.getInstance(\"SHA-1\"); } }"));
+  EXPECT_TRUE(matchesRule("R1",
+      "class A { void m() throws Exception { "
+      "MessageDigest d = MessageDigest.getInstance(\"MD5\"); } }"));
+  EXPECT_FALSE(matchesRule("R1",
+      "class A { void m() throws Exception { "
+      "MessageDigest d = MessageDigest.getInstance(\"SHA-256\"); } }"));
+}
+
+TEST(BuiltinRules, R2_LowIterations) {
+  EXPECT_TRUE(matchesRule("R2",
+      "class A { void m(char[] p, byte[] s) { "
+      "PBEKeySpec k = new PBEKeySpec(p, s, 100, 128); } }"));
+  EXPECT_FALSE(matchesRule("R2",
+      "class A { void m(char[] p, byte[] s) { "
+      "PBEKeySpec k = new PBEKeySpec(p, s, 10000, 128); } }"));
+}
+
+TEST(BuiltinRules, R3_SecureRandomAlgorithm) {
+  EXPECT_TRUE(matchesRule("R3",
+      "class A { void m() { SecureRandom r = new SecureRandom(); } }"));
+  EXPECT_TRUE(matchesRule("R3",
+      "class A { void m() throws Exception { "
+      "SecureRandom r = SecureRandom.getInstance(\"NativePRNG\"); } }"));
+  EXPECT_FALSE(matchesRule("R3",
+      "class A { void m() throws Exception { "
+      "SecureRandom r = SecureRandom.getInstance(\"SHA1PRNG\"); } }"));
+}
+
+TEST(BuiltinRules, R4_GetInstanceStrong) {
+  EXPECT_TRUE(matchesRule("R4",
+      "class A { void m() throws Exception { "
+      "SecureRandom r = SecureRandom.getInstanceStrong(); } }"));
+  EXPECT_FALSE(matchesRule("R4",
+      "class A { void m() throws Exception { "
+      "SecureRandom r = SecureRandom.getInstance(\"SHA1PRNG\"); } }"));
+}
+
+TEST(BuiltinRules, R5_BouncyCastleProvider) {
+  EXPECT_TRUE(matchesRule("R5",
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); } }"));
+  EXPECT_TRUE(matchesRule("R5",
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES/CBC/PKCS5Padding\", "
+      "\"SunJCE\"); } }"));
+  EXPECT_FALSE(matchesRule("R5",
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES/CBC/PKCS5Padding\", \"BC\"); } "
+      "}"));
+}
+
+TEST(BuiltinRules, R6_AndroidPrngGuards) {
+  const char *Source =
+      "class A { void m() { SecureRandom r = new SecureRandom(); } }";
+  ProjectMetadata Vulnerable;
+  Vulnerable.IsAndroid = true;
+  Vulnerable.MinSdkVersion = 17;
+  Vulnerable.HasLinuxPrngFix = false;
+  EXPECT_TRUE(matchesRule("R6", Source, Vulnerable));
+
+  ProjectMetadata OldSdk = Vulnerable;
+  OldSdk.MinSdkVersion = 14;
+  EXPECT_FALSE(matchesRule("R6", Source, OldSdk));
+
+  ProjectMetadata Patched = Vulnerable;
+  Patched.HasLinuxPrngFix = true;
+  EXPECT_FALSE(matchesRule("R6", Source, Patched));
+
+  ProjectMetadata ServerSide = Vulnerable;
+  ServerSide.IsAndroid = false;
+  EXPECT_FALSE(matchesRule("R6", Source, ServerSide));
+}
+
+TEST(BuiltinRules, R7_EcbMode) {
+  EXPECT_TRUE(matchesRule("R7",
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES\"); } }"));
+  EXPECT_TRUE(matchesRule("R7",
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES/ECB/PKCS5Padding\"); } }"));
+  EXPECT_FALSE(matchesRule("R7",
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); } }"));
+}
+
+TEST(BuiltinRules, R8_Des) {
+  EXPECT_TRUE(matchesRule("R8",
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"DES\"); } }"));
+  EXPECT_TRUE(matchesRule("R8",
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"DES/CBC/PKCS5Padding\"); } }"));
+  EXPECT_FALSE(matchesRule("R8",
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); } }"));
+}
+
+TEST(BuiltinRules, R9_StaticIv) {
+  EXPECT_TRUE(matchesRule("R9",
+      "class A { void m() { IvParameterSpec iv = new IvParameterSpec("
+      "\"0123456789abcdef\".getBytes()); } }"));
+  EXPECT_FALSE(matchesRule("R9",
+      "class A { void m(byte[] raw) { "
+      "IvParameterSpec iv = new IvParameterSpec(raw); } }"));
+}
+
+TEST(BuiltinRules, R10_StaticKey) {
+  EXPECT_TRUE(matchesRule("R10",
+      "class A { void m() { SecretKeySpec k = new SecretKeySpec("
+      "\"sixteen-byte-key\".getBytes(), \"AES\"); } }"));
+  EXPECT_FALSE(matchesRule("R10",
+      "class A { void m(byte[] raw) { "
+      "SecretKeySpec k = new SecretKeySpec(raw, \"AES\"); } }"));
+}
+
+TEST(BuiltinRules, R11_StaticSalt) {
+  EXPECT_TRUE(matchesRule("R11",
+      "class A { void m(char[] p) { byte[] salt = \"fixed\".getBytes(); "
+      "PBEKeySpec k = new PBEKeySpec(p, salt, 10000, 128); } }"));
+  EXPECT_FALSE(matchesRule("R11",
+      "class A { void m(char[] p, byte[] salt) { "
+      "PBEKeySpec k = new PBEKeySpec(p, salt, 10000, 128); } }"));
+}
+
+TEST(BuiltinRules, R12_StaticSeed) {
+  EXPECT_TRUE(matchesRule("R12",
+      "class A { void m() throws Exception { "
+      "SecureRandom r = SecureRandom.getInstance(\"SHA1PRNG\"); "
+      "r.setSeed(\"notrandom\".getBytes()); } }"));
+  EXPECT_FALSE(matchesRule("R12",
+      "class A { void m() throws Exception { "
+      "SecureRandom r = SecureRandom.getInstance(\"SHA1PRNG\"); "
+      "r.setSeed(r.generateSeed(16)); } }"));
+}
+
+TEST(BuiltinRules, R13_MissingIntegrity) {
+  const char *NoMac =
+      "class A { void m(Key rsa, SecretKey k, byte[] d, byte[] ivb) throws "
+      "Exception { "
+      "Cipher w = Cipher.getInstance(\"RSA/ECB/PKCS1Padding\"); "
+      "w.init(Cipher.WRAP_MODE, rsa); "
+      "Cipher a = Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); "
+      "a.init(Cipher.ENCRYPT_MODE, k, new IvParameterSpec(ivb)); } }";
+  EXPECT_TRUE(matchesRule("R13", NoMac));
+
+  const char *WithMac =
+      "class A { void m(Key rsa, SecretKey k, byte[] d, byte[] ivb) throws "
+      "Exception { "
+      "Cipher w = Cipher.getInstance(\"RSA/ECB/PKCS1Padding\"); "
+      "w.init(Cipher.WRAP_MODE, rsa); "
+      "Cipher a = Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); "
+      "a.init(Cipher.ENCRYPT_MODE, k, new IvParameterSpec(ivb)); "
+      "Mac m2 = Mac.getInstance(\"HmacSHA256\"); m2.init(k); } }";
+  EXPECT_FALSE(matchesRule("R13", WithMac));
+
+  // AES-only code (no RSA) is not flagged.
+  EXPECT_FALSE(matchesRule("R13",
+      "class A { void m(SecretKey k, byte[] ivb) throws Exception { "
+      "Cipher a = Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); "
+      "a.init(Cipher.ENCRYPT_MODE, k, new IvParameterSpec(ivb)); } }"));
+}
+
+//===----------------------------------------------------------------------===//
+// Applicability & CryptoChecker
+//===----------------------------------------------------------------------===//
+
+TEST(Rules, ApplicabilityRequiresTypePresence) {
+  const Rule *R1 = findRule("R1");
+  AnalysisResult NoDigest = analyze(
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES\"); } }");
+  UnitFacts Facts = UnitFacts::from(NoDigest);
+  EXPECT_FALSE(ruleApplicable(*R1, {Facts}));
+  EXPECT_FALSE(ruleMatches(*R1, {Facts}));
+}
+
+TEST(Rules, CompositeApplicabilityNeedsPositiveClauses) {
+  const Rule *R13 = findRule("R13");
+  std::vector<std::string> Types = R13->applicableTypes();
+  ASSERT_EQ(Types.size(), 1u); // Cipher twice dedupes; Mac is negated
+  EXPECT_EQ(Types[0], "Cipher");
+}
+
+TEST(Rules, MultiUnitProjectsCombineFacts) {
+  // The AES/CBC cipher and the RSA cipher live in different files; R13
+  // must still fire across them.
+  AnalysisResult UnitA = analyze(
+      "class A { void m(SecretKey k, byte[] ivb) throws Exception { "
+      "Cipher a = Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); "
+      "a.init(Cipher.ENCRYPT_MODE, k, new IvParameterSpec(ivb)); } }");
+  AnalysisResult UnitB = analyze(
+      "class B { void m(Key rsa) throws Exception { "
+      "Cipher w = Cipher.getInstance(\"RSA\"); "
+      "w.init(Cipher.WRAP_MODE, rsa); } }");
+  UnitFacts FactsA = UnitFacts::from(UnitA);
+  UnitFacts FactsB = UnitFacts::from(UnitB);
+  EXPECT_TRUE(ruleMatches(*findRule("R13"), {FactsA, FactsB}));
+}
+
+TEST(CryptoChecker, ReportsViolationSites) {
+  AnalysisResult Result = analyze(
+      "class A {\n"
+      "  void m() throws Exception {\n"
+      "    Cipher c = Cipher.getInstance(\"DES\");\n"
+      "  }\n"
+      "}");
+  UnitFacts Facts = UnitFacts::from(Result);
+  CryptoChecker Checker;
+  ProjectReport Report = Checker.checkProject({Facts});
+  EXPECT_TRUE(Report.anyMatch());
+  bool FoundR8 = false;
+  for (const RuleVerdict &V : Report.Verdicts) {
+    if (V.RuleId != "R8")
+      continue;
+    FoundR8 = true;
+    EXPECT_TRUE(V.Matched);
+    ASSERT_FALSE(V.Violations.empty());
+    EXPECT_EQ(V.Violations[0].TypeName, "Cipher");
+    EXPECT_EQ(V.Violations[0].SiteLabel, "l3");
+  }
+  EXPECT_TRUE(FoundR8);
+}
+
+TEST(CryptoChecker, CleanProjectPasses) {
+  AnalysisResult Result = analyze(
+      "class A { int add(int a, int b) { return a + b; } }");
+  UnitFacts Facts = UnitFacts::from(Result);
+  CryptoChecker Checker;
+  ProjectReport Report = Checker.checkProject({Facts});
+  EXPECT_FALSE(Report.anyMatch());
+  for (const RuleVerdict &V : Report.Verdicts)
+    EXPECT_FALSE(V.Applicable);
+}
+
+TEST(CryptoChecker, CustomRuleSet) {
+  CryptoChecker Checker({*findRule("R8")});
+  EXPECT_EQ(Checker.rules().size(), 1u);
+  EXPECT_EQ(Checker.rules()[0].Id, "R8");
+}

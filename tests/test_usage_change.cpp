@@ -1,0 +1,212 @@
+//===- tests/test_usage_change.cpp - Diff & pairing tests (Section 3.5) ----===//
+
+#include "usage/UsageChange.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace diffcode;
+using namespace diffcode::analysis;
+using namespace diffcode::usage;
+
+namespace {
+
+NodeLabel rootL(const char *T) { return NodeLabel::root(T); }
+NodeLabel methodL(const char *Sig) { return NodeLabel::method(Sig); }
+NodeLabel strArg(unsigned I, const char *V) {
+  return NodeLabel::arg(I, AbstractValue::strConst(V));
+}
+
+/// Builds a Cipher DAG with a getInstance(algo) and optional extra event.
+UsageDag cipherDag(const char *Algo, bool WithIv = false) {
+  ObjectTable Objects;
+  UsageLog Log;
+  unsigned Enc = Objects.getOrCreate({13, 1, 0}, "Cipher");
+  Log[Enc].push_back(
+      {"Cipher.getInstance/1", {AbstractValue::strConst(Algo)}});
+  std::vector<AbstractValue> InitArgs = {
+      AbstractValue::intConst(1, "ENCRYPT_MODE"),
+      AbstractValue::topObject("Key")};
+  if (WithIv)
+    InitArgs.push_back(AbstractValue::topObject("IvParameterSpec"));
+  Log[Enc].push_back(
+      {"Cipher.init/" + std::to_string(InitArgs.size()), InitArgs});
+  return UsageDag::build(Objects, Log, Enc);
+}
+
+std::vector<std::string> strs(const std::vector<FeaturePath> &Paths) {
+  std::vector<std::string> Out;
+  for (const FeaturePath &P : Paths)
+    Out.push_back(pathToString(P));
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Shortest-paths
+//===----------------------------------------------------------------------===//
+
+TEST(ShortestPaths, RemovesExtensionsOfKeptPaths) {
+  FeaturePath AB = {rootL("T"), methodL("T.a")};
+  FeaturePath ABC = {rootL("T"), methodL("T.a"), strArg(1, "x")};
+  FeaturePath BC = {methodL("T.b"), strArg(1, "y")};
+  std::vector<FeaturePath> Result = shortestPaths({AB, ABC, BC});
+  ASSERT_EQ(Result.size(), 2u);
+  EXPECT_TRUE(std::find(Result.begin(), Result.end(), AB) != Result.end());
+  EXPECT_TRUE(std::find(Result.begin(), Result.end(), BC) != Result.end());
+}
+
+TEST(ShortestPaths, IdenticalPathsAreNotPrefixesOfEachOther) {
+  FeaturePath P = {rootL("T"), methodL("T.a")};
+  std::vector<FeaturePath> Result = shortestPaths({P, P});
+  EXPECT_EQ(Result.size(), 2u); // strict prefix only — duplicates survive
+}
+
+TEST(ShortestPaths, EmptyInput) {
+  EXPECT_TRUE(shortestPaths({}).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// diffDags
+//===----------------------------------------------------------------------===//
+
+TEST(DiffDags, IdenticalDagsYieldEmptyChange) {
+  UsageDag A = cipherDag("AES");
+  UsageDag B = cipherDag("AES");
+  UsageChange Change = diffDags(A, B);
+  EXPECT_TRUE(Change.isEmpty());
+  EXPECT_EQ(Change.TypeName, "Cipher");
+}
+
+TEST(DiffDags, AlgorithmSwapProducesMinimalFeatures) {
+  UsageChange Change = diffDags(cipherDag("AES"), cipherDag("AES/CBC", true));
+  std::vector<std::string> Removed = strs(Change.Removed);
+  std::vector<std::string> Added = strs(Change.Added);
+  ASSERT_EQ(Removed.size(), 1u);
+  EXPECT_EQ(Removed[0], "Cipher Cipher.getInstance arg1:AES");
+  ASSERT_EQ(Added.size(), 2u);
+  EXPECT_EQ(Added[0], "Cipher Cipher.getInstance arg1:AES/CBC");
+  EXPECT_EQ(Added[1], "Cipher Cipher.init arg3:IvParameterSpec");
+}
+
+TEST(DiffDags, AgainstEmptyIsPureAddition) {
+  UsageChange Change = diffDags(UsageDag::emptyFor("Cipher"), cipherDag("AES"));
+  EXPECT_TRUE(Change.Removed.empty());
+  EXPECT_FALSE(Change.Added.empty());
+  // The shortest added paths start at the method level (the root is
+  // shared).
+  for (const FeaturePath &P : Change.Added)
+    EXPECT_EQ(P.size(), 2u);
+}
+
+TEST(DiffDags, SymmetricSwapReversesFeatureSets) {
+  UsageDag A = cipherDag("AES"), B = cipherDag("DES");
+  UsageChange Fwd = diffDags(A, B);
+  UsageChange Bwd = diffDags(B, A);
+  EXPECT_EQ(Fwd.Removed, Bwd.Added);
+  EXPECT_EQ(Fwd.Added, Bwd.Removed);
+}
+
+TEST(UsageChange, SameFeaturesIgnoresOrigin) {
+  UsageChange A = diffDags(cipherDag("AES"), cipherDag("DES"));
+  UsageChange B = A;
+  B.Origin = "elsewhere";
+  EXPECT_TRUE(A.sameFeatures(B));
+  UsageChange C = diffDags(cipherDag("AES"), cipherDag("RC4"));
+  EXPECT_FALSE(A.sameFeatures(C));
+}
+
+TEST(UsageChange, StrRendersSignedPaths) {
+  UsageChange Change = diffDags(cipherDag("AES"), cipherDag("DES"));
+  std::string Text = Change.str();
+  EXPECT_NE(Text.find("- Cipher Cipher.getInstance arg1:AES"),
+            std::string::npos);
+  EXPECT_NE(Text.find("+ Cipher Cipher.getInstance arg1:DES"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// pairDags
+//===----------------------------------------------------------------------===//
+
+TEST(PairDags, MatchesMostSimilarDags) {
+  std::vector<UsageDag> Old, New;
+  Old.push_back(cipherDag("AES"));
+  Old.push_back(cipherDag("DES"));
+  // New order reversed; the matcher must recover the correspondence.
+  New.push_back(cipherDag("DES"));
+  New.push_back(cipherDag("AES"));
+  auto Pairs = pairDags(Old, New);
+  ASSERT_EQ(Pairs.size(), 2u);
+  for (auto [O, N] : Pairs) {
+    ASSERT_NE(O, static_cast<std::size_t>(-1));
+    ASSERT_NE(N, static_cast<std::size_t>(-1));
+    EXPECT_DOUBLE_EQ(dagDistance(Old[O], New[N]), 0.0);
+  }
+}
+
+TEST(PairDags, PadsWhenCountsDiffer) {
+  std::vector<UsageDag> Old;
+  Old.push_back(cipherDag("AES"));
+  std::vector<UsageDag> New;
+  New.push_back(cipherDag("AES"));
+  New.push_back(cipherDag("DES"));
+  auto Pairs = pairDags(Old, New);
+  ASSERT_EQ(Pairs.size(), 2u);
+  unsigned Unmatched = 0;
+  for (auto [O, N] : Pairs)
+    if (O == static_cast<std::size_t>(-1))
+      ++Unmatched;
+  EXPECT_EQ(Unmatched, 1u);
+}
+
+TEST(PairDags, EmptyInputs) {
+  EXPECT_TRUE(pairDags({}, {}).empty());
+  std::vector<UsageDag> One;
+  One.push_back(cipherDag("AES"));
+  EXPECT_EQ(pairDags(One, {}).size(), 1u);
+  EXPECT_EQ(pairDags({}, One).size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// deriveUsageChanges
+//===----------------------------------------------------------------------===//
+
+TEST(DeriveUsageChanges, RefactoringYieldsEmptyChanges) {
+  std::vector<UsageDag> Old, New;
+  Old.push_back(cipherDag("AES"));
+  New.push_back(cipherDag("AES"));
+  std::vector<UsageChange> Changes = deriveUsageChanges(Old, New, "Cipher");
+  ASSERT_EQ(Changes.size(), 1u);
+  EXPECT_TRUE(Changes[0].isEmpty());
+}
+
+TEST(DeriveUsageChanges, AdditionAndFixDistinguished) {
+  std::vector<UsageDag> Old, New;
+  Old.push_back(cipherDag("AES"));
+  New.push_back(cipherDag("AES/GCM", true)); // the fix
+  New.push_back(cipherDag("RC4"));           // a brand-new usage
+  std::vector<UsageChange> Changes = deriveUsageChanges(Old, New, "Cipher");
+  ASSERT_EQ(Changes.size(), 2u);
+  unsigned Fixes = 0, Adds = 0;
+  for (const UsageChange &C : Changes) {
+    if (!C.Removed.empty() && !C.Added.empty())
+      ++Fixes;
+    if (C.Removed.empty() && !C.Added.empty())
+      ++Adds;
+  }
+  EXPECT_EQ(Fixes, 1u);
+  EXPECT_EQ(Adds, 1u);
+}
+
+TEST(DeriveUsageChanges, RemovalDetected) {
+  std::vector<UsageDag> Old;
+  Old.push_back(cipherDag("AES"));
+  std::vector<UsageChange> Changes = deriveUsageChanges(Old, {}, "Cipher");
+  ASSERT_EQ(Changes.size(), 1u);
+  EXPECT_FALSE(Changes[0].Removed.empty());
+  EXPECT_TRUE(Changes[0].Added.empty());
+}

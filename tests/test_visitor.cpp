@@ -1,0 +1,168 @@
+//===- tests/test_visitor.cpp - AstVisitor tests ---------------------------===//
+
+#include "javaast/AstVisitor.h"
+#include "javaast/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace diffcode;
+using namespace diffcode::java;
+
+namespace {
+
+struct Parsed {
+  AstContext Ctx;
+  DiagnosticsEngine Diags;
+  CompilationUnit *Unit = nullptr;
+};
+
+std::unique_ptr<Parsed> parse(std::string_view Source) {
+  auto P = std::make_unique<Parsed>();
+  P->Unit = parseJava(Source, P->Ctx, P->Diags);
+  EXPECT_FALSE(P->Diags.hasErrors());
+  return P;
+}
+
+/// Records everything it sees.
+class RecordingVisitor : public AstVisitor {
+public:
+  std::vector<std::string> Calls;
+  std::vector<std::string> News;
+  std::set<std::string> Names;
+  unsigned Classes = 0, Methods = 0, Fields = 0, Stmts = 0, Exprs = 0,
+           Literals = 0;
+
+protected:
+  bool visitClass(const ClassDecl &) override {
+    ++Classes;
+    return true;
+  }
+  bool visitMethod(const MethodDecl &) override {
+    ++Methods;
+    return true;
+  }
+  bool visitField(const FieldDecl &) override {
+    ++Fields;
+    return true;
+  }
+  bool visitStmt(const Stmt &) override {
+    ++Stmts;
+    return true;
+  }
+  bool visitExpr(const Expr &) override {
+    ++Exprs;
+    return true;
+  }
+  bool visitCall(const MethodCallExpr &Call) override {
+    Calls.push_back(Call.Name);
+    return true;
+  }
+  bool visitNewObject(const NewObjectExpr &New) override {
+    News.push_back(New.Type.baseName());
+    return true;
+  }
+  bool visitName(const NameExpr &Name) override {
+    Names.insert(Name.Name);
+    return true;
+  }
+  bool visitLiteral(const Expr &) override {
+    ++Literals;
+    return true;
+  }
+};
+
+} // namespace
+
+TEST(AstVisitor, WalksWholeProgram) {
+  auto P = parse(
+      "class A { int x = 1; "
+      "void m(byte[] b) throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES\"); "
+      "c.init(Cipher.ENCRYPT_MODE, new SecretKeySpec(b, \"AES\")); "
+      "if (x > 0) { helper(x); } } "
+      "void helper(int n) { } "
+      "class Inner { int y; } }");
+  RecordingVisitor V;
+  V.walk(P->Unit);
+  EXPECT_EQ(V.Classes, 2u);
+  EXPECT_EQ(V.Methods, 2u);
+  EXPECT_EQ(V.Fields, 2u); // x and y
+  ASSERT_EQ(V.Calls.size(), 3u);
+  EXPECT_EQ(V.Calls[0], "getInstance");
+  EXPECT_EQ(V.Calls[1], "init");
+  EXPECT_EQ(V.Calls[2], "helper");
+  ASSERT_EQ(V.News.size(), 1u);
+  EXPECT_EQ(V.News[0], "SecretKeySpec");
+  EXPECT_TRUE(V.Names.count("x"));
+  EXPECT_TRUE(V.Names.count("b"));
+  EXPECT_GT(V.Literals, 0u);
+  EXPECT_GT(V.Stmts, 3u);
+  EXPECT_GT(V.Exprs, 5u);
+}
+
+TEST(AstVisitor, NullAndEmptyAreSafe) {
+  RecordingVisitor V;
+  V.walk(nullptr);
+  auto P = parse("");
+  V.walk(P->Unit);
+  EXPECT_EQ(V.Classes, 0u);
+}
+
+TEST(AstVisitor, PruningStopsDescent) {
+  class PruningVisitor : public AstVisitor {
+  public:
+    unsigned CallsSeen = 0;
+
+  protected:
+    bool visitMethod(const MethodDecl &M) override {
+      return M.Name != "skipped"; // do not descend into `skipped`
+    }
+    bool visitCall(const MethodCallExpr &) override {
+      ++CallsSeen;
+      return true;
+    }
+  };
+  auto P = parse("class A { void skipped() { a(); b(); } "
+                 "void kept() { c(); } }");
+  PruningVisitor V;
+  V.walk(P->Unit);
+  EXPECT_EQ(V.CallsSeen, 1u);
+}
+
+TEST(AstVisitor, CallArgumentsVisited) {
+  auto P = parse("class A { void m() { outer(inner(1), 2); } }");
+  RecordingVisitor V;
+  V.walk(P->Unit);
+  ASSERT_EQ(V.Calls.size(), 2u);
+  EXPECT_EQ(V.Calls[0], "outer"); // preorder
+  EXPECT_EQ(V.Calls[1], "inner");
+}
+
+TEST(AstVisitor, WalksAllStatementForms) {
+  auto P = parse(
+      "class A { void m(int n) { "
+      "for (int i = 0; i < n; i++) { use(i); } "
+      "while (n > 0) { n--; } "
+      "do { n++; } while (n < 5); "
+      "try { risky(); } catch (Exception e) { log(e); } finally { done(); } "
+      "switch (n) { case 1: one(); break; default: other(); } "
+      "throw new Error(); } }");
+  RecordingVisitor V;
+  V.walk(P->Unit);
+  std::set<std::string> CallSet(V.Calls.begin(), V.Calls.end());
+  for (const char *Name :
+       {"use", "risky", "log", "done", "one", "other"})
+    EXPECT_TRUE(CallSet.count(Name)) << Name;
+  EXPECT_EQ(V.News.size(), 1u); // new Error()
+}
+
+TEST(AstVisitor, WalkStartingAtSubtree) {
+  auto P = parse("class A { void m() { a(); } void n() { b(); } }");
+  RecordingVisitor V;
+  V.walk(P->Unit->Types[0]->Methods[1]); // only n()
+  ASSERT_EQ(V.Calls.size(), 1u);
+  EXPECT_EQ(V.Calls[0], "b");
+}
