@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dag_depth.dir/ablation_dag_depth.cpp.o"
+  "CMakeFiles/ablation_dag_depth.dir/ablation_dag_depth.cpp.o.d"
+  "ablation_dag_depth"
+  "ablation_dag_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dag_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

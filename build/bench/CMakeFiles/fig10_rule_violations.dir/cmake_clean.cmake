@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rule_violations.dir/fig10_rule_violations.cpp.o"
+  "CMakeFiles/fig10_rule_violations.dir/fig10_rule_violations.cpp.o.d"
+  "fig10_rule_violations"
+  "fig10_rule_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rule_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

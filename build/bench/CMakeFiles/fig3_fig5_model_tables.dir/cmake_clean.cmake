@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fig5_model_tables.dir/fig3_fig5_model_tables.cpp.o"
+  "CMakeFiles/fig3_fig5_model_tables.dir/fig3_fig5_model_tables.cpp.o.d"
+  "fig3_fig5_model_tables"
+  "fig3_fig5_model_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fig5_model_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

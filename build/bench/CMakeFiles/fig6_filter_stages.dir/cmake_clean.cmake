@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_filter_stages.dir/fig6_filter_stages.cpp.o"
+  "CMakeFiles/fig6_filter_stages.dir/fig6_filter_stages.cpp.o.d"
+  "fig6_filter_stages"
+  "fig6_filter_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_filter_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

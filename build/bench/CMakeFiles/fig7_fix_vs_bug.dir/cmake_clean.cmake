@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fix_vs_bug.dir/fig7_fix_vs_bug.cpp.o"
+  "CMakeFiles/fig7_fix_vs_bug.dir/fig7_fix_vs_bug.cpp.o.d"
+  "fig7_fix_vs_bug"
+  "fig7_fix_vs_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fix_vs_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

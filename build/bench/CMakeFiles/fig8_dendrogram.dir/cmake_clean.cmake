@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dendrogram.dir/fig8_dendrogram.cpp.o"
+  "CMakeFiles/fig8_dendrogram.dir/fig8_dendrogram.cpp.o.d"
+  "fig8_dendrogram"
+  "fig8_dendrogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dendrogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_rule_catalog.dir/fig9_rule_catalog.cpp.o"
+  "CMakeFiles/fig9_rule_catalog.dir/fig9_rule_catalog.cpp.o.d"
+  "fig9_rule_catalog"
+  "fig9_rule_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_rule_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

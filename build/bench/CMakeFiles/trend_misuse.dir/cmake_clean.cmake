@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_misuse.dir/trend_misuse.cpp.o"
+  "CMakeFiles/trend_misuse.dir/trend_misuse.cpp.o.d"
+  "trend_misuse"
+  "trend_misuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_misuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_project.dir/check_project.cpp.o"
+  "CMakeFiles/check_project.dir/check_project.cpp.o.d"
+  "check_project"
+  "check_project.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_project.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/diffcode_cli.cpp" "examples/CMakeFiles/diffcode_cli.dir/diffcode_cli.cpp.o" "gcc" "examples/CMakeFiles/diffcode_cli.dir/diffcode_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/diffcode_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/diffcode_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/diffcode_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/diffcode_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/usage/CMakeFiles/diffcode_usage.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/diffcode_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/javaast/CMakeFiles/diffcode_javaast.dir/DependInfo.cmake"
+  "/root/repo/build/src/apimodel/CMakeFiles/diffcode_apimodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/diffcode_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffcode_cli.dir/diffcode_cli.cpp.o"
+  "CMakeFiles/diffcode_cli.dir/diffcode_cli.cpp.o.d"
+  "diffcode_cli"
+  "diffcode_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffcode_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_and_cluster.dir/mine_and_cluster.cpp.o"
+  "CMakeFiles/mine_and_cluster.dir/mine_and_cluster.cpp.o.d"
+  "mine_and_cluster"
+  "mine_and_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_and_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suggest_rules.dir/suggest_rules.cpp.o"
+  "CMakeFiles/suggest_rules.dir/suggest_rules.cpp.o.d"
+  "suggest_rules"
+  "suggest_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suggest_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_generality.dir/tls_generality.cpp.o"
+  "CMakeFiles/tls_generality.dir/tls_generality.cpp.o.d"
+  "tls_generality"
+  "tls_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

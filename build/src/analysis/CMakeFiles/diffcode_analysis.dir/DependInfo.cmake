@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AbstractInterpreter.cpp" "src/analysis/CMakeFiles/diffcode_analysis.dir/AbstractInterpreter.cpp.o" "gcc" "src/analysis/CMakeFiles/diffcode_analysis.dir/AbstractInterpreter.cpp.o.d"
+  "/root/repo/src/analysis/AbstractValue.cpp" "src/analysis/CMakeFiles/diffcode_analysis.dir/AbstractValue.cpp.o" "gcc" "src/analysis/CMakeFiles/diffcode_analysis.dir/AbstractValue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/javaast/CMakeFiles/diffcode_javaast.dir/DependInfo.cmake"
+  "/root/repo/build/src/apimodel/CMakeFiles/diffcode_apimodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/diffcode_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

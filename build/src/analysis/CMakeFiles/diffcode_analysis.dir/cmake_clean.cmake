@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffcode_analysis.dir/AbstractInterpreter.cpp.o"
+  "CMakeFiles/diffcode_analysis.dir/AbstractInterpreter.cpp.o.d"
+  "CMakeFiles/diffcode_analysis.dir/AbstractValue.cpp.o"
+  "CMakeFiles/diffcode_analysis.dir/AbstractValue.cpp.o.d"
+  "libdiffcode_analysis.a"
+  "libdiffcode_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffcode_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

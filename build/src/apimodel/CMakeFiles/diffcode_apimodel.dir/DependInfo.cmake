@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apimodel/CryptoApiModel.cpp" "src/apimodel/CMakeFiles/diffcode_apimodel.dir/CryptoApiModel.cpp.o" "gcc" "src/apimodel/CMakeFiles/diffcode_apimodel.dir/CryptoApiModel.cpp.o.d"
+  "/root/repo/src/apimodel/TlsApiModel.cpp" "src/apimodel/CMakeFiles/diffcode_apimodel.dir/TlsApiModel.cpp.o" "gcc" "src/apimodel/CMakeFiles/diffcode_apimodel.dir/TlsApiModel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/diffcode_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

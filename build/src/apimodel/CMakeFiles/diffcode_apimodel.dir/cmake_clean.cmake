@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffcode_apimodel.dir/CryptoApiModel.cpp.o"
+  "CMakeFiles/diffcode_apimodel.dir/CryptoApiModel.cpp.o.d"
+  "CMakeFiles/diffcode_apimodel.dir/TlsApiModel.cpp.o"
+  "CMakeFiles/diffcode_apimodel.dir/TlsApiModel.cpp.o.d"
+  "libdiffcode_apimodel.a"
+  "libdiffcode_apimodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffcode_apimodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

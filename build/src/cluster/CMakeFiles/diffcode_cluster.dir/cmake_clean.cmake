@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffcode_cluster.dir/DendrogramExport.cpp.o"
+  "CMakeFiles/diffcode_cluster.dir/DendrogramExport.cpp.o.d"
+  "CMakeFiles/diffcode_cluster.dir/Distance.cpp.o"
+  "CMakeFiles/diffcode_cluster.dir/Distance.cpp.o.d"
+  "CMakeFiles/diffcode_cluster.dir/HierarchicalClustering.cpp.o"
+  "CMakeFiles/diffcode_cluster.dir/HierarchicalClustering.cpp.o.d"
+  "libdiffcode_cluster.a"
+  "libdiffcode_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffcode_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffcode_core.dir/DiffCode.cpp.o"
+  "CMakeFiles/diffcode_core.dir/DiffCode.cpp.o.d"
+  "CMakeFiles/diffcode_core.dir/Filters.cpp.o"
+  "CMakeFiles/diffcode_core.dir/Filters.cpp.o.d"
+  "CMakeFiles/diffcode_core.dir/ReportWriter.cpp.o"
+  "CMakeFiles/diffcode_core.dir/ReportWriter.cpp.o.d"
+  "libdiffcode_core.a"
+  "libdiffcode_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffcode_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/CorpusGenerator.cpp" "src/corpus/CMakeFiles/diffcode_corpus.dir/CorpusGenerator.cpp.o" "gcc" "src/corpus/CMakeFiles/diffcode_corpus.dir/CorpusGenerator.cpp.o.d"
+  "/root/repo/src/corpus/CorpusIO.cpp" "src/corpus/CMakeFiles/diffcode_corpus.dir/CorpusIO.cpp.o" "gcc" "src/corpus/CMakeFiles/diffcode_corpus.dir/CorpusIO.cpp.o.d"
+  "/root/repo/src/corpus/Miner.cpp" "src/corpus/CMakeFiles/diffcode_corpus.dir/Miner.cpp.o" "gcc" "src/corpus/CMakeFiles/diffcode_corpus.dir/Miner.cpp.o.d"
+  "/root/repo/src/corpus/Scenario.cpp" "src/corpus/CMakeFiles/diffcode_corpus.dir/Scenario.cpp.o" "gcc" "src/corpus/CMakeFiles/diffcode_corpus.dir/Scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rules/CMakeFiles/diffcode_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/apimodel/CMakeFiles/diffcode_apimodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/diffcode_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/usage/CMakeFiles/diffcode_usage.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/diffcode_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/javaast/CMakeFiles/diffcode_javaast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

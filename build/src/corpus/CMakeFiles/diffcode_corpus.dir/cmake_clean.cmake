@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffcode_corpus.dir/CorpusGenerator.cpp.o"
+  "CMakeFiles/diffcode_corpus.dir/CorpusGenerator.cpp.o.d"
+  "CMakeFiles/diffcode_corpus.dir/CorpusIO.cpp.o"
+  "CMakeFiles/diffcode_corpus.dir/CorpusIO.cpp.o.d"
+  "CMakeFiles/diffcode_corpus.dir/Miner.cpp.o"
+  "CMakeFiles/diffcode_corpus.dir/Miner.cpp.o.d"
+  "CMakeFiles/diffcode_corpus.dir/Scenario.cpp.o"
+  "CMakeFiles/diffcode_corpus.dir/Scenario.cpp.o.d"
+  "libdiffcode_corpus.a"
+  "libdiffcode_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffcode_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

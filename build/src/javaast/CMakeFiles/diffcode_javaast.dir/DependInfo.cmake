@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/javaast/Ast.cpp" "src/javaast/CMakeFiles/diffcode_javaast.dir/Ast.cpp.o" "gcc" "src/javaast/CMakeFiles/diffcode_javaast.dir/Ast.cpp.o.d"
+  "/root/repo/src/javaast/AstPrinter.cpp" "src/javaast/CMakeFiles/diffcode_javaast.dir/AstPrinter.cpp.o" "gcc" "src/javaast/CMakeFiles/diffcode_javaast.dir/AstPrinter.cpp.o.d"
+  "/root/repo/src/javaast/AstVisitor.cpp" "src/javaast/CMakeFiles/diffcode_javaast.dir/AstVisitor.cpp.o" "gcc" "src/javaast/CMakeFiles/diffcode_javaast.dir/AstVisitor.cpp.o.d"
+  "/root/repo/src/javaast/Diagnostics.cpp" "src/javaast/CMakeFiles/diffcode_javaast.dir/Diagnostics.cpp.o" "gcc" "src/javaast/CMakeFiles/diffcode_javaast.dir/Diagnostics.cpp.o.d"
+  "/root/repo/src/javaast/Lexer.cpp" "src/javaast/CMakeFiles/diffcode_javaast.dir/Lexer.cpp.o" "gcc" "src/javaast/CMakeFiles/diffcode_javaast.dir/Lexer.cpp.o.d"
+  "/root/repo/src/javaast/Parser.cpp" "src/javaast/CMakeFiles/diffcode_javaast.dir/Parser.cpp.o" "gcc" "src/javaast/CMakeFiles/diffcode_javaast.dir/Parser.cpp.o.d"
+  "/root/repo/src/javaast/Token.cpp" "src/javaast/CMakeFiles/diffcode_javaast.dir/Token.cpp.o" "gcc" "src/javaast/CMakeFiles/diffcode_javaast.dir/Token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/diffcode_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffcode_javaast.dir/Ast.cpp.o"
+  "CMakeFiles/diffcode_javaast.dir/Ast.cpp.o.d"
+  "CMakeFiles/diffcode_javaast.dir/AstPrinter.cpp.o"
+  "CMakeFiles/diffcode_javaast.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/diffcode_javaast.dir/AstVisitor.cpp.o"
+  "CMakeFiles/diffcode_javaast.dir/AstVisitor.cpp.o.d"
+  "CMakeFiles/diffcode_javaast.dir/Diagnostics.cpp.o"
+  "CMakeFiles/diffcode_javaast.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/diffcode_javaast.dir/Lexer.cpp.o"
+  "CMakeFiles/diffcode_javaast.dir/Lexer.cpp.o.d"
+  "CMakeFiles/diffcode_javaast.dir/Parser.cpp.o"
+  "CMakeFiles/diffcode_javaast.dir/Parser.cpp.o.d"
+  "CMakeFiles/diffcode_javaast.dir/Token.cpp.o"
+  "CMakeFiles/diffcode_javaast.dir/Token.cpp.o.d"
+  "libdiffcode_javaast.a"
+  "libdiffcode_javaast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffcode_javaast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

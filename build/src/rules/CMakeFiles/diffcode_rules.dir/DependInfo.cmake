@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/BuiltinRules.cpp" "src/rules/CMakeFiles/diffcode_rules.dir/BuiltinRules.cpp.o" "gcc" "src/rules/CMakeFiles/diffcode_rules.dir/BuiltinRules.cpp.o.d"
+  "/root/repo/src/rules/ChangeClassifier.cpp" "src/rules/CMakeFiles/diffcode_rules.dir/ChangeClassifier.cpp.o" "gcc" "src/rules/CMakeFiles/diffcode_rules.dir/ChangeClassifier.cpp.o.d"
+  "/root/repo/src/rules/CryptoChecker.cpp" "src/rules/CMakeFiles/diffcode_rules.dir/CryptoChecker.cpp.o" "gcc" "src/rules/CMakeFiles/diffcode_rules.dir/CryptoChecker.cpp.o.d"
+  "/root/repo/src/rules/Rule.cpp" "src/rules/CMakeFiles/diffcode_rules.dir/Rule.cpp.o" "gcc" "src/rules/CMakeFiles/diffcode_rules.dir/Rule.cpp.o.d"
+  "/root/repo/src/rules/RuleSuggestion.cpp" "src/rules/CMakeFiles/diffcode_rules.dir/RuleSuggestion.cpp.o" "gcc" "src/rules/CMakeFiles/diffcode_rules.dir/RuleSuggestion.cpp.o.d"
+  "/root/repo/src/rules/TlsRules.cpp" "src/rules/CMakeFiles/diffcode_rules.dir/TlsRules.cpp.o" "gcc" "src/rules/CMakeFiles/diffcode_rules.dir/TlsRules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/diffcode_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/usage/CMakeFiles/diffcode_usage.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/diffcode_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/javaast/CMakeFiles/diffcode_javaast.dir/DependInfo.cmake"
+  "/root/repo/build/src/apimodel/CMakeFiles/diffcode_apimodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

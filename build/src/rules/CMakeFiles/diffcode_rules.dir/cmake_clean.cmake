@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffcode_rules.dir/BuiltinRules.cpp.o"
+  "CMakeFiles/diffcode_rules.dir/BuiltinRules.cpp.o.d"
+  "CMakeFiles/diffcode_rules.dir/ChangeClassifier.cpp.o"
+  "CMakeFiles/diffcode_rules.dir/ChangeClassifier.cpp.o.d"
+  "CMakeFiles/diffcode_rules.dir/CryptoChecker.cpp.o"
+  "CMakeFiles/diffcode_rules.dir/CryptoChecker.cpp.o.d"
+  "CMakeFiles/diffcode_rules.dir/Rule.cpp.o"
+  "CMakeFiles/diffcode_rules.dir/Rule.cpp.o.d"
+  "CMakeFiles/diffcode_rules.dir/RuleSuggestion.cpp.o"
+  "CMakeFiles/diffcode_rules.dir/RuleSuggestion.cpp.o.d"
+  "CMakeFiles/diffcode_rules.dir/TlsRules.cpp.o"
+  "CMakeFiles/diffcode_rules.dir/TlsRules.cpp.o.d"
+  "libdiffcode_rules.a"
+  "libdiffcode_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffcode_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdiffcode_rules.a"
+)

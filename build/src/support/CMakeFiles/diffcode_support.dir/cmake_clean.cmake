@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffcode_support.dir/Hungarian.cpp.o"
+  "CMakeFiles/diffcode_support.dir/Hungarian.cpp.o.d"
+  "CMakeFiles/diffcode_support.dir/JsonWriter.cpp.o"
+  "CMakeFiles/diffcode_support.dir/JsonWriter.cpp.o.d"
+  "CMakeFiles/diffcode_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/diffcode_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/diffcode_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/diffcode_support.dir/TablePrinter.cpp.o.d"
+  "libdiffcode_support.a"
+  "libdiffcode_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffcode_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffcode_usage.dir/UsageChange.cpp.o"
+  "CMakeFiles/diffcode_usage.dir/UsageChange.cpp.o.d"
+  "CMakeFiles/diffcode_usage.dir/UsageDag.cpp.o"
+  "CMakeFiles/diffcode_usage.dir/UsageDag.cpp.o.d"
+  "libdiffcode_usage.a"
+  "libdiffcode_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffcode_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abstract_value.dir/test_abstract_value.cpp.o"
+  "CMakeFiles/test_abstract_value.dir/test_abstract_value.cpp.o.d"
+  "test_abstract_value"
+  "test_abstract_value.pdb"
+  "test_abstract_value[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abstract_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

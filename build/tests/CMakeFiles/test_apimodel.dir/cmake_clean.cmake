@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apimodel.dir/test_apimodel.cpp.o"
+  "CMakeFiles/test_apimodel.dir/test_apimodel.cpp.o.d"
+  "test_apimodel"
+  "test_apimodel.pdb"
+  "test_apimodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apimodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_suggestion.dir/test_cluster_suggestion.cpp.o"
+  "CMakeFiles/test_cluster_suggestion.dir/test_cluster_suggestion.cpp.o.d"
+  "test_cluster_suggestion"
+  "test_cluster_suggestion.pdb"
+  "test_cluster_suggestion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_suggestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

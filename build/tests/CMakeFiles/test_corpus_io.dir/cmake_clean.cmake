@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_io.dir/test_corpus_io.cpp.o"
+  "CMakeFiles/test_corpus_io.dir/test_corpus_io.cpp.o.d"
+  "test_corpus_io"
+  "test_corpus_io.pdb"
+  "test_corpus_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

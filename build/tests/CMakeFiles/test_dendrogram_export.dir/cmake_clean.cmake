@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dendrogram_export.dir/test_dendrogram_export.cpp.o"
+  "CMakeFiles/test_dendrogram_export.dir/test_dendrogram_export.cpp.o.d"
+  "test_dendrogram_export"
+  "test_dendrogram_export.pdb"
+  "test_dendrogram_export[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dendrogram_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

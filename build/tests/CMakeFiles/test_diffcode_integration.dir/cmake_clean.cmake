@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diffcode_integration.dir/test_diffcode_integration.cpp.o"
+  "CMakeFiles/test_diffcode_integration.dir/test_diffcode_integration.cpp.o.d"
+  "test_diffcode_integration"
+  "test_diffcode_integration.pdb"
+  "test_diffcode_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diffcode_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interpreter_strings.dir/test_interpreter_strings.cpp.o"
+  "CMakeFiles/test_interpreter_strings.dir/test_interpreter_strings.cpp.o.d"
+  "test_interpreter_strings"
+  "test_interpreter_strings.pdb"
+  "test_interpreter_strings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interpreter_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_printer_statements.dir/test_printer_statements.cpp.o"
+  "CMakeFiles/test_printer_statements.dir/test_printer_statements.cpp.o.d"
+  "test_printer_statements"
+  "test_printer_statements.pdb"
+  "test_printer_statements[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_printer_statements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

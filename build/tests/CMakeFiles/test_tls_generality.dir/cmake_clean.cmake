@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tls_generality.dir/test_tls_generality.cpp.o"
+  "CMakeFiles/test_tls_generality.dir/test_tls_generality.cpp.o.d"
+  "test_tls_generality"
+  "test_tls_generality.pdb"
+  "test_tls_generality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tls_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usage_change.dir/test_usage_change.cpp.o"
+  "CMakeFiles/test_usage_change.dir/test_usage_change.cpp.o.d"
+  "test_usage_change"
+  "test_usage_change.pdb"
+  "test_usage_change[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usage_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usage_dag.dir/test_usage_dag.cpp.o"
+  "CMakeFiles/test_usage_dag.dir/test_usage_dag.cpp.o.d"
+  "test_usage_dag"
+  "test_usage_dag.pdb"
+  "test_usage_dag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usage_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

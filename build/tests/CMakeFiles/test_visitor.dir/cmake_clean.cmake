@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_visitor.dir/test_visitor.cpp.o"
+  "CMakeFiles/test_visitor.dir/test_visitor.cpp.o.d"
+  "test_visitor"
+  "test_visitor.pdb"
+  "test_visitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_visitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_lexer[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_printer[1]_include.cmake")
+include("/root/repo/build/tests/test_apimodel[1]_include.cmake")
+include("/root/repo/build/tests/test_abstract_value[1]_include.cmake")
+include("/root/repo/build/tests/test_interpreter[1]_include.cmake")
+include("/root/repo/build/tests/test_usage_dag[1]_include.cmake")
+include("/root/repo/build/tests/test_usage_change[1]_include.cmake")
+include("/root/repo/build/tests/test_distance[1]_include.cmake")
+include("/root/repo/build/tests/test_clustering[1]_include.cmake")
+include("/root/repo/build/tests/test_filters[1]_include.cmake")
+include("/root/repo/build/tests/test_rules[1]_include.cmake")
+include("/root/repo/build/tests/test_classifier[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus[1]_include.cmake")
+include("/root/repo/build/tests/test_diffcode_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_tls_generality[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster_suggestion[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_scenarios[1]_include.cmake")
+include("/root/repo/build/tests/test_dendrogram_export[1]_include.cmake")
+include("/root/repo/build/tests/test_visitor[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus_io[1]_include.cmake")
+include("/root/repo/build/tests/test_interpreter_strings[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_printer_statements[1]_include.cmake")
+include("/root/repo/build/tests/test_misc_coverage[1]_include.cmake")
