@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the test suite.
+# Extra arguments pass through to ctest, e.g.
+#   scripts/check.sh -L tier1
+#   scripts/check.sh -L differential
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+cd build
+ctest --output-on-failure -j"$(nproc)" "$@"

@@ -1,0 +1,92 @@
+//===- cluster/DistanceCache.h - Memoised usageDist over a corpus ----------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hot loop of Section 4.3's clustering is the pairwise usageDist
+/// matrix: every evaluation runs a Hungarian assignment whose cost
+/// entries each run a Levenshtein over label units. Across a corpus the
+/// same labels and feature paths recur constantly, so this cache interns
+/// them once and memoises the expensive sub-results:
+///
+///   * every distinct NodeLabel -> a dense id + its precomputed unit
+///     vector (string constants split per character only once);
+///   * every distinct FeaturePath -> a dense id over label ids, making
+///     path equality and common-prefix tests integer compares;
+///   * labelSimilarity over id pairs -> a dense table (bounded; larger
+///     vocabularies fall back to on-the-fly Levenshtein over the
+///     precomputed units);
+///   * pathDist over id pairs -> a dense table under the same bound.
+///
+/// Every memoised value is produced by the same arithmetic as the
+/// uncached functions in cluster/Distance.h, so results are bit-identical
+/// — tests assert exact equality. All queries after construction are
+/// read-only and therefore thread-safe; construction itself can be
+/// parallelised by passing a support::ThreadPool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_CLUSTER_DISTANCECACHE_H
+#define DIFFCODE_CLUSTER_DISTANCECACHE_H
+
+#include "usage/UsageChange.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace diffcode {
+namespace support {
+class ThreadPool;
+} // namespace support
+
+namespace cluster {
+
+/// Memoised usageDist evaluator over a fixed corpus of usage changes.
+class UsageDistCache {
+public:
+  /// Interns the corpus and warms the similarity tables; \p Pool (may be
+  /// null) parallelises the table fill.
+  explicit UsageDistCache(const std::vector<usage::UsageChange> &Changes,
+                          support::ThreadPool *Pool = nullptr);
+
+  /// Number of usage changes indexed.
+  std::size_t size() const { return Interned.size(); }
+
+  /// Bit-identical equivalent of usageDist(Changes[I], Changes[J]).
+  double operator()(std::size_t I, std::size_t J) const;
+
+  std::size_t distinctLabels() const { return Units.size(); }
+  std::size_t distinctPaths() const { return PathLabels.size(); }
+
+private:
+  struct InternedChange {
+    std::vector<std::uint32_t> Removed; ///< Path ids of F-.
+    std::vector<std::uint32_t> Added;   ///< Path ids of F+.
+  };
+
+  double labelSim(std::uint32_t A, std::uint32_t B) const;
+  double pathDistById(std::uint32_t A, std::uint32_t B) const;
+  double pathDistCached(std::uint32_t A, std::uint32_t B) const;
+  double pathsDistById(const std::vector<std::uint32_t> &F1,
+                       const std::vector<std::uint32_t> &F2) const;
+
+  std::vector<InternedChange> Interned;
+  /// Levenshtein units per label id (labelUnits, computed once).
+  std::vector<std::vector<std::string>> Units;
+  /// Label-id sequence per path id.
+  std::vector<std::vector<std::uint32_t>> PathLabels;
+  /// Dense distinctLabels^2 similarity table; empty when the vocabulary
+  /// exceeds the memory bound.
+  std::vector<double> LabelSimTable;
+  /// Dense distinctPaths^2 pathDist table; empty when over the bound.
+  std::vector<double> PathDistTable;
+};
+
+} // namespace cluster
+} // namespace diffcode
+
+#endif // DIFFCODE_CLUSTER_DISTANCECACHE_H

@@ -2,7 +2,8 @@
 
 #include "cluster/HierarchicalClustering.h"
 
-#include "cluster/Distance.h"
+#include "cluster/DistanceCache.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -89,15 +90,155 @@ std::string Dendrogram::render(
   return Out;
 }
 
-Dendrogram diffcode::cluster::agglomerativeCluster(
-    std::size_t NumItems,
-    const std::function<double(std::size_t, std::size_t)> &Dist) {
+namespace {
+
+/// Canonical strict total order on active cluster pairs: distance first,
+/// then the clusters' representatives (each cluster's minimum leaf id).
+/// Distinct pairs never compare equal — the pair of representatives is
+/// unique — so the complete-linkage dendrogram is unique under this
+/// order, and both agglomeration engines below reproduce it exactly
+/// (see DESIGN.md "Clustering engine" for the argument).
+struct MergeKey {
+  double Dist;
+  std::size_t A; ///< Smaller representative.
+  std::size_t B; ///< Larger representative.
+
+  bool operator<(const MergeKey &Other) const {
+    if (Dist != Other.Dist)
+      return Dist < Other.Dist;
+    if (A != Other.A)
+      return A < Other.A;
+    return B < Other.B;
+  }
+};
+
+/// One merge: the two cluster representatives (A < B) and the linkage.
+struct MergeStep {
+  std::size_t A;
+  std::size_t B;
+  double Height;
+};
+
+/// Nearest-neighbor-chain agglomeration over \p D (row-major N x N,
+/// mutated in place by Lance-Williams max updates). Complete linkage is
+/// reducible — D(X u Y, Z) = max(D(X,Z), D(Y,Z)) >= min(D(X,Z), D(Y,Z))
+/// — so every merge of mutual nearest neighbours belongs to the unique
+/// canonical dendrogram. O(n^2) total: each chain step is an O(n) scan,
+/// and there are at most 3(n-1) steps (each either grows the chain or
+/// consumes two of its elements).
+std::vector<MergeStep> nnChainMerges(std::size_t N, std::vector<double> &D) {
+  std::vector<MergeStep> Steps;
+  Steps.reserve(N - 1);
+  std::vector<char> Alive(N, 1);
+  std::vector<std::size_t> Chain;
+  Chain.reserve(N);
+  while (Steps.size() + 1 < N) {
+    if (Chain.empty()) {
+      // Start from the smallest alive representative (leaf 0 is always
+      // alive: merged clusters keep their smaller representative).
+      std::size_t Start = 0;
+      while (!Alive[Start])
+        ++Start;
+      Chain.push_back(Start);
+    }
+    std::size_t Top = Chain.back();
+    // Unique nearest neighbour of Top under the canonical key.
+    MergeKey Best{std::numeric_limits<double>::infinity(), N, N};
+    std::size_t BestK = N;
+    const double *Row = D.data() + Top * N;
+    for (std::size_t K = 0; K < N; ++K) {
+      if (!Alive[K] || K == Top)
+        continue;
+      MergeKey Key{Row[K], std::min(Top, K), std::max(Top, K)};
+      if (Key < Best) {
+        Best = Key;
+        BestK = K;
+      }
+    }
+    if (Chain.size() >= 2 && BestK == Chain[Chain.size() - 2]) {
+      // Mutual nearest neighbours: merge, keeping the smaller
+      // representative; update its distances to all survivors.
+      std::size_t A = std::min(Top, BestK);
+      std::size_t B = std::max(Top, BestK);
+      Steps.push_back({A, B, D[A * N + B]});
+      Chain.pop_back();
+      Chain.pop_back();
+      Alive[B] = 0;
+      for (std::size_t K = 0; K < N; ++K) {
+        if (!Alive[K] || K == A)
+          continue;
+        double Max = std::max(D[A * N + K], D[B * N + K]);
+        D[A * N + K] = D[K * N + A] = Max;
+      }
+    } else {
+      Chain.push_back(BestK);
+    }
+  }
+  return Steps;
+}
+
+/// The O(n^3) greedy reference: every step recomputes all pairwise
+/// linkages as max over member items of the raw distance matrix and
+/// merges the canonical minimum. Deliberately independent arithmetic
+/// from nnChainMerges (no Lance-Williams updates) so the differential
+/// test exercises two genuinely different code paths.
+std::vector<MergeStep> naiveMerges(std::size_t N,
+                                   const std::vector<double> &D) {
+  struct Cluster {
+    std::size_t MinItem;
+    std::vector<std::size_t> Members;
+  };
+  std::vector<Cluster> Active;
+  Active.reserve(N);
+  for (std::size_t I = 0; I < N; ++I)
+    Active.push_back({I, {I}});
+
+  std::vector<MergeStep> Steps;
+  Steps.reserve(N - 1);
+  while (Active.size() > 1) {
+    MergeKey Best{std::numeric_limits<double>::infinity(), N, N};
+    std::size_t BestI = 0, BestJ = 1;
+    for (std::size_t I = 0; I < Active.size(); ++I)
+      for (std::size_t J = I + 1; J < Active.size(); ++J) {
+        double Linkage = 0.0;
+        for (std::size_t A : Active[I].Members)
+          for (std::size_t B : Active[J].Members)
+            Linkage = std::max(Linkage, D[A * N + B]);
+        MergeKey Key{Linkage,
+                     std::min(Active[I].MinItem, Active[J].MinItem),
+                     std::max(Active[I].MinItem, Active[J].MinItem)};
+        if (Key < Best) {
+          Best = Key;
+          BestI = I;
+          BestJ = J;
+        }
+      }
+
+    Steps.push_back({Best.A, Best.B, Best.Dist});
+    Cluster Combined;
+    Combined.MinItem = Best.A;
+    Combined.Members = std::move(Active[BestI].Members);
+    Combined.Members.insert(Combined.Members.end(),
+                            Active[BestJ].Members.begin(),
+                            Active[BestJ].Members.end());
+    Active.erase(Active.begin() + BestJ);
+    Active.erase(Active.begin() + BestI);
+    Active.push_back(std::move(Combined));
+  }
+  return Steps;
+}
+
+} // namespace
+
+Dendrogram diffcode::cluster::agglomerateDistanceMatrix(
+    std::size_t NumItems, std::vector<double> Matrix,
+    ClusteringOptions::Algorithm Algo) {
   Dendrogram Tree;
   Tree.NumLeaves = NumItems;
   if (NumItems == 0)
     return Tree;
+  assert(Matrix.size() == NumItems * NumItems && "matrix shape mismatch");
 
-  // Leaves.
   for (std::size_t I = 0; I < NumItems; ++I) {
     Dendrogram::Node Leaf;
     Leaf.Item = I;
@@ -108,68 +249,81 @@ Dendrogram diffcode::cluster::agglomerativeCluster(
     return Tree;
   }
 
-  // Precompute the item distance matrix once.
-  std::vector<std::vector<double>> D(NumItems, std::vector<double>(NumItems));
+  std::vector<MergeStep> Steps =
+      Algo == ClusteringOptions::Algorithm::Naive
+          ? naiveMerges(NumItems, Matrix)
+          : nnChainMerges(NumItems, Matrix);
+
+  // Canonical merge order: the greedy reference emits merges with
+  // strictly increasing keys, so sorting the chain-discovered merges by
+  // key reproduces its sequence exactly (keys are distinct — each merge
+  // retires its larger representative for good).
+  std::sort(Steps.begin(), Steps.end(),
+            [](const MergeStep &X, const MergeStep &Y) {
+              return MergeKey{X.Height, X.A, X.B} <
+                     MergeKey{Y.Height, Y.A, Y.B};
+            });
+
+  // Replay: map each representative to its current subtree.
+  std::vector<int> NodeOf(NumItems);
   for (std::size_t I = 0; I < NumItems; ++I)
-    for (std::size_t J = I + 1; J < NumItems; ++J)
-      D[I][J] = D[J][I] = Dist(I, J);
-
-  // Active clusters: tree-node index + member items.
-  struct Cluster {
-    int NodeIndex;
-    std::vector<std::size_t> Members;
-  };
-  std::vector<Cluster> Active;
-  for (std::size_t I = 0; I < NumItems; ++I)
-    Active.push_back({static_cast<int>(I), {I}});
-
-  auto Linkage = [&](const Cluster &X, const Cluster &Y) {
-    double Max = 0.0;
-    for (std::size_t A : X.Members)
-      for (std::size_t B : Y.Members)
-        Max = std::max(Max, D[A][B]);
-    return Max;
-  };
-
-  while (Active.size() > 1) {
-    double BestDist = std::numeric_limits<double>::infinity();
-    std::size_t BestI = 0, BestJ = 1;
-    for (std::size_t I = 0; I < Active.size(); ++I)
-      for (std::size_t J = I + 1; J < Active.size(); ++J) {
-        double L = Linkage(Active[I], Active[J]);
-        if (L < BestDist) {
-          BestDist = L;
-          BestI = I;
-          BestJ = J;
-        }
-      }
-
+    NodeOf[I] = static_cast<int>(I);
+  for (const MergeStep &Step : Steps) {
     Dendrogram::Node Merge;
-    Merge.Left = Active[BestI].NodeIndex;
-    Merge.Right = Active[BestJ].NodeIndex;
-    Merge.Height = BestDist;
-    int MergedIndex = static_cast<int>(Tree.Nodes.size());
+    Merge.Left = NodeOf[Step.A];
+    Merge.Right = NodeOf[Step.B];
+    Merge.Height = Step.Height;
+    NodeOf[Step.A] = static_cast<int>(Tree.Nodes.size());
     Tree.Nodes.push_back(Merge);
-
-    Cluster Combined;
-    Combined.NodeIndex = MergedIndex;
-    Combined.Members = Active[BestI].Members;
-    Combined.Members.insert(Combined.Members.end(),
-                            Active[BestJ].Members.begin(),
-                            Active[BestJ].Members.end());
-    Active.erase(Active.begin() + BestJ);
-    Active.erase(Active.begin() + BestI);
-    Active.push_back(std::move(Combined));
   }
-
-  Tree.Root = Active.front().NodeIndex;
+  Tree.Root = NodeOf[0];
   return Tree;
 }
 
+std::vector<double> diffcode::cluster::pairwiseDistanceMatrix(
+    std::size_t NumItems,
+    const std::function<double(std::size_t, std::size_t)> &Dist,
+    support::ThreadPool *Pool) {
+  std::vector<double> D(NumItems * NumItems, 0.0);
+  auto FillRow = [&](std::size_t I) {
+    for (std::size_t J = I + 1; J < NumItems; ++J)
+      D[I * NumItems + J] = D[J * NumItems + I] = Dist(I, J);
+  };
+  if (Pool)
+    // Chunk size 1: rows shrink towards the end of the triangle, and
+    // dynamic claiming keeps the load balanced.
+    Pool->parallelForChunked(NumItems, 1,
+                             [&](std::size_t Begin, std::size_t Stop) {
+                               for (std::size_t I = Begin; I < Stop; ++I)
+                                 FillRow(I);
+                             });
+  else
+    for (std::size_t I = 0; I < NumItems; ++I)
+      FillRow(I);
+  return D;
+}
+
+Dendrogram diffcode::cluster::agglomerativeCluster(
+    std::size_t NumItems,
+    const std::function<double(std::size_t, std::size_t)> &Dist,
+    const ClusteringOptions &Opts) {
+  if (NumItems == 0)
+    return agglomerateDistanceMatrix(0, {}, Opts.Algo);
+  support::ThreadPool Pool(Opts.Threads);
+  return agglomerateDistanceMatrix(
+      NumItems, pairwiseDistanceMatrix(NumItems, Dist, &Pool), Opts.Algo);
+}
+
 Dendrogram diffcode::cluster::clusterUsageChanges(
-    const std::vector<usage::UsageChange> &Changes) {
-  return agglomerativeCluster(Changes.size(),
-                              [&](std::size_t I, std::size_t J) {
-                                return usageDist(Changes[I], Changes[J]);
-                              });
+    const std::vector<usage::UsageChange> &Changes,
+    const ClusteringOptions &Opts) {
+  std::size_t N = Changes.size();
+  if (N == 0)
+    return agglomerateDistanceMatrix(0, {}, Opts.Algo);
+  support::ThreadPool Pool(Opts.Threads);
+  UsageDistCache Cache(Changes, &Pool);
+  std::vector<double> D = pairwiseDistanceMatrix(
+      N, [&Cache](std::size_t I, std::size_t J) { return Cache(I, J); },
+      &Pool);
+  return agglomerateDistanceMatrix(N, std::move(D), Opts.Algo);
 }

@@ -16,6 +16,19 @@
 /// threshold to obtain flat clusters and rendered as ASCII art for manual
 /// rule elicitation (Figure 8).
 ///
+/// Two agglomeration engines share one canonical tie-breaking rule
+/// (DESIGN.md "Clustering engine") and therefore produce bit-identical
+/// dendrograms:
+///
+///   * NNChain — the nearest-neighbor-chain algorithm, exact for
+///     complete linkage (a reducible dissimilarity), O(n^2) after the
+///     distance matrix;
+///   * Naive — the O(n^3) greedy reference, recomputing linkages from
+///     raw item distances; retained as the differential-testing oracle.
+///
+/// The pairwise distance matrix is computed in parallel blocks over a
+/// support::ThreadPool; results are deterministic for any thread count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DIFFCODE_CLUSTER_HIERARCHICALCLUSTERING_H
@@ -29,7 +42,26 @@
 #include <vector>
 
 namespace diffcode {
+namespace support {
+class ThreadPool;
+} // namespace support
+
 namespace cluster {
+
+/// Clustering engine knobs.
+struct ClusteringOptions {
+  /// Threads for the pairwise distance matrix and cache warm-up;
+  /// 1 = serial, 0 = one per hardware thread. The dendrogram is
+  /// identical for every value.
+  unsigned Threads = 1;
+  /// Agglomeration algorithm; both are exact complete linkage with the
+  /// same canonical tie-breaking, so they differ only in running time.
+  enum class Algorithm {
+    NNChain, ///< O(n^2) production engine.
+    Naive,   ///< O(n^3) reference for differential testing.
+  };
+  Algorithm Algo = Algorithm::NNChain;
+};
 
 /// Binary merge tree over clustered items.
 class Dendrogram {
@@ -60,9 +92,9 @@ public:
       const std::function<std::string(std::size_t)> &LeafLabel) const;
 
 private:
-  friend Dendrogram
-  agglomerativeCluster(std::size_t,
-                       const std::function<double(std::size_t, std::size_t)> &);
+  friend Dendrogram agglomerateDistanceMatrix(std::size_t,
+                                              std::vector<double>,
+                                              ClusteringOptions::Algorithm);
 
   std::vector<Node> Nodes;
   int Root = -1;
@@ -71,15 +103,35 @@ private:
   void collectLeaves(int Index, std::vector<std::size_t> &Out) const;
 };
 
+/// Row-major NumItems x NumItems pairwise distance matrix (diagonal 0,
+/// symmetric). Rows are computed in parallel when \p Pool (may be null)
+/// has workers; every entry is computed exactly once, so the result is
+/// deterministic for any thread count.
+std::vector<double> pairwiseDistanceMatrix(
+    std::size_t NumItems,
+    const std::function<double(std::size_t, std::size_t)> &Dist,
+    support::ThreadPool *Pool = nullptr);
+
+/// Complete-linkage agglomeration of a precomputed distance matrix
+/// (row-major NumItems^2, consumed). Merge nodes are appended in
+/// ascending canonical merge order, so node creation order equals merge
+/// order for both algorithms.
+Dendrogram agglomerateDistanceMatrix(
+    std::size_t NumItems, std::vector<double> Matrix,
+    ClusteringOptions::Algorithm Algo = ClusteringOptions::Algorithm::NNChain);
+
 /// Clusters \p NumItems items under item distance \p Dist with complete
-/// linkage; O(n^3), fine for the post-filter scale (hundreds of usage
-/// changes).
+/// linkage.
 Dendrogram agglomerativeCluster(
     std::size_t NumItems,
-    const std::function<double(std::size_t, std::size_t)> &Dist);
+    const std::function<double(std::size_t, std::size_t)> &Dist,
+    const ClusteringOptions &Opts = ClusteringOptions());
 
-/// Convenience wrapper clustering usage changes by usageDist.
-Dendrogram clusterUsageChanges(const std::vector<usage::UsageChange> &Changes);
+/// Convenience wrapper clustering usage changes by usageDist, memoised
+/// through cluster::UsageDistCache.
+Dendrogram clusterUsageChanges(const std::vector<usage::UsageChange> &Changes,
+                               const ClusteringOptions &Opts =
+                                   ClusteringOptions());
 
 } // namespace cluster
 } // namespace diffcode

@@ -3,10 +3,10 @@
 #include "core/DiffCode.h"
 
 #include "javaast/Parser.h"
+#include "support/ThreadPool.h"
 
-#include <atomic>
+#include <algorithm>
 #include <set>
-#include <thread>
 
 using namespace diffcode;
 using namespace diffcode::core;
@@ -99,35 +99,20 @@ CorpusReport DiffCode::runPipeline(
   CorpusReport Report;
   Report.Changes.resize(Changes.size());
 
-  unsigned Threads = Opts.Threads == 0
-                         ? std::max(1u, std::thread::hardware_concurrency())
-                         : Opts.Threads;
-  Threads = std::min<unsigned>(
-      Threads, std::max<std::size_t>(Changes.size(), 1));
-  if (Threads <= 1 || Changes.size() < 2) {
-    for (std::size_t I = 0; I < Changes.size(); ++I)
-      Report.Changes[I] =
-          processChange(*Changes[I], TargetClasses, ClassifyWith);
-  } else {
-    // Each change is independent; workers pull indices from a shared
-    // counter and write into their own slot, so the result order (and
-    // therefore every downstream number) is identical to the serial run.
-    std::atomic<std::size_t> Next{0};
-    auto Worker = [&] {
-      while (true) {
-        std::size_t I = Next.fetch_add(1);
-        if (I >= Changes.size())
-          return;
-        Report.Changes[I] =
-            processChange(*Changes[I], TargetClasses, ClassifyWith);
-      }
-    };
-    std::vector<std::thread> Pool;
-    for (unsigned T = 0; T < Threads; ++T)
-      Pool.emplace_back(Worker);
-    for (std::thread &T : Pool)
-      T.join();
-  }
+  // Each change is independent; workers claim indices from the pool's
+  // shared cursor and write into their own slot, so the result order
+  // (and therefore every downstream number) is identical to the serial
+  // run for any thread count.
+  unsigned Threads =
+      std::min<unsigned>(support::ThreadPool::resolveThreadCount(Opts.Threads),
+                         std::max<std::size_t>(Changes.size(), 1));
+  support::ThreadPool Pool(Threads);
+  Pool.parallelForChunked(
+      Changes.size(), 1, [&](std::size_t Begin, std::size_t Stop) {
+        for (std::size_t I = Begin; I < Stop; ++I)
+          Report.Changes[I] =
+              processChange(*Changes[I], TargetClasses, ClassifyWith);
+      });
 
   for (const std::string &TargetClass : TargetClasses) {
     ClassReport ClassOut;
@@ -141,7 +126,9 @@ CorpusReport DiffCode::runPipeline(
     }
     ClassOut.Filtered = applyFilters(ClassOut.AllChanges);
     if (BuildDendrograms && !ClassOut.Filtered.Kept.empty())
-      ClassOut.Tree = cluster::clusterUsageChanges(ClassOut.Filtered.Kept);
+      ClassOut.Tree =
+          cluster::clusterUsageChanges(ClassOut.Filtered.Kept,
+                                       Opts.Clustering);
     Report.PerClass.push_back(std::move(ClassOut));
   }
   return Report;

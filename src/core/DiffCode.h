@@ -41,6 +41,11 @@ struct DiffCodeOptions {
   /// is independent: parse + analyze + diff). 1 = serial; 0 = one per
   /// hardware thread. Results are deterministic regardless.
   unsigned Threads = 1;
+  /// Clustering engine knobs: distance-matrix threads (same 0/1
+  /// semantics as Threads) and the agglomeration algorithm (NNChain by
+  /// default; the naive reference is retained for differential testing).
+  /// Every setting yields the identical CorpusReport.
+  cluster::ClusteringOptions Clustering;
 };
 
 /// The per-code-change output: usage changes per target class, the

@@ -8,28 +8,35 @@
 using namespace diffcode;
 
 // Kuhn–Munkres with row/column potentials (the classic O(n^3) "e-maxx"
-// formulation, 1-indexed internally). Works on a square matrix; callers
-// with rectangular inputs are padded with zero-cost entries below.
-static std::vector<std::size_t>
-solveSquare(const std::vector<std::vector<double>> &A) {
-  const std::size_t N = A.size();
+// formulation, 1-indexed internally). Works on a square matrix (row-major
+// flat, stride N); callers with rectangular inputs are padded with
+// zero-cost entries below. All buffers live in the caller's workspace so
+// the hot path (one solve per usage-change pair) performs no allocation
+// once the workspace has warmed up.
+static void solveSquare(const std::vector<double> &A, std::size_t N,
+                        std::vector<double> &U, std::vector<double> &V,
+                        std::vector<double> &MinV, std::vector<std::size_t> &P,
+                        std::vector<std::size_t> &Way,
+                        std::vector<char> &Used) {
   const double Inf = std::numeric_limits<double>::infinity();
-  std::vector<double> U(N + 1, 0.0), V(N + 1, 0.0);
-  std::vector<std::size_t> P(N + 1, 0), Way(N + 1, 0);
+  U.assign(N + 1, 0.0);
+  V.assign(N + 1, 0.0);
+  P.assign(N + 1, 0);
+  Way.assign(N + 1, 0);
 
   for (std::size_t I = 1; I <= N; ++I) {
     P[0] = I;
     std::size_t J0 = 0;
-    std::vector<double> MinV(N + 1, Inf);
-    std::vector<bool> Used(N + 1, false);
+    MinV.assign(N + 1, Inf);
+    Used.assign(N + 1, 0);
     do {
-      Used[J0] = true;
+      Used[J0] = 1;
       std::size_t I0 = P[J0], J1 = 0;
       double Delta = Inf;
       for (std::size_t J = 1; J <= N; ++J) {
         if (Used[J])
           continue;
-        double Cur = A[I0 - 1][J - 1] - U[I0] - V[J];
+        double Cur = A[(I0 - 1) * N + (J - 1)] - U[I0] - V[J];
         if (Cur < MinV[J]) {
           MinV[J] = Cur;
           Way[J] = J0;
@@ -55,34 +62,39 @@ solveSquare(const std::vector<std::vector<double>> &A) {
       J0 = J1;
     } while (J0 != 0);
   }
-
-  // P[J] = row assigned to column J; invert.
-  std::vector<std::size_t> RowToCol(N, 0);
-  for (std::size_t J = 1; J <= N; ++J)
-    RowToCol[P[J] - 1] = J - 1;
-  return RowToCol;
 }
 
-Assignment diffcode::solveAssignment(const CostMatrix &Costs) {
+Assignment diffcode::solveAssignment(const CostMatrix &Costs,
+                                     AssignmentWorkspace &Scratch) {
   const std::size_t N = std::max(Costs.rows(), Costs.cols());
   Assignment Result;
   if (N == 0)
     return Result;
 
-  std::vector<std::vector<double>> Square(N, std::vector<double>(N, 0.0));
+  Scratch.Square.assign(N * N, 0.0);
   for (std::size_t R = 0; R < Costs.rows(); ++R)
     for (std::size_t C = 0; C < Costs.cols(); ++C)
-      Square[R][C] = Costs.at(R, C);
+      Scratch.Square[R * N + C] = Costs.at(R, C);
 
-  std::vector<std::size_t> RowToCol = solveSquare(Square);
+  solveSquare(Scratch.Square, N, Scratch.U, Scratch.V, Scratch.MinV,
+              Scratch.P, Scratch.Way, Scratch.Used);
 
+  // P[J] = row assigned to column J; read the matching column-by-column.
   Result.RowToCol.assign(Costs.rows(), Assignment::Unmatched);
-  for (std::size_t R = 0; R < Costs.rows(); ++R) {
-    std::size_t C = RowToCol[R];
-    if (C < Costs.cols()) {
+  for (std::size_t J = 1; J <= N; ++J) {
+    std::size_t R = Scratch.P[J] - 1, C = J - 1;
+    if (R < Costs.rows() && C < Costs.cols())
       Result.RowToCol[R] = C;
+  }
+  for (std::size_t R = 0; R < Costs.rows(); ++R) {
+    std::size_t C = Result.RowToCol[R];
+    if (C != Assignment::Unmatched)
       Result.TotalCost += Costs.at(R, C);
-    }
   }
   return Result;
+}
+
+Assignment diffcode::solveAssignment(const CostMatrix &Costs) {
+  AssignmentWorkspace Scratch;
+  return solveAssignment(Costs, Scratch);
 }

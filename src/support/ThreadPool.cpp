@@ -1,0 +1,113 @@
+//===- support/ThreadPool.cpp ----------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace diffcode;
+using namespace diffcode::support;
+
+ThreadPool::ThreadPool(unsigned ThreadCount) {
+  unsigned Resolved = resolveThreadCount(ThreadCount);
+  Workers.reserve(Resolved - 1);
+  for (unsigned I = 1; I < Resolved; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeCV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+unsigned ThreadPool::resolveThreadCount(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::runChunks(
+    const std::function<void(std::size_t, std::size_t)> &Body) {
+  while (true) {
+    std::size_t Begin = Cursor.fetch_add(Chunk, std::memory_order_relaxed);
+    if (Begin >= End)
+      return;
+    std::size_t Stop = std::min(End, Begin + Chunk);
+    try {
+      Body(Begin, Stop);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::uint64_t SeenGeneration = 0;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (true) {
+    WakeCV.wait(Lock, [&] {
+      return ShuttingDown || Generation != SeenGeneration;
+    });
+    if (ShuttingDown)
+      return;
+    SeenGeneration = Generation;
+    const auto *Batch = Body;
+    Lock.unlock();
+    runChunks(*Batch);
+    Lock.lock();
+    if (--Busy == 0)
+      DoneCV.notify_all();
+  }
+}
+
+void ThreadPool::parallelForChunked(
+    std::size_t N, std::size_t ChunkSize,
+    const std::function<void(std::size_t, std::size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (ChunkSize == 0)
+    ChunkSize = 1;
+  if (Workers.empty() || N <= ChunkSize) {
+    Fn(0, N);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Body = &Fn;
+    Cursor.store(0, std::memory_order_relaxed);
+    End = N;
+    Chunk = ChunkSize;
+    Busy = static_cast<unsigned>(Workers.size());
+    FirstError = nullptr;
+    ++Generation;
+  }
+  WakeCV.notify_all();
+  runChunks(Fn);
+  std::unique_lock<std::mutex> Lock(Mutex);
+  DoneCV.wait(Lock, [&] { return Busy == 0; });
+  Body = nullptr;
+  if (FirstError) {
+    std::exception_ptr E = FirstError;
+    FirstError = nullptr;
+    std::rethrow_exception(E);
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t N,
+                             const std::function<void(std::size_t)> &Fn) {
+  if (N == 0)
+    return;
+  std::size_t ChunkSize = std::max<std::size_t>(
+      1, N / (static_cast<std::size_t>(threadCount()) * 8));
+  parallelForChunked(N, ChunkSize,
+                     [&Fn](std::size_t Begin, std::size_t Stop) {
+                       for (std::size_t I = Begin; I < Stop; ++I)
+                         Fn(I);
+                     });
+}

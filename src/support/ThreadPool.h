@@ -1,0 +1,92 @@
+//===- support/ThreadPool.h - Reusable worker pool -------------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small reusable thread pool built around data-parallel index loops.
+/// The pipeline (core/DiffCode) and the clustering engine (cluster/*) both
+/// split embarrassingly-parallel work over item indices; workers claim
+/// chunks from a shared atomic cursor, so results written to per-index
+/// slots are deterministic regardless of the thread count.
+///
+/// The pool owns ThreadCount-1 worker threads; the calling thread
+/// participates in every loop, so ThreadPool(1) spawns no threads and
+/// parallelFor degenerates to a plain serial loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_SUPPORT_THREADPOOL_H
+#define DIFFCODE_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace diffcode {
+namespace support {
+
+class ThreadPool {
+public:
+  /// \p ThreadCount total threads including the caller; 0 = one per
+  /// hardware thread.
+  explicit ThreadPool(unsigned ThreadCount = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total threads that execute a loop (workers + calling thread).
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// Runs Body(I) for every I in [0, N); blocks until all indices are
+  /// done. The first exception thrown by Body is rethrown here. Not
+  /// reentrant: Body must not call back into the same pool.
+  void parallelFor(std::size_t N,
+                   const std::function<void(std::size_t)> &Body);
+
+  /// Chunked variant: Body(Begin, End) over disjoint ranges covering
+  /// [0, N). Chunks are claimed dynamically, which balances loops whose
+  /// per-index cost varies (e.g. triangular distance matrices).
+  void parallelForChunked(
+      std::size_t N, std::size_t ChunkSize,
+      const std::function<void(std::size_t, std::size_t)> &Body);
+
+  /// 0 -> hardware concurrency (at least 1), otherwise \p Requested.
+  static unsigned resolveThreadCount(unsigned Requested);
+
+private:
+  void workerLoop();
+  void runChunks(const std::function<void(std::size_t, std::size_t)> &Body);
+
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WakeCV; ///< Workers wait here for a new batch.
+  std::condition_variable DoneCV; ///< The caller waits here for workers.
+
+  // Current batch; Body/End/Chunk are set before Generation is bumped
+  // under the mutex, so workers observing the new generation see them.
+  const std::function<void(std::size_t, std::size_t)> *Body = nullptr;
+  std::atomic<std::size_t> Cursor{0};
+  std::size_t End = 0;
+  std::size_t Chunk = 1;
+  std::uint64_t Generation = 0;
+  unsigned Busy = 0;
+  std::exception_ptr FirstError;
+  bool ShuttingDown = false;
+};
+
+} // namespace support
+} // namespace diffcode
+
+#endif // DIFFCODE_SUPPORT_THREADPOOL_H

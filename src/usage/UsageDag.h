@@ -52,14 +52,22 @@ struct NodeLabel {
   /// Display form: "Cipher", "Cipher.getInstance/1", "arg1:AES".
   std::string str() const;
 
+  /// Full structural identity, including ValueIsString: the clustering
+  /// metric assigns different Levenshtein units to string and non-string
+  /// labels with equal text, and the interned label table
+  /// (cluster/DistanceCache) relies on id equality coinciding with this
+  /// operator.
   bool operator==(const NodeLabel &Other) const {
-    return K == Other.K && ArgIndex == Other.ArgIndex && Text == Other.Text;
+    return K == Other.K && ArgIndex == Other.ArgIndex &&
+           ValueIsString == Other.ValueIsString && Text == Other.Text;
   }
   bool operator<(const NodeLabel &Other) const {
     if (K != Other.K)
       return K < Other.K;
     if (ArgIndex != Other.ArgIndex)
       return ArgIndex < Other.ArgIndex;
+    if (ValueIsString != Other.ValueIsString)
+      return ValueIsString < Other.ValueIsString;
     return Text < Other.Text;
   }
 };

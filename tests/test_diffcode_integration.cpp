@@ -2,6 +2,7 @@
 
 #include "core/DiffCode.h"
 
+#include "core/ReportWriter.h"
 #include "corpus/CorpusGenerator.h"
 #include "corpus/Miner.h"
 #include "rules/BuiltinRules.h"
@@ -305,5 +306,65 @@ TEST(DiffCodeE2E, ParallelPipelineMatchesSerial) {
     for (std::size_t J = 0; J < A.PerClass[I].Filtered.Kept.size(); ++J)
       EXPECT_TRUE(A.PerClass[I].Filtered.Kept[J].sameFeatures(
           B.PerClass[I].Filtered.Kept[J]));
+  }
+}
+
+TEST(DiffCodeE2E, ThreadedPipelineReportIsByteIdentical) {
+  // The strongest determinism statement: every knob of the parallel
+  // engine (pipeline workers, clustering threads, NN-chain vs naive
+  // agglomeration) must reproduce the serial run's CorpusReport JSON
+  // byte for byte, and the per-class dendrograms node for node.
+  corpus::CorpusOptions Opts;
+  Opts.Seed = 53;
+  Opts.NumProjects = 8;
+  corpus::Corpus C = corpus::CorpusGenerator(Opts).generate();
+  corpus::Miner M(api());
+  std::vector<const corpus::CodeChange *> Mined = M.mine(C);
+  ASSERT_FALSE(Mined.empty());
+
+  DiffCodeOptions Serial;
+  Serial.Threads = 1;
+  Serial.Clustering.Threads = 1;
+
+  DiffCodeOptions Threaded;
+  Threaded.Threads = 8;
+  Threaded.Clustering.Threads = 8;
+
+  DiffCodeOptions NaiveCluster;
+  NaiveCluster.Threads = 8;
+  NaiveCluster.Clustering.Threads = 8;
+  NaiveCluster.Clustering.Algo =
+      cluster::ClusteringOptions::Algorithm::Naive;
+
+  CorpusReport A =
+      DiffCode(api(), Serial).runPipeline(Mined, api().targetClasses());
+  CorpusReport B =
+      DiffCode(api(), Threaded).runPipeline(Mined, api().targetClasses());
+  CorpusReport N =
+      DiffCode(api(), NaiveCluster).runPipeline(Mined, api().targetClasses());
+
+  std::string JsonA = corpusReportToJson(A);
+  EXPECT_EQ(JsonA, corpusReportToJson(B));
+  EXPECT_EQ(JsonA, corpusReportToJson(N));
+
+  // The JSON omits the trees, so compare those explicitly.
+  ASSERT_EQ(A.PerClass.size(), B.PerClass.size());
+  ASSERT_EQ(A.PerClass.size(), N.PerClass.size());
+  for (std::size_t I = 0; I < A.PerClass.size(); ++I) {
+    const auto &TA = A.PerClass[I].Tree.nodes();
+    const auto &TB = B.PerClass[I].Tree.nodes();
+    const auto &TN = N.PerClass[I].Tree.nodes();
+    ASSERT_EQ(TA.size(), TB.size()) << A.PerClass[I].TargetClass;
+    ASSERT_EQ(TA.size(), TN.size()) << A.PerClass[I].TargetClass;
+    for (std::size_t K = 0; K < TA.size(); ++K) {
+      EXPECT_EQ(TA[K].Left, TB[K].Left);
+      EXPECT_EQ(TA[K].Right, TB[K].Right);
+      EXPECT_EQ(TA[K].Item, TB[K].Item);
+      EXPECT_EQ(TA[K].Height, TB[K].Height);
+      EXPECT_EQ(TA[K].Left, TN[K].Left);
+      EXPECT_EQ(TA[K].Right, TN[K].Right);
+      EXPECT_EQ(TA[K].Item, TN[K].Item);
+      EXPECT_EQ(TA[K].Height, TN[K].Height);
+    }
   }
 }

@@ -168,3 +168,43 @@ TEST(GarbageRobustness, PipelineOnMutatedChange) {
   }
   SUCCEED();
 }
+
+//===----------------------------------------------------------------------===//
+// Mass mutation: 1,000 seeded byte-level mutants (full 0-255 byte range,
+// not just plausible Java characters) sharded across 10 parameterized
+// cases so failures report which shard — and therefore which seeds —
+// misbehaved.
+//===----------------------------------------------------------------------===//
+
+class MassMutationRobustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(MassMutationRobustness, ThousandByteLevelMutantsTerminate) {
+  int Shard = GetParam();
+  for (int Case = 0; Case < 100; ++Case) {
+    unsigned Seed = static_cast<unsigned>(Shard * 100 + Case);
+    Rng R(Seed * 1099511628211ull + 3);
+    std::string Mutated = sampleSource(Seed % 16);
+    for (int Edit = 0, N = 1 + static_cast<int>(R.range(0, 7)); Edit < N;
+         ++Edit) {
+      std::size_t Pos = R.index(Mutated.size());
+      char Byte = static_cast<char>(R.range(0, 255));
+      switch (R.range(0, 2)) {
+      case 0: // substitute
+        Mutated[Pos] = Byte;
+        break;
+      case 1: // delete
+        Mutated.erase(Pos, 1);
+        break;
+      default: // insert
+        Mutated.insert(Pos, 1, Byte);
+        break;
+      }
+      if (Mutated.empty())
+        Mutated = "x";
+    }
+    analyzeLoose(Mutated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, MassMutationRobustness,
+                         ::testing::Range(0, 10));
