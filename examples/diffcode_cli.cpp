@@ -208,6 +208,28 @@ int runPipeline(int argc, char **argv, bool Json) {
     for (const usage::UsageChange &UC : Class.Filtered.Kept)
       std::printf("\n[%s] %s\n%s", Class.TargetClass.c_str(),
                   UC.Origin.c_str(), UC.str().c_str());
+
+  // Corpus health: containment means broken changes never abort the run;
+  // this is where they become visible instead.
+  const core::CorpusHealth &Health = Report.Health;
+  std::printf("\ncorpus health: %zu changes", Report.Changes.size());
+  for (std::size_t I = 0; I < core::NumChangeStatuses; ++I) {
+    core::ChangeStatus S = static_cast<core::ChangeStatus>(I);
+    std::printf(", %zu %s", Health.count(S), core::changeStatusName(S));
+  }
+  std::printf("\n");
+  if (Health.ClusteringFailures > 0)
+    std::printf("clustering failures: %zu\n", Health.ClusteringFailures);
+  for (const core::ChangeRecord &Record : Report.Changes)
+    if (Record.Status != core::ChangeStatus::Ok)
+      std::printf("  [%s] %s: %s\n", core::changeStatusName(Record.Status),
+                  Record.Origin.c_str(), Record.StatusDetail.c_str());
+  if (!Health.WorstOffenders.empty()) {
+    std::printf("heaviest changes (interpreter steps):\n");
+    for (const auto &[Origin, Steps] : Health.WorstOffenders)
+      std::printf("  %10llu  %s\n", static_cast<unsigned long long>(Steps),
+                  Origin.c_str());
+  }
   return 0;
 }
 

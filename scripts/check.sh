@@ -3,11 +3,32 @@
 # Extra arguments pass through to ctest, e.g.
 #   scripts/check.sh -L tier1
 #   scripts/check.sh -L differential
+#
+# --asan (opt-in): build into build-asan/ with AddressSanitizer +
+# UndefinedBehaviorSanitizer, aborting on the first report. The regular
+# build/ directory is untouched, so a sanitizer sweep never invalidates
+# the incremental tier-1 build.
+#   scripts/check.sh --asan -L tier1
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j"$(nproc)"
-cd build
-ctest --output-on-failure -j"$(nproc)" "$@"
+BUILD_DIR=build
+CMAKE_ARGS=()
+CTEST_ARGS=()
+for arg in "$@"; do
+  if [[ "$arg" == "--asan" ]]; then
+    BUILD_DIR=build-asan
+    CMAKE_ARGS+=(
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      "-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all"
+    )
+  else
+    CTEST_ARGS+=("$arg")
+  fi
+done
+
+cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+cd "$BUILD_DIR"
+ctest --output-on-failure -j"$(nproc)" ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}

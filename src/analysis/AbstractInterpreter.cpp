@@ -4,6 +4,7 @@
 
 #include "javaast/AstVisitor.h"
 #include "support/Casting.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
 #include <cassert>
@@ -142,10 +143,21 @@ private:
   void initializeFields(const ClassDecl *Class, unsigned ThisId,
                         ExecState &State, Frame &F);
 
+  /// True while the object budget still allows tracking a new allocation
+  /// site; records the budget hit otherwise.
+  bool objectBudgetLeft() {
+    if (Opts.MaxObjects != 0 && Objects.size() >= Opts.MaxObjects) {
+      Stats.ObjectBudgetHit = true;
+      return false;
+    }
+    return true;
+  }
+
   const apimodel::CryptoApiModel &Api;
   const AnalysisOptions &Opts;
 
   ObjectTable Objects;
+  AnalysisStats Stats;
   std::unordered_map<std::string, const ClassDecl *> ProgramClasses;
   std::unordered_set<std::string> CalledMethodNames;
   std::unordered_set<std::string> InstantiatedClassNames;
@@ -474,9 +486,12 @@ void Engine::execStmtList(const std::vector<Stmt *> &Stmts,
 
 void Engine::execStmt(const Stmt *S, std::vector<ExecState> &States,
                       Frame &F) {
-  if (Fuel == 0)
+  if (Fuel == 0) {
+    Stats.FuelExhausted = true;
     return;
+  }
   --Fuel;
+  support::throwIfFault(support::FaultSite::Interpreter, Fuel);
 
   switch (S->getKind()) {
   case NodeKind::BlockStmt:
@@ -635,8 +650,10 @@ void Engine::execStmt(const Stmt *S, std::vector<ExecState> &States,
 //===----------------------------------------------------------------------===//
 
 AbstractValue Engine::evalExpr(const Expr *E, ExecState &State, Frame &F) {
-  if (Fuel == 0)
+  if (Fuel == 0) {
+    Stats.FuelExhausted = true;
     return AbstractValue::unknown();
+  }
   --Fuel;
 
   switch (E->getKind()) {
@@ -1031,6 +1048,10 @@ AbstractValue Engine::applyApiCall(ExecState &State,
                                    SourceLocation Loc) {
   std::string Sig = M->signature();
   if (M->IsFactory) {
+    if (!objectBudgetLeft()) {
+      recordOnObjectArgs(State, Sig, Args);
+      return AbstractValue::topObject(M->ClassName);
+    }
     unsigned ObjId = Objects.getOrCreate(Loc, M->ClassName);
     record(State, ObjId, Sig, Args);
     recordOnObjectArgs(State, Sig, Args);
@@ -1220,6 +1241,15 @@ AbstractValue Engine::evalNewObject(const NewObjectExpr *New, ExecState &State,
     Args.push_back(evalExpr(Arg, State, F));
 
   std::string TypeName = New->Type.baseName();
+
+  // Past the object budget every allocation degrades to an untracked top
+  // object: no new usage set, but argument labels survive.
+  if (!objectBudgetLeft()) {
+    recordOnObjectArgs(State,
+                       TypeName + ".<init>/" + std::to_string(Args.size()),
+                       Args);
+    return AbstractValue::topObject(TypeName);
+  }
 
   // API class constructor.
   if (const apimodel::ApiClass *ApiClass = Api.lookupClass(TypeName)) {
@@ -1413,12 +1443,19 @@ AnalysisResult Engine::run(const CompilationUnit *Unit) {
 
     // Materialize a `this` instance (also for static entries, so field
     // initializers with allocation sites are analyzed exactly once per
-    // entry).
-    unsigned ThisId = Objects.getOrCreate(Class->getLoc(), Class->Name);
-    F.ThisVal = (Method->Modifiers & ModStatic)
-                    ? AbstractValue::null()
-                    : AbstractValue::object(ThisId, Class->Name);
-    initializeFields(Class, ThisId, Initial, F);
+    // entry). Past the object budget the entry runs without a tracked
+    // receiver — degraded but deterministic.
+    if (objectBudgetLeft()) {
+      unsigned ThisId = Objects.getOrCreate(Class->getLoc(), Class->Name);
+      F.ThisVal = (Method->Modifiers & ModStatic)
+                      ? AbstractValue::null()
+                      : AbstractValue::object(ThisId, Class->Name);
+      initializeFields(Class, ThisId, Initial, F);
+    } else {
+      F.ThisVal = (Method->Modifiers & ModStatic)
+                      ? AbstractValue::null()
+                      : AbstractValue::topObject(Class->Name);
+    }
 
     for (const ParamDecl &Param : Method->Params) {
       Initial.Locals[Param.Name] =
@@ -1429,12 +1466,14 @@ AnalysisResult Engine::run(const CompilationUnit *Unit) {
     std::vector<ExecState> States;
     States.push_back(std::move(Initial));
     execStmt(Method->Body, States, F);
+    Stats.StepsUsed += Opts.Fuel - Fuel;
 
     for (ExecState &State : States)
       if (!State.Log.empty())
         Result.Executions.push_back(std::move(State.Log));
   }
   Result.Objects = std::move(Objects);
+  Result.Stats = Stats;
   return Result;
 }
 

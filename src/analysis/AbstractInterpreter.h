@@ -32,6 +32,7 @@
 #include "apimodel/CryptoApiModel.h"
 #include "javaast/Ast.h"
 
+#include <cstdint>
 #include <vector>
 
 namespace diffcode {
@@ -53,6 +54,24 @@ struct AnalysisOptions {
   unsigned MaxInlineDepth = 4;
   /// Statement-evaluation budget per entry (guards pathological inputs).
   unsigned Fuel = 50000;
+  /// Abstract-object budget per unit (0 = unlimited). Past the cap, new
+  /// allocation sites degrade to untracked top objects — the analysis
+  /// still terminates deterministically, and AnalysisStats flags the hit.
+  unsigned MaxObjects = 32768;
+};
+
+/// Resource consumption of one analyze() call. Lets the pipeline tell a
+/// genuinely crypto-free file from one whose analysis was truncated by a
+/// budget, and feeds the corpus-health "worst offenders" table.
+struct AnalysisStats {
+  /// Statement/expression evaluation steps consumed across all entries.
+  std::uint64_t StepsUsed = 0;
+  /// Some entry ran out of Fuel (its exploration was truncated).
+  bool FuelExhausted = false;
+  /// The MaxObjects cap degraded at least one allocation site.
+  bool ObjectBudgetHit = false;
+
+  bool anyBudgetHit() const { return FuelExhausted || ObjectBudgetHit; }
 };
 
 /// Output of analyzing one program version.
@@ -60,6 +79,8 @@ struct AnalysisResult {
   ObjectTable Objects;
   /// One usage log per abstract execution (across all entry methods).
   std::vector<UsageLog> Executions;
+  /// Resource consumption and budget flags for this analysis.
+  AnalysisStats Stats;
 
   /// Union of all logs — convenient for whole-program rule checking
   /// (CryptoChecker matches against any execution).

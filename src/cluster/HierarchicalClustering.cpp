@@ -3,10 +3,12 @@
 #include "cluster/HierarchicalClustering.h"
 
 #include "cluster/DistanceCache.h"
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <limits>
 
 using namespace diffcode;
@@ -268,7 +270,14 @@ Dendrogram diffcode::cluster::agglomerateDistanceMatrix(
   std::vector<int> NodeOf(NumItems);
   for (std::size_t I = 0; I < NumItems; ++I)
     NodeOf[I] = static_cast<int>(I);
+  std::size_t MergeIndex = 0;
   for (const MergeStep &Step : Steps) {
+    // Fault-injection point: merge ordinal + item count form a stable key
+    // (the merge sequence is canonical, so this fires identically on
+    // every thread count).
+    support::throwIfFault(support::FaultSite::Clustering,
+                          (static_cast<std::uint64_t>(NumItems) << 32) |
+                              MergeIndex++);
     Dendrogram::Node Merge;
     Merge.Left = NodeOf[Step.A];
     Merge.Right = NodeOf[Step.B];

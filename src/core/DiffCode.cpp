@@ -6,25 +6,96 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <exception>
 #include <set>
 
 using namespace diffcode;
 using namespace diffcode::core;
 
+const char *core::changeStatusName(ChangeStatus Status) {
+  switch (Status) {
+  case ChangeStatus::Ok:
+    return "ok";
+  case ChangeStatus::Degraded:
+    return "degraded";
+  case ChangeStatus::ParseError:
+    return "parse-error";
+  case ChangeStatus::BudgetExceeded:
+    return "budget-exceeded";
+  case ChangeStatus::AnalysisThrow:
+    return "analysis-throw";
+  }
+  return "unknown";
+}
+
+std::size_t CorpusHealth::troubled() const {
+  std::size_t N = 0;
+  for (std::size_t I = 1; I < NumChangeStatuses; ++I)
+    N += StatusCounts[I];
+  return N;
+}
+
+void core::computeCorpusHealth(CorpusReport &Report, std::size_t MaxOffenders) {
+  CorpusHealth Health;
+  for (const ChangeRecord &Record : Report.Changes)
+    ++Health.StatusCounts[static_cast<std::size_t>(Record.Status)];
+  for (const ClassReport &Class : Report.PerClass)
+    if (!Class.ClusteringError.empty())
+      ++Health.ClusteringFailures;
+
+  for (const ChangeRecord &Record : Report.Changes)
+    if (Record.StepsUsed > 0)
+      Health.WorstOffenders.emplace_back(Record.Origin, Record.StepsUsed);
+  std::sort(Health.WorstOffenders.begin(), Health.WorstOffenders.end(),
+            [](const auto &A, const auto &B) {
+              if (A.second != B.second)
+                return A.second > B.second;
+              return A.first < B.first;
+            });
+  if (Health.WorstOffenders.size() > MaxOffenders)
+    Health.WorstOffenders.resize(MaxOffenders);
+  Report.Health = Health;
+}
+
 DiffCode::DiffCode(const apimodel::CryptoApiModel &Api, DiffCodeOptions Opts)
     : Api(Api), Opts(Opts) {}
 
-analysis::AnalysisResult DiffCode::analyzeSource(std::string_view Source) const {
-  analysis::AnalysisResult Empty;
+DiffCode::SourceAnalysis
+DiffCode::analyzeSourceChecked(std::string_view Source) const {
+  SourceAnalysis Out;
   if (Source.empty())
-    return Empty;
+    return Out;
   java::AstContext Ctx;
   java::DiagnosticsEngine Diags;
-  java::CompilationUnit *Unit = java::parseJava(Source, Ctx, Diags);
-  if (!Unit)
-    return Empty;
+  java::CompilationUnit *Unit =
+      java::parseJava(Source, Ctx, Diags, Opts.ParseBudget);
+  auto FirstError = [&Diags]() -> std::string {
+    for (const java::Diagnostic &D : Diags.all())
+      if (D.Level == java::DiagLevel::Error)
+        return D.str();
+    return "unknown parse failure";
+  };
+  if (!Unit) {
+    Out.Status = Diags.budgetExceeded() ? ChangeStatus::BudgetExceeded
+                                        : ChangeStatus::ParseError;
+    Out.Detail = FirstError();
+    return Out;
+  }
   analysis::AbstractInterpreter Interp(Api, Opts.Analysis);
-  return Interp.analyze(Unit);
+  Out.Result = Interp.analyze(Unit);
+  if (Out.Result.Stats.anyBudgetHit()) {
+    Out.Status = ChangeStatus::BudgetExceeded;
+    Out.Detail = Out.Result.Stats.FuelExhausted ? "interpreter fuel exhausted"
+                                                : "abstract-object cap hit";
+  } else if (Diags.hasErrors()) {
+    Out.Status = ChangeStatus::Degraded;
+    Out.Detail = FirstError();
+  }
+  return Out;
+}
+
+analysis::AnalysisResult DiffCode::analyzeSource(std::string_view Source) const {
+  return analyzeSourceChecked(Source).Result;
 }
 
 std::vector<usage::UsageDag>
@@ -68,25 +139,49 @@ ChangeRecord DiffCode::processChange(
   Record.Origin = Change.origin();
   Record.GroundTruthKind = Change.Kind;
 
-  analysis::AnalysisResult OldResult = analyzeSource(Change.OldCode);
-  analysis::AnalysisResult NewResult = analyzeSource(Change.NewCode);
+  try {
+    SourceAnalysis Old = analyzeSourceChecked(Change.OldCode);
+    SourceAnalysis New = analyzeSourceChecked(Change.NewCode);
 
-  for (const std::string &TargetClass : TargetClasses) {
-    std::vector<usage::UsageChange> Changes = usage::deriveUsageChanges(
-        dagsForClass(OldResult, TargetClass),
-        dagsForClass(NewResult, TargetClass), TargetClass);
-    for (usage::UsageChange &C : Changes)
-      C.Origin = Record.Origin;
-    if (!Changes.empty())
-      Record.PerClass.emplace(TargetClass, std::move(Changes));
-  }
+    // Worst of the two versions wins; keep the detail of the losing side.
+    const SourceAnalysis &Worst = New.Status > Old.Status ? New : Old;
+    Record.Status = Worst.Status;
+    Record.StatusDetail = Worst.Detail;
+    Record.StepsUsed =
+        Old.Result.Stats.StepsUsed + New.Result.Stats.StepsUsed;
 
-  if (!ClassifyWith.empty()) {
-    rules::UnitFacts OldFacts = rules::UnitFacts::from(OldResult);
-    rules::UnitFacts NewFacts = rules::UnitFacts::from(NewResult);
-    for (const rules::Rule *R : ClassifyWith)
-      Record.Classification.emplace(
-          R->Id, rules::classifyChange(*R, OldFacts, NewFacts));
+    for (const std::string &TargetClass : TargetClasses) {
+      std::vector<usage::UsageChange> Changes = usage::deriveUsageChanges(
+          dagsForClass(Old.Result, TargetClass),
+          dagsForClass(New.Result, TargetClass), TargetClass);
+      for (usage::UsageChange &C : Changes)
+        C.Origin = Record.Origin;
+      if (!Changes.empty())
+        Record.PerClass.emplace(TargetClass, std::move(Changes));
+    }
+
+    if (!ClassifyWith.empty()) {
+      rules::UnitFacts OldFacts = rules::UnitFacts::from(Old.Result);
+      rules::UnitFacts NewFacts = rules::UnitFacts::from(New.Result);
+      for (const rules::Rule *R : ClassifyWith)
+        Record.Classification.emplace(
+            R->Id, rules::classifyChange(*R, OldFacts, NewFacts));
+    }
+  } catch (const std::exception &E) {
+    // Containment: this change contributes nothing, but its slot in the
+    // report survives with a structured status — the rest of the corpus
+    // is unaffected.
+    Record.PerClass.clear();
+    Record.Classification.clear();
+    Record.Status = ChangeStatus::AnalysisThrow;
+    Record.StatusDetail = E.what();
+    Record.StepsUsed = 0;
+  } catch (...) {
+    Record.PerClass.clear();
+    Record.Classification.clear();
+    Record.Status = ChangeStatus::AnalysisThrow;
+    Record.StatusDetail = "unknown exception";
+    Record.StepsUsed = 0;
   }
   return Record;
 }
@@ -109,9 +204,13 @@ CorpusReport DiffCode::runPipeline(
   support::ThreadPool Pool(Threads);
   Pool.parallelForChunked(
       Changes.size(), 1, [&](std::size_t Begin, std::size_t Stop) {
-        for (std::size_t I = Begin; I < Stop; ++I)
+        for (std::size_t I = Begin; I < Stop; ++I) {
+          // Scope key = change index, so an armed fault plan hits the
+          // same changes whether one thread or sixteen claim the work.
+          support::FaultScope Scope(&Opts.Faults, I);
           Report.Changes[I] =
               processChange(*Changes[I], TargetClasses, ClassifyWith);
+        }
       });
 
   for (const std::string &TargetClass : TargetClasses) {
@@ -125,11 +224,24 @@ CorpusReport DiffCode::runPipeline(
                                  It->second.begin(), It->second.end());
     }
     ClassOut.Filtered = applyFilters(ClassOut.AllChanges);
-    if (BuildDendrograms && !ClassOut.Filtered.Kept.empty())
-      ClassOut.Tree =
-          cluster::clusterUsageChanges(ClassOut.Filtered.Kept,
-                                       Opts.Clustering);
+    if (BuildDendrograms && !ClassOut.Filtered.Kept.empty()) {
+      // Scope key = class-name hash (FNV-1a), distinct from any change
+      // index scope so campaigns can target clustering alone.
+      std::uint64_t ClassKey = 0xcbf29ce484222325ull;
+      for (char C : TargetClass)
+        ClassKey = (ClassKey ^ static_cast<unsigned char>(C)) *
+                   0x100000001b3ull;
+      support::FaultScope Scope(&Opts.Faults, ClassKey);
+      try {
+        ClassOut.Tree = cluster::clusterUsageChanges(ClassOut.Filtered.Kept,
+                                                     Opts.Clustering);
+      } catch (const std::exception &E) {
+        ClassOut.Tree = cluster::Dendrogram();
+        ClassOut.ClusteringError = E.what();
+      }
+    }
     Report.PerClass.push_back(std::move(ClassOut));
   }
+  computeCorpusHealth(Report);
   return Report;
 }

@@ -20,9 +20,13 @@
 #include "cluster/HierarchicalClustering.h"
 #include "core/Filters.h"
 #include "corpus/RepoModel.h"
+#include "javaast/Parser.h"
 #include "rules/ChangeClassifier.h"
+#include "support/FaultInjection.h"
 #include "usage/UsageChange.h"
 
+#include <array>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
@@ -34,6 +38,8 @@ namespace core {
 /// Pipeline knobs.
 struct DiffCodeOptions {
   analysis::AnalysisOptions Analysis;
+  /// Frontend budgets applied to every parsed version (0 = unlimited).
+  java::ParseLimits ParseBudget;
   unsigned DagDepth = 5; ///< Section 3.4's n.
   /// Dendrogram cut threshold for flat clusters (manual-inspection aid).
   double ClusterCut = 0.4;
@@ -46,7 +52,28 @@ struct DiffCodeOptions {
   /// default; the naive reference is retained for differential testing).
   /// Every setting yields the identical CorpusReport.
   cluster::ClusteringOptions Clustering;
+  /// Fault-injection campaign (testing only; disabled by default). When
+  /// armed, every per-change worker and the per-class clustering step run
+  /// under a deterministic FaultScope, so injected failures land on the
+  /// same changes at any thread count.
+  support::FaultPlan Faults;
 };
+
+/// Outcome taxonomy for one processed code change. Ordered by severity:
+/// combining the old/new version outcomes takes the maximum.
+enum class ChangeStatus {
+  Ok = 0,         ///< Both versions parsed and analyzed cleanly.
+  Degraded,       ///< Parse diagnostics; analysis ran on a partial tree.
+  ParseError,     ///< A version produced no usable compilation unit.
+  BudgetExceeded, ///< A ParseLimits or AnalysisOptions budget truncated it.
+  AnalysisThrow,  ///< The worker threw; the record is empty but present.
+};
+
+/// Number of ChangeStatus values (for count arrays).
+inline constexpr std::size_t NumChangeStatuses = 5;
+
+/// Stable lowercase name ("ok", "parse-error", ...) for reports.
+const char *changeStatusName(ChangeStatus Status);
 
 /// The per-code-change output: usage changes per target class, the
 /// rule-based classification, and provenance.
@@ -57,6 +84,14 @@ struct ChangeRecord {
   std::map<std::string, std::vector<usage::UsageChange>> PerClass;
   /// Rule id -> fix/bug/none classification (Section 6.2).
   std::map<std::string, rules::ChangeClass> Classification;
+  /// How processing this change went (worst of the two versions).
+  ChangeStatus Status = ChangeStatus::Ok;
+  /// Human-readable cause for non-Ok statuses (first diagnostic, the
+  /// budget that tripped, or the exception message).
+  std::string StatusDetail;
+  /// Interpreter steps consumed across both versions (worst-offender
+  /// ranking in the corpus-health summary).
+  std::uint64_t StepsUsed = 0;
 };
 
 /// Aggregated per-target-class results (Figure 6 row + Figure 8 input).
@@ -65,13 +100,40 @@ struct ClassReport {
   std::vector<usage::UsageChange> AllChanges;
   FilterResult Filtered;
   cluster::Dendrogram Tree; ///< Over Filtered.Kept (empty if not built).
+  /// Non-empty when dendrogram construction failed; Tree is then empty
+  /// but AllChanges/Filtered are still valid.
+  std::string ClusteringError;
+};
+
+/// Corpus-health summary: how many changes landed in each status bucket,
+/// which classes failed to cluster, and where the analysis budgets went.
+struct CorpusHealth {
+  /// Indexed by static_cast<size_t>(ChangeStatus).
+  std::array<std::size_t, NumChangeStatuses> StatusCounts{};
+  /// Classes whose clustering step failed (ClusteringError non-empty).
+  std::size_t ClusteringFailures = 0;
+  /// Top changes by interpreter steps consumed (origin, steps),
+  /// descending; ties broken by origin for determinism.
+  std::vector<std::pair<std::string, std::uint64_t>> WorstOffenders;
+
+  std::size_t count(ChangeStatus Status) const {
+    return StatusCounts[static_cast<std::size_t>(Status)];
+  }
+  /// Changes that did not complete cleanly (everything but Ok).
+  std::size_t troubled() const;
 };
 
 /// Whole-corpus pipeline output.
 struct CorpusReport {
   std::vector<ChangeRecord> Changes;
   std::vector<ClassReport> PerClass;
+  CorpusHealth Health;
 };
+
+/// Recomputes \p Report's health summary from its records (at most
+/// \p MaxOffenders worst-offender entries). runPipeline calls this;
+/// exposed for tests and for callers that post-edit reports.
+void computeCorpusHealth(CorpusReport &Report, std::size_t MaxOffenders = 5);
 
 /// The system facade.
 class DiffCode {
@@ -81,8 +143,20 @@ public:
 
   const DiffCodeOptions &options() const { return Opts; }
 
+  /// One parsed-and-analyzed program version plus how it went. Frontend
+  /// problems are recorded, never silently swallowed.
+  struct SourceAnalysis {
+    analysis::AnalysisResult Result;
+    ChangeStatus Status = ChangeStatus::Ok;
+    std::string Detail; ///< First diagnostic / budget cause when non-Ok.
+  };
+
   /// Parses and abstractly interprets one Java source (empty source yields
-  /// an empty result — new/deleted files diff against nothing).
+  /// an empty Ok result — new/deleted files diff against nothing),
+  /// recording parser diagnostics and budget hits in the status.
+  SourceAnalysis analyzeSourceChecked(std::string_view Source) const;
+
+  /// Compatibility shim: analyzeSourceChecked without the status.
   analysis::AnalysisResult analyzeSource(std::string_view Source) const;
 
   /// Deduplicated usage DAGs of \p TargetClass across all executions.
@@ -96,7 +170,10 @@ public:
                   const std::string &TargetClass) const;
 
   /// Processes one code change end to end for all \p TargetClasses,
-  /// classifying it under \p ClassifyWith (may be empty).
+  /// classifying it under \p ClassifyWith (may be empty). Never throws:
+  /// any escaping exception is contained into an empty record with
+  /// Status == AnalysisThrow, so one poisoned change cannot take down a
+  /// corpus run.
   ChangeRecord
   processChange(const corpus::CodeChange &Change,
                 const std::vector<std::string> &TargetClasses,
@@ -104,6 +181,9 @@ public:
 
   /// Runs the full pipeline over mined changes. \p BuildDendrograms
   /// controls whether the (O(n^2) distance) clustering step runs.
+  /// Per-change failures are contained in the corresponding ChangeRecord
+  /// and tallied in the report's Health summary; a clustering failure
+  /// empties that class's Tree and sets ClusteringError.
   CorpusReport
   runPipeline(const std::vector<const corpus::CodeChange *> &Changes,
               const std::vector<std::string> &TargetClasses,

@@ -26,11 +26,66 @@ void emitUsageChange(JsonWriter &W, const usage::UsageChange &Change) {
   W.endObject();
 }
 
+void emitChangeRecord(JsonWriter &W, const ChangeRecord &Record) {
+  W.beginObject();
+  W.key("origin").value(Record.Origin);
+  W.key("kind").value(Record.GroundTruthKind);
+  W.key("status").value(changeStatusName(Record.Status));
+  W.key("detail").value(Record.StatusDetail);
+  W.key("steps").value(static_cast<std::uint64_t>(Record.StepsUsed));
+  W.key("perClass").beginArray();
+  for (const auto &[Target, Changes] : Record.PerClass) {
+    W.beginObject();
+    W.key("target").value(Target);
+    W.key("changes").beginArray();
+    for (const usage::UsageChange &Change : Changes)
+      emitUsageChange(W, Change);
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.key("classification").beginArray();
+  for (const auto &[RuleId, Class] : Record.Classification) {
+    W.beginObject();
+    W.key("rule").value(RuleId);
+    W.key("class").value(rules::changeClassName(Class));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+void emitHealth(JsonWriter &W, const CorpusHealth &Health) {
+  W.beginObject();
+  W.key("statuses").beginObject();
+  for (std::size_t I = 0; I < NumChangeStatuses; ++I)
+    W.key(changeStatusName(static_cast<ChangeStatus>(I)))
+        .value(static_cast<std::uint64_t>(Health.StatusCounts[I]));
+  W.endObject();
+  W.key("clusteringFailures")
+      .value(static_cast<std::uint64_t>(Health.ClusteringFailures));
+  W.key("worstOffenders").beginArray();
+  for (const auto &[Origin, Steps] : Health.WorstOffenders) {
+    W.beginObject();
+    W.key("origin").value(Origin);
+    W.key("steps").value(static_cast<std::uint64_t>(Steps));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
 } // namespace
 
 std::string diffcode::core::usageChangeToJson(const usage::UsageChange &Change) {
   JsonWriter W;
   emitUsageChange(W, Change);
+  return W.take();
+}
+
+std::string diffcode::core::changeRecordToJson(const ChangeRecord &Record) {
+  JsonWriter W;
+  emitChangeRecord(W, Record);
   return W.take();
 }
 
@@ -50,10 +105,14 @@ std::string diffcode::core::corpusReportToJson(const CorpusReport &Report) {
     for (const usage::UsageChange &Change : Class.Filtered.Kept)
       emitUsageChange(W, Change);
     W.endArray();
+    if (!Class.ClusteringError.empty())
+      W.key("clusteringError").value(Class.ClusteringError);
     W.endObject();
   }
   W.endArray();
   W.key("changes").value(Report.Changes.size());
+  W.key("health");
+  emitHealth(W, Report.Health);
   W.endObject();
   return W.take();
 }

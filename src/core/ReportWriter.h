@@ -30,8 +30,17 @@ namespace core {
 /// {"type":..,"origin":..,"removed":[..],"added":[..]}.
 std::string usageChangeToJson(const usage::UsageChange &Change);
 
+/// One processed change with its containment status:
+/// {"origin":..,"kind":..,"status":..,"detail":..,"steps":..,
+///  "perClass":[{"target":..,"changes":[..]}],"classification":[..]}.
+/// Byte-identical serialization is what the fault-injection harness
+/// compares across thread counts.
+std::string changeRecordToJson(const ChangeRecord &Record);
+
 /// The whole corpus pipeline result:
-/// {"classes":[{"target":..,"total":..,"fsame":..,..,"kept":[...]}]}.
+/// {"classes":[{"target":..,"total":..,"fsame":..,..,"kept":[...]}],
+///  "changes":..,"health":{"statuses":{..},"clusteringFailures":..,
+///  "worstOffenders":[..]}}.
 std::string corpusReportToJson(const CorpusReport &Report);
 
 /// A CryptoChecker project report:

@@ -50,6 +50,16 @@ public:
     Diags.push_back({DiagLevel::Warning, Loc, std::move(Message)});
   }
 
+  /// Reports a resource-budget violation (parser recursion depth, token
+  /// count). Budget errors are separate from syntax errors: a syntax
+  /// error means the *input* is broken, a budget error means the input is
+  /// too big for the configured limits — callers map them to different
+  /// ChangeStatus values.
+  void budget(SourceLocation Loc, std::string Message) {
+    BudgetHit = true;
+    error(Loc, std::move(Message));
+  }
+
   bool hasErrors() const {
     for (const Diagnostic &D : Diags)
       if (D.Level == DiagLevel::Error)
@@ -57,11 +67,18 @@ public:
     return false;
   }
 
+  /// True when any reported error was a resource-budget violation.
+  bool budgetExceeded() const { return BudgetHit; }
+
   const std::vector<Diagnostic> &all() const { return Diags; }
-  void clear() { Diags.clear(); }
+  void clear() {
+    Diags.clear();
+    BudgetHit = false;
+  }
 
 private:
   std::vector<Diagnostic> Diags;
+  bool BudgetHit = false;
 };
 
 } // namespace java

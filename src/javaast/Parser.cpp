@@ -3,15 +3,43 @@
 #include "javaast/Parser.h"
 
 #include "javaast/Lexer.h"
+#include "support/FaultInjection.h"
 
 #include <cassert>
 #include <cstdlib>
 
 using namespace diffcode::java;
 
+namespace {
+/// Internal signal for a blown parse budget; never escapes parseJava /
+/// parseCompilationUnit (converted into a Diags.budget report there).
+struct ParseBudgetError {
+  SourceLocation Loc;
+  std::string Message;
+};
+} // namespace
+
+/// Bounds the combined statement/expression recursion. Guarding
+/// parseStatement and parseUnary covers every recursive cycle in the
+/// grammar: statements nest only through parseStatement, and every
+/// expression cycle passes through parseUnary.
+class Parser::DepthGuard {
+public:
+  explicit DepthGuard(Parser &P) : P(P) {
+    if (P.Limits.MaxNestingDepth != 0 && ++P.Depth > P.Limits.MaxNestingDepth)
+      throw ParseBudgetError{
+          P.cur().Loc, "nesting depth exceeds budget (" +
+                           std::to_string(P.Limits.MaxNestingDepth) + ")"};
+  }
+  ~DepthGuard() { --P.Depth; }
+
+private:
+  Parser &P;
+};
+
 Parser::Parser(std::vector<Token> Tokens, AstContext &Ctx,
-               DiagnosticsEngine &Diags)
-    : Tokens(std::move(Tokens)), Ctx(Ctx), Diags(Diags) {
+               DiagnosticsEngine &Diags, ParseLimits Limits)
+    : Tokens(std::move(Tokens)), Ctx(Ctx), Diags(Diags), Limits(Limits) {
   assert(!this->Tokens.empty() &&
          this->Tokens.back().is(TokenKind::EndOfFile) &&
          "token stream must end with EOF");
@@ -83,31 +111,46 @@ void Parser::skipBalanced(TokenKind Open, TokenKind Close) {
 //===----------------------------------------------------------------------===//
 
 CompilationUnit *Parser::parseCompilationUnit() {
-  auto *Unit = Ctx.create<CompilationUnit>(cur().Loc);
-  if (at(TokenKind::KwPackage))
-    parsePackageDecl(Unit);
-  while (at(TokenKind::KwImport))
-    parseImportDecl(Unit);
-
-  while (!atEnd()) {
-    skipAnnotations();
-    if (atEnd())
-      break;
-    unsigned Modifiers = parseModifiers();
-    if (at(TokenKind::KwClass) || at(TokenKind::KwInterface)) {
-      if (ClassDecl *Class = parseClassDecl(Modifiers))
-        Unit->Types.push_back(Class);
-      continue;
-    }
-    if (at(TokenKind::Semi)) {
-      advance();
-      continue;
-    }
-    Diags.error(cur().Loc, "expected class or interface declaration, found " +
-                               std::string(tokenKindName(cur().Kind)));
-    advance();
+  if (Limits.MaxTokens != 0 && Tokens.size() > Limits.MaxTokens) {
+    Diags.budget(Tokens.front().Loc,
+                 "token count " + std::to_string(Tokens.size()) +
+                     " exceeds budget (" + std::to_string(Limits.MaxTokens) +
+                     ")");
+    return nullptr;
   }
-  return Unit;
+  try {
+    auto *Unit = Ctx.create<CompilationUnit>(cur().Loc);
+    if (at(TokenKind::KwPackage))
+      parsePackageDecl(Unit);
+    while (at(TokenKind::KwImport))
+      parseImportDecl(Unit);
+
+    while (!atEnd()) {
+      skipAnnotations();
+      if (atEnd())
+        break;
+      unsigned Modifiers = parseModifiers();
+      if (at(TokenKind::KwClass) || at(TokenKind::KwInterface)) {
+        if (ClassDecl *Class = parseClassDecl(Modifiers))
+          Unit->Types.push_back(Class);
+        continue;
+      }
+      if (at(TokenKind::Semi)) {
+        advance();
+        continue;
+      }
+      Diags.error(cur().Loc,
+                  "expected class or interface declaration, found " +
+                      std::string(tokenKindName(cur().Kind)));
+      advance();
+    }
+    return Unit;
+  } catch (const ParseBudgetError &E) {
+    // Oversized input: drop everything parsed so far so the outcome is an
+    // empty-but-flagged result, identical no matter where the cap hit.
+    Diags.budget(E.Loc, E.Message);
+    return nullptr;
+  }
 }
 
 void Parser::parsePackageDecl(CompilationUnit *Unit) {
@@ -563,6 +606,7 @@ Block *Parser::parseBlock() {
 }
 
 Stmt *Parser::parseStatement() {
+  DepthGuard Guard(*this);
   switch (cur().Kind) {
   case TokenKind::LBrace:
     return parseBlock();
@@ -1107,6 +1151,8 @@ bool Parser::isCastStart() const {
 }
 
 Expr *Parser::parseUnary() {
+  DepthGuard Guard(*this);
+  support::throwIfFault(support::FaultSite::Parser, Index);
   SourceLocation Loc = cur().Loc;
   switch (cur().Kind) {
   case TokenKind::Minus:
@@ -1364,7 +1410,14 @@ Expr *Parser::parsePrimary() {
 CompilationUnit *diffcode::java::parseJava(std::string_view Source,
                                            AstContext &Ctx,
                                            DiagnosticsEngine &Diags) {
+  return parseJava(Source, Ctx, Diags, ParseLimits());
+}
+
+CompilationUnit *diffcode::java::parseJava(std::string_view Source,
+                                           AstContext &Ctx,
+                                           DiagnosticsEngine &Diags,
+                                           const ParseLimits &Limits) {
   Lexer Lex(Source, Diags);
-  Parser P(Lex.lexAll(), Ctx, Diags);
+  Parser P(Lex.lexAll(), Ctx, Diags, Limits);
   return P.parseCompilationUnit();
 }

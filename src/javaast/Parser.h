@@ -34,14 +34,28 @@
 namespace diffcode {
 namespace java {
 
+/// Resource budgets for one parse. Mined corpora contain pathological
+/// files (multi-megabyte sources, generated expression towers); the caps
+/// bound both memory and stack so such inputs degrade to a deterministic
+/// empty-but-flagged result (DiagnosticsEngine::budgetExceeded) instead
+/// of exhausting the process. 0 means unlimited.
+struct ParseLimits {
+  /// Maximum token count; checked once after lexing.
+  unsigned MaxTokens = 0;
+  /// Maximum combined statement/expression recursion depth.
+  unsigned MaxNestingDepth = 0;
+};
+
 /// Parses one compilation unit from a token stream.
 class Parser {
 public:
   Parser(std::vector<Token> Tokens, AstContext &Ctx,
-         DiagnosticsEngine &Diags);
+         DiagnosticsEngine &Diags, ParseLimits Limits = ParseLimits());
 
-  /// Parses the whole buffer. Always returns a unit (possibly with fewer
-  /// members than the source on errors); check Diags for problems.
+  /// Parses the whole buffer. Returns a unit (possibly with fewer members
+  /// than the source on errors) — or nullptr when a ParseLimits budget was
+  /// exceeded (Diags.budgetExceeded() is then set). Check Diags for
+  /// problems either way.
   CompilationUnit *parseCompilationUnit();
 
 private:
@@ -104,15 +118,29 @@ private:
 
   Expr *makeErrorExpr(SourceLocation Loc);
 
+  /// RAII recursion-depth accounting; throws the internal budget error
+  /// when Limits.MaxNestingDepth is exceeded (caught in
+  /// parseCompilationUnit, which reports via Diags.budget and returns the
+  /// unit parsed so far — empty for practical purposes).
+  class DepthGuard;
+  friend class DepthGuard;
+
   std::vector<Token> Tokens;
   std::size_t Index = 0;
   AstContext &Ctx;
   DiagnosticsEngine &Diags;
+  ParseLimits Limits;
+  unsigned Depth = 0;
 };
 
-/// Convenience: lex + parse \p Source in one call.
+/// Convenience: lex + parse \p Source in one call. With \p Limits, a
+/// budget violation yields nullptr and Diags.budgetExceeded() — callers
+/// can tell "too big" apart from "unparseable".
 CompilationUnit *parseJava(std::string_view Source, AstContext &Ctx,
                            DiagnosticsEngine &Diags);
+CompilationUnit *parseJava(std::string_view Source, AstContext &Ctx,
+                           DiagnosticsEngine &Diags,
+                           const ParseLimits &Limits);
 
 } // namespace java
 } // namespace diffcode

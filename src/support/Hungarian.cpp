@@ -2,6 +2,9 @@
 
 #include "support/Hungarian.h"
 
+#include "support/FaultInjection.h"
+
+#include <bit>
 #include <cassert>
 #include <limits>
 
@@ -70,6 +73,20 @@ Assignment diffcode::solveAssignment(const CostMatrix &Costs,
   Assignment Result;
   if (N == 0)
     return Result;
+
+  // Fault-injection point, keyed on the matrix content (shape + corner
+  // entries) so the decision is a pure function of the input and thus
+  // identical no matter which thread solves this pair.
+  {
+    std::uint64_t Key = (static_cast<std::uint64_t>(Costs.rows()) << 32) ^
+                        Costs.cols();
+    if (Costs.rows() > 0 && Costs.cols() > 0)
+      Key ^= support::faultMix(
+                 std::bit_cast<std::uint64_t>(Costs.at(0, 0) + 1.0)) ^
+             std::bit_cast<std::uint64_t>(
+                 Costs.at(Costs.rows() - 1, Costs.cols() - 1) + 2.0);
+    support::throwIfFault(support::FaultSite::Hungarian, Key);
+  }
 
   Scratch.Square.assign(N * N, 0.0);
   for (std::size_t R = 0; R < Costs.rows(); ++R)

@@ -32,7 +32,7 @@ unsigned ThreadPool::resolveThreadCount(unsigned Requested) {
 
 void ThreadPool::runChunks(
     const std::function<void(std::size_t, std::size_t)> &Body) {
-  while (true) {
+  while (!Failed.load(std::memory_order_relaxed)) {
     std::size_t Begin = Cursor.fetch_add(Chunk, std::memory_order_relaxed);
     if (Begin >= End)
       return;
@@ -43,6 +43,7 @@ void ThreadPool::runChunks(
       std::lock_guard<std::mutex> Lock(Mutex);
       if (!FirstError)
         FirstError = std::current_exception();
+      Failed.store(true, std::memory_order_relaxed);
     }
   }
 }
@@ -58,8 +59,14 @@ void ThreadPool::workerLoop() {
       return;
     SeenGeneration = Generation;
     const auto *Batch = Body;
+    FaultContext Ctx = BatchFaults;
     Lock.unlock();
-    runChunks(*Batch);
+    {
+      // Mirror the caller's fault-injection context so seeded campaigns
+      // fire identically whether a chunk runs here or on the caller.
+      FaultScope Scope(Ctx);
+      runChunks(*Batch);
+    }
     Lock.lock();
     if (--Busy == 0)
       DoneCV.notify_all();
@@ -85,6 +92,8 @@ void ThreadPool::parallelForChunked(
     Chunk = ChunkSize;
     Busy = static_cast<unsigned>(Workers.size());
     FirstError = nullptr;
+    Failed.store(false, std::memory_order_relaxed);
+    BatchFaults = FaultContext::current();
     ++Generation;
   }
   WakeCV.notify_all();

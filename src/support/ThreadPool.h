@@ -16,10 +16,20 @@
 /// participates in every loop, so ThreadPool(1) spawns no threads and
 /// parallelFor degenerates to a plain serial loop.
 ///
+/// Error containment: the first exception a Body throws is captured and
+/// rethrown on the calling thread after the loop drains; once an error is
+/// recorded, unclaimed chunks are skipped so a poisoned batch fails fast
+/// instead of grinding through the remaining work. The pool itself stays
+/// usable after a throwing batch. Workers also inherit the caller's
+/// fault-injection context (support/FaultInjection.h), so seeded fault
+/// campaigns behave identically on every thread count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DIFFCODE_SUPPORT_THREADPOOL_H
 #define DIFFCODE_SUPPORT_THREADPOOL_H
+
+#include "support/FaultInjection.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -50,7 +60,8 @@ public:
   }
 
   /// Runs Body(I) for every I in [0, N); blocks until all indices are
-  /// done. The first exception thrown by Body is rethrown here. Not
+  /// done. The first exception thrown by Body is rethrown here; once one
+  /// is captured, remaining unclaimed indices may be skipped. Not
   /// reentrant: Body must not call back into the same pool.
   void parallelFor(std::size_t N,
                    const std::function<void(std::size_t)> &Body);
@@ -83,6 +94,8 @@ private:
   std::uint64_t Generation = 0;
   unsigned Busy = 0;
   std::exception_ptr FirstError;
+  std::atomic<bool> Failed{false}; ///< Set with FirstError; aborts the batch.
+  FaultContext BatchFaults;        ///< Caller's context, mirrored in workers.
   bool ShuttingDown = false;
 };
 

@@ -1,0 +1,6 @@
+class AESCipher {
+    void setKey(Key key) throws Exception {
+        Cipher c = Cipher.getInstance("DES");
+        c.init(Cipher.ENCRYPT_MODE, key);
+    }
+}

@@ -1,0 +1,4 @@
+class Broken {
+    void m() throws Exception {
+        Cipher c = Cipher.getInstance("AES
+    }

@@ -1,0 +1,229 @@
+//===- tests/test_budgets.cpp - Parser & interpreter resource budgets ------===//
+//
+// Budget knobs must degrade pathological inputs into a deterministic
+// empty-but-flagged result: same outcome at every thread count, never a
+// crash or an unbounded run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DiffCode.h"
+#include "core/ReportWriter.h"
+#include "javaast/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace diffcode;
+using namespace diffcode::core;
+
+namespace {
+
+const apimodel::CryptoApiModel &api() {
+  return apimodel::CryptoApiModel::javaCryptoApi();
+}
+
+/// A method body whose initializer nests \p Depth parenthesized levels.
+std::string nestedExprSource(unsigned Depth) {
+  std::string Source = "class A { void m() { int x = ";
+  Source.append(Depth, '(');
+  Source += "1";
+  Source.append(Depth, ')');
+  Source += "; } }";
+  return Source;
+}
+
+/// A method driving a Cipher through \p Calls consecutive API calls.
+std::string longChainSource(unsigned Calls) {
+  std::string Source =
+      "class A { void m(Key k) throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES\"); ";
+  for (unsigned I = 0; I < Calls; ++I)
+    Source += "c.init(Cipher.ENCRYPT_MODE, k); ";
+  Source += "} }";
+  return Source;
+}
+
+} // namespace
+
+TEST(ParseBudget, NestingCapFlagsAndReturnsNull) {
+  std::string Source = nestedExprSource(300);
+  java::AstContext Ctx;
+  java::DiagnosticsEngine Diags;
+  java::ParseLimits Limits;
+  Limits.MaxNestingDepth = 50;
+  java::CompilationUnit *Unit = java::parseJava(Source, Ctx, Diags, Limits);
+  EXPECT_EQ(Unit, nullptr);
+  EXPECT_TRUE(Diags.budgetExceeded());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParseBudget, NestingUnderCapParses) {
+  std::string Source = nestedExprSource(300);
+  java::AstContext Ctx;
+  java::DiagnosticsEngine Diags;
+  java::CompilationUnit *Unit = java::parseJava(Source, Ctx, Diags);
+  ASSERT_NE(Unit, nullptr);
+  EXPECT_FALSE(Diags.budgetExceeded());
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(ParseBudget, TokenCapFlagsAndReturnsNull) {
+  java::AstContext Ctx;
+  java::DiagnosticsEngine Diags;
+  java::ParseLimits Limits;
+  Limits.MaxTokens = 10;
+  java::CompilationUnit *Unit = java::parseJava(
+      "class A { void m() { int x = 1; int y = 2; } }", Ctx, Diags, Limits);
+  EXPECT_EQ(Unit, nullptr);
+  EXPECT_TRUE(Diags.budgetExceeded());
+}
+
+TEST(ParseBudget, DeepStatementNestingCapped) {
+  std::string Source = "class A { void m() { ";
+  for (unsigned I = 0; I < 300; ++I)
+    Source += "if (true) { ";
+  Source += "int x = 1; ";
+  for (unsigned I = 0; I < 300; ++I)
+    Source += "} ";
+  Source += "} }";
+  java::AstContext Ctx;
+  java::DiagnosticsEngine Diags;
+  java::ParseLimits Limits;
+  Limits.MaxNestingDepth = 64;
+  EXPECT_EQ(java::parseJava(Source, Ctx, Diags, Limits), nullptr);
+  EXPECT_TRUE(Diags.budgetExceeded());
+}
+
+TEST(AnalysisBudget, FuelExhaustionFlagged) {
+  DiffCodeOptions Opts;
+  Opts.Analysis.Fuel = 3;
+  DiffCode System(api(), Opts);
+  DiffCode::SourceAnalysis Out =
+      System.analyzeSourceChecked(longChainSource(50));
+  EXPECT_EQ(Out.Status, ChangeStatus::BudgetExceeded);
+  EXPECT_TRUE(Out.Result.Stats.FuelExhausted);
+  EXPECT_EQ(Out.Detail, "interpreter fuel exhausted");
+}
+
+TEST(AnalysisBudget, ObjectCapDegradesToUntracked) {
+  DiffCodeOptions Opts;
+  Opts.Analysis.MaxObjects = 1;
+  DiffCode System(api(), Opts);
+  DiffCode::SourceAnalysis Out = System.analyzeSourceChecked(
+      "class A { void m() throws Exception { "
+      "Cipher a = Cipher.getInstance(\"AES\"); "
+      "Cipher b = Cipher.getInstance(\"DES\"); } }");
+  EXPECT_EQ(Out.Status, ChangeStatus::BudgetExceeded);
+  EXPECT_TRUE(Out.Result.Stats.ObjectBudgetHit);
+  EXPECT_LE(Out.Result.Objects.size(), 1u);
+}
+
+TEST(AnalysisBudget, CleanRunReportsStepsAndNoFlags) {
+  DiffCode System(api());
+  DiffCode::SourceAnalysis Out =
+      System.analyzeSourceChecked(longChainSource(3));
+  EXPECT_EQ(Out.Status, ChangeStatus::Ok);
+  EXPECT_FALSE(Out.Result.Stats.anyBudgetHit());
+  EXPECT_GT(Out.Result.Stats.StepsUsed, 0u);
+}
+
+TEST(AnalysisBudget, RecoverableSyntaxErrorIsDegraded) {
+  DiffCode System(api());
+  DiffCode::SourceAnalysis Out = System.analyzeSourceChecked(
+      "class A { void m() { int x = ; } void n() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES\"); } }");
+  EXPECT_EQ(Out.Status, ChangeStatus::Degraded);
+  EXPECT_FALSE(Out.Detail.empty());
+}
+
+TEST(AnalysisBudget, EmptySourceIsOk) {
+  DiffCode System(api());
+  DiffCode::SourceAnalysis Out = System.analyzeSourceChecked("");
+  EXPECT_EQ(Out.Status, ChangeStatus::Ok);
+  EXPECT_TRUE(Out.Detail.empty());
+}
+
+TEST(BudgetPipeline, DegradedOutcomeIdenticalAcrossThreadCounts) {
+  // A corpus mixing healthy changes with budget-tripping ones must yield
+  // byte-identical reports whether one or eight workers process it.
+  std::vector<corpus::CodeChange> Storage;
+  auto Add = [&Storage](const char *Name, unsigned Commit, std::string OldCode,
+                        std::string NewCode) {
+    corpus::CodeChange C;
+    C.ProjectName = Name;
+    C.CommitIndex = Commit;
+    C.FileName = "A.java";
+    C.OldCode = std::move(OldCode);
+    C.NewCode = std::move(NewCode);
+    Storage.push_back(std::move(C));
+  };
+  Add("healthy", 0,
+      "class A { void m(Key k) throws Exception { "
+      "Cipher c = Cipher.getInstance(\"DES\"); } }",
+      "class A { void m(Key k) throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES\"); } }");
+  Add("deepnest", 1, nestedExprSource(300),
+      "class A { void m() throws Exception { "
+      "Cipher c = Cipher.getInstance(\"AES\"); } }");
+  Add("fuelhog", 2, longChainSource(60), longChainSource(61));
+  Add("healthy2", 3, "",
+      "class A { void m() throws Exception { "
+      "Mac m = Mac.getInstance(\"HmacSHA256\"); } }");
+
+  std::vector<const corpus::CodeChange *> Mined;
+  for (const corpus::CodeChange &C : Storage)
+    Mined.push_back(&C);
+
+  auto Run = [&Mined](unsigned Threads) {
+    DiffCodeOptions Opts;
+    Opts.Threads = Threads;
+    Opts.ParseBudget.MaxNestingDepth = 50;
+    Opts.Analysis.Fuel = 100;
+    DiffCode System(api(), Opts);
+    return System.runPipeline(Mined, api().targetClasses());
+  };
+
+  CorpusReport Serial = Run(1);
+  ASSERT_EQ(Serial.Changes.size(), 4u);
+  EXPECT_EQ(Serial.Changes[0].Status, ChangeStatus::Ok);
+  EXPECT_EQ(Serial.Changes[1].Status, ChangeStatus::BudgetExceeded);
+  EXPECT_EQ(Serial.Changes[2].Status, ChangeStatus::BudgetExceeded);
+  EXPECT_EQ(Serial.Changes[3].Status, ChangeStatus::Ok);
+  // The healthy change still produced its usage change.
+  EXPECT_TRUE(Serial.Changes[0].PerClass.count("Cipher"));
+  // Health tallies match the statuses.
+  EXPECT_EQ(Serial.Health.count(ChangeStatus::Ok), 2u);
+  EXPECT_EQ(Serial.Health.count(ChangeStatus::BudgetExceeded), 2u);
+  EXPECT_EQ(Serial.Health.troubled(), 2u);
+  EXPECT_FALSE(Serial.Health.WorstOffenders.empty());
+
+  std::string SerialJson = corpusReportToJson(Serial);
+  for (unsigned Threads : {2u, 8u}) {
+    CorpusReport Threaded = Run(Threads);
+    EXPECT_EQ(SerialJson, corpusReportToJson(Threaded))
+        << "thread count " << Threads;
+    ASSERT_EQ(Threaded.Changes.size(), Serial.Changes.size());
+    for (std::size_t I = 0; I < Serial.Changes.size(); ++I)
+      EXPECT_EQ(changeRecordToJson(Serial.Changes[I]),
+                changeRecordToJson(Threaded.Changes[I]))
+          << "record " << I << " at " << Threads << " threads";
+  }
+}
+
+TEST(BudgetPipeline, HealthSerializedInReportJson) {
+  std::vector<corpus::CodeChange> Storage(1);
+  Storage[0].ProjectName = "p";
+  Storage[0].NewCode = nestedExprSource(300);
+  std::vector<const corpus::CodeChange *> Mined = {&Storage[0]};
+
+  DiffCodeOptions Opts;
+  Opts.ParseBudget.MaxNestingDepth = 32;
+  DiffCode System(api(), Opts);
+  CorpusReport Report = System.runPipeline(Mined, {"Cipher"});
+  std::string Json = corpusReportToJson(Report);
+  EXPECT_NE(Json.find("\"health\""), std::string::npos);
+  EXPECT_NE(Json.find("\"budget-exceeded\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"ok\":0"), std::string::npos);
+}

@@ -208,3 +208,113 @@ TEST_P(MassMutationRobustness, ThousandByteLevelMutantsTerminate) {
 
 INSTANTIATE_TEST_SUITE_P(Shards, MassMutationRobustness,
                          ::testing::Range(0, 10));
+
+//===----------------------------------------------------------------------===//
+// Containment: a mutant may degrade its own record but must never change
+// the pipeline's outcome or leave a partially-written report.
+//===----------------------------------------------------------------------===//
+
+#include "core/ReportWriter.h"
+
+namespace {
+
+/// Structural JSON sanity: balanced containers outside strings, no open
+/// string at the end — a truncated or interleaved write fails this.
+void expectBalancedJson(const std::string &Json) {
+  ASSERT_FALSE(Json.empty());
+  long Depth = 0;
+  bool InString = false, Escape = false;
+  for (char C : Json) {
+    if (Escape) {
+      Escape = false;
+      continue;
+    }
+    if (InString) {
+      if (C == '\\')
+        Escape = true;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '{' || C == '[')
+      ++Depth;
+    else if (C == '}' || C == ']') {
+      --Depth;
+      ASSERT_GE(Depth, 0);
+    }
+  }
+  EXPECT_EQ(Depth, 0);
+  EXPECT_FALSE(InString);
+}
+
+std::string mutateBytes(std::string Text, Rng &R, int Edits) {
+  for (int Edit = 0; Edit < Edits; ++Edit) {
+    std::size_t Pos = R.index(Text.size());
+    char Byte = static_cast<char>(R.range(0, 255));
+    switch (R.range(0, 2)) {
+    case 0:
+      Text[Pos] = Byte;
+      break;
+    case 1:
+      Text.erase(Pos, 1);
+      break;
+    default:
+      Text.insert(Pos, 1, Byte);
+      break;
+    }
+    if (Text.empty())
+      Text = "x";
+  }
+  return Text;
+}
+
+} // namespace
+
+class MutantContainment : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutantContainment, MutantsKeepTaxonomyAndReportsComplete) {
+  int Shard = GetParam();
+  std::vector<corpus::CodeChange> Storage;
+  for (int Case = 0; Case < 20; ++Case) {
+    unsigned Seed = static_cast<unsigned>(Shard * 20 + Case);
+    Rng R(Seed * 6364136223846793005ull + 11);
+    corpus::CodeChange Change;
+    Change.ProjectName = "mutant" + std::to_string(Seed);
+    Change.OldCode = sampleSource(Seed % 16);
+    Change.NewCode =
+        mutateBytes(sampleSource(Seed % 16), R,
+                    1 + static_cast<int>(R.range(0, 7)));
+    Storage.push_back(std::move(Change));
+  }
+  std::vector<const corpus::CodeChange *> Mined;
+  for (const corpus::CodeChange &C : Storage)
+    Mined.push_back(&C);
+
+  const apimodel::CryptoApiModel &Api =
+      apimodel::CryptoApiModel::javaCryptoApi();
+  core::DiffCodeOptions Opts;
+  Opts.Analysis.Fuel = 20000;
+  core::DiffCode System(Api, Opts);
+  core::CorpusReport Report;
+  // The process-level contract: no mutant aborts the run.
+  ASSERT_NO_THROW(Report = System.runPipeline(Mined, Api.targetClasses()));
+  ASSERT_EQ(Report.Changes.size(), Mined.size());
+
+  std::size_t Counted = 0;
+  for (const core::ChangeRecord &Record : Report.Changes) {
+    // Every record lands in the documented taxonomy...
+    EXPECT_LT(static_cast<std::size_t>(Record.Status),
+              core::NumChangeStatuses);
+    EXPECT_STRNE(core::changeStatusName(Record.Status), "unknown");
+    // ...and serializes completely, even when its source was garbage.
+    expectBalancedJson(core::changeRecordToJson(Record));
+  }
+  for (std::size_t I = 0; I < core::NumChangeStatuses; ++I)
+    Counted += Report.Health.StatusCounts[I];
+  EXPECT_EQ(Counted, Report.Changes.size());
+  expectBalancedJson(core::corpusReportToJson(Report));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, MutantContainment, ::testing::Range(0, 10));

@@ -307,3 +307,178 @@ TEST(SourceLocation, ValidityAndString) {
   EXPECT_TRUE(Loc.isValid());
   EXPECT_EQ(Loc.str(), "12:34");
 }
+
+//===----------------------------------------------------------------------===//
+// ThreadPool error containment
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <stdexcept>
+
+TEST(ThreadPool, ExceptionRethrownOnCaller) {
+  support::ThreadPool Pool(4);
+  EXPECT_THROW(
+      Pool.parallelForChunked(256, 1,
+                              [&](std::size_t Begin, std::size_t Stop) {
+                                for (std::size_t I = Begin; I < Stop; ++I)
+                                  if (I == 100)
+                                    throw std::runtime_error("boom");
+                              }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionMessageSurvives) {
+  support::ThreadPool Pool(4);
+  try {
+    Pool.parallelForChunked(64, 1, [&](std::size_t, std::size_t) {
+      throw std::runtime_error("worker died at change 7");
+    });
+    FAIL() << "expected parallelForChunked to rethrow";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "worker died at change 7");
+  }
+}
+
+TEST(ThreadPool, SerialPathPropagatesException) {
+  support::ThreadPool Pool(1);
+  EXPECT_THROW(Pool.parallelForChunked(
+                   16, 1,
+                   [&](std::size_t, std::size_t) {
+                     throw std::runtime_error("serial boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterFailedBatch) {
+  support::ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelForChunked(128, 1,
+                                       [&](std::size_t, std::size_t) {
+                                         throw std::runtime_error("x");
+                                       }),
+               std::runtime_error);
+  // The pool must come back clean: a later batch runs to completion and
+  // sees every index exactly once.
+  std::atomic<std::uint64_t> Sum{0};
+  Pool.parallelForChunked(1000, 7, [&](std::size_t Begin, std::size_t Stop) {
+    for (std::size_t I = Begin; I < Stop; ++I)
+      Sum.fetch_add(I, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Sum.load(), 999u * 1000u / 2);
+}
+
+TEST(ThreadPool, FirstErrorAbortsUnclaimedChunks) {
+  // Every chunk throws, so each participating thread (3 workers + the
+  // caller) fails its first claim and then observes the abort flag: far
+  // fewer than N bodies may run.
+  support::ThreadPool Pool(4);
+  std::atomic<unsigned> Calls{0};
+  EXPECT_THROW(Pool.parallelForChunked(10000, 1,
+                                       [&](std::size_t, std::size_t) {
+                                         Calls.fetch_add(1);
+                                         throw std::runtime_error("every");
+                                       }),
+               std::runtime_error);
+  EXPECT_LE(Calls.load(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjection, NoPlanNeverFires) {
+  EXPECT_FALSE(support::faultPoint(support::FaultSite::Parser, 1));
+  support::FaultPlan Disabled; // Rate defaults to 0.
+  support::FaultScope Scope(&Disabled, 5);
+  EXPECT_FALSE(support::faultPoint(support::FaultSite::Parser, 1));
+}
+
+TEST(FaultInjection, RateOneAlwaysFires) {
+  support::FaultPlan Plan;
+  Plan.Rate = 1.0;
+  support::FaultScope Scope(&Plan, 0);
+  for (std::uint64_t Key = 0; Key < 64; ++Key)
+    EXPECT_TRUE(support::faultPoint(support::FaultSite::Interpreter, Key));
+}
+
+TEST(FaultInjection, PatternIsDeterministicAndSeedDependent) {
+  support::FaultPlan Plan;
+  Plan.Seed = 1234;
+  Plan.Rate = 0.5;
+  auto Draw = [&Plan](std::uint64_t ScopeKey) {
+    support::FaultScope Scope(&Plan, ScopeKey);
+    std::vector<char> Fired;
+    for (std::uint64_t Key = 0; Key < 400; ++Key)
+      Fired.push_back(
+          support::faultPoint(support::FaultSite::Hungarian, Key) ? 1 : 0);
+    return Fired;
+  };
+  std::vector<char> A = Draw(42), B = Draw(42), C = Draw(43);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C); // a different work unit faults differently
+  std::size_t Count = std::count(A.begin(), A.end(), 1);
+  EXPECT_GT(Count, 100u); // ~200 expected at rate 0.5
+  EXPECT_LT(Count, 300u);
+}
+
+TEST(FaultInjection, SiteMaskGates) {
+  support::FaultPlan Plan;
+  Plan.Rate = 1.0;
+  Plan.SiteMask = support::faultSiteBit(support::FaultSite::Clustering);
+  support::FaultScope Scope(&Plan, 9);
+  EXPECT_TRUE(support::faultPoint(support::FaultSite::Clustering, 1));
+  EXPECT_FALSE(support::faultPoint(support::FaultSite::Parser, 1));
+  EXPECT_FALSE(support::faultPoint(support::FaultSite::Hungarian, 1));
+  EXPECT_FALSE(support::faultPoint(support::FaultSite::Interpreter, 1));
+}
+
+TEST(FaultInjection, ScopesNestAndRestore) {
+  support::FaultPlan Plan;
+  Plan.Rate = 1.0;
+  EXPECT_FALSE(support::faultPoint(support::FaultSite::Parser, 0));
+  {
+    support::FaultScope Outer(&Plan, 1);
+    EXPECT_TRUE(support::faultPoint(support::FaultSite::Parser, 0));
+    {
+      support::FaultScope Inner(nullptr, 2);
+      EXPECT_FALSE(support::faultPoint(support::FaultSite::Parser, 0));
+    }
+    EXPECT_TRUE(support::faultPoint(support::FaultSite::Parser, 0));
+  }
+  EXPECT_FALSE(support::faultPoint(support::FaultSite::Parser, 0));
+}
+
+TEST(FaultInjection, ThrowIfFaultThrowsTypedError) {
+  support::FaultPlan Plan;
+  Plan.Rate = 1.0;
+  support::FaultScope Scope(&Plan, 3);
+  try {
+    support::throwIfFault(support::FaultSite::Hungarian, 77);
+    FAIL() << "expected FaultInjected";
+  } catch (const support::FaultInjected &E) {
+    EXPECT_EQ(E.Site, support::FaultSite::Hungarian);
+    EXPECT_NE(std::string(E.what()).find("hungarian"), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, WorkersInheritFaultContext) {
+  // The campaign is installed on the caller; pool workers must mirror it,
+  // otherwise fault decisions would depend on which thread claims a chunk.
+  support::FaultPlan Plan;
+  Plan.Rate = 1.0;
+  support::FaultScope Scope(&Plan, 11);
+  support::ThreadPool Pool(4);
+  std::vector<char> Fired(512, 0);
+  Pool.parallelForChunked(Fired.size(), 1,
+                          [&](std::size_t Begin, std::size_t Stop) {
+                            for (std::size_t I = Begin; I < Stop; ++I)
+                              Fired[I] = support::faultPoint(
+                                             support::FaultSite::Hungarian, I)
+                                             ? 1
+                                             : 0;
+                          });
+  for (std::size_t I = 0; I < Fired.size(); ++I)
+    EXPECT_EQ(Fired[I], 1) << "index " << I;
+}
