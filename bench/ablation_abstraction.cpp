@@ -71,8 +71,10 @@ Score scorePipeline(const bench::MinedCorpus &Mined,
   }
 
   // Corpus-level inspection load (after fdup).
-  CorpusReport Report = System.runPipeline(Mined.Changes, Api.targetClasses(),
-                                           {}, /*BuildDendrograms=*/false);
+  CorpusReport Report =
+      System.runPipeline({.Changes = Mined.Changes,
+                          .TargetClasses = Api.targetClasses(),
+                          .BuildDendrograms = false});
   for (const ClassReport &Class : Report.PerClass)
     S.InspectionLoad += Class.Filtered.AfterDup;
   return S;

@@ -51,7 +51,7 @@ int main(int argc, char **argv) {
       bool Survives = false;
       for (const std::string &Target : Api.targetClasses()) {
         analysis::AnalysisResult NewResult =
-            System.analyzeSource(Change->NewCode);
+            System.analyzeSourceChecked(Change->NewCode).Result;
         for (const usage::UsageDag &Dag :
              System.dagsForClass(NewResult, Target)) {
           DagNodes += Dag.size();

@@ -65,7 +65,7 @@ int main(int argc, char **argv) {
     // Analyze every HEAD file of the project.
     std::vector<analysis::AnalysisResult> Results;
     for (const corpus::ProjectFile &File : P.Files)
-      Results.push_back(System.analyzeSource(File.Code));
+      Results.push_back(System.analyzeSourceChecked(File.Code).Result);
     std::vector<UnitFacts> Units;
     for (const analysis::AnalysisResult &Result : Results)
       Units.push_back(UnitFacts::from(Result));

@@ -52,8 +52,10 @@ int main(int argc, char **argv) {
   core::DiffCodeOptions SysOpts;
   SysOpts.Threads = 0; // all cores; results are order-deterministic
   core::DiffCode System(Api, SysOpts);
-  core::CorpusReport Report = System.runPipeline(
-      Mined.Changes, Api.targetClasses(), {}, /*BuildDendrograms=*/false);
+  core::CorpusReport Report =
+      System.runPipeline({.Changes = Mined.Changes,
+                          .TargetClasses = Api.targetClasses(),
+                          .BuildDendrograms = false});
 
   TablePrinter Table({"Target API Class", "Usage Changes", "fsame", "fadd",
                       "frem", "fdup"});

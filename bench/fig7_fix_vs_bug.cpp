@@ -54,9 +54,10 @@ int main(int argc, char **argv) {
   for (const Rule &R : cryptoLintRules())
     CLRules.push_back(&R);
 
-  CorpusReport Report = System.runPipeline(Mined.Changes, Api.targetClasses(),
-                                           CLRules,
-                                           /*BuildDendrograms=*/false);
+  CorpusReport Report = System.runPipeline({.Changes = Mined.Changes,
+                                            .TargetClasses = Api.targetClasses(),
+                                            .ClassifyWith = CLRules,
+                                            .BuildDendrograms = false});
 
   TablePrinter Table({"Rule", "Type", "Total", "fsame", "fadd", "frem",
                       "fdup", "Remain."});

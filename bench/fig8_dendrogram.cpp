@@ -61,9 +61,8 @@ int main(int argc, char **argv) {
   core::DiffCodeOptions SysOpts;
   SysOpts.Threads = 0; // all cores; results are order-deterministic
   core::DiffCode System(Api, SysOpts);
-  core::CorpusReport Report =
-      System.runPipeline(Mined.Changes, {"Cipher"}, {},
-                         /*BuildDendrograms=*/true);
+  core::CorpusReport Report = System.runPipeline(
+      {.Changes = Mined.Changes, .TargetClasses = {"Cipher"}});
   const core::ClassReport &Cipher = Report.PerClass.front();
   const std::vector<usage::UsageChange> &Kept = Cipher.Filtered.Kept;
   std::printf("%zu semantic Cipher usage changes after filtering\n\n",

@@ -86,7 +86,7 @@ BENCHMARK(BM_AbstractInterpreter);
 
 void BM_DagDerivation(benchmark::State &State) {
   core::DiffCode System(apimodel::CryptoApiModel::javaCryptoApi());
-  analysis::AnalysisResult Result = System.analyzeSource(sampleSource(true));
+  analysis::AnalysisResult Result = System.analyzeSourceChecked(sampleSource(true)).Result;
   for (auto _ : State)
     benchmark::DoNotOptimize(System.dagsForClass(Result, "Cipher"));
 }

@@ -51,7 +51,7 @@ int main(int argc, char **argv) {
     for (const corpus::CodeChange &Change : P.History) {
       unsigned Decile = static_cast<unsigned>(
           10ull * Change.CommitIndex / P.History.size());
-      analysis::AnalysisResult Result = System.analyzeSource(Change.NewCode);
+      analysis::AnalysisResult Result = System.analyzeSourceChecked(Change.NewCode).Result;
       UnitFacts Facts = UnitFacts::from(Result);
       bool Violates = Checker.checkProject({Facts}, Meta).anyMatch();
       auto &[Bad, Total] = Buckets[Decile];

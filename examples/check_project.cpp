@@ -75,7 +75,7 @@ int main(int argc, char **argv) {
   Results.reserve(Sources.size());
   for (const auto &[Name, Code] : Sources) {
     std::printf("analyzing %s ...\n", Name.c_str());
-    Results.push_back(System.analyzeSource(Code));
+    Results.push_back(System.analyzeSourceChecked(Code).Result);
   }
   std::vector<rules::UnitFacts> Units;
   for (const analysis::AnalysisResult &Result : Results)

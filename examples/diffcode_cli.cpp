@@ -17,10 +17,14 @@
 //   diffcode_cli suggest <old.java> <new.java>
 //       auto-suggest a rule from the change (Section 6.3).
 //
-//   diffcode_cli pipeline <corpus-dir> [--json]
+//   diffcode_cli pipeline <corpus-dir> [--json] [--cluster] [--shard <n>]
 //       load a corpus from disk (see corpus/CorpusIO.h for the layout,
 //       exportable from git) and run the full mining -> abstraction ->
 //       filter -> cluster pipeline, printing the Figure-6-style table.
+//       --cluster builds per-class dendrograms and prints the flat
+//       clusters at the default cut; --shard <n> additionally arms the
+//       sharded clustering engine with MaxShardSize n (implies
+//       --cluster) and reports the shard statistics.
 //
 //===----------------------------------------------------------------------===//
 
@@ -48,7 +52,8 @@ int printUsage() {
                "usage: diffcode_cli diff <old.java> <new.java> [--json]\n"
                "       diffcode_cli check <file.java ...> [--json]\n"
                "       diffcode_cli suggest <old.java> <new.java>\n"
-               "       diffcode_cli pipeline <corpus-dir> [--json]\n");
+               "       diffcode_cli pipeline <corpus-dir> [--json] "
+               "[--cluster] [--shard <n>]\n");
   return 2;
 }
 
@@ -114,7 +119,7 @@ int runCheck(int argc, char **argv, bool Json) {
   core::DiffCode System(apimodel::CryptoApiModel::javaCryptoApi());
   std::vector<analysis::AnalysisResult> Results;
   for (const std::string &Code : Codes)
-    Results.push_back(System.analyzeSource(Code));
+    Results.push_back(System.analyzeSourceChecked(Code).Result);
   std::vector<rules::UnitFacts> Units;
   for (const analysis::AnalysisResult &Result : Results)
     Units.push_back(rules::UnitFacts::from(Result));
@@ -170,6 +175,21 @@ int runSuggest(int argc, char **argv) {
 int runPipeline(int argc, char **argv, bool Json) {
   if (argc < 3)
     return printUsage();
+  bool Cluster = false;
+  bool Shard = false;
+  std::size_t ShardSize = 0;
+  for (int I = 3; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--cluster") == 0) {
+      Cluster = true;
+    } else if (std::strcmp(argv[I], "--shard") == 0) {
+      if (I + 1 >= argc)
+        return printUsage();
+      Shard = Cluster = true;
+      ShardSize = std::strtoull(argv[++I], nullptr, 10);
+    } else if (std::strcmp(argv[I], "--json") != 0) {
+      return printUsage();
+    }
+  }
   std::string Error;
   std::optional<corpus::Corpus> C = corpus::readCorpus(argv[2], &Error);
   if (!C) {
@@ -189,10 +209,16 @@ int runPipeline(int argc, char **argv, bool Json) {
 
   core::DiffCodeOptions Opts;
   Opts.Threads = 0;
+  if (Shard) {
+    Opts.Clustering.Sharding.Enabled = true;
+    Opts.Clustering.Sharding.MaxShardSize = ShardSize;
+    Opts.Clustering.Sharding.Threads = 0; // all cores
+  }
   core::DiffCode System(Api, Opts);
   core::CorpusReport Report =
-      System.runPipeline(Mined, Api.targetClasses(), {},
-                         /*BuildDendrograms=*/false);
+      System.runPipeline({.Changes = Mined,
+                          .TargetClasses = Api.targetClasses(),
+                          .BuildDendrograms = Cluster});
   if (Json) {
     std::printf("%s\n", core::corpusReportToJson(Report).c_str());
     return 0;
@@ -208,6 +234,25 @@ int runPipeline(int argc, char **argv, bool Json) {
     for (const usage::UsageChange &UC : Class.Filtered.Kept)
       std::printf("\n[%s] %s\n%s", Class.TargetClass.c_str(),
                   UC.Origin.c_str(), UC.str().c_str());
+
+  if (Cluster) {
+    std::printf("\n");
+    for (const core::ClassReport &Class : Report.PerClass) {
+      if (Class.Filtered.Kept.empty())
+        continue;
+      std::size_t Clusters =
+          Class.Tree.cut(System.options().ClusterCut).size();
+      std::printf("%s: %zu flat clusters at cut %.2f",
+                  Class.TargetClass.c_str(), Clusters,
+                  System.options().ClusterCut);
+      if (Class.Sharding.NumShards > 0)
+        std::printf(" (sharded: %zu shards, largest %zu, %zu "
+                    "representatives)",
+                    Class.Sharding.NumShards, Class.Sharding.LargestShard,
+                    Class.Sharding.Representatives);
+      std::printf("\n");
+    }
+  }
 
   // Corpus health: containment means broken changes never abort the run;
   // this is where they become visible instead.

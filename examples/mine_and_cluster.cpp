@@ -42,8 +42,8 @@ int main(int argc, char **argv) {
               Mined.size(), C.totalChanges());
 
   core::DiffCode System(Api);
-  core::CorpusReport Report =
-      System.runPipeline(Mined, Api.targetClasses());
+  core::CorpusReport Report = System.runPipeline(
+      {.Changes = Mined, .TargetClasses = Api.targetClasses()});
 
   std::printf("%-16s %8s %7s %6s %6s %6s\n", "target class", "usages",
               "fsame", "fadd", "frem", "fdup");

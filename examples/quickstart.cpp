@@ -86,8 +86,8 @@ int main() {
   std::printf("== DiffCode quickstart: the Figure 2 AESCipher patch ==\n\n");
 
   // Step 1+2: analyze both versions and derive the usage DAGs for Cipher.
-  analysis::AnalysisResult OldResult = System.analyzeSource(OldVersion);
-  analysis::AnalysisResult NewResult = System.analyzeSource(NewVersion);
+  analysis::AnalysisResult OldResult = System.analyzeSourceChecked(OldVersion).Result;
+  analysis::AnalysisResult NewResult = System.analyzeSourceChecked(NewVersion).Result;
   std::vector<usage::UsageDag> OldDags =
       System.dagsForClass(OldResult, "Cipher");
   std::vector<usage::UsageDag> NewDags =

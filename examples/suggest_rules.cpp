@@ -72,8 +72,8 @@ int main() {
               rules::describeRule(*Suggested).c_str());
 
   // Validate the suggestion: it must flag the old version and pass the new.
-  analysis::AnalysisResult OldResult = System.analyzeSource(OldVersion);
-  analysis::AnalysisResult NewResult = System.analyzeSource(NewVersion);
+  analysis::AnalysisResult OldResult = System.analyzeSourceChecked(OldVersion).Result;
+  analysis::AnalysisResult NewResult = System.analyzeSourceChecked(NewVersion).Result;
   rules::UnitFacts OldFacts = rules::UnitFacts::from(OldResult);
   rules::UnitFacts NewFacts = rules::UnitFacts::from(NewResult);
   bool FlagsOld = rules::ruleMatches(*Suggested, {OldFacts});

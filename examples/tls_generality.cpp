@@ -81,8 +81,8 @@ int main() {
 
   // Check both versions with the curated TLS rule set.
   rules::CryptoChecker Checker(rules::tlsRules());
-  analysis::AnalysisResult OldResult = System.analyzeSource(OldVersion);
-  analysis::AnalysisResult NewResult = System.analyzeSource(NewVersion);
+  analysis::AnalysisResult OldResult = System.analyzeSourceChecked(OldVersion).Result;
+  analysis::AnalysisResult NewResult = System.analyzeSourceChecked(NewVersion).Result;
   rules::UnitFacts OldFacts = rules::UnitFacts::from(OldResult);
   rules::UnitFacts NewFacts = rules::UnitFacts::from(NewResult);
 

@@ -9,6 +9,12 @@
 # build/ directory is untouched, so a sanitizer sweep never invalidates
 # the incremental tier-1 build.
 #   scripts/check.sh --asan -L tier1
+#
+# --bench-sharding (opt-in): after the test suite, run the sharded
+# clustering sweep at paper scale (bench/micro_sharding). Self-verifying
+# — non-zero exit on a determinism or memory-budget violation — and
+# leaves BENCH_sharding.json in the build directory.
+#   scripts/check.sh --bench-sharding -L tier1
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,6 +22,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 CMAKE_ARGS=()
 CTEST_ARGS=()
+BENCH_SHARDING=0
 for arg in "$@"; do
   if [[ "$arg" == "--asan" ]]; then
     BUILD_DIR=build-asan
@@ -23,6 +30,8 @@ for arg in "$@"; do
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
       "-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all"
     )
+  elif [[ "$arg" == "--bench-sharding" ]]; then
+    BENCH_SHARDING=1
   else
     CTEST_ARGS+=("$arg")
   fi
@@ -32,3 +41,8 @@ cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 cd "$BUILD_DIR"
 ctest --output-on-failure -j"$(nproc)" ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
+
+if [[ "$BENCH_SHARDING" == "1" ]]; then
+  echo "== sharded clustering sweep (bench/micro_sharding) =="
+  ./bench/micro_sharding 10000 42 BENCH_sharding.json
+fi

@@ -3,6 +3,7 @@
 #include "cluster/HierarchicalClustering.h"
 
 #include "cluster/DistanceCache.h"
+#include "cluster/ShardedClustering.h"
 #include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 
@@ -326,6 +327,8 @@ Dendrogram diffcode::cluster::agglomerativeCluster(
 Dendrogram diffcode::cluster::clusterUsageChanges(
     const std::vector<usage::UsageChange> &Changes,
     const ClusteringOptions &Opts) {
+  if (Opts.Sharding.Enabled)
+    return clusterUsageChangesSharded(Changes, Opts);
   std::size_t N = Changes.size();
   if (N == 0)
     return agglomerateDistanceMatrix(0, {}, Opts.Algo);

@@ -48,11 +48,51 @@ class ThreadPool;
 
 namespace cluster {
 
+/// Sharded-clustering knobs (cluster/ShardedClustering.h). At paper
+/// scale (n=11,551 Cipher changes) the dense distance matrix alone is
+/// ~1 GiB; sharding caps matrix memory at the largest shard plus the
+/// representative matrix, at the cost of approximating cross-shard
+/// linkages from per-shard representatives.
+struct ShardingOptions {
+  /// Master switch. Disabled (the default) leaves every clustering path
+  /// bit-identical to the unsharded engine.
+  bool Enabled = false;
+  /// Largest number of usage changes per shard; 0 = unlimited, which
+  /// packs the whole corpus into one shard and therefore reproduces the
+  /// unsharded dendrogram byte for byte.
+  std::size_t MaxShardSize = 512;
+  /// How many leading method labels of a change's first feature path
+  /// form its canopy key; 0 keys every change identically.
+  unsigned KeyDepth = 1;
+  /// Threads over shards (each shard clusters serially inside its
+  /// worker); resolved by support::resolveThreads.
+  unsigned Threads = 1;
+  /// Per-shard dendrogram cut that elects representatives: one per flat
+  /// sub-cluster (its minimum item id). Smaller cuts mean more
+  /// representatives and a tighter cross-shard linkage estimate.
+  double RepresentativeCut = 0.4;
+  /// Cap on representatives elected per shard (largest sub-clusters
+  /// first); bounds the representative matrix at
+  /// (NumShards * MaxRepsPerShard)^2 doubles.
+  std::size_t MaxRepsPerShard = 64;
+};
+
+/// What the sharded engine did, for reports and benchmarks.
+struct ShardingStats {
+  std::size_t NumShards = 0; ///< 0 when the sharded engine did not run.
+  std::size_t LargestShard = 0;
+  std::size_t Representatives = 0;
+  /// High-water mark of concurrently allocated distance-matrix bytes
+  /// (per-shard matrices across workers, then the representative and
+  /// shard-linkage matrices).
+  std::size_t PeakMatrixBytes = 0;
+};
+
 /// Clustering engine knobs.
 struct ClusteringOptions {
-  /// Threads for the pairwise distance matrix and cache warm-up;
-  /// 1 = serial, 0 = one per hardware thread. The dendrogram is
-  /// identical for every value.
+  /// Threads for the pairwise distance matrix and cache warm-up
+  /// (support::resolveThreads semantics). The dendrogram is identical
+  /// for every value.
   unsigned Threads = 1;
   /// Agglomeration algorithm; both are exact complete linkage with the
   /// same canonical tie-breaking, so they differ only in running time.
@@ -61,6 +101,9 @@ struct ClusteringOptions {
     Naive,   ///< O(n^3) reference for differential testing.
   };
   Algorithm Algo = Algorithm::NNChain;
+  /// Shard-and-merge engine for corpora whose dense matrix would not
+  /// fit; clusterUsageChanges dispatches on Sharding.Enabled.
+  ShardingOptions Sharding;
 };
 
 /// Binary merge tree over clustered items.
@@ -95,6 +138,11 @@ private:
   friend Dendrogram agglomerateDistanceMatrix(std::size_t,
                                               std::vector<double>,
                                               ClusteringOptions::Algorithm);
+  /// The sharded engine (cluster/ShardedClustering.cpp) grafts shard
+  /// trees and representative-level merges into one node array.
+  friend Dendrogram
+  clusterUsageChangesSharded(const std::vector<usage::UsageChange> &,
+                             const ClusteringOptions &, ShardingStats *);
 
   std::vector<Node> Nodes;
   int Root = -1;
@@ -128,7 +176,8 @@ Dendrogram agglomerativeCluster(
     const ClusteringOptions &Opts = ClusteringOptions());
 
 /// Convenience wrapper clustering usage changes by usageDist, memoised
-/// through cluster::UsageDistCache.
+/// through cluster::UsageDistCache. Dispatches to the shard-and-merge
+/// engine (cluster/ShardedClustering.h) when Opts.Sharding.Enabled.
 Dendrogram clusterUsageChanges(const std::vector<usage::UsageChange> &Changes,
                                const ClusteringOptions &Opts =
                                    ClusteringOptions());

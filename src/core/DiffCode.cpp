@@ -2,6 +2,7 @@
 
 #include "core/DiffCode.h"
 
+#include "cluster/ShardedClustering.h"
 #include "javaast/Parser.h"
 #include "support/ThreadPool.h"
 
@@ -94,10 +95,6 @@ DiffCode::analyzeSourceChecked(std::string_view Source) const {
   return Out;
 }
 
-analysis::AnalysisResult DiffCode::analyzeSource(std::string_view Source) const {
-  return analyzeSourceChecked(Source).Result;
-}
-
 std::vector<usage::UsageDag>
 DiffCode::dagsForClass(const analysis::AnalysisResult &Result,
                        const std::string &TargetClass) const {
@@ -121,8 +118,10 @@ DiffCode::dagsForClass(const analysis::AnalysisResult &Result,
 std::vector<usage::UsageChange>
 DiffCode::usageChangesFor(const corpus::CodeChange &Change,
                           const std::string &TargetClass) const {
-  analysis::AnalysisResult OldResult = analyzeSource(Change.OldCode);
-  analysis::AnalysisResult NewResult = analyzeSource(Change.NewCode);
+  analysis::AnalysisResult OldResult =
+      analyzeSourceChecked(Change.OldCode).Result;
+  analysis::AnalysisResult NewResult =
+      analyzeSourceChecked(Change.NewCode).Result;
   std::vector<usage::UsageChange> Changes = usage::deriveUsageChanges(
       dagsForClass(OldResult, TargetClass), dagsForClass(NewResult, TargetClass),
       TargetClass);
@@ -186,62 +185,95 @@ ChangeRecord DiffCode::processChange(
   return Record;
 }
 
-CorpusReport DiffCode::runPipeline(
-    const std::vector<const corpus::CodeChange *> &Changes,
-    const std::vector<std::string> &TargetClasses,
-    const std::vector<const rules::Rule *> &ClassifyWith,
-    bool BuildDendrograms) const {
-  CorpusReport Report;
-  Report.Changes.resize(Changes.size());
+std::vector<ChangeRecord>
+DiffCode::analyzeChanges(const PipelineRequest &Request) const {
+  std::vector<ChangeRecord> Records(Request.Changes.size());
 
   // Each change is independent; workers claim indices from the pool's
   // shared cursor and write into their own slot, so the result order
   // (and therefore every downstream number) is identical to the serial
   // run for any thread count.
   unsigned Threads =
-      std::min<unsigned>(support::ThreadPool::resolveThreadCount(Opts.Threads),
-                         std::max<std::size_t>(Changes.size(), 1));
+      std::min<unsigned>(support::resolveThreads(Opts.Threads),
+                         std::max<std::size_t>(Request.Changes.size(), 1));
   support::ThreadPool Pool(Threads);
   Pool.parallelForChunked(
-      Changes.size(), 1, [&](std::size_t Begin, std::size_t Stop) {
+      Request.Changes.size(), 1, [&](std::size_t Begin, std::size_t Stop) {
         for (std::size_t I = Begin; I < Stop; ++I) {
           // Scope key = change index, so an armed fault plan hits the
           // same changes whether one thread or sixteen claim the work.
           support::FaultScope Scope(&Opts.Faults, I);
-          Report.Changes[I] =
-              processChange(*Changes[I], TargetClasses, ClassifyWith);
+          Records[I] = processChange(*Request.Changes[I],
+                                     Request.TargetClasses,
+                                     Request.ClassifyWith);
         }
       });
+  return Records;
+}
 
-  for (const std::string &TargetClass : TargetClasses) {
-    ClassReport ClassOut;
-    ClassOut.TargetClass = TargetClass;
-    for (const ChangeRecord &Record : Report.Changes) {
-      auto It = Record.PerClass.find(TargetClass);
-      if (It == Record.PerClass.end())
-        continue;
-      ClassOut.AllChanges.insert(ClassOut.AllChanges.end(),
-                                 It->second.begin(), It->second.end());
-    }
-    ClassOut.Filtered = applyFilters(ClassOut.AllChanges);
-    if (BuildDendrograms && !ClassOut.Filtered.Kept.empty()) {
-      // Scope key = class-name hash (FNV-1a), distinct from any change
-      // index scope so campaigns can target clustering alone.
-      std::uint64_t ClassKey = 0xcbf29ce484222325ull;
-      for (char C : TargetClass)
-        ClassKey = (ClassKey ^ static_cast<unsigned char>(C)) *
-                   0x100000001b3ull;
-      support::FaultScope Scope(&Opts.Faults, ClassKey);
-      try {
-        ClassOut.Tree = cluster::clusterUsageChanges(ClassOut.Filtered.Kept,
-                                                     Opts.Clustering);
-      } catch (const std::exception &E) {
-        ClassOut.Tree = cluster::Dendrogram();
-        ClassOut.ClusteringError = E.what();
-      }
-    }
+ClassReport DiffCode::filterClass(const std::vector<ChangeRecord> &Records,
+                                  const std::string &TargetClass) const {
+  ClassReport ClassOut;
+  ClassOut.TargetClass = TargetClass;
+  for (const ChangeRecord &Record : Records) {
+    auto It = Record.PerClass.find(TargetClass);
+    if (It == Record.PerClass.end())
+      continue;
+    ClassOut.AllChanges.insert(ClassOut.AllChanges.end(), It->second.begin(),
+                               It->second.end());
+  }
+  ClassOut.Filtered = applyFilters(ClassOut.AllChanges);
+  return ClassOut;
+}
+
+void DiffCode::clusterClass(ClassReport &Class) const {
+  Class.Tree = cluster::Dendrogram();
+  Class.ClusteringError.clear();
+  Class.Sharding = cluster::ShardingStats();
+  if (Class.Filtered.Kept.empty())
+    return;
+  // Scope key = class-name hash (FNV-1a), distinct from any change
+  // index scope so campaigns can target clustering alone.
+  std::uint64_t ClassKey = 0xcbf29ce484222325ull;
+  for (char C : Class.TargetClass)
+    ClassKey = (ClassKey ^ static_cast<unsigned char>(C)) * 0x100000001b3ull;
+  support::FaultScope Scope(&Opts.Faults, ClassKey);
+  try {
+    if (Opts.Clustering.Sharding.Enabled)
+      Class.Tree = cluster::clusterUsageChangesSharded(
+          Class.Filtered.Kept, Opts.Clustering, &Class.Sharding);
+    else
+      Class.Tree = cluster::clusterUsageChanges(Class.Filtered.Kept,
+                                                Opts.Clustering);
+  } catch (const std::exception &E) {
+    Class.Tree = cluster::Dendrogram();
+    Class.Sharding = cluster::ShardingStats();
+    Class.ClusteringError = E.what();
+  }
+}
+
+CorpusReport DiffCode::runPipeline(const PipelineRequest &Request) const {
+  CorpusReport Report;
+  Report.Changes = analyzeChanges(Request);
+  for (const std::string &TargetClass : Request.TargetClasses) {
+    ClassReport ClassOut = filterClass(Report.Changes, TargetClass);
+    if (Request.BuildDendrograms)
+      clusterClass(ClassOut);
     Report.PerClass.push_back(std::move(ClassOut));
   }
   computeCorpusHealth(Report);
   return Report;
+}
+
+CorpusReport DiffCode::runPipeline(
+    const std::vector<const corpus::CodeChange *> &Changes,
+    const std::vector<std::string> &TargetClasses,
+    const std::vector<const rules::Rule *> &ClassifyWith,
+    bool BuildDendrograms) const {
+  PipelineRequest Request;
+  Request.Changes = Changes;
+  Request.TargetClasses = TargetClasses;
+  Request.ClassifyWith = ClassifyWith;
+  Request.BuildDendrograms = BuildDendrograms;
+  return runPipeline(Request);
 }

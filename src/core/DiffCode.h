@@ -43,14 +43,15 @@ struct DiffCodeOptions {
   unsigned DagDepth = 5; ///< Section 3.4's n.
   /// Dendrogram cut threshold for flat clusters (manual-inspection aid).
   double ClusterCut = 0.4;
-  /// Worker threads for runPipeline's per-change processing (each change
-  /// is independent: parse + analyze + diff). 1 = serial; 0 = one per
-  /// hardware thread. Results are deterministic regardless.
+  /// Worker threads for the per-change analysis stage (each change is
+  /// independent: parse + analyze + diff), resolved by
+  /// support::resolveThreads. Results are deterministic regardless.
   unsigned Threads = 1;
-  /// Clustering engine knobs: distance-matrix threads (same 0/1
-  /// semantics as Threads) and the agglomeration algorithm (NNChain by
-  /// default; the naive reference is retained for differential testing).
-  /// Every setting yields the identical CorpusReport.
+  /// Clustering engine knobs: distance-matrix threads, the agglomeration
+  /// algorithm (NNChain by default; the naive reference is retained for
+  /// differential testing), and the sharded engine's configuration. All
+  /// thread knobs share support::resolveThreads semantics. With sharding
+  /// disabled every setting yields the identical CorpusReport.
   cluster::ClusteringOptions Clustering;
   /// Fault-injection campaign (testing only; disabled by default). When
   /// armed, every per-change worker and the per-class clustering step run
@@ -103,6 +104,9 @@ struct ClassReport {
   /// Non-empty when dendrogram construction failed; Tree is then empty
   /// but AllChanges/Filtered are still valid.
   std::string ClusteringError;
+  /// What the sharded engine did (NumShards == 0 when clustering ran
+  /// unsharded or not at all).
+  cluster::ShardingStats Sharding;
 };
 
 /// Corpus-health summary: how many changes landed in each status bucket,
@@ -130,6 +134,22 @@ struct CorpusReport {
   CorpusHealth Health;
 };
 
+/// Everything one pipeline run needs, replacing runPipeline's former
+/// positional parameter list. Aggregate-initializable:
+///
+///   System.runPipeline({.Changes = Mined,
+///                       .TargetClasses = Api.targetClasses()});
+///
+/// Pointed-to changes and rules must outlive the call.
+struct PipelineRequest {
+  std::vector<const corpus::CodeChange *> Changes;
+  std::vector<std::string> TargetClasses;
+  /// Rules to classify each change under (may be empty).
+  std::vector<const rules::Rule *> ClassifyWith;
+  /// Whether the (quadratic-distance) clustering stage runs.
+  bool BuildDendrograms = true;
+};
+
 /// Recomputes \p Report's health summary from its records (at most
 /// \p MaxOffenders worst-offender entries). runPipeline calls this;
 /// exposed for tests and for callers that post-edit reports.
@@ -151,13 +171,12 @@ public:
     std::string Detail; ///< First diagnostic / budget cause when non-Ok.
   };
 
-  /// Parses and abstractly interprets one Java source (empty source yields
-  /// an empty Ok result — new/deleted files diff against nothing),
-  /// recording parser diagnostics and budget hits in the status.
+  /// The one checked analysis entry point: parses and abstractly
+  /// interprets one Java source (empty source yields an empty Ok result —
+  /// new/deleted files diff against nothing), recording parser
+  /// diagnostics and budget hits in the status. Callers that only need
+  /// the result use analyzeSourceChecked(Source).Result.
   SourceAnalysis analyzeSourceChecked(std::string_view Source) const;
-
-  /// Compatibility shim: analyzeSourceChecked without the status.
-  analysis::AnalysisResult analyzeSource(std::string_view Source) const;
 
   /// Deduplicated usage DAGs of \p TargetClass across all executions.
   std::vector<usage::UsageDag>
@@ -179,11 +198,42 @@ public:
                 const std::vector<std::string> &TargetClasses,
                 const std::vector<const rules::Rule *> &ClassifyWith) const;
 
-  /// Runs the full pipeline over mined changes. \p BuildDendrograms
-  /// controls whether the (O(n^2) distance) clustering step runs.
-  /// Per-change failures are contained in the corresponding ChangeRecord
-  /// and tallied in the report's Health summary; a clustering failure
-  /// empties that class's Tree and sets ClusteringError.
+  //===--------------------------------------------------------------------===
+  // Stage entry points. runPipeline composes exactly these three, so
+  // callers can run any prefix (analysis only, analysis + filters) or
+  // re-cluster a filtered class under different options without
+  // re-analyzing the corpus.
+  //===--------------------------------------------------------------------===
+
+  /// Stage 1 — per-change analysis: processChange over
+  /// Request.Changes in parallel (Opts.Threads workers), one record per
+  /// input in input order, each under a deterministic fault scope.
+  /// Request.BuildDendrograms is ignored here.
+  std::vector<ChangeRecord> analyzeChanges(const PipelineRequest &Request) const;
+
+  /// Stage 2 — per-class gather + filter: concatenates \p TargetClass's
+  /// usage changes from \p Records (record order) and runs the
+  /// fsame/fadd/frem/fdup pipeline. Tree is left empty.
+  ClassReport filterClass(const std::vector<ChangeRecord> &Records,
+                          const std::string &TargetClass) const;
+
+  /// Stage 3 — clustering: builds \p Class.Tree over Class.Filtered.Kept
+  /// under Opts.Clustering (sharded when Opts.Clustering.Sharding is
+  /// enabled, filling Class.Sharding). A failure empties the Tree and
+  /// sets Class.ClusteringError instead of throwing.
+  void clusterClass(ClassReport &Class) const;
+
+  /// Runs the full pipeline: analyzeChanges, then per target class
+  /// filterClass and (when Request.BuildDendrograms) clusterClass, then
+  /// the corpus-health rollup. Per-change failures are contained in the
+  /// corresponding ChangeRecord and tallied in the report's Health
+  /// summary; a clustering failure empties that class's Tree and sets
+  /// ClusteringError.
+  CorpusReport runPipeline(const PipelineRequest &Request) const;
+
+  /// Deprecated positional facade, kept for one release; forwards to
+  /// runPipeline(const PipelineRequest &).
+  [[deprecated("build a PipelineRequest and call runPipeline(Request)")]]
   CorpusReport
   runPipeline(const std::vector<const corpus::CodeChange *> &Changes,
               const std::vector<std::string> &TargetClasses,

@@ -7,8 +7,14 @@
 using namespace diffcode;
 using namespace diffcode::support;
 
+unsigned support::resolveThreads(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
 ThreadPool::ThreadPool(unsigned ThreadCount) {
-  unsigned Resolved = resolveThreadCount(ThreadCount);
+  unsigned Resolved = resolveThreads(ThreadCount);
   Workers.reserve(Resolved - 1);
   for (unsigned I = 1; I < Resolved; ++I)
     Workers.emplace_back([this] { workerLoop(); });
@@ -22,12 +28,6 @@ ThreadPool::~ThreadPool() {
   WakeCV.notify_all();
   for (std::thread &T : Workers)
     T.join();
-}
-
-unsigned ThreadPool::resolveThreadCount(unsigned Requested) {
-  if (Requested != 0)
-    return Requested;
-  return std::max(1u, std::thread::hardware_concurrency());
 }
 
 void ThreadPool::runChunks(

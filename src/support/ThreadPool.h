@@ -44,6 +44,14 @@
 namespace diffcode {
 namespace support {
 
+/// Canonical resolution of every "Threads" knob in the system
+/// (DiffCodeOptions::Threads, ClusteringOptions::Threads,
+/// ShardingOptions::Threads): 0 means one thread per hardware thread
+/// (at least 1), any other value is taken literally (1 = serial).
+/// ThreadPool's constructor applies it, so passing a raw knob through is
+/// always correct; call it directly only to pre-compute the count.
+unsigned resolveThreads(unsigned Requested);
+
 class ThreadPool {
 public:
   /// \p ThreadCount total threads including the caller; 0 = one per
@@ -72,9 +80,6 @@ public:
   void parallelForChunked(
       std::size_t N, std::size_t ChunkSize,
       const std::function<void(std::size_t, std::size_t)> &Body);
-
-  /// 0 -> hardware concurrency (at least 1), otherwise \p Requested.
-  static unsigned resolveThreadCount(unsigned Requested);
 
 private:
   void workerLoop();

@@ -182,7 +182,8 @@ TEST(BudgetPipeline, DegradedOutcomeIdenticalAcrossThreadCounts) {
     Opts.ParseBudget.MaxNestingDepth = 50;
     Opts.Analysis.Fuel = 100;
     DiffCode System(api(), Opts);
-    return System.runPipeline(Mined, api().targetClasses());
+    return System.runPipeline(
+        {.Changes = Mined, .TargetClasses = api().targetClasses()});
   };
 
   CorpusReport Serial = Run(1);
@@ -221,7 +222,8 @@ TEST(BudgetPipeline, HealthSerializedInReportJson) {
   DiffCodeOptions Opts;
   Opts.ParseBudget.MaxNestingDepth = 32;
   DiffCode System(api(), Opts);
-  CorpusReport Report = System.runPipeline(Mined, {"Cipher"});
+  CorpusReport Report =
+      System.runPipeline({.Changes = Mined, .TargetClasses = {"Cipher"}});
   std::string Json = corpusReportToJson(Report);
   EXPECT_NE(Json.find("\"health\""), std::string::npos);
   EXPECT_NE(Json.find("\"budget-exceeded\":1"), std::string::npos);

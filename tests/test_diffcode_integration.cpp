@@ -153,7 +153,7 @@ TEST(DiffCodeE2E, ProcessChangeClassifies) {
 
 TEST(DiffCodeE2E, EmptySourcesHandled) {
   DiffCode System(api());
-  analysis::AnalysisResult Empty = System.analyzeSource("");
+  analysis::AnalysisResult Empty = System.analyzeSourceChecked("").Result;
   EXPECT_EQ(Empty.Objects.size(), 0u);
   std::vector<usage::UsageChange> Changes = System.usageChangesFor(
       change("", "class A { Cipher c; void m() throws Exception { "
@@ -186,8 +186,9 @@ TEST(DiffCodeE2E, PipelineOverSmallCorpus) {
   std::vector<const rules::Rule *> CLRules;
   for (const rules::Rule &R : rules::cryptoLintRules())
     CLRules.push_back(&R);
-  CorpusReport Report =
-      System.runPipeline(Mined, api().targetClasses(), CLRules);
+  CorpusReport Report = System.runPipeline({.Changes = Mined,
+                                            .TargetClasses = api().targetClasses(),
+                                            .ClassifyWith = CLRules});
 
   ASSERT_EQ(Report.PerClass.size(), 6u);
   EXPECT_EQ(Report.Changes.size(), Mined.size());
@@ -263,8 +264,10 @@ TEST(DiffCodeE2E, PipelineDeterminism) {
   corpus::Miner M(api());
   std::vector<const corpus::CodeChange *> Mined = M.mine(C);
   DiffCode System(api());
-  CorpusReport A = System.runPipeline(Mined, {"Cipher"});
-  CorpusReport B = System.runPipeline(Mined, {"Cipher"});
+  CorpusReport A =
+      System.runPipeline({.Changes = Mined, .TargetClasses = {"Cipher"}});
+  CorpusReport B =
+      System.runPipeline({.Changes = Mined, .TargetClasses = {"Cipher"}});
   ASSERT_EQ(A.PerClass.size(), B.PerClass.size());
   EXPECT_EQ(A.PerClass[0].Filtered.Total, B.PerClass[0].Filtered.Total);
   EXPECT_EQ(A.PerClass[0].Filtered.AfterDup,
@@ -289,9 +292,11 @@ TEST(DiffCodeE2E, ParallelPipelineMatchesSerial) {
   DiffCodeOptions Parallel;
   Parallel.Threads = 4;
   CorpusReport A = DiffCode(api(), Serial)
-                       .runPipeline(Mined, api().targetClasses());
+                       .runPipeline({.Changes = Mined,
+                                     .TargetClasses = api().targetClasses()});
   CorpusReport B = DiffCode(api(), Parallel)
-                       .runPipeline(Mined, api().targetClasses());
+                       .runPipeline({.Changes = Mined,
+                                     .TargetClasses = api().targetClasses()});
 
   ASSERT_EQ(A.Changes.size(), B.Changes.size());
   for (std::size_t I = 0; I < A.Changes.size(); ++I)
@@ -336,12 +341,11 @@ TEST(DiffCodeE2E, ThreadedPipelineReportIsByteIdentical) {
   NaiveCluster.Clustering.Algo =
       cluster::ClusteringOptions::Algorithm::Naive;
 
-  CorpusReport A =
-      DiffCode(api(), Serial).runPipeline(Mined, api().targetClasses());
-  CorpusReport B =
-      DiffCode(api(), Threaded).runPipeline(Mined, api().targetClasses());
-  CorpusReport N =
-      DiffCode(api(), NaiveCluster).runPipeline(Mined, api().targetClasses());
+  core::PipelineRequest Request{.Changes = Mined,
+                                .TargetClasses = api().targetClasses()};
+  CorpusReport A = DiffCode(api(), Serial).runPipeline(Request);
+  CorpusReport B = DiffCode(api(), Threaded).runPipeline(Request);
+  CorpusReport N = DiffCode(api(), NaiveCluster).runPipeline(Request);
 
   std::string JsonA = corpusReportToJson(A);
   EXPECT_EQ(JsonA, corpusReportToJson(B));
@@ -367,4 +371,116 @@ TEST(DiffCodeE2E, ThreadedPipelineReportIsByteIdentical) {
       EXPECT_EQ(TA[K].Height, TN[K].Height);
     }
   }
+}
+
+TEST(DiffCodeE2E, StageEntryPointsComposeToRunPipeline) {
+  // The redesigned API contract: runPipeline(Request) is exactly
+  // analyzeChanges + per-class filterClass/clusterClass + the health
+  // rollup. Composing the stages by hand reproduces it byte for byte.
+  corpus::CorpusOptions Opts;
+  Opts.Seed = 61;
+  Opts.NumProjects = 6;
+  corpus::Corpus C = corpus::CorpusGenerator(Opts).generate();
+  corpus::Miner M(api());
+  std::vector<const corpus::CodeChange *> Mined = M.mine(C);
+  ASSERT_FALSE(Mined.empty());
+
+  DiffCode System(api());
+  PipelineRequest Request{.Changes = Mined,
+                          .TargetClasses = api().targetClasses()};
+
+  CorpusReport Whole = System.runPipeline(Request);
+
+  CorpusReport Staged;
+  Staged.Changes = System.analyzeChanges(Request);
+  for (const std::string &Target : Request.TargetClasses) {
+    Staged.PerClass.push_back(System.filterClass(Staged.Changes, Target));
+    System.clusterClass(Staged.PerClass.back());
+  }
+  computeCorpusHealth(Staged);
+
+  EXPECT_EQ(corpusReportToJson(Whole), corpusReportToJson(Staged));
+  ASSERT_EQ(Whole.PerClass.size(), Staged.PerClass.size());
+  for (std::size_t I = 0; I < Whole.PerClass.size(); ++I) {
+    const auto &TA = Whole.PerClass[I].Tree.nodes();
+    const auto &TB = Staged.PerClass[I].Tree.nodes();
+    ASSERT_EQ(TA.size(), TB.size());
+    for (std::size_t K = 0; K < TA.size(); ++K) {
+      EXPECT_EQ(TA[K].Left, TB[K].Left);
+      EXPECT_EQ(TA[K].Right, TB[K].Right);
+      EXPECT_EQ(TA[K].Item, TB[K].Item);
+      EXPECT_EQ(TA[K].Height, TB[K].Height);
+    }
+  }
+}
+
+TEST(DiffCodeE2E, DeprecatedPositionalOverloadStillWorks) {
+  // Kept for one release; it must forward to the request form exactly.
+  corpus::CorpusOptions Opts;
+  Opts.Seed = 67;
+  Opts.NumProjects = 5;
+  corpus::Corpus C = corpus::CorpusGenerator(Opts).generate();
+  corpus::Miner M(api());
+  std::vector<const corpus::CodeChange *> Mined = M.mine(C);
+
+  DiffCode System(api());
+  CorpusReport ViaRequest = System.runPipeline(
+      {.Changes = Mined, .TargetClasses = {"Cipher", "SecureRandom"}});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  CorpusReport ViaPositional =
+      System.runPipeline(Mined, {"Cipher", "SecureRandom"});
+#pragma GCC diagnostic pop
+  EXPECT_EQ(corpusReportToJson(ViaRequest),
+            corpusReportToJson(ViaPositional));
+}
+
+TEST(DiffCodeE2E, ShardedPipelineMatchesDenseTreesAndReportsStats) {
+  corpus::CorpusOptions Opts;
+  Opts.Seed = 71;
+  Opts.NumProjects = 8;
+  corpus::Corpus C = corpus::CorpusGenerator(Opts).generate();
+  corpus::Miner M(api());
+  std::vector<const corpus::CodeChange *> Mined = M.mine(C);
+  ASSERT_FALSE(Mined.empty());
+
+  DiffCodeOptions Dense;
+  DiffCodeOptions Unlimited; // armed, but one shard: byte-identical trees
+  Unlimited.Clustering.Sharding.Enabled = true;
+  Unlimited.Clustering.Sharding.MaxShardSize = 0;
+  Unlimited.Clustering.Sharding.Threads = 4;
+
+  PipelineRequest Request{.Changes = Mined,
+                          .TargetClasses = api().targetClasses()};
+  CorpusReport A = DiffCode(api(), Dense).runPipeline(Request);
+  CorpusReport B = DiffCode(api(), Unlimited).runPipeline(Request);
+
+  ASSERT_EQ(A.PerClass.size(), B.PerClass.size());
+  for (std::size_t I = 0; I < A.PerClass.size(); ++I) {
+    const auto &TA = A.PerClass[I].Tree.nodes();
+    const auto &TB = B.PerClass[I].Tree.nodes();
+    ASSERT_EQ(TA.size(), TB.size()) << A.PerClass[I].TargetClass;
+    for (std::size_t K = 0; K < TA.size(); ++K) {
+      EXPECT_EQ(TA[K].Left, TB[K].Left);
+      EXPECT_EQ(TA[K].Right, TB[K].Right);
+      EXPECT_EQ(TA[K].Item, TB[K].Item);
+      EXPECT_EQ(TA[K].Height, TB[K].Height);
+    }
+    // Stats surface only on the armed run, and only where items existed.
+    EXPECT_EQ(A.PerClass[I].Sharding.NumShards, 0u);
+    if (!B.PerClass[I].Filtered.Kept.empty())
+      EXPECT_EQ(B.PerClass[I].Sharding.NumShards, 1u);
+  }
+
+  // The report JSON carries the shard stats when (and only when) the
+  // sharded engine ran, so the disabled path stays byte-identical to
+  // the pre-sharding writer.
+  std::string JsonA = corpusReportToJson(A);
+  std::string JsonB = corpusReportToJson(B);
+  EXPECT_EQ(JsonA.find("\"sharding\""), std::string::npos);
+  bool AnyKept = false;
+  for (const ClassReport &Class : B.PerClass)
+    AnyKept = AnyKept || !Class.Filtered.Kept.empty();
+  if (AnyKept)
+    EXPECT_NE(JsonB.find("\"sharding\""), std::string::npos);
 }

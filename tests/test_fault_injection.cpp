@@ -49,8 +49,8 @@ const Env &env() {
     Out->C = corpus::CorpusGenerator(Opts).generate();
     corpus::Miner M(api());
     Out->Mined = M.mine(Out->C);
-    Out->Baseline = DiffCode(api()).runPipeline(Out->Mined,
-                                                api().targetClasses());
+    Out->Baseline = DiffCode(api()).runPipeline(
+        {.Changes = Out->Mined, .TargetClasses = api().targetClasses()});
     Out->BaselineJson = corpusReportToJson(Out->Baseline);
     return Out;
   }();
@@ -63,8 +63,8 @@ CorpusReport runWithPlan(const support::FaultPlan &Plan, unsigned Threads,
   Opts.Threads = Threads;
   Opts.Clustering.Threads = ClusterThreads;
   Opts.Faults = Plan;
-  return DiffCode(api(), Opts).runPipeline(env().Mined,
-                                           api().targetClasses());
+  return DiffCode(api(), Opts).runPipeline(
+      {.Changes = env().Mined, .TargetClasses = api().targetClasses()});
 }
 
 } // namespace

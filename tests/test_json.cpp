@@ -107,8 +107,10 @@ TEST(ReportWriter, CorpusReportJsonStructure) {
   corpus::Corpus C = corpus::CorpusGenerator(Opts).generate();
   corpus::Miner M(apimodel::CryptoApiModel::javaCryptoApi());
   core::DiffCode System(apimodel::CryptoApiModel::javaCryptoApi());
-  core::CorpusReport Report = System.runPipeline(
-      M.mine(C), {"Cipher"}, {}, /*BuildDendrograms=*/false);
+  core::CorpusReport Report =
+      System.runPipeline({.Changes = M.mine(C),
+                          .TargetClasses = {"Cipher"},
+                          .BuildDendrograms = false});
   std::string Json = core::corpusReportToJson(Report);
   EXPECT_EQ(Json.front(), '{');
   EXPECT_EQ(Json.back(), '}');
@@ -129,9 +131,11 @@ TEST(ReportWriter, CorpusReportJsonStructure) {
 
 TEST(ReportWriter, ProjectReportJson) {
   core::DiffCode System(apimodel::CryptoApiModel::javaCryptoApi());
-  analysis::AnalysisResult Result = System.analyzeSource(
-      "class A { void m() throws Exception { "
-      "Cipher c = Cipher.getInstance(\"DES\"); } }");
+  analysis::AnalysisResult Result =
+      System
+          .analyzeSourceChecked("class A { void m() throws Exception { "
+                                "Cipher c = Cipher.getInstance(\"DES\"); } }")
+          .Result;
   rules::UnitFacts Facts = rules::UnitFacts::from(Result);
   rules::CryptoChecker Checker;
   std::string Json =

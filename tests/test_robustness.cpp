@@ -299,7 +299,8 @@ TEST_P(MutantContainment, MutantsKeepTaxonomyAndReportsComplete) {
   core::DiffCode System(Api, Opts);
   core::CorpusReport Report;
   // The process-level contract: no mutant aborts the run.
-  ASSERT_NO_THROW(Report = System.runPipeline(Mined, Api.targetClasses()));
+  ASSERT_NO_THROW(Report = System.runPipeline(
+                    {.Changes = Mined, .TargetClasses = Api.targetClasses()}));
   ASSERT_EQ(Report.Changes.size(), Mined.size());
 
   std::size_t Counted = 0;

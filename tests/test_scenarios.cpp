@@ -81,8 +81,8 @@ TEST_P(ScenarioContract, InsecureViolatesItsRuleSecureDoesNot) {
   std::string Secure =
       renderScenario(makeInstance(true), "com.example.contract");
 
-  analysis::AnalysisResult InsecureResult = System.analyzeSource(Insecure);
-  analysis::AnalysisResult SecureResult = System.analyzeSource(Secure);
+  analysis::AnalysisResult InsecureResult = System.analyzeSourceChecked(Insecure).Result;
+  analysis::AnalysisResult SecureResult = System.analyzeSourceChecked(Secure).Result;
   rules::UnitFacts InsecureFacts = rules::UnitFacts::from(InsecureResult);
   rules::UnitFacts SecureFacts = rules::UnitFacts::from(SecureResult);
 
@@ -95,10 +95,16 @@ TEST_P(ScenarioContract, InsecureViolatesItsRuleSecureDoesNot) {
 TEST_P(ScenarioContract, FixClassifiesAsSecurityFix) {
   const rules::Rule *R = rules::findRule(corpus::scenarioRuleId(kind()));
   core::DiffCode System(apimodel::CryptoApiModel::javaCryptoApi());
-  analysis::AnalysisResult OldResult = System.analyzeSource(
-      renderScenario(makeInstance(false), "com.example.contract"));
-  analysis::AnalysisResult NewResult = System.analyzeSource(
-      renderScenario(makeInstance(true), "com.example.contract"));
+  analysis::AnalysisResult OldResult =
+      System
+          .analyzeSourceChecked(
+              renderScenario(makeInstance(false), "com.example.contract"))
+          .Result;
+  analysis::AnalysisResult NewResult =
+      System
+          .analyzeSourceChecked(
+              renderScenario(makeInstance(true), "com.example.contract"))
+          .Result;
   EXPECT_EQ(rules::classifyChange(*R, rules::UnitFacts::from(OldResult),
                                   rules::UnitFacts::from(NewResult), meta()),
             rules::ChangeClass::SecurityFix)

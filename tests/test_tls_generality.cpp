@@ -29,7 +29,7 @@ const char *Tls12Source =
 
 rules::UnitFacts factsFor(core::DiffCode &System, const char *Source,
                           analysis::AnalysisResult &Storage) {
-  Storage = System.analyzeSource(Source);
+  Storage = System.analyzeSourceChecked(Source).Result;
   return rules::UnitFacts::from(Storage);
 }
 
@@ -47,7 +47,7 @@ TEST(TlsApiModel, TargetClasses) {
 
 TEST(TlsGenerality, AnalyzerTracksSslContext) {
   core::DiffCode System(apimodel::javaTlsApi());
-  analysis::AnalysisResult Result = System.analyzeSource(Sslv3Source);
+  analysis::AnalysisResult Result = System.analyzeSourceChecked(Sslv3Source).Result;
   std::vector<usage::UsageDag> Dags =
       System.dagsForClass(Result, "SSLContext");
   ASSERT_EQ(Dags.size(), 1u);
@@ -125,7 +125,7 @@ TEST(TlsGenerality, CryptoRulesDoNotInterfere) {
   // the SecureRandom usage is visible, the SSLContext is an unknown
   // class that is tracked but not a target.
   core::DiffCode System(apimodel::CryptoApiModel::javaCryptoApi());
-  analysis::AnalysisResult Result = System.analyzeSource(Sslv3Source);
+  analysis::AnalysisResult Result = System.analyzeSourceChecked(Sslv3Source).Result;
   EXPECT_FALSE(System.dagsForClass(Result, "SecureRandom").empty());
   EXPECT_TRUE(System.dagsForClass(Result, "SSLContext").empty());
 }
