@@ -28,7 +28,7 @@ using namespace diffcode;
 namespace {
 
 bool removesEcbFeature(const usage::UsageChange &Change) {
-  for (const usage::FeaturePath &Path : Change.Removed)
+  for (const usage::FeaturePath &Path : Change.removedPaths())
     for (const usage::NodeLabel &Label : Path)
       if (Label.K == usage::NodeLabel::Kind::Arg && Label.ValueIsString &&
           (Label.Text == "AES" || Label.Text.rfind("AES/ECB", 0) == 0 ||
@@ -38,7 +38,7 @@ bool removesEcbFeature(const usage::UsageChange &Change) {
 }
 
 bool addsFeedbackMode(const usage::UsageChange &Change) {
-  for (const usage::FeaturePath &Path : Change.Added)
+  for (const usage::FeaturePath &Path : Change.addedPaths())
     for (const usage::NodeLabel &Label : Path)
       if (Label.K == usage::NodeLabel::Kind::Arg &&
           (Label.Text.find("/CBC") != std::string::npos ||

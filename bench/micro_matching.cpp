@@ -47,13 +47,13 @@ FeaturePath randomPath(Rng &R) {
 }
 
 UsageChange randomChange(Rng &R) {
-  UsageChange C;
-  C.TypeName = "Cipher";
+  static support::Interner Table;
+  std::vector<FeaturePath> Removed, Added;
   for (std::size_t I = 0, N = 1 + R.range(0, 2); I < N; ++I)
-    C.Removed.push_back(randomPath(R));
+    Removed.push_back(randomPath(R));
   for (std::size_t I = 0, N = 1 + R.range(0, 2); I < N; ++I)
-    C.Added.push_back(randomPath(R));
-  return C;
+    Added.push_back(randomPath(R));
+  return UsageChange::intern(Table, "Cipher", Removed, Added);
 }
 
 void BM_Levenshtein(benchmark::State &State) {

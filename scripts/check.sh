@@ -15,6 +15,14 @@
 # — non-zero exit on a determinism or memory-budget violation — and
 # leaves BENCH_sharding.json in the build directory.
 #   scripts/check.sh --bench-sharding -L tier1
+#
+# --bench-interning (opt-in): after the test suite, run the interned
+# data-model sweep (bench/micro_interning) at n in {1k, 5k, 10k}.
+# Self-verifying — non-zero exit if the interned model saves less than
+# 2x resident bytes per change or the warmed cache is slower than the
+# string-space metric — and leaves BENCH_interning.json in the build
+# directory.
+#   scripts/check.sh --bench-interning -L tier1
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,6 +31,7 @@ BUILD_DIR=build
 CMAKE_ARGS=()
 CTEST_ARGS=()
 BENCH_SHARDING=0
+BENCH_INTERNING=0
 for arg in "$@"; do
   if [[ "$arg" == "--asan" ]]; then
     BUILD_DIR=build-asan
@@ -32,6 +41,8 @@ for arg in "$@"; do
     )
   elif [[ "$arg" == "--bench-sharding" ]]; then
     BENCH_SHARDING=1
+  elif [[ "$arg" == "--bench-interning" ]]; then
+    BENCH_INTERNING=1
   else
     CTEST_ARGS+=("$arg")
   fi
@@ -45,4 +56,9 @@ ctest --output-on-failure -j"$(nproc)" ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
 if [[ "$BENCH_SHARDING" == "1" ]]; then
   echo "== sharded clustering sweep (bench/micro_sharding) =="
   ./bench/micro_sharding 10000 42 BENCH_sharding.json
+fi
+
+if [[ "$BENCH_INTERNING" == "1" ]]; then
+  echo "== interned data model sweep (bench/micro_interning) =="
+  ./bench/micro_interning 10000 42 BENCH_interning.json
 fi

@@ -3,6 +3,7 @@
 #include "cluster/Distance.h"
 
 #include "support/Hungarian.h"
+#include "support/Interner.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -13,25 +14,9 @@ using namespace diffcode::cluster;
 using namespace diffcode::usage;
 
 std::vector<std::string> diffcode::cluster::labelUnits(const NodeLabel &Label) {
-  std::vector<std::string> Units;
-  switch (Label.K) {
-  case NodeLabel::Kind::Root:
-  case NodeLabel::Kind::Method:
-    // Type names and method signatures are single units: swapping one
-    // method for another costs exactly one modification.
-    Units.push_back(Label.str());
-    return Units;
-  case NodeLabel::Kind::Arg:
-    Units.push_back("arg" + std::to_string(Label.ArgIndex));
-    if (Label.ValueIsString) {
-      for (char C : Label.Text)
-        Units.push_back(std::string(1, C));
-    } else {
-      Units.push_back(Label.Text);
-    }
-    return Units;
-  }
-  return Units;
+  // Single source of truth lives next to the interner, which precomputes
+  // these units per distinct label at intern time.
+  return support::Interner::labelUnits(Label);
 }
 
 double diffcode::cluster::labelSimilarity(const NodeLabel &A,
@@ -83,7 +68,9 @@ double diffcode::cluster::pathsDist(const std::vector<FeaturePath> &F1,
 
 double diffcode::cluster::usageDist(const UsageChange &C1,
                                     const UsageChange &C2) {
-  return (pathsDist(C1.Removed, C2.Removed) +
-          pathsDist(C1.Added, C2.Added)) /
+  // The string-space reference metric: materialise and measure. The hot
+  // path uses UsageDistCache, which computes the same value over ids.
+  return (pathsDist(C1.removedPaths(), C2.removedPaths()) +
+          pathsDist(C1.addedPaths(), C2.addedPaths())) /
          2.0;
 }

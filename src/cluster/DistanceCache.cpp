@@ -8,11 +8,12 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
-#include <map>
 
 using namespace diffcode;
 using namespace diffcode::cluster;
 using namespace diffcode::usage;
+using support::LabelId;
+using support::PathId;
 
 namespace {
 
@@ -25,40 +26,73 @@ constexpr std::size_t DenseTableCap = 2048;
 
 UsageDistCache::UsageDistCache(const std::vector<UsageChange> &Changes,
                                support::ThreadPool *Pool) {
-  // Intern labels and paths. NodeLabel::operator< orders by full
-  // structural identity, so label-id equality coincides with operator==
-  // and the memoised metric matches the uncached one exactly.
-  std::map<NodeLabel, std::uint32_t> LabelIds;
-  std::map<std::vector<std::uint32_t>, std::uint32_t> PathIds;
+  const support::Interner *Table = nullptr;
+  for (const UsageChange &Change : Changes)
+    if (Change.Table) {
+      Table = Change.Table;
+      break;
+    }
 
-  auto internLabel = [&](const NodeLabel &Label) {
-    auto [It, Inserted] = LabelIds.emplace(
-        Label, static_cast<std::uint32_t>(LabelIds.size()));
-    if (Inserted)
-      Units.push_back(labelUnits(Label));
-    return It->second;
+  // Compact the global ids this corpus actually uses to dense local
+  // indices so the per-class tables stay within the dense bound even
+  // when the corpus-wide interner has grown large. Sorting global ids
+  // only fixes *which* local index a label/path gets — no computed value
+  // depends on that choice (see file comment), so racy global id
+  // assignment cannot leak into results.
+  std::vector<PathId> GlobalPaths;
+  for (const UsageChange &Change : Changes) {
+    GlobalPaths.insert(GlobalPaths.end(), Change.Removed.begin(),
+                       Change.Removed.end());
+    GlobalPaths.insert(GlobalPaths.end(), Change.Added.begin(),
+                       Change.Added.end());
+  }
+  std::sort(GlobalPaths.begin(), GlobalPaths.end());
+  GlobalPaths.erase(std::unique(GlobalPaths.begin(), GlobalPaths.end()),
+                    GlobalPaths.end());
+
+  std::vector<LabelId> GlobalLabels;
+  for (PathId Id : GlobalPaths) {
+    const std::vector<LabelId> &Labels = Table->labelsOf(Id);
+    GlobalLabels.insert(GlobalLabels.end(), Labels.begin(), Labels.end());
+  }
+  std::sort(GlobalLabels.begin(), GlobalLabels.end());
+  GlobalLabels.erase(std::unique(GlobalLabels.begin(), GlobalLabels.end()),
+                     GlobalLabels.end());
+
+  auto localLabel = [&](LabelId Id) {
+    return static_cast<std::uint32_t>(
+        std::lower_bound(GlobalLabels.begin(), GlobalLabels.end(), Id) -
+        GlobalLabels.begin());
   };
-  auto internPath = [&](const FeaturePath &Path) {
-    std::vector<std::uint32_t> Ids;
-    Ids.reserve(Path.size());
-    for (const NodeLabel &Label : Path)
-      Ids.push_back(internLabel(Label));
-    auto [It, Inserted] =
-        PathIds.emplace(Ids, static_cast<std::uint32_t>(PathIds.size()));
-    if (Inserted)
-      PathLabels.push_back(std::move(Ids));
-    return It->second;
+  auto localPath = [&](PathId Id) {
+    return static_cast<std::uint32_t>(
+        std::lower_bound(GlobalPaths.begin(), GlobalPaths.end(), Id) -
+        GlobalPaths.begin());
   };
+
+  Units.reserve(GlobalLabels.size());
+  for (LabelId Id : GlobalLabels)
+    Units.push_back(&Table->unitsOf(Id)); // arena reference, stable
+
+  PathLabels.reserve(GlobalPaths.size());
+  for (PathId Id : GlobalPaths) {
+    const std::vector<LabelId> &Labels = Table->labelsOf(Id);
+    std::vector<std::uint32_t> Local;
+    Local.reserve(Labels.size());
+    for (LabelId L : Labels)
+      Local.push_back(localLabel(L));
+    PathLabels.push_back(std::move(Local));
+  }
 
   Interned.reserve(Changes.size());
   for (const UsageChange &Change : Changes) {
     InternedChange IC;
     IC.Removed.reserve(Change.Removed.size());
-    for (const FeaturePath &Path : Change.Removed)
-      IC.Removed.push_back(internPath(Path));
+    for (PathId Id : Change.Removed)
+      IC.Removed.push_back(localPath(Id));
     IC.Added.reserve(Change.Added.size());
-    for (const FeaturePath &Path : Change.Added)
-      IC.Added.push_back(internPath(Path));
+    for (PathId Id : Change.Added)
+      IC.Added.push_back(localPath(Id));
     Interned.push_back(std::move(IC));
   }
 
@@ -71,7 +105,7 @@ UsageDistCache::UsageDistCache(const std::vector<UsageChange> &Changes,
     LabelSimTable.assign(L * L, 0.0);
     auto FillRow = [&](std::size_t R) {
       for (std::size_t C = R; C < L; ++C) {
-        double Sim = levenshteinRatio(Units[R], Units[C]);
+        double Sim = levenshteinRatio(*Units[R], *Units[C]);
         LabelSimTable[R * L + C] = LabelSimTable[C * L + R] = Sim;
       }
     };
@@ -109,7 +143,7 @@ UsageDistCache::UsageDistCache(const std::vector<UsageChange> &Changes,
 double UsageDistCache::labelSim(std::uint32_t A, std::uint32_t B) const {
   if (!LabelSimTable.empty())
     return LabelSimTable[static_cast<std::size_t>(A) * Units.size() + B];
-  return levenshteinRatio(Units[A], Units[B]);
+  return levenshteinRatio(*Units[A], *Units[B]);
 }
 
 // Mirrors pathDist (cluster/Distance.cpp) over interned ids.

@@ -8,30 +8,39 @@
 /// \file
 /// The hot loop of Section 4.3's clustering is the pairwise usageDist
 /// matrix: every evaluation runs a Hungarian assignment whose cost
-/// entries each run a Levenshtein over label units. Across a corpus the
-/// same labels and feature paths recur constantly, so this cache interns
-/// them once and memoises the expensive sub-results:
+/// entries each run a Levenshtein over label units. Usage changes arrive
+/// already interned (support::Interner ids), so this cache no longer
+/// interns anything itself: it compacts the corpus's global ids to dense
+/// local indices and memoises the expensive sub-results on top:
 ///
-///   * every distinct NodeLabel -> a dense id + its precomputed unit
-///     vector (string constants split per character only once);
-///   * every distinct FeaturePath -> a dense id over label ids, making
-///     path equality and common-prefix tests integer compares;
-///   * labelSimilarity over id pairs -> a dense table (bounded; larger
-///     vocabularies fall back to on-the-fly Levenshtein over the
+///   * the corpus's distinct global label ids -> dense local ids, with
+///     unit vectors borrowed from the interner's arena (precomputed at
+///     intern time, never copied);
+///   * the corpus's distinct global path ids -> dense local ids over
+///     local label ids, keeping common-prefix tests integer compares and
+///     the tables small enough for the dense bound;
+///   * labelSimilarity over local id pairs -> a dense table (bounded;
+///     larger vocabularies fall back to on-the-fly Levenshtein over the
 ///     precomputed units);
-///   * pathDist over id pairs -> a dense table under the same bound.
+///   * pathDist over local id pairs -> a dense table under the same
+///     bound.
 ///
-/// Every memoised value is produced by the same arithmetic as the
-/// uncached functions in cluster/Distance.h, so results are bit-identical
-/// — tests assert exact equality. All queries after construction are
-/// read-only and therefore thread-safe; construction itself can be
-/// parallelised by passing a support::ThreadPool.
+/// Local ids are derived by sorting global ids, whose values are racy
+/// across runs — but no result depends on id *values*: table fills are
+/// symmetric value-by-value, and cost matrices follow each change's own
+/// path order, so the metric is permutation-invariant (see the interner's
+/// determinism contract). Every memoised value is produced by the same
+/// arithmetic as the uncached functions in cluster/Distance.h, so results
+/// are bit-identical — tests assert exact equality. All queries after
+/// construction are read-only and therefore thread-safe; construction
+/// itself can be parallelised by passing a support::ThreadPool.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DIFFCODE_CLUSTER_DISTANCECACHE_H
 #define DIFFCODE_CLUSTER_DISTANCECACHE_H
 
+#include "support/Interner.h"
 #include "usage/UsageChange.h"
 
 #include <cstdint>
@@ -46,10 +55,13 @@ class ThreadPool;
 namespace cluster {
 
 /// Memoised usageDist evaluator over a fixed corpus of usage changes.
+/// All changes must resolve through one shared interner (the pipeline
+/// invariant), which must outlive the cache — unit vectors are borrowed
+/// from its arena.
 class UsageDistCache {
 public:
-  /// Interns the corpus and warms the similarity tables; \p Pool (may be
-  /// null) parallelises the table fill.
+  /// Compacts the corpus's ids and warms the similarity tables; \p Pool
+  /// (may be null) parallelises the table fill.
   explicit UsageDistCache(const std::vector<usage::UsageChange> &Changes,
                           support::ThreadPool *Pool = nullptr);
 
@@ -64,8 +76,8 @@ public:
 
 private:
   struct InternedChange {
-    std::vector<std::uint32_t> Removed; ///< Path ids of F-.
-    std::vector<std::uint32_t> Added;   ///< Path ids of F+.
+    std::vector<std::uint32_t> Removed; ///< Local path ids of F-.
+    std::vector<std::uint32_t> Added;   ///< Local path ids of F+.
   };
 
   double labelSim(std::uint32_t A, std::uint32_t B) const;
@@ -75,9 +87,10 @@ private:
                        const std::vector<std::uint32_t> &F2) const;
 
   std::vector<InternedChange> Interned;
-  /// Levenshtein units per label id (labelUnits, computed once).
-  std::vector<std::vector<std::string>> Units;
-  /// Label-id sequence per path id.
+  /// Levenshtein units per local label id, borrowed from the shared
+  /// interner's arena (stable for its lifetime).
+  std::vector<const std::vector<std::string> *> Units;
+  /// Local label-id sequence per local path id.
   std::vector<std::vector<std::uint32_t>> PathLabels;
   /// Dense distinctLabels^2 similarity table; empty when the vocabulary
   /// exceeds the memory bound.

@@ -9,27 +9,26 @@
 #include <atomic>
 #include <cassert>
 #include <map>
+#include <string>
 
 using namespace diffcode;
 using namespace diffcode::cluster;
+using support::LabelId;
 
-std::string diffcode::cluster::shardKey(const usage::UsageChange &Change,
-                                        unsigned KeyDepth) {
-  const std::vector<usage::FeaturePath> *Side =
+std::vector<LabelId> diffcode::cluster::shardKey(
+    const usage::UsageChange &Change, unsigned KeyDepth) {
+  const std::vector<support::PathId> *Side =
       !Change.Removed.empty() ? &Change.Removed
       : !Change.Added.empty() ? &Change.Added
                               : nullptr;
+  std::vector<LabelId> Key;
   if (!Side || KeyDepth == 0)
-    return std::string();
-  std::string Key;
-  unsigned Taken = 0;
-  for (const usage::NodeLabel &Label : Side->front()) {
-    if (Label.K != usage::NodeLabel::Kind::Method)
+    return Key;
+  for (LabelId Id : Change.Table->labelsOf(Side->front())) {
+    if (Change.Table->labelAt(Id).K != usage::NodeLabel::Kind::Method)
       continue;
-    if (Taken > 0)
-      Key += '\x1f';
-    Key += Label.Text;
-    if (++Taken == KeyDepth)
+    Key.push_back(Id);
+    if (Key.size() == KeyDepth)
       break;
   }
   return Key;
@@ -38,16 +37,44 @@ std::string diffcode::cluster::shardKey(const usage::UsageChange &Change,
 std::vector<std::vector<std::size_t>> diffcode::cluster::partitionIntoShards(
     const std::vector<usage::UsageChange> &Changes,
     const ShardingOptions &Opts) {
-  // std::map iteration gives canonical key order; items per group stay
+  const support::Interner *Table = nullptr;
+  for (const usage::UsageChange &Change : Changes)
+    if (Change.Table) {
+      Table = Change.Table;
+      break;
+    }
+
+  // Group by the id tuple (integer compares only); items per group stay
   // ascending because we insert in index order.
-  std::map<std::string, std::vector<std::size_t>> Groups;
+  std::map<std::vector<LabelId>, std::vector<std::size_t>> Groups;
   for (std::size_t I = 0; I < Changes.size(); ++I)
     Groups[shardKey(Changes[I], Opts.KeyDepth)].push_back(I);
+
+  // Canonical group order = the key's rendered method texts, compared as
+  // a joined string with a below-printable separator — id values are
+  // assignment-order dependent and must not leak into shard layout.
+  // Distinct method label ids always carry distinct texts (every other
+  // NodeLabel field is fixed for methods), so this order is strict.
+  std::vector<std::pair<std::string, const std::vector<std::size_t> *>>
+      Ordered;
+  Ordered.reserve(Groups.size());
+  for (const auto &[Key, Items] : Groups) {
+    std::string Text;
+    for (std::size_t I = 0; I < Key.size(); ++I) {
+      if (I != 0)
+        Text += '\x1f';
+      Text += Table->labelAt(Key[I]).Text;
+    }
+    Ordered.emplace_back(std::move(Text), &Items);
+  }
+  std::sort(Ordered.begin(), Ordered.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
 
   const std::size_t Cap = Opts.MaxShardSize; // 0 = unlimited
   std::vector<std::vector<std::size_t>> Shards;
   Shards.emplace_back();
-  for (const auto &[Key, Items] : Groups) {
+  for (const auto &Entry : Ordered) {
+    const std::vector<std::size_t> &Items = *Entry.second;
     std::size_t Pos = 0;
     while (Pos < Items.size()) {
       // Oversized key groups split into cap-sized slices; slices of

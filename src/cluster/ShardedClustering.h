@@ -38,25 +38,28 @@
 #define DIFFCODE_CLUSTER_SHARDEDCLUSTERING_H
 
 #include "cluster/HierarchicalClustering.h"
+#include "support/Interner.h"
 
 #include <cstddef>
-#include <string>
 #include <vector>
 
 namespace diffcode {
 namespace cluster {
 
-/// Canopy key of one usage change: the texts of the first \p KeyDepth
-/// method labels of its first feature path (first removed path, else
-/// first added path), joined by '\x1f'. Changes with no paths key to the
-/// empty string. O(KeyDepth) — no distance evaluation.
-std::string shardKey(const usage::UsageChange &Change, unsigned KeyDepth);
+/// Canopy key of one usage change: the label ids of the first
+/// \p KeyDepth method labels of its first feature path (first removed
+/// path, else first added path). Changes with no paths key to the empty
+/// tuple. O(KeyDepth) integer reads — no distance evaluation, no string
+/// construction.
+std::vector<support::LabelId> shardKey(const usage::UsageChange &Change,
+                                       unsigned KeyDepth);
 
 /// Deterministic partition of item indices [0, Changes.size()) into
-/// shards: group by shardKey, order groups by key, split oversized
-/// groups into MaxShardSize slices, pack slices into shards up to the
-/// cap, and order shards by minimum item. Every shard's item list is
-/// ascending; MaxShardSize == 0 yields a single shard holding 0..n-1.
+/// shards: group by shardKey, order groups by the key's *rendered label
+/// texts* (id values are racy across runs; texts are not), split
+/// oversized groups into MaxShardSize slices, pack slices into shards up
+/// to the cap, and order shards by minimum item. Every shard's item list
+/// is ascending; MaxShardSize == 0 yields a single shard holding 0..n-1.
 std::vector<std::vector<std::size_t>>
 partitionIntoShards(const std::vector<usage::UsageChange> &Changes,
                     const ShardingOptions &Opts);

@@ -59,7 +59,12 @@ void core::computeCorpusHealth(CorpusReport &Report, std::size_t MaxOffenders) {
 }
 
 DiffCode::DiffCode(const apimodel::CryptoApiModel &Api, DiffCodeOptions Opts)
-    : Api(Api), Opts(Opts) {}
+    : Api(Api), Opts(Opts),
+      DefaultLabels(std::make_shared<support::Interner>()) {}
+
+support::Interner &DiffCode::internerFor(const PipelineRequest &Request) const {
+  return Request.Labels ? *Request.Labels : *DefaultLabels;
+}
 
 DiffCode::SourceAnalysis
 DiffCode::analyzeSourceChecked(std::string_view Source) const {
@@ -124,7 +129,7 @@ DiffCode::usageChangesFor(const corpus::CodeChange &Change,
       analyzeSourceChecked(Change.NewCode).Result;
   std::vector<usage::UsageChange> Changes = usage::deriveUsageChanges(
       dagsForClass(OldResult, TargetClass), dagsForClass(NewResult, TargetClass),
-      TargetClass);
+      TargetClass, *DefaultLabels);
   for (usage::UsageChange &C : Changes)
     C.Origin = Change.origin();
   return Changes;
@@ -134,6 +139,14 @@ ChangeRecord DiffCode::processChange(
     const corpus::CodeChange &Change,
     const std::vector<std::string> &TargetClasses,
     const std::vector<const rules::Rule *> &ClassifyWith) const {
+  return processChange(Change, TargetClasses, ClassifyWith, *DefaultLabels);
+}
+
+ChangeRecord DiffCode::processChange(
+    const corpus::CodeChange &Change,
+    const std::vector<std::string> &TargetClasses,
+    const std::vector<const rules::Rule *> &ClassifyWith,
+    support::Interner &Table) const {
   ChangeRecord Record;
   Record.Origin = Change.origin();
   Record.GroundTruthKind = Change.Kind;
@@ -152,7 +165,7 @@ ChangeRecord DiffCode::processChange(
     for (const std::string &TargetClass : TargetClasses) {
       std::vector<usage::UsageChange> Changes = usage::deriveUsageChanges(
           dagsForClass(Old.Result, TargetClass),
-          dagsForClass(New.Result, TargetClass), TargetClass);
+          dagsForClass(New.Result, TargetClass), TargetClass, Table);
       for (usage::UsageChange &C : Changes)
         C.Origin = Record.Origin;
       if (!Changes.empty())
@@ -196,6 +209,10 @@ DiffCode::analyzeChanges(const PipelineRequest &Request) const {
   unsigned Threads =
       std::min<unsigned>(support::resolveThreads(Opts.Threads),
                          std::max<std::size_t>(Request.Changes.size(), 1));
+  // Workers intern into one shared table concurrently; id *values* are
+  // therefore scheduling dependent, which is fine — everything downstream
+  // is id-value independent (support/Interner.h, determinism contract).
+  support::Interner &Table = internerFor(Request);
   support::ThreadPool Pool(Threads);
   Pool.parallelForChunked(
       Request.Changes.size(), 1, [&](std::size_t Begin, std::size_t Stop) {
@@ -205,7 +222,7 @@ DiffCode::analyzeChanges(const PipelineRequest &Request) const {
           support::FaultScope Scope(&Opts.Faults, I);
           Records[I] = processChange(*Request.Changes[I],
                                      Request.TargetClasses,
-                                     Request.ClassifyWith);
+                                     Request.ClassifyWith, Table);
         }
       });
   return Records;
@@ -254,6 +271,7 @@ void DiffCode::clusterClass(ClassReport &Class) const {
 
 CorpusReport DiffCode::runPipeline(const PipelineRequest &Request) const {
   CorpusReport Report;
+  Report.Labels = Request.Labels ? Request.Labels : DefaultLabels;
   Report.Changes = analyzeChanges(Request);
   for (const std::string &TargetClass : Request.TargetClasses) {
     ClassReport ClassOut = filterClass(Report.Changes, TargetClass);
@@ -263,17 +281,4 @@ CorpusReport DiffCode::runPipeline(const PipelineRequest &Request) const {
   }
   computeCorpusHealth(Report);
   return Report;
-}
-
-CorpusReport DiffCode::runPipeline(
-    const std::vector<const corpus::CodeChange *> &Changes,
-    const std::vector<std::string> &TargetClasses,
-    const std::vector<const rules::Rule *> &ClassifyWith,
-    bool BuildDendrograms) const {
-  PipelineRequest Request;
-  Request.Changes = Changes;
-  Request.TargetClasses = TargetClasses;
-  Request.ClassifyWith = ClassifyWith;
-  Request.BuildDendrograms = BuildDendrograms;
-  return runPipeline(Request);
 }

@@ -23,11 +23,13 @@
 #include "javaast/Parser.h"
 #include "rules/ChangeClassifier.h"
 #include "support/FaultInjection.h"
+#include "support/Interner.h"
 #include "usage/UsageChange.h"
 
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -132,6 +134,10 @@ struct CorpusReport {
   std::vector<ChangeRecord> Changes;
   std::vector<ClassReport> PerClass;
   CorpusHealth Health;
+  /// The interner every usage change in this report resolves through,
+  /// pinned here so the report stays self-contained even if the DiffCode
+  /// instance (or the request's interner) goes away first.
+  std::shared_ptr<const support::Interner> Labels;
 };
 
 /// Everything one pipeline run needs, replacing runPipeline's former
@@ -148,6 +154,11 @@ struct PipelineRequest {
   std::vector<const rules::Rule *> ClassifyWith;
   /// Whether the (quadratic-distance) clustering stage runs.
   bool BuildDendrograms = true;
+  /// Interner the run's labels and feature paths resolve through. Null
+  /// (the default) uses the DiffCode instance's own corpus interner;
+  /// callers that compare or combine reports across pipeline runs pass a
+  /// shared one so id-based equality spans the runs.
+  std::shared_ptr<support::Interner> Labels;
 };
 
 /// Recomputes \p Report's health summary from its records (at most
@@ -183,20 +194,34 @@ public:
   dagsForClass(const analysis::AnalysisResult &Result,
                const std::string &TargetClass) const;
 
-  /// Usage changes of one code change for one target class.
+  /// The instance's corpus interner: every usage change produced through
+  /// this facade without an explicit PipelineRequest::Labels resolves
+  /// through it.
+  const std::shared_ptr<support::Interner> &labels() const {
+    return DefaultLabels;
+  }
+
+  /// Usage changes of one code change for one target class, interned in
+  /// labels().
   std::vector<usage::UsageChange>
   usageChangesFor(const corpus::CodeChange &Change,
                   const std::string &TargetClass) const;
 
   /// Processes one code change end to end for all \p TargetClasses,
-  /// classifying it under \p ClassifyWith (may be empty). Never throws:
-  /// any escaping exception is contained into an empty record with
-  /// Status == AnalysisThrow, so one poisoned change cannot take down a
-  /// corpus run.
+  /// classifying it under \p ClassifyWith (may be empty); feature paths
+  /// intern into \p Table (the labels() interner for the parameterless
+  /// form). Never throws: any escaping exception is contained into an
+  /// empty record with Status == AnalysisThrow, so one poisoned change
+  /// cannot take down a corpus run.
   ChangeRecord
   processChange(const corpus::CodeChange &Change,
                 const std::vector<std::string> &TargetClasses,
                 const std::vector<const rules::Rule *> &ClassifyWith) const;
+  ChangeRecord
+  processChange(const corpus::CodeChange &Change,
+                const std::vector<std::string> &TargetClasses,
+                const std::vector<const rules::Rule *> &ClassifyWith,
+                support::Interner &Table) const;
 
   //===--------------------------------------------------------------------===
   // Stage entry points. runPipeline composes exactly these three, so
@@ -231,18 +256,16 @@ public:
   /// ClusteringError.
   CorpusReport runPipeline(const PipelineRequest &Request) const;
 
-  /// Deprecated positional facade, kept for one release; forwards to
-  /// runPipeline(const PipelineRequest &).
-  [[deprecated("build a PipelineRequest and call runPipeline(Request)")]]
-  CorpusReport
-  runPipeline(const std::vector<const corpus::CodeChange *> &Changes,
-              const std::vector<std::string> &TargetClasses,
-              const std::vector<const rules::Rule *> &ClassifyWith = {},
-              bool BuildDendrograms = true) const;
-
 private:
+  /// Request.Labels when set, the instance interner otherwise.
+  support::Interner &internerFor(const PipelineRequest &Request) const;
+
   const apimodel::CryptoApiModel &Api;
   DiffCodeOptions Opts;
+  /// Corpus interner backing every change this instance derives (unless
+  /// a request supplies its own). shared_ptr so reports can outlive the
+  /// facade.
+  std::shared_ptr<support::Interner> DefaultLabels;
 };
 
 } // namespace core

@@ -2,6 +2,9 @@
 
 #include "core/Filters.h"
 
+#include <set>
+#include <tuple>
+
 using namespace diffcode;
 using namespace diffcode::core;
 using namespace diffcode::usage;
@@ -40,6 +43,13 @@ diffcode::core::applyFilters(const std::vector<UsageChange> &Changes) {
 
   std::size_t RemovedSame = 0, RemovedAdd = 0, RemovedRem = 0,
               RemovedDup = 0;
+  // fdup: interned changes make feature identity a tuple of id vectors
+  // (valid because one corpus shares one interner), so duplicate
+  // detection is a set probe instead of a scan over the survivors. First
+  // occurrence wins, exactly as before.
+  using FeatureKey = std::tuple<std::string, std::vector<support::PathId>,
+                                std::vector<support::PathId>>;
+  std::set<FeatureKey> Seen;
   for (const UsageChange &Change : Changes) {
     FilterStage Stage = classifySolo(Change);
     switch (Stage) {
@@ -53,15 +63,9 @@ diffcode::core::applyFilters(const std::vector<UsageChange> &Changes) {
       ++RemovedRem;
       break;
     default: {
-      // fdup: linear scan against the survivors; the post-filter scale is
-      // small (paper: 186 changes overall).
-      bool Duplicate = false;
-      for (const UsageChange &Kept : Result.Kept)
-        if (Kept.sameFeatures(Change)) {
-          Duplicate = true;
-          break;
-        }
-      if (Duplicate) {
+      bool Inserted =
+          Seen.emplace(Change.TypeName, Change.Removed, Change.Added).second;
+      if (!Inserted) {
         Stage = FilterStage::FDup;
         ++RemovedDup;
       } else {

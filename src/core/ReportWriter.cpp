@@ -9,11 +9,14 @@ using namespace diffcode::core;
 
 namespace {
 
-void emitPaths(JsonWriter &W, const char *Key,
-               const std::vector<usage::FeaturePath> &Paths) {
+void emitPaths(JsonWriter &W, const char *Key, const usage::UsageChange &Change,
+               const std::vector<support::PathId> &Paths) {
+  // Ids resolve to strings only here, at the emission boundary;
+  // Interner::pathString renders byte-identically to the old
+  // pathToString over materialised paths.
   W.key(Key).beginArray();
-  for (const usage::FeaturePath &Path : Paths)
-    W.value(usage::pathToString(Path));
+  for (support::PathId Id : Paths)
+    W.value(Change.Table->pathString(Id));
   W.endArray();
 }
 
@@ -21,8 +24,8 @@ void emitUsageChange(JsonWriter &W, const usage::UsageChange &Change) {
   W.beginObject();
   W.key("type").value(Change.TypeName);
   W.key("origin").value(Change.Origin);
-  emitPaths(W, "removed", Change.Removed);
-  emitPaths(W, "added", Change.Added);
+  emitPaths(W, "removed", Change, Change.Removed);
+  emitPaths(W, "added", Change, Change.Added);
   W.endObject();
 }
 

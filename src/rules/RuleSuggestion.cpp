@@ -141,13 +141,13 @@ std::optional<Rule> diffcode::rules::suggestRule(const UsageChange &Change,
   std::map<std::string, std::vector<ObjectFormula>> ConjunctsByType;
   std::map<std::string, int> ExistsKeys; // contradiction pruning
 
-  for (const FeaturePath &Path : Change.Removed)
+  for (const FeaturePath &Path : Change.removedPaths())
     for (TypedPattern &TP : typedPatternsFromPath(Path, Change.TypeName)) {
       ExistsKeys[patternKey(TP.TypeName, TP.Pattern)] = 1;
       ConjunctsByType[TP.TypeName].push_back(
           ObjectFormula::exists(std::move(TP.Pattern)));
     }
-  for (const FeaturePath &Path : Change.Added)
+  for (const FeaturePath &Path : Change.addedPaths())
     for (TypedPattern &TP : typedPatternsFromPath(Path, Change.TypeName)) {
       // Skip a NotExists that contradicts an Exists with the same
       // pattern — the diff was not discriminating at this level.
@@ -232,11 +232,11 @@ std::optional<Rule> diffcode::rules::suggestRuleForCluster(
     if (Member.TypeName != TypeName)
       return std::nullopt; // clusters are per-class; bail on mixtures
     std::map<std::string, CallPattern> MemberRemoved;
-    for (Observation &Obs : observations(Member.Removed))
+    for (Observation &Obs : observations(Member.removedPaths()))
       MemberRemoved.emplace(Obs.Key, std::move(Obs.Pattern));
     for (auto &[Key, Pattern] : MemberRemoved)
       RemovedByKey[Key].push_back(Pattern);
-    for (Observation &Obs : observations(Member.Added))
+    for (Observation &Obs : observations(Member.addedPaths()))
       AddedByKey[Obs.Key].push_back(std::move(Obs.Pattern));
   }
 

@@ -5,64 +5,155 @@
 #include "support/Hungarian.h"
 
 #include <algorithm>
+#include <cassert>
+#include <numeric>
 #include <set>
 
 using namespace diffcode;
 using namespace diffcode::usage;
+using support::Interner;
+using support::LabelId;
+using support::PathId;
 
 bool UsageChange::sameFeatures(const UsageChange &Other) const {
-  return TypeName == Other.TypeName && Removed == Other.Removed &&
-         Added == Other.Added;
+  if (TypeName != Other.TypeName)
+    return false;
+  if (Table == Other.Table)
+    return Removed == Other.Removed && Added == Other.Added;
+  // Different tables (e.g. the parallel-vs-serial differential harness
+  // compares two independent pipelines): id values are not comparable,
+  // fall back to structural equality.
+  auto SamePaths = [&](const std::vector<PathId> &A,
+                       const std::vector<PathId> &B) {
+    if (A.size() != B.size())
+      return false;
+    for (std::size_t I = 0; I < A.size(); ++I)
+      if (Table->materialize(A[I]) != Other.Table->materialize(B[I]))
+        return false;
+    return true;
+  };
+  return SamePaths(Removed, Other.Removed) && SamePaths(Added, Other.Added);
+}
+
+std::vector<FeaturePath> UsageChange::removedPaths() const {
+  std::vector<FeaturePath> Out;
+  Out.reserve(Removed.size());
+  for (PathId Id : Removed)
+    Out.push_back(Table->materialize(Id));
+  return Out;
+}
+
+std::vector<FeaturePath> UsageChange::addedPaths() const {
+  std::vector<FeaturePath> Out;
+  Out.reserve(Added.size());
+  for (PathId Id : Added)
+    Out.push_back(Table->materialize(Id));
+  return Out;
+}
+
+std::string UsageChange::pathString(PathId Id) const {
+  return Table->pathString(Id);
 }
 
 std::string UsageChange::str() const {
   std::string Out;
-  for (const FeaturePath &Path : Removed)
-    Out += "- " + pathToString(Path) + "\n";
-  for (const FeaturePath &Path : Added)
-    Out += "+ " + pathToString(Path) + "\n";
+  for (PathId Id : Removed)
+    Out += "- " + Table->pathString(Id) + "\n";
+  for (PathId Id : Added)
+    Out += "+ " + Table->pathString(Id) + "\n";
   return Out;
 }
 
-std::vector<FeaturePath>
-diffcode::usage::shortestPaths(std::vector<FeaturePath> Paths) {
-  auto IsStrictPrefix = [](const FeaturePath &A, const FeaturePath &B) {
+UsageChange UsageChange::intern(Interner &Table, std::string TypeName,
+                                const std::vector<FeaturePath> &Removed,
+                                const std::vector<FeaturePath> &Added,
+                                std::string Origin) {
+  UsageChange Change;
+  Change.TypeName = std::move(TypeName);
+  Change.Origin = std::move(Origin);
+  Change.Table = &Table;
+  Change.Removed.reserve(Removed.size());
+  for (const FeaturePath &Path : Removed)
+    Change.Removed.push_back(Table.path(Path));
+  Change.Added.reserve(Added.size());
+  for (const FeaturePath &Path : Added)
+    Change.Added.push_back(Table.path(Path));
+  return Change;
+}
+
+std::vector<PathId>
+diffcode::usage::shortestPaths(std::vector<PathId> Paths,
+                               const Interner &Table) {
+  if (Paths.size() < 2)
+    return Paths;
+
+  // Sort (indirectly) by label-id-lexicographic order. Under *any* total
+  // order on labels, a sorted sequence places every strict prefix of P
+  // before P, and — key to the linear pass — if some kept K1 is a strict
+  // prefix of P while K1 <= K2 <= P for the last-kept K2, then K2 is
+  // itself a prefix of P: at the first position i where K2 diverges from
+  // P, i < |K1| would give P[i] = K1[i] < K2[i], i.e. P < K2. So testing
+  // only the last-kept survivor is sufficient.
+  std::vector<std::size_t> Order(Paths.size());
+  std::iota(Order.begin(), Order.end(), 0);
+  std::sort(Order.begin(), Order.end(), [&](std::size_t A, std::size_t B) {
+    return Table.labelsOf(Paths[A]) < Table.labelsOf(Paths[B]);
+  });
+
+  auto IsStrictPrefix = [](const std::vector<LabelId> &A,
+                           const std::vector<LabelId> &B) {
     if (A.size() >= B.size())
       return false;
     return std::equal(A.begin(), A.end(), B.begin());
   };
-  std::vector<FeaturePath> Out;
-  for (const FeaturePath &Candidate : Paths) {
-    bool HasPrefix = false;
-    for (const FeaturePath &Other : Paths)
-      if (IsStrictPrefix(Other, Candidate)) {
-        HasPrefix = true;
-        break;
-      }
-    if (!HasPrefix)
-      Out.push_back(Candidate);
+
+  // Linear elimination: keep the current path unless the last survivor is
+  // a strict prefix of it. Duplicates survive (a path is not a strict
+  // prefix of itself), exactly as in the quadratic reference.
+  std::vector<bool> Keep(Paths.size(), false);
+  std::size_t LastKept = Order[0];
+  Keep[LastKept] = true;
+  for (std::size_t I = 1; I < Order.size(); ++I) {
+    std::size_t Cur = Order[I];
+    if (!IsStrictPrefix(Table.labelsOf(Paths[LastKept]),
+                        Table.labelsOf(Paths[Cur]))) {
+      Keep[Cur] = true;
+      LastKept = Cur;
+    }
   }
+
+  // Survivors in original input order — the survivor *set* is order
+  // independent, so the result does not depend on racy id values.
+  std::vector<PathId> Out;
+  for (std::size_t I = 0; I < Paths.size(); ++I)
+    if (Keep[I])
+      Out.push_back(Paths[I]);
   return Out;
 }
 
-std::vector<FeaturePath> diffcode::usage::removedPaths(const UsageDag &G1,
-                                                       const UsageDag &G2) {
-  std::set<std::string> InG2;
+std::vector<PathId> diffcode::usage::removedPaths(const UsageDag &G1,
+                                                  const UsageDag &G2,
+                                                  Interner &Table) {
+  std::set<PathId> InG2;
   for (const FeaturePath &Path : G2.paths())
-    InG2.insert(pathToString(Path));
+    InG2.insert(Table.path(Path));
 
-  std::vector<FeaturePath> OnlyInG1;
-  for (FeaturePath &Path : G1.paths())
-    if (!InG2.count(pathToString(Path)))
-      OnlyInG1.push_back(std::move(Path));
-  return shortestPaths(std::move(OnlyInG1));
+  std::vector<PathId> OnlyInG1;
+  for (const FeaturePath &Path : G1.paths()) {
+    PathId Id = Table.path(Path);
+    if (!InG2.count(Id))
+      OnlyInG1.push_back(Id);
+  }
+  return shortestPaths(std::move(OnlyInG1), Table);
 }
 
-UsageChange diffcode::usage::diffDags(const UsageDag &G1, const UsageDag &G2) {
+UsageChange diffcode::usage::diffDags(const UsageDag &G1, const UsageDag &G2,
+                                      Interner &Table) {
   UsageChange Change;
   Change.TypeName = G1.typeName();
-  Change.Removed = removedPaths(G1, G2);
-  Change.Added = removedPaths(G2, G1);
+  Change.Table = &Table;
+  Change.Removed = removedPaths(G1, G2, Table);
+  Change.Added = removedPaths(G2, G1, Table);
   return Change;
 }
 
@@ -95,7 +186,8 @@ diffcode::usage::pairDags(const std::vector<UsageDag> &Old,
 std::vector<UsageChange>
 diffcode::usage::deriveUsageChanges(const std::vector<UsageDag> &Old,
                                     const std::vector<UsageDag> &New,
-                                    const std::string &TypeName) {
+                                    const std::string &TypeName,
+                                    Interner &Table) {
   std::vector<UsageChange> Changes;
   UsageDag Padding = UsageDag::emptyFor(TypeName);
   for (auto [OldIdx, NewIdx] : pairDags(Old, New)) {
@@ -103,7 +195,7 @@ diffcode::usage::deriveUsageChanges(const std::vector<UsageDag> &Old,
         OldIdx == Assignment::Unmatched ? Padding : Old[OldIdx];
     const UsageDag &G2 =
         NewIdx == Assignment::Unmatched ? Padding : New[NewIdx];
-    Changes.push_back(diffDags(G1, G2));
+    Changes.push_back(diffDags(G1, G2, Table));
   }
   return Changes;
 }

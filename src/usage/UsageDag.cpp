@@ -40,27 +40,6 @@ NodeLabel NodeLabel::arg(unsigned Index, const AbstractValue &Value) {
   return L;
 }
 
-std::string NodeLabel::str() const {
-  switch (K) {
-  case Kind::Root:
-  case Kind::Method:
-    return Text;
-  case Kind::Arg:
-    return "arg" + std::to_string(ArgIndex) + ":" + Text;
-  }
-  return Text;
-}
-
-std::string diffcode::usage::pathToString(const FeaturePath &Path) {
-  std::string Out;
-  for (std::size_t I = 0; I < Path.size(); ++I) {
-    if (I != 0)
-      Out += ' ';
-    Out += Path[I].str();
-  }
-  return Out;
-}
-
 UsageDag UsageDag::emptyFor(std::string TypeName) {
   UsageDag Dag;
   Dag.Nodes.push_back({NodeLabel::root(std::move(TypeName)), {}});

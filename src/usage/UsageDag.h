@@ -49,8 +49,14 @@ struct NodeLabel {
   static NodeLabel method(std::string Signature);
   static NodeLabel arg(unsigned Index, const analysis::AbstractValue &Value);
 
-  /// Display form: "Cipher", "Cipher.getInstance/1", "arg1:AES".
-  std::string str() const;
+  /// Display form: "Cipher", "Cipher.getInstance", "arg1:AES". Inline so
+  /// support/Interner can render labels without a link-time dependency on
+  /// this library.
+  std::string str() const {
+    if (K == Kind::Arg)
+      return "arg" + std::to_string(ArgIndex) + ":" + Text;
+    return Text;
+  }
 
   /// Full structural identity, including ValueIsString: the clustering
   /// metric assigns different Levenshtein units to string and non-string
@@ -76,8 +82,18 @@ struct NodeLabel {
 /// F- / F+ (Section 3.5).
 using FeaturePath = std::vector<NodeLabel>;
 
-/// Renders a path as "Cipher getInstance arg1:AES".
-std::string pathToString(const FeaturePath &Path);
+/// Renders a path as "Cipher getInstance arg1:AES". Inline for the same
+/// reason as NodeLabel::str(): the support-level interner renders paths
+/// at emission time without linking this library.
+inline std::string pathToString(const FeaturePath &Path) {
+  std::string Out;
+  for (std::size_t I = 0; I < Path.size(); ++I) {
+    if (I != 0)
+      Out += ' ';
+    Out += Path[I].str();
+  }
+  return Out;
+}
 
 /// One rooted usage DAG.
 class UsageDag {

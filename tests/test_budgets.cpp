@@ -8,6 +8,8 @@
 
 #include "core/DiffCode.h"
 #include "core/ReportWriter.h"
+#include "corpus/CorpusGenerator.h"
+#include "corpus/Miner.h"
 #include "javaast/Parser.h"
 
 #include <gtest/gtest.h>
@@ -211,6 +213,38 @@ TEST(BudgetPipeline, DegradedOutcomeIdenticalAcrossThreadCounts) {
                 changeRecordToJson(Threaded.Changes[I]))
           << "record " << I << " at " << Threads << " threads";
   }
+}
+
+TEST(BudgetPipeline, DefaultLimitsCalibratedForCleanCorpus) {
+  // The ParseLimits/MaxObjects defaults are calibrated so that a clean
+  // generated corpus sails through without tripping any budget: the bar
+  // is < 0.1% budget-exceeded over ~1k+ mined changes (Parser.h records
+  // the measured corpus percentiles behind the chosen defaults).
+  corpus::CorpusGenerator Gen;
+  corpus::Corpus C = Gen.generate();
+  corpus::Miner M(api());
+  std::vector<const corpus::CodeChange *> Mined = M.mine(C);
+  ASSERT_GE(Mined.size(), 1000u);
+
+  DiffCodeOptions Opts;  // all-default budgets — that is the point
+  Opts.Threads = 8;
+  DiffCode System(api(), Opts);
+  CorpusReport Report = System.runPipeline(
+      {.Changes = Mined, .TargetClasses = api().targetClasses()});
+
+  std::size_t Exceeded = Report.Health.count(ChangeStatus::BudgetExceeded);
+  EXPECT_LT(static_cast<double>(Exceeded),
+            0.001 * static_cast<double>(Mined.size()))
+      << Exceeded << " of " << Mined.size() << " changes hit a budget";
+  // The defaults are finite, not "unlimited": a pathological input must
+  // still be stopped.
+  java::ParseLimits Defaults;
+  EXPECT_GT(Defaults.MaxTokens, 0u);
+  EXPECT_GT(Defaults.MaxNestingDepth, 0u);
+  java::AstContext Ctx;
+  java::DiagnosticsEngine Diags;
+  EXPECT_EQ(java::parseJava(nestedExprSource(600), Ctx, Diags), nullptr);
+  EXPECT_TRUE(Diags.budgetExceeded());
 }
 
 TEST(BudgetPipeline, HealthSerializedInReportJson) {

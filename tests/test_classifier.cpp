@@ -102,18 +102,20 @@ namespace {
 NodeLabel rootL(const char *T) { return NodeLabel::root(T); }
 NodeLabel methodL(const char *Sig) { return NodeLabel::method(Sig); }
 
+support::Interner &table() {
+  static support::Interner Table;
+  return Table;
+}
+
 UsageChange figure2Change() {
-  UsageChange C;
-  C.TypeName = "Cipher";
-  C.Removed = {{rootL("Cipher"), methodL("Cipher.getInstance/1"),
-                NodeLabel::arg(1, AbstractValue::strConst("AES"))}};
-  C.Added = {{rootL("Cipher"), methodL("Cipher.getInstance/1"),
-              NodeLabel::arg(1, AbstractValue::strConst(
-                                    "AES/CBC/PKCS5Padding"))},
-             {rootL("Cipher"), methodL("Cipher.init/3"),
-              NodeLabel::arg(3, AbstractValue::topObject(
-                                    "IvParameterSpec"))}};
-  return C;
+  return UsageChange::intern(
+      table(), "Cipher",
+      {{rootL("Cipher"), methodL("Cipher.getInstance/1"),
+        NodeLabel::arg(1, AbstractValue::strConst("AES"))}},
+      {{rootL("Cipher"), methodL("Cipher.getInstance/1"),
+        NodeLabel::arg(1, AbstractValue::strConst("AES/CBC/PKCS5Padding"))},
+       {rootL("Cipher"), methodL("Cipher.init/3"),
+        NodeLabel::arg(3, AbstractValue::topObject("IvParameterSpec"))}});
 }
 
 } // namespace
@@ -131,14 +133,12 @@ TEST(RuleSuggestion, Figure2SuggestionMatchesUnfixedCode) {
 }
 
 TEST(RuleSuggestion, ConstByteArrayBecomesIsConstant) {
-  UsageChange C;
-  C.TypeName = "IvParameterSpec";
-  C.Removed = {{rootL("IvParameterSpec"),
-                methodL("IvParameterSpec.<init>/1"),
-                NodeLabel::arg(1, AbstractValue::byteArrayConst())}};
-  C.Added = {{rootL("IvParameterSpec"),
-              methodL("IvParameterSpec.<init>/1"),
-              NodeLabel::arg(1, AbstractValue::byteArrayTop())}};
+  UsageChange C = UsageChange::intern(
+      table(), "IvParameterSpec",
+      {{rootL("IvParameterSpec"), methodL("IvParameterSpec.<init>/1"),
+        NodeLabel::arg(1, AbstractValue::byteArrayConst())}},
+      {{rootL("IvParameterSpec"), methodL("IvParameterSpec.<init>/1"),
+        NodeLabel::arg(1, AbstractValue::byteArrayTop())}});
   auto Suggested = suggestRule(C);
   ASSERT_TRUE(Suggested.has_value());
 
@@ -153,12 +153,12 @@ TEST(RuleSuggestion, ConstByteArrayBecomesIsConstant) {
 }
 
 TEST(RuleSuggestion, IntegerConstraint) {
-  UsageChange C;
-  C.TypeName = "PBEKeySpec";
-  C.Removed = {{rootL("PBEKeySpec"), methodL("PBEKeySpec.<init>/4"),
-                NodeLabel::arg(3, AbstractValue::intConst(100))}};
-  C.Added = {{rootL("PBEKeySpec"), methodL("PBEKeySpec.<init>/4"),
-              NodeLabel::arg(3, AbstractValue::intConst(10000))}};
+  UsageChange C = UsageChange::intern(
+      table(), "PBEKeySpec",
+      {{rootL("PBEKeySpec"), methodL("PBEKeySpec.<init>/4"),
+        NodeLabel::arg(3, AbstractValue::intConst(100))}},
+      {{rootL("PBEKeySpec"), methodL("PBEKeySpec.<init>/4"),
+        NodeLabel::arg(3, AbstractValue::intConst(10000))}});
   auto Suggested = suggestRule(C);
   ASSERT_TRUE(Suggested.has_value());
   AnalysisResult Bad = analyze(
@@ -178,9 +178,9 @@ TEST(RuleSuggestion, EmptyChangeGivesNothing) {
 }
 
 TEST(RuleSuggestion, PathWithoutMethodSkipped) {
-  UsageChange C;
-  C.TypeName = "Cipher";
-  C.Removed = {{rootL("Cipher")}}; // root-only path carries no pattern
+  // A root-only path carries no pattern.
+  UsageChange C =
+      UsageChange::intern(table(), "Cipher", {{rootL("Cipher")}}, {});
   EXPECT_FALSE(suggestRule(C).has_value());
 }
 

@@ -17,27 +17,29 @@ namespace {
 NodeLabel rootL(const char *T) { return NodeLabel::root(T); }
 NodeLabel methodL(const char *Sig) { return NodeLabel::method(Sig); }
 
+support::Interner &table() {
+  static support::Interner Table;
+  return Table;
+}
+
 UsageChange modeFix(const char *From, const char *To) {
-  UsageChange C;
-  C.TypeName = "Cipher";
-  C.Removed = {{rootL("Cipher"), methodL("Cipher.getInstance/1"),
-                NodeLabel::arg(1, AbstractValue::strConst(From))}};
-  C.Added = {{rootL("Cipher"), methodL("Cipher.getInstance/1"),
-              NodeLabel::arg(1, AbstractValue::strConst(To))},
-             {rootL("Cipher"), methodL("Cipher.init/3"),
-              NodeLabel::arg(3, AbstractValue::topObject(
-                                    "IvParameterSpec"))}};
-  return C;
+  return UsageChange::intern(
+      table(), "Cipher",
+      {{rootL("Cipher"), methodL("Cipher.getInstance/1"),
+        NodeLabel::arg(1, AbstractValue::strConst(From))}},
+      {{rootL("Cipher"), methodL("Cipher.getInstance/1"),
+        NodeLabel::arg(1, AbstractValue::strConst(To))},
+       {rootL("Cipher"), methodL("Cipher.init/3"),
+        NodeLabel::arg(3, AbstractValue::topObject("IvParameterSpec"))}});
 }
 
 UsageChange iterFix(int From, int To) {
-  UsageChange C;
-  C.TypeName = "PBEKeySpec";
-  C.Removed = {{rootL("PBEKeySpec"), methodL("PBEKeySpec.<init>/4"),
-                NodeLabel::arg(3, AbstractValue::intConst(From))}};
-  C.Added = {{rootL("PBEKeySpec"), methodL("PBEKeySpec.<init>/4"),
-              NodeLabel::arg(3, AbstractValue::intConst(To))}};
-  return C;
+  return UsageChange::intern(
+      table(), "PBEKeySpec",
+      {{rootL("PBEKeySpec"), methodL("PBEKeySpec.<init>/4"),
+        NodeLabel::arg(3, AbstractValue::intConst(From))}},
+      {{rootL("PBEKeySpec"), methodL("PBEKeySpec.<init>/4"),
+        NodeLabel::arg(3, AbstractValue::intConst(To))}});
 }
 
 AnalysisResult analyze(std::string_view Source) {
@@ -150,10 +152,9 @@ TEST(ClusterSuggestion, NonSharedRemovalsDropOut) {
   // getInstance; only the shared method survives as an atom.
   UsageChange A = modeFix("AES", "AES/CBC/PKCS5Padding");
   UsageChange B = modeFix("AES/ECB/NoPadding", "AES/GCM/NoPadding");
-  UsageChange C;
-  C.TypeName = "Cipher";
-  C.Removed = {{rootL("Cipher"), methodL("Cipher.doFinal/0")}};
-  C.Added = {};
+  UsageChange C = UsageChange::intern(
+      table(), "Cipher",
+      {{rootL("Cipher"), methodL("Cipher.doFinal/0")}}, {});
   B.Removed.push_back(C.Removed.front()); // only B removes doFinal
   auto Rule = suggestRuleForCluster({A, B});
   ASSERT_TRUE(Rule.has_value());
@@ -165,15 +166,12 @@ TEST(ClusterSuggestion, NonSharedRemovalsDropOut) {
 TEST(ClusterSuggestion, ConstantMaterialGeneralizes) {
   // Two static-IV fixes: constbyte[] -> top.
   auto MakeIvFix = [] {
-    UsageChange C;
-    C.TypeName = "IvParameterSpec";
-    C.Removed = {{rootL("IvParameterSpec"),
-                  methodL("IvParameterSpec.<init>/1"),
-                  NodeLabel::arg(1, AbstractValue::byteArrayConst())}};
-    C.Added = {{rootL("IvParameterSpec"),
-                methodL("IvParameterSpec.<init>/1"),
-                NodeLabel::arg(1, AbstractValue::byteArrayTop())}};
-    return C;
+    return UsageChange::intern(
+        table(), "IvParameterSpec",
+        {{rootL("IvParameterSpec"), methodL("IvParameterSpec.<init>/1"),
+          NodeLabel::arg(1, AbstractValue::byteArrayConst())}},
+        {{rootL("IvParameterSpec"), methodL("IvParameterSpec.<init>/1"),
+          NodeLabel::arg(1, AbstractValue::byteArrayTop())}});
   };
   auto Rule = suggestRuleForCluster({MakeIvFix(), MakeIvFix()});
   ASSERT_TRUE(Rule.has_value());

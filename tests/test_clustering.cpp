@@ -148,16 +148,14 @@ TEST(Clustering, RenderIndentsMultilineLabels) {
 TEST(Clustering, UsageChangeWrapperGroupsSimilarFixes) {
   using namespace diffcode::usage;
   using namespace diffcode::analysis;
+  static support::Interner Table;
   auto MakeChange = [](const char *From, const char *To) {
-    UsageChange C;
-    C.TypeName = "Cipher";
-    C.Removed = {{NodeLabel::root("Cipher"),
-                  NodeLabel::method("Cipher.getInstance/1"),
-                  NodeLabel::arg(1, AbstractValue::strConst(From))}};
-    C.Added = {{NodeLabel::root("Cipher"),
-                NodeLabel::method("Cipher.getInstance/1"),
-                NodeLabel::arg(1, AbstractValue::strConst(To))}};
-    return C;
+    return UsageChange::intern(
+        Table, "Cipher",
+        {{NodeLabel::root("Cipher"), NodeLabel::method("Cipher.getInstance/1"),
+          NodeLabel::arg(1, AbstractValue::strConst(From))}},
+        {{NodeLabel::root("Cipher"), NodeLabel::method("Cipher.getInstance/1"),
+          NodeLabel::arg(1, AbstractValue::strConst(To))}});
   };
   std::vector<UsageChange> Changes = {
       MakeChange("AES", "AES/CBC/PKCS5Padding"),
@@ -165,13 +163,10 @@ TEST(Clustering, UsageChangeWrapperGroupsSimilarFixes) {
       MakeChange("AES", "AES/GCM/NoPadding"),
   };
   // A fourth, very different change (digest swap).
-  UsageChange Sha;
-  Sha.TypeName = "Cipher";
-  Sha.Removed = {{NodeLabel::root("Cipher"),
-                  NodeLabel::method("Cipher.doFinal/0")}};
-  Sha.Added = {{NodeLabel::root("Cipher"),
-                NodeLabel::method("Cipher.unwrap/3")}};
-  Changes.push_back(Sha);
+  Changes.push_back(UsageChange::intern(
+      Table, "Cipher",
+      {{NodeLabel::root("Cipher"), NodeLabel::method("Cipher.doFinal/0")}},
+      {{NodeLabel::root("Cipher"), NodeLabel::method("Cipher.unwrap/3")}}));
 
   Dendrogram Tree = clusterUsageChanges(Changes);
   // The three mode fixes must merge before the unrelated change joins.

@@ -54,14 +54,17 @@ FeaturePath randomPath(Rng &R) {
 }
 
 std::vector<UsageChange> randomCorpus(unsigned Seed, std::size_t Size) {
+  static support::Interner Table;
   Rng R(Seed * 9176u + 13);
-  std::vector<UsageChange> Changes(Size);
-  for (UsageChange &Change : Changes) {
-    Change.TypeName = "Cipher";
+  std::vector<UsageChange> Changes;
+  Changes.reserve(Size);
+  for (std::size_t C = 0; C < Size; ++C) {
+    std::vector<FeaturePath> Removed, Added;
     for (std::size_t I = 0, N = R.range(0, 3); I < N; ++I)
-      Change.Removed.push_back(randomPath(R));
+      Removed.push_back(randomPath(R));
     for (std::size_t I = 0, N = R.range(0, 3); I < N; ++I)
-      Change.Added.push_back(randomPath(R));
+      Added.push_back(randomPath(R));
+    Changes.push_back(UsageChange::intern(Table, "Cipher", Removed, Added));
   }
   return Changes;
 }

@@ -76,9 +76,9 @@ TEST(DiffCodeE2E, Figure2UsageChange) {
   ASSERT_EQ(Changes.size(), 2u);
 
   std::set<std::string> RemovedStrs, AddedStrs;
-  for (const usage::FeaturePath &P : Changes[0].Removed)
+  for (const usage::FeaturePath &P : Changes[0].removedPaths())
     RemovedStrs.insert(usage::pathToString(P));
-  for (const usage::FeaturePath &P : Changes[0].Added)
+  for (const usage::FeaturePath &P : Changes[0].addedPaths())
     AddedStrs.insert(usage::pathToString(P));
 
   // Figure 2(d): the exact removed and added features.
@@ -412,27 +412,6 @@ TEST(DiffCodeE2E, StageEntryPointsComposeToRunPipeline) {
       EXPECT_EQ(TA[K].Height, TB[K].Height);
     }
   }
-}
-
-TEST(DiffCodeE2E, DeprecatedPositionalOverloadStillWorks) {
-  // Kept for one release; it must forward to the request form exactly.
-  corpus::CorpusOptions Opts;
-  Opts.Seed = 67;
-  Opts.NumProjects = 5;
-  corpus::Corpus C = corpus::CorpusGenerator(Opts).generate();
-  corpus::Miner M(api());
-  std::vector<const corpus::CodeChange *> Mined = M.mine(C);
-
-  DiffCode System(api());
-  CorpusReport ViaRequest = System.runPipeline(
-      {.Changes = Mined, .TargetClasses = {"Cipher", "SecureRandom"}});
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  CorpusReport ViaPositional =
-      System.runPipeline(Mined, {"Cipher", "SecureRandom"});
-#pragma GCC diagnostic pop
-  EXPECT_EQ(corpusReportToJson(ViaRequest),
-            corpusReportToJson(ViaPositional));
 }
 
 TEST(DiffCodeE2E, ShardedPipelineMatchesDenseTreesAndReportsStats) {

@@ -27,13 +27,14 @@ FeaturePath cipherGet(const char *Algo) {
   return {rootL("Cipher"), methodL("Cipher.getInstance/1"), strArg(1, Algo)};
 }
 
-UsageChange change(std::vector<FeaturePath> Removed,
-                   std::vector<FeaturePath> Added) {
-  UsageChange C;
-  C.TypeName = "Cipher";
-  C.Removed = std::move(Removed);
-  C.Added = std::move(Added);
-  return C;
+support::Interner &table() {
+  static support::Interner Table;
+  return Table;
+}
+
+UsageChange change(const std::vector<FeaturePath> &Removed,
+                   const std::vector<FeaturePath> &Added) {
+  return UsageChange::intern(table(), "Cipher", Removed, Added);
 }
 
 /// Random feature path for property tests.

@@ -11,21 +11,21 @@ using namespace diffcode::usage;
 
 namespace {
 
+support::Interner &table() {
+  static support::Interner Table;
+  return Table;
+}
+
 FeaturePath path(const char *Algo) {
   return {NodeLabel::root("Cipher"),
           NodeLabel::method("Cipher.getInstance/1"),
           NodeLabel::arg(1, AbstractValue::strConst(Algo))};
 }
 
-UsageChange make(std::vector<FeaturePath> Removed,
-                 std::vector<FeaturePath> Added,
+UsageChange make(const std::vector<FeaturePath> &Removed,
+                 const std::vector<FeaturePath> &Added,
                  const char *Origin = "p@c0") {
-  UsageChange C;
-  C.TypeName = "Cipher";
-  C.Removed = std::move(Removed);
-  C.Added = std::move(Added);
-  C.Origin = Origin;
-  return C;
+  return UsageChange::intern(table(), "Cipher", Removed, Added, Origin);
 }
 
 } // namespace

@@ -75,18 +75,17 @@ TEST(JsonWriter, NegativeAndLargeNumbers) {
 namespace {
 
 usage::UsageChange sampleChange() {
-  usage::UsageChange C;
-  C.TypeName = "Cipher";
-  C.Origin = "proj1@c3";
-  C.Removed = {{usage::NodeLabel::root("Cipher"),
-                usage::NodeLabel::method("Cipher.getInstance/1"),
-                usage::NodeLabel::arg(
-                    1, analysis::AbstractValue::strConst("AES"))}};
-  C.Added = {{usage::NodeLabel::root("Cipher"),
-              usage::NodeLabel::method("Cipher.getInstance/1"),
-              usage::NodeLabel::arg(1, analysis::AbstractValue::strConst(
-                                           "AES/CBC/PKCS5Padding"))}};
-  return C;
+  static support::Interner Table;
+  return usage::UsageChange::intern(
+      Table, "Cipher",
+      {{usage::NodeLabel::root("Cipher"),
+        usage::NodeLabel::method("Cipher.getInstance/1"),
+        usage::NodeLabel::arg(1, analysis::AbstractValue::strConst("AES"))}},
+      {{usage::NodeLabel::root("Cipher"),
+        usage::NodeLabel::method("Cipher.getInstance/1"),
+        usage::NodeLabel::arg(1, analysis::AbstractValue::strConst(
+                                     "AES/CBC/PKCS5Padding"))}},
+      "proj1@c3");
 }
 
 } // namespace

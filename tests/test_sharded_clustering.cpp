@@ -32,6 +32,11 @@ using namespace diffcode::usage;
 
 namespace {
 
+support::Interner &table() {
+  static support::Interner Table;
+  return Table;
+}
+
 /// Random feature path over a small crypto vocabulary (same shape as the
 /// differential harness in test_clustering_equivalence.cpp), so shard
 /// keys collide realistically and tied distances are common.
@@ -59,15 +64,26 @@ FeaturePath randomPath(Rng &R) {
 
 std::vector<UsageChange> randomCorpus(unsigned Seed, std::size_t Size) {
   Rng R(Seed * 7919u + 31);
-  std::vector<UsageChange> Changes(Size);
-  for (UsageChange &Change : Changes) {
-    Change.TypeName = "Cipher";
+  std::vector<UsageChange> Changes;
+  Changes.reserve(Size);
+  for (std::size_t C = 0; C < Size; ++C) {
+    std::vector<FeaturePath> Removed, Added;
     for (std::size_t I = 0, N = R.range(0, 3); I < N; ++I)
-      Change.Removed.push_back(randomPath(R));
+      Removed.push_back(randomPath(R));
     for (std::size_t I = 0, N = R.range(0, 3); I < N; ++I)
-      Change.Added.push_back(randomPath(R));
+      Added.push_back(randomPath(R));
+    Changes.push_back(UsageChange::intern(table(), "Cipher", Removed, Added));
   }
   return Changes;
+}
+
+/// Render a shard key back to the method-name tuple it abstracts, for
+/// readable assertions.
+std::vector<std::string> keyTexts(const std::vector<support::LabelId> &Key) {
+  std::vector<std::string> Out;
+  for (support::LabelId Id : Key)
+    Out.push_back(table().labelAt(Id).Text);
+  return Out;
 }
 
 void expectIdenticalTrees(const Dendrogram &A, const Dendrogram &B) {
@@ -120,30 +136,32 @@ ClusteringOptions shardedOpts(std::size_t MaxShardSize, unsigned Threads) {
 //===----------------------------------------------------------------------===//
 
 TEST(ShardKey, FirstRemovedPathMethodLabels) {
-  UsageChange Change;
-  Change.Removed.push_back({NodeLabel::root("Cipher"),
-                            NodeLabel::method("Cipher.getInstance/1"),
-                            NodeLabel::method("Cipher.init/3")});
-  Change.Removed.push_back(
-      {NodeLabel::root("Cipher"), NodeLabel::method("Cipher.doFinal/1")});
+  UsageChange Change = UsageChange::intern(
+      table(), "Cipher",
+      {{NodeLabel::root("Cipher"), NodeLabel::method("Cipher.getInstance/1"),
+        NodeLabel::method("Cipher.init/3")},
+       {NodeLabel::root("Cipher"), NodeLabel::method("Cipher.doFinal/1")}},
+      {});
   // NodeLabel::method stores the bare name (arity split off), so the
-  // canopy key is over method names.
-  EXPECT_EQ(shardKey(Change, 1), "Cipher.getInstance");
-  EXPECT_EQ(shardKey(Change, 2),
-            std::string("Cipher.getInstance") + '\x1f' + "Cipher.init");
+  // canopy key is over method names — now as interned label ids.
+  EXPECT_EQ(keyTexts(shardKey(Change, 1)),
+            std::vector<std::string>{"Cipher.getInstance"});
+  EXPECT_EQ(keyTexts(shardKey(Change, 2)),
+            (std::vector<std::string>{"Cipher.getInstance", "Cipher.init"}));
   // Depth beyond the available labels just stops early.
   EXPECT_EQ(shardKey(Change, 8), shardKey(Change, 2));
 }
 
 TEST(ShardKey, FallsBackToAddedThenEmpty) {
-  UsageChange AddedOnly;
-  AddedOnly.Added.push_back(
-      {NodeLabel::root("Cipher"), NodeLabel::method("Cipher.init/3")});
-  EXPECT_EQ(shardKey(AddedOnly, 1), "Cipher.init");
+  UsageChange AddedOnly = UsageChange::intern(
+      table(), "Cipher", {},
+      {{NodeLabel::root("Cipher"), NodeLabel::method("Cipher.init/3")}});
+  EXPECT_EQ(keyTexts(shardKey(AddedOnly, 1)),
+            std::vector<std::string>{"Cipher.init"});
 
-  UsageChange Empty;
-  EXPECT_EQ(shardKey(Empty, 1), "");
-  EXPECT_EQ(shardKey(AddedOnly, 0), "");
+  UsageChange Empty = UsageChange::intern(table(), "Cipher", {}, {});
+  EXPECT_TRUE(shardKey(Empty, 1).empty());
+  EXPECT_TRUE(shardKey(AddedOnly, 0).empty());
 }
 
 //===----------------------------------------------------------------------===//

@@ -70,9 +70,9 @@ TEST(TlsGenerality, UsageChangeFromHardeningCommit) {
   ASSERT_EQ(Changes.size(), 1u);
   ASSERT_EQ(Changes[0].Removed.size(), 1u);
   ASSERT_EQ(Changes[0].Added.size(), 1u);
-  EXPECT_EQ(usage::pathToString(Changes[0].Removed[0]),
+  EXPECT_EQ(Changes[0].pathString(Changes[0].Removed[0]),
             "SSLContext SSLContext.getInstance arg1:SSLv3");
-  EXPECT_EQ(usage::pathToString(Changes[0].Added[0]),
+  EXPECT_EQ(Changes[0].pathString(Changes[0].Added[0]),
             "SSLContext SSLContext.getInstance arg1:TLSv1.2");
 }
 

@@ -5,12 +5,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <random>
 
 using namespace diffcode;
 using namespace diffcode::analysis;
 using namespace diffcode::usage;
 
 namespace {
+
+/// One shared table per test binary: append-only, so tests cannot
+/// interfere with each other through it.
+support::Interner &table() {
+  static support::Interner Table;
+  return Table;
+}
 
 NodeLabel rootL(const char *T) { return NodeLabel::root(T); }
 NodeLabel methodL(const char *Sig) { return NodeLabel::method(Sig); }
@@ -43,6 +51,37 @@ std::vector<std::string> strs(const std::vector<FeaturePath> &Paths) {
   return Out;
 }
 
+std::vector<support::PathId> intern(const std::vector<FeaturePath> &Paths) {
+  std::vector<support::PathId> Ids;
+  for (const FeaturePath &P : Paths)
+    Ids.push_back(table().path(P));
+  return Ids;
+}
+
+/// The pre-interning quadratic reference implementation of Shortest(P),
+/// kept verbatim as the property-test oracle for the linear-pass
+/// elimination.
+std::vector<FeaturePath> shortestPathsQuadratic(
+    const std::vector<FeaturePath> &Paths) {
+  auto IsStrictPrefix = [](const FeaturePath &A, const FeaturePath &B) {
+    if (A.size() >= B.size())
+      return false;
+    return std::equal(A.begin(), A.end(), B.begin());
+  };
+  std::vector<FeaturePath> Out;
+  for (const FeaturePath &Candidate : Paths) {
+    bool HasPrefix = false;
+    for (const FeaturePath &Other : Paths)
+      if (IsStrictPrefix(Other, Candidate)) {
+        HasPrefix = true;
+        break;
+      }
+    if (!HasPrefix)
+      Out.push_back(Candidate);
+  }
+  return Out;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -53,20 +92,72 @@ TEST(ShortestPaths, RemovesExtensionsOfKeptPaths) {
   FeaturePath AB = {rootL("T"), methodL("T.a")};
   FeaturePath ABC = {rootL("T"), methodL("T.a"), strArg(1, "x")};
   FeaturePath BC = {methodL("T.b"), strArg(1, "y")};
-  std::vector<FeaturePath> Result = shortestPaths({AB, ABC, BC});
+  std::vector<support::PathId> Result =
+      shortestPaths(intern({AB, ABC, BC}), table());
   ASSERT_EQ(Result.size(), 2u);
-  EXPECT_TRUE(std::find(Result.begin(), Result.end(), AB) != Result.end());
-  EXPECT_TRUE(std::find(Result.begin(), Result.end(), BC) != Result.end());
+  EXPECT_TRUE(std::find(Result.begin(), Result.end(), table().path(AB)) !=
+              Result.end());
+  EXPECT_TRUE(std::find(Result.begin(), Result.end(), table().path(BC)) !=
+              Result.end());
 }
 
 TEST(ShortestPaths, IdenticalPathsAreNotPrefixesOfEachOther) {
   FeaturePath P = {rootL("T"), methodL("T.a")};
-  std::vector<FeaturePath> Result = shortestPaths({P, P});
+  std::vector<support::PathId> Result =
+      shortestPaths(intern({P, P}), table());
   EXPECT_EQ(Result.size(), 2u); // strict prefix only — duplicates survive
 }
 
 TEST(ShortestPaths, EmptyInput) {
-  EXPECT_TRUE(shortestPaths({}).empty());
+  EXPECT_TRUE(shortestPaths({}, table()).empty());
+}
+
+TEST(ShortestPaths, PreservesInputOrder) {
+  FeaturePath A = {rootL("T"), methodL("T.z")};
+  FeaturePath B = {rootL("T"), methodL("T.a")};
+  FeaturePath C = {methodL("T.m"), strArg(1, "v")};
+  std::vector<support::PathId> In = intern({A, B, C});
+  std::vector<support::PathId> Result = shortestPaths(In, table());
+  EXPECT_EQ(Result, In); // nothing eliminated -> order untouched
+}
+
+TEST(ShortestPaths, LinearPassMatchesQuadraticReference) {
+  // Property test for the sort-then-eliminate rewrite: random path
+  // multisets (shared prefixes, duplicates, varying depths) must produce
+  // exactly the quadratic oracle's survivor multiset, in input order.
+  std::mt19937 Rng(20260805);
+  const char *Methods[] = {"T.a", "T.ab", "T.b", "T.init", "T.doFinal"};
+  const char *Values[] = {"x", "xy", "AES", "AES/GCM", ""};
+  for (int Round = 0; Round < 200; ++Round) {
+    std::vector<FeaturePath> Paths;
+    std::size_t N = Rng() % 12;
+    for (std::size_t I = 0; I < N; ++I) {
+      FeaturePath P = {rootL("T")};
+      std::size_t Depth = Rng() % 4;
+      for (std::size_t D = 0; D < Depth; ++D) {
+        P.push_back(methodL(Methods[Rng() % 5]));
+        if (Rng() % 2)
+          P.push_back(strArg(1 + Rng() % 2, Values[Rng() % 5]));
+      }
+      Paths.push_back(std::move(P));
+      // Occasionally duplicate or extend an earlier path to force the
+      // prefix/duplicate corner cases.
+      if (!Paths.empty() && Rng() % 3 == 0) {
+        FeaturePath Copy = Paths[Rng() % Paths.size()];
+        if (Rng() % 2)
+          Copy.push_back(methodL(Methods[Rng() % 5]));
+        Paths.push_back(std::move(Copy));
+      }
+    }
+
+    std::vector<FeaturePath> Expected = shortestPathsQuadratic(Paths);
+    std::vector<support::PathId> Actual =
+        shortestPaths(intern(Paths), table());
+    ASSERT_EQ(Actual.size(), Expected.size()) << "round " << Round;
+    for (std::size_t I = 0; I < Actual.size(); ++I)
+      EXPECT_EQ(table().materialize(Actual[I]), Expected[I])
+          << "round " << Round << " survivor " << I;
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -76,15 +167,16 @@ TEST(ShortestPaths, EmptyInput) {
 TEST(DiffDags, IdenticalDagsYieldEmptyChange) {
   UsageDag A = cipherDag("AES");
   UsageDag B = cipherDag("AES");
-  UsageChange Change = diffDags(A, B);
+  UsageChange Change = diffDags(A, B, table());
   EXPECT_TRUE(Change.isEmpty());
   EXPECT_EQ(Change.TypeName, "Cipher");
 }
 
 TEST(DiffDags, AlgorithmSwapProducesMinimalFeatures) {
-  UsageChange Change = diffDags(cipherDag("AES"), cipherDag("AES/CBC", true));
-  std::vector<std::string> Removed = strs(Change.Removed);
-  std::vector<std::string> Added = strs(Change.Added);
+  UsageChange Change =
+      diffDags(cipherDag("AES"), cipherDag("AES/CBC", true), table());
+  std::vector<std::string> Removed = strs(Change.removedPaths());
+  std::vector<std::string> Added = strs(Change.addedPaths());
   ASSERT_EQ(Removed.size(), 1u);
   EXPECT_EQ(Removed[0], "Cipher Cipher.getInstance arg1:AES");
   ASSERT_EQ(Added.size(), 2u);
@@ -93,39 +185,71 @@ TEST(DiffDags, AlgorithmSwapProducesMinimalFeatures) {
 }
 
 TEST(DiffDags, AgainstEmptyIsPureAddition) {
-  UsageChange Change = diffDags(UsageDag::emptyFor("Cipher"), cipherDag("AES"));
+  UsageChange Change =
+      diffDags(UsageDag::emptyFor("Cipher"), cipherDag("AES"), table());
   EXPECT_TRUE(Change.Removed.empty());
   EXPECT_FALSE(Change.Added.empty());
   // The shortest added paths start at the method level (the root is
   // shared).
-  for (const FeaturePath &P : Change.Added)
+  for (const FeaturePath &P : Change.addedPaths())
     EXPECT_EQ(P.size(), 2u);
 }
 
 TEST(DiffDags, SymmetricSwapReversesFeatureSets) {
   UsageDag A = cipherDag("AES"), B = cipherDag("DES");
-  UsageChange Fwd = diffDags(A, B);
-  UsageChange Bwd = diffDags(B, A);
+  UsageChange Fwd = diffDags(A, B, table());
+  UsageChange Bwd = diffDags(B, A, table());
   EXPECT_EQ(Fwd.Removed, Bwd.Added);
   EXPECT_EQ(Fwd.Added, Bwd.Removed);
 }
 
 TEST(UsageChange, SameFeaturesIgnoresOrigin) {
-  UsageChange A = diffDags(cipherDag("AES"), cipherDag("DES"));
+  UsageChange A = diffDags(cipherDag("AES"), cipherDag("DES"), table());
   UsageChange B = A;
   B.Origin = "elsewhere";
   EXPECT_TRUE(A.sameFeatures(B));
-  UsageChange C = diffDags(cipherDag("AES"), cipherDag("RC4"));
+  UsageChange C = diffDags(cipherDag("AES"), cipherDag("RC4"), table());
+  EXPECT_FALSE(A.sameFeatures(C));
+}
+
+TEST(UsageChange, SameFeaturesAcrossDistinctInterners) {
+  // Two pipelines, two tables: id values differ (intern order does), but
+  // sameFeatures must still compare the underlying label structure.
+  support::Interner Other;
+  // Skew Other's id assignment relative to the shared table.
+  Other.path({methodL("T.skew"), strArg(1, "skew")});
+  UsageChange A = diffDags(cipherDag("AES"), cipherDag("DES"), table());
+  UsageChange B = diffDags(cipherDag("AES"), cipherDag("DES"), Other);
+  B.Origin = "elsewhere";
+  EXPECT_TRUE(A.sameFeatures(B));
+  EXPECT_TRUE(B.sameFeatures(A));
+  UsageChange C = diffDags(cipherDag("AES"), cipherDag("RC4"), Other);
   EXPECT_FALSE(A.sameFeatures(C));
 }
 
 TEST(UsageChange, StrRendersSignedPaths) {
-  UsageChange Change = diffDags(cipherDag("AES"), cipherDag("DES"));
+  UsageChange Change = diffDags(cipherDag("AES"), cipherDag("DES"), table());
   std::string Text = Change.str();
   EXPECT_NE(Text.find("- Cipher Cipher.getInstance arg1:AES"),
             std::string::npos);
   EXPECT_NE(Text.find("+ Cipher Cipher.getInstance arg1:DES"),
             std::string::npos);
+}
+
+TEST(UsageChange, InternFactoryRoundTrips) {
+  FeaturePath R = {rootL("Cipher"), methodL("Cipher.getInstance/1"),
+                   strArg(1, "AES")};
+  FeaturePath A = {rootL("Cipher"), methodL("Cipher.getInstance/1"),
+                   strArg(1, "AES/GCM")};
+  UsageChange Change =
+      UsageChange::intern(table(), "Cipher", {R}, {A}, "p@c1");
+  EXPECT_EQ(Change.TypeName, "Cipher");
+  EXPECT_EQ(Change.Origin, "p@c1");
+  ASSERT_EQ(Change.removedPaths().size(), 1u);
+  EXPECT_EQ(Change.removedPaths()[0], R);
+  ASSERT_EQ(Change.addedPaths().size(), 1u);
+  EXPECT_EQ(Change.addedPaths()[0], A);
+  EXPECT_EQ(Change.pathString(Change.Removed[0]), pathToString(R));
 }
 
 //===----------------------------------------------------------------------===//
@@ -179,7 +303,8 @@ TEST(DeriveUsageChanges, RefactoringYieldsEmptyChanges) {
   std::vector<UsageDag> Old, New;
   Old.push_back(cipherDag("AES"));
   New.push_back(cipherDag("AES"));
-  std::vector<UsageChange> Changes = deriveUsageChanges(Old, New, "Cipher");
+  std::vector<UsageChange> Changes =
+      deriveUsageChanges(Old, New, "Cipher", table());
   ASSERT_EQ(Changes.size(), 1u);
   EXPECT_TRUE(Changes[0].isEmpty());
 }
@@ -189,7 +314,8 @@ TEST(DeriveUsageChanges, AdditionAndFixDistinguished) {
   Old.push_back(cipherDag("AES"));
   New.push_back(cipherDag("AES/GCM", true)); // the fix
   New.push_back(cipherDag("RC4"));           // a brand-new usage
-  std::vector<UsageChange> Changes = deriveUsageChanges(Old, New, "Cipher");
+  std::vector<UsageChange> Changes =
+      deriveUsageChanges(Old, New, "Cipher", table());
   ASSERT_EQ(Changes.size(), 2u);
   unsigned Fixes = 0, Adds = 0;
   for (const UsageChange &C : Changes) {
@@ -205,7 +331,8 @@ TEST(DeriveUsageChanges, AdditionAndFixDistinguished) {
 TEST(DeriveUsageChanges, RemovalDetected) {
   std::vector<UsageDag> Old;
   Old.push_back(cipherDag("AES"));
-  std::vector<UsageChange> Changes = deriveUsageChanges(Old, {}, "Cipher");
+  std::vector<UsageChange> Changes =
+      deriveUsageChanges(Old, {}, "Cipher", table());
   ASSERT_EQ(Changes.size(), 1u);
   EXPECT_FALSE(Changes[0].Removed.empty());
   EXPECT_TRUE(Changes[0].Added.empty());
