@@ -18,13 +18,19 @@
 //       auto-suggest a rule from the change (Section 6.3).
 //
 //   diffcode_cli pipeline <corpus-dir> [--json] [--cluster] [--shard <n>]
+//                [--metrics] [--trace-out=<file>]
 //       load a corpus from disk (see corpus/CorpusIO.h for the layout,
 //       exportable from git) and run the full mining -> abstraction ->
 //       filter -> cluster pipeline, printing the Figure-6-style table.
 //       --cluster builds per-class dendrograms and prints the flat
 //       clusters at the default cut; --shard <n> additionally arms the
 //       sharded clustering engine with MaxShardSize n (implies
-//       --cluster) and reports the shard statistics.
+//       --cluster) and reports the shard statistics. --metrics runs the
+//       pipeline observed: the text report gains per-stage timing and
+//       counter tables, the JSON report a "metrics" block.
+//       --trace-out=<file> (implies --metrics) additionally writes the
+//       span trace as Chrome trace_event JSON — load it in
+//       chrome://tracing or https://ui.perfetto.dev.
 //
 //===----------------------------------------------------------------------===//
 
@@ -53,7 +59,8 @@ int printUsage() {
                "       diffcode_cli check <file.java ...> [--json]\n"
                "       diffcode_cli suggest <old.java> <new.java>\n"
                "       diffcode_cli pipeline <corpus-dir> [--json] "
-               "[--cluster] [--shard <n>]\n");
+               "[--cluster] [--shard <n>]\n"
+               "                    [--metrics] [--trace-out=<file>]\n");
   return 2;
 }
 
@@ -177,7 +184,9 @@ int runPipeline(int argc, char **argv, bool Json) {
     return printUsage();
   bool Cluster = false;
   bool Shard = false;
+  bool Metrics = false;
   std::size_t ShardSize = 0;
+  std::string TraceOut;
   for (int I = 3; I < argc; ++I) {
     if (std::strcmp(argv[I], "--cluster") == 0) {
       Cluster = true;
@@ -186,6 +195,13 @@ int runPipeline(int argc, char **argv, bool Json) {
         return printUsage();
       Shard = Cluster = true;
       ShardSize = std::strtoull(argv[++I], nullptr, 10);
+    } else if (std::strcmp(argv[I], "--metrics") == 0) {
+      Metrics = true;
+    } else if (std::strncmp(argv[I], "--trace-out=", 12) == 0) {
+      TraceOut = argv[I] + 12;
+      if (TraceOut.empty())
+        return printUsage();
+      Metrics = true;
     } else if (std::strcmp(argv[I], "--json") != 0) {
       return printUsage();
     }
@@ -215,10 +231,25 @@ int runPipeline(int argc, char **argv, bool Json) {
     Opts.Clustering.Sharding.Threads = 0; // all cores
   }
   core::DiffCode System(Api, Opts);
+  obs::Observer Obs;
   core::CorpusReport Report =
       System.runPipeline({.Changes = Mined,
                           .TargetClasses = Api.targetClasses(),
-                          .BuildDendrograms = Cluster});
+                          .BuildDendrograms = Cluster,
+                          .Metrics = Metrics ? &Obs : nullptr});
+
+  if (!TraceOut.empty()) {
+    std::ofstream Out(TraceOut);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", TraceOut.c_str());
+      return 1;
+    }
+    Out << Obs.Trace.traceJson() << '\n';
+    if (!Json)
+      std::printf("trace written to %s (%zu events)\n\n", TraceOut.c_str(),
+                  Obs.Trace.eventCount());
+  }
+
   if (Json) {
     std::printf("%s\n", core::corpusReportToJson(Report).c_str());
     return 0;
@@ -270,10 +301,44 @@ int runPipeline(int argc, char **argv, bool Json) {
       std::printf("  [%s] %s: %s\n", core::changeStatusName(Record.Status),
                   Record.Origin.c_str(), Record.StatusDetail.c_str());
   if (!Health.WorstOffenders.empty()) {
+    // Wall time is only measured on observed runs (--metrics).
     std::printf("heaviest changes (interpreter steps):\n");
-    for (const auto &[Origin, Steps] : Health.WorstOffenders)
-      std::printf("  %10llu  %s\n", static_cast<unsigned long long>(Steps),
-                  Origin.c_str());
+    std::printf("  %10s  %9s  %-15s %s\n", "steps", "wall-ms", "status",
+                "origin");
+    for (const core::WorstOffender &O : Health.WorstOffenders)
+      std::printf("  %10llu  %9.3f  %-15s %s\n",
+                  static_cast<unsigned long long>(O.Steps),
+                  double(O.WallNanos) / 1e6, core::changeStatusName(O.Status),
+                  O.Origin.c_str());
+  }
+
+  if (Metrics) {
+    std::printf("\nstage timings:\n");
+    std::printf("  %-22s %8s %12s\n", "stage", "spans", "total-ms");
+    for (const obs::Tracer::StageTotal &S : Report.Metrics.Stages)
+      std::printf("  %-22s %8llu %12.3f\n", S.Name.c_str(),
+                  static_cast<unsigned long long>(S.Spans),
+                  double(S.TotalNs) / 1e6);
+    std::printf("\nmetrics:\n");
+    for (const obs::MetricValue &V : Report.Metrics.Metrics.Values) {
+      switch (V.Kind) {
+      case obs::MetricKind::Counter:
+        std::printf("  %-32s %12llu\n", V.Name.c_str(),
+                    static_cast<unsigned long long>(V.Count));
+        break;
+      case obs::MetricKind::Gauge:
+        std::printf("  %-32s %12lld\n", V.Name.c_str(),
+                    static_cast<long long>(V.Value));
+        break;
+      case obs::MetricKind::Histogram:
+        std::printf("  %-32s %12llu samples, sum %llu, min %llu, max %llu\n",
+                    V.Name.c_str(), static_cast<unsigned long long>(V.Count),
+                    static_cast<unsigned long long>(V.Sum),
+                    static_cast<unsigned long long>(V.Min),
+                    static_cast<unsigned long long>(V.Max));
+        break;
+      }
+    }
   }
   return 0;
 }

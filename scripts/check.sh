@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the test suite.
-# Extra arguments pass through to ctest, e.g.
+# Tier-1 verification: configure, build, and run the test suite, then the
+# observability overhead guard (bench/micro_pipeline --verify-overhead,
+# asserting an observed analyzeChanges stays within 5% of an unobserved
+# one). Extra arguments pass through to ctest, e.g.
 #   scripts/check.sh -L tier1
 #   scripts/check.sh -L differential
+#   scripts/check.sh -L metrics
 #
 # --asan (opt-in): build into build-asan/ with AddressSanitizer +
-# UndefinedBehaviorSanitizer, aborting on the first report. The regular
-# build/ directory is untouched, so a sanitizer sweep never invalidates
-# the incremental tier-1 build.
+# UndefinedBehaviorSanitizer, aborting on the first report. Also drives
+# one traced CLI pipeline run (--metrics --trace-out) so the span/metrics
+# paths get a sanitized pass; the overhead guard is skipped (sanitizer
+# timings are meaningless). The regular build/ directory is untouched, so
+# a sanitizer sweep never invalidates the incremental tier-1 build.
 #   scripts/check.sh --asan -L tier1
 #
 # --bench-sharding (opt-in): after the test suite, run the sharded
@@ -23,6 +28,14 @@
 # string-space metric — and leaves BENCH_interning.json in the build
 # directory.
 #   scripts/check.sh --bench-interning -L tier1
+#
+# --bench-faults (opt-in): after the test suite, run the fault-campaign
+# sweep (bench/micro_faults): per-ChangeStatus counts vs wall time across
+# fault rates and sites, read from metrics snapshots. Self-verifying —
+# non-zero exit on an incomplete report, a nondeterministic campaign, or
+# metrics that disagree with the health block — and leaves
+# BENCH_faults.json in the build directory.
+#   scripts/check.sh --bench-faults -L tier1
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,10 +43,13 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 CMAKE_ARGS=()
 CTEST_ARGS=()
+ASAN=0
 BENCH_SHARDING=0
 BENCH_INTERNING=0
+BENCH_FAULTS=0
 for arg in "$@"; do
   if [[ "$arg" == "--asan" ]]; then
+    ASAN=1
     BUILD_DIR=build-asan
     CMAKE_ARGS+=(
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -43,6 +59,8 @@ for arg in "$@"; do
     BENCH_SHARDING=1
   elif [[ "$arg" == "--bench-interning" ]]; then
     BENCH_INTERNING=1
+  elif [[ "$arg" == "--bench-faults" ]]; then
+    BENCH_FAULTS=1
   else
     CTEST_ARGS+=("$arg")
   fi
@@ -53,6 +71,15 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 cd "$BUILD_DIR"
 ctest --output-on-failure -j"$(nproc)" ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
 
+if [[ "$ASAN" == "1" ]]; then
+  echo "== traced pipeline under sanitizers =="
+  ./examples/diffcode_cli pipeline ../tests/data/smoke_corpus \
+    --metrics --trace-out=trace_asan.json > /dev/null
+else
+  echo "== observability overhead guard (bench/micro_pipeline) =="
+  ./bench/micro_pipeline --verify-overhead
+fi
+
 if [[ "$BENCH_SHARDING" == "1" ]]; then
   echo "== sharded clustering sweep (bench/micro_sharding) =="
   ./bench/micro_sharding 10000 42 BENCH_sharding.json
@@ -61,4 +88,9 @@ fi
 if [[ "$BENCH_INTERNING" == "1" ]]; then
   echo "== interned data model sweep (bench/micro_interning) =="
   ./bench/micro_interning 10000 42 BENCH_interning.json
+fi
+
+if [[ "$BENCH_FAULTS" == "1" ]]; then
+  echo "== fault-campaign sweep (bench/micro_faults) =="
+  ./bench/micro_faults 120 42 BENCH_faults.json
 fi

@@ -1435,6 +1435,7 @@ AnalysisResult Engine::run(const CompilationUnit *Unit) {
   AnalysisResult Result;
   for (const auto &[Class, Method] : findEntryMethods()) {
     Fuel = Opts.Fuel;
+    ++Stats.Entries;
 
     ExecState Initial;
     Frame F;
@@ -1472,6 +1473,7 @@ AnalysisResult Engine::run(const CompilationUnit *Unit) {
       if (!State.Log.empty())
         Result.Executions.push_back(std::move(State.Log));
   }
+  Stats.ObjectsTracked = Objects.size();
   Result.Objects = std::move(Objects);
   Result.Stats = Stats;
   return Result;

@@ -66,6 +66,10 @@ struct AnalysisOptions {
 struct AnalysisStats {
   /// Statement/expression evaluation steps consumed across all entries.
   std::uint64_t StepsUsed = 0;
+  /// Entry methods discovered and executed.
+  std::uint64_t Entries = 0;
+  /// Allocation-site objects tracked at the end of the run.
+  std::uint64_t ObjectsTracked = 0;
   /// Some entry ran out of Fuel (its exploration was truncated).
   bool FuelExhausted = false;
   /// The MaxObjects cap degraded at least one allocation site.

@@ -86,6 +86,9 @@ struct ShardingStats {
   /// (per-shard matrices across workers, then the representative and
   /// shard-linkage matrices).
   std::size_t PeakMatrixBytes = 0;
+  /// Item count of every shard, in canonical shard order; feeds the
+  /// observability layer's shard-size histogram.
+  std::vector<std::size_t> ShardSizes;
 };
 
 /// Clustering engine knobs.

@@ -208,8 +208,11 @@ Dendrogram diffcode::cluster::clusterUsageChangesSharded(
 
   if (Stats) {
     Stats->NumShards = S;
-    for (const std::vector<std::size_t> &Shard : Shards)
+    Stats->ShardSizes.reserve(S);
+    for (const std::vector<std::size_t> &Shard : Shards) {
       Stats->LargestShard = std::max(Stats->LargestShard, Shard.size());
+      Stats->ShardSizes.push_back(Shard.size());
+    }
   }
 
   if (S == 1) {

@@ -4,9 +4,11 @@
 
 #include "cluster/ShardedClustering.h"
 #include "javaast/Parser.h"
+#include "obs/Observer.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <set>
 
@@ -46,12 +48,13 @@ void core::computeCorpusHealth(CorpusReport &Report, std::size_t MaxOffenders) {
 
   for (const ChangeRecord &Record : Report.Changes)
     if (Record.StepsUsed > 0)
-      Health.WorstOffenders.emplace_back(Record.Origin, Record.StepsUsed);
+      Health.WorstOffenders.push_back(WorstOffender{
+          Record.Origin, Record.StepsUsed, Record.Status, Record.WallNanos});
   std::sort(Health.WorstOffenders.begin(), Health.WorstOffenders.end(),
-            [](const auto &A, const auto &B) {
-              if (A.second != B.second)
-                return A.second > B.second;
-              return A.first < B.first;
+            [](const WorstOffender &A, const WorstOffender &B) {
+              if (A.Steps != B.Steps)
+                return A.Steps > B.Steps;
+              return A.Origin < B.Origin;
             });
   if (Health.WorstOffenders.size() > MaxOffenders)
     Health.WorstOffenders.resize(MaxOffenders);
@@ -147,6 +150,14 @@ ChangeRecord DiffCode::processChange(
     const std::vector<std::string> &TargetClasses,
     const std::vector<const rules::Rule *> &ClassifyWith,
     support::Interner &Table) const {
+  return processChange(Change, TargetClasses, ClassifyWith, Table, nullptr);
+}
+
+ChangeRecord DiffCode::processChange(
+    const corpus::CodeChange &Change,
+    const std::vector<std::string> &TargetClasses,
+    const std::vector<const rules::Rule *> &ClassifyWith,
+    support::Interner &Table, obs::Registry *Reg) const {
   ChangeRecord Record;
   Record.Origin = Change.origin();
   Record.GroundTruthKind = Change.Kind;
@@ -162,12 +173,34 @@ ChangeRecord DiffCode::processChange(
     Record.StepsUsed =
         Old.Result.Stats.StepsUsed + New.Result.Stats.StepsUsed;
 
+    if (Reg) {
+      // All of these are pure functions of the change's source text, so
+      // they stay in the deterministic snapshot projection.
+      auto &Steps = Reg->histogram("analysis.steps_per_version");
+      auto &Entries = Reg->histogram("analysis.entries_per_version");
+      auto &Objects = Reg->histogram("analysis.objects_per_version");
+      for (const SourceAnalysis *Side : {&Old, &New}) {
+        Steps.record(Side->Result.Stats.StepsUsed);
+        Entries.record(Side->Result.Stats.Entries);
+        Objects.record(Side->Result.Stats.ObjectsTracked);
+      }
+      Reg->counter("analysis.steps_total").add(Record.StepsUsed);
+      Reg->counter("analysis.fuel_exhausted")
+          .add(unsigned(Old.Result.Stats.FuelExhausted) +
+               unsigned(New.Result.Stats.FuelExhausted));
+      Reg->counter("analysis.object_budget_hits")
+          .add(unsigned(Old.Result.Stats.ObjectBudgetHit) +
+               unsigned(New.Result.Stats.ObjectBudgetHit));
+    }
+
     for (const std::string &TargetClass : TargetClasses) {
       std::vector<usage::UsageChange> Changes = usage::deriveUsageChanges(
           dagsForClass(Old.Result, TargetClass),
           dagsForClass(New.Result, TargetClass), TargetClass, Table);
       for (usage::UsageChange &C : Changes)
         C.Origin = Record.Origin;
+      if (Reg && !Changes.empty())
+        Reg->counter("usage.changes").add(Changes.size());
       if (!Changes.empty())
         Record.PerClass.emplace(TargetClass, std::move(Changes));
     }
@@ -213,18 +246,50 @@ DiffCode::analyzeChanges(const PipelineRequest &Request) const {
   // therefore scheduling dependent, which is fine — everything downstream
   // is id-value independent (support/Interner.h, determinism contract).
   support::Interner &Table = internerFor(Request);
-  support::ThreadPool Pool(Threads);
+  obs::Observer *Obs = Request.Metrics;
+  obs::Registry *Reg = Obs ? &Obs->Metrics : nullptr;
+  support::ThreadPool Pool(Threads, /*CollectStats=*/Obs != nullptr);
   Pool.parallelForChunked(
       Request.Changes.size(), 1, [&](std::size_t Begin, std::size_t Stop) {
         for (std::size_t I = Begin; I < Stop; ++I) {
           // Scope key = change index, so an armed fault plan hits the
           // same changes whether one thread or sixteen claim the work.
           support::FaultScope Scope(&Opts.Faults, I);
+          if (!Obs) {
+            Records[I] = processChange(*Request.Changes[I],
+                                       Request.TargetClasses,
+                                       Request.ClassifyWith, Table);
+            continue;
+          }
+          obs::Span S(&Obs->Trace, "processChange");
+          auto T0 = std::chrono::steady_clock::now();
           Records[I] = processChange(*Request.Changes[I],
                                      Request.TargetClasses,
-                                     Request.ClassifyWith, Table);
+                                     Request.ClassifyWith, Table, Reg);
+          Records[I].WallNanos = std::uint64_t(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count());
         }
       });
+  if (Obs) {
+    // Pool utilization. Everything except the batch count depends on
+    // scheduling (chunk claims, wall time), hence PerRun.
+    support::ThreadPool::Stats PS = Pool.statsSnapshot();
+    auto &R = *Reg;
+    R.counter("threadpool.batches").add(PS.Batches);
+    R.counter("threadpool.chunks", obs::Unit::None, obs::Stability::PerRun)
+        .add(PS.Chunks);
+    R.counter("threadpool.queue_wait_ns", obs::Unit::Nanoseconds,
+              obs::Stability::PerRun)
+        .add(PS.QueueWaitNs);
+    R.gauge("threadpool.threads", obs::Unit::None, obs::Stability::PerRun)
+        .set(Pool.threadCount());
+    auto &Busy = R.histogram("threadpool.worker_busy_ns",
+                             obs::Unit::Nanoseconds, obs::Stability::PerRun);
+    for (std::uint64_t Ns : PS.WorkerBusyNs)
+      Busy.record(Ns);
+  }
   return Records;
 }
 
@@ -269,16 +334,89 @@ void DiffCode::clusterClass(ClassReport &Class) const {
   }
 }
 
+/// Folds one class's filter attrition and clustering shape into the
+/// metrics registry. Counters accumulate across classes; shard sizes go
+/// into one corpus-wide histogram.
+static void recordClassMetrics(obs::Registry &R, const ClassReport &Class) {
+  const FilterResult &F = Class.Filtered;
+  R.counter("filter.input").add(F.Total);
+  R.counter("filter.after_fsame").add(F.AfterSame);
+  R.counter("filter.after_fadd").add(F.AfterAdd);
+  R.counter("filter.after_frem").add(F.AfterRem);
+  R.counter("filter.after_fdup").add(F.AfterDup);
+  R.counter("cluster.leaves").add(Class.Tree.leafCount());
+  if (!Class.ClusteringError.empty())
+    R.counter("cluster.failures").add(1);
+  const cluster::ShardingStats &Sh = Class.Sharding;
+  if (Sh.NumShards > 0) {
+    R.counter("cluster.shards").add(Sh.NumShards);
+    R.counter("cluster.representatives").add(Sh.Representatives);
+    auto &Sizes = R.histogram("cluster.shard_size");
+    for (std::size_t Size : Sh.ShardSizes)
+      Sizes.record(Size);
+    // Concurrent per-shard matrices make the high-water mark
+    // scheduling-dependent.
+    R.gauge("cluster.peak_matrix_bytes", obs::Unit::Bytes,
+            obs::Stability::PerRun)
+        .max(std::int64_t(Sh.PeakMatrixBytes));
+  }
+}
+
 CorpusReport DiffCode::runPipeline(const PipelineRequest &Request) const {
   CorpusReport Report;
   Report.Labels = Request.Labels ? Request.Labels : DefaultLabels;
-  Report.Changes = analyzeChanges(Request);
-  for (const std::string &TargetClass : Request.TargetClasses) {
-    ClassReport ClassOut = filterClass(Report.Changes, TargetClass);
-    if (Request.BuildDendrograms)
-      clusterClass(ClassOut);
-    Report.PerClass.push_back(std::move(ClassOut));
+  obs::Observer *Obs = Request.Metrics;
+  obs::Tracer *T = Obs ? &Obs->Trace : nullptr;
+  {
+    obs::Span Whole(T, "pipeline");
+    {
+      obs::Span S(T, "analyzeChanges");
+      Report.Changes = analyzeChanges(Request);
+    }
+    for (const std::string &TargetClass : Request.TargetClasses) {
+      ClassReport ClassOut;
+      {
+        obs::Span S(T, "filterClass");
+        ClassOut = filterClass(Report.Changes, TargetClass);
+      }
+      if (Request.BuildDendrograms) {
+        obs::Span S(T, "clusterClass");
+        clusterClass(ClassOut);
+      }
+      if (Obs)
+        recordClassMetrics(Obs->Metrics, ClassOut);
+      Report.PerClass.push_back(std::move(ClassOut));
+    }
+    {
+      obs::Span S(T, "computeCorpusHealth");
+      computeCorpusHealth(Report);
+    }
   }
-  computeCorpusHealth(Report);
+  if (Obs) {
+    auto &R = Obs->Metrics;
+    R.counter("pipeline.changes").add(Report.Changes.size());
+    R.counter("pipeline.classes").add(Report.PerClass.size());
+    for (std::size_t I = 0; I < NumChangeStatuses; ++I)
+      R.counter(std::string("pipeline.status.") +
+                changeStatusName(static_cast<ChangeStatus>(I)))
+          .add(Report.Health.StatusCounts[I]);
+    R.counter("pipeline.clustering_failures")
+        .add(Report.Health.ClusteringFailures);
+    if (const support::FaultStats *FS = Opts.Faults.Stats) {
+      // A poisoned batch can abort mid-loop, so how many armed points
+      // were even reached depends on scheduling: PerRun.
+      for (unsigned I = 0; I < support::NumFaultSites; ++I) {
+        auto Site = static_cast<support::FaultSite>(I);
+        R.counter(std::string("faults.evaluated.") +
+                      support::faultSiteName(Site),
+                  obs::Unit::None, obs::Stability::PerRun)
+            .add(FS->evaluated(Site));
+        R.counter(std::string("faults.fired.") + support::faultSiteName(Site),
+                  obs::Unit::None, obs::Stability::PerRun)
+            .add(FS->fired(Site));
+      }
+    }
+    Report.Metrics = Obs->summarize();
+  }
   return Report;
 }

@@ -21,6 +21,7 @@
 #include "core/Filters.h"
 #include "corpus/RepoModel.h"
 #include "javaast/Parser.h"
+#include "obs/Observer.h"
 #include "rules/ChangeClassifier.h"
 #include "support/FaultInjection.h"
 #include "support/Interner.h"
@@ -95,6 +96,11 @@ struct ChangeRecord {
   /// Interpreter steps consumed across both versions (worst-offender
   /// ranking in the corpus-health summary).
   std::uint64_t StepsUsed = 0;
+  /// Wall nanoseconds processChange spent on this change. Only measured
+  /// when the run is observed (PipelineRequest::Metrics); run-dependent,
+  /// so it feeds the CLI table and the "metrics" JSON block — never the
+  /// deterministic "health" block.
+  std::uint64_t WallNanos = 0;
 };
 
 /// Aggregated per-target-class results (Figure 6 row + Figure 8 input).
@@ -111,6 +117,17 @@ struct ClassReport {
   cluster::ShardingStats Sharding;
 };
 
+/// One row of the corpus-health worst-offender table.
+struct WorstOffender {
+  std::string Origin;
+  std::uint64_t Steps = 0;
+  ChangeStatus Status = ChangeStatus::Ok;
+  /// Wall nanoseconds from the record (0 unless the run was observed;
+  /// PerRun — reported in the CLI table and the "metrics" JSON block,
+  /// deliberately absent from the deterministic "health" block).
+  std::uint64_t WallNanos = 0;
+};
+
 /// Corpus-health summary: how many changes landed in each status bucket,
 /// which classes failed to cluster, and where the analysis budgets went.
 struct CorpusHealth {
@@ -118,9 +135,9 @@ struct CorpusHealth {
   std::array<std::size_t, NumChangeStatuses> StatusCounts{};
   /// Classes whose clustering step failed (ClusteringError non-empty).
   std::size_t ClusteringFailures = 0;
-  /// Top changes by interpreter steps consumed (origin, steps),
-  /// descending; ties broken by origin for determinism.
-  std::vector<std::pair<std::string, std::uint64_t>> WorstOffenders;
+  /// Top changes by interpreter steps consumed, descending; ties broken
+  /// by origin for determinism.
+  std::vector<WorstOffender> WorstOffenders;
 
   std::size_t count(ChangeStatus Status) const {
     return StatusCounts[static_cast<std::size_t>(Status)];
@@ -138,6 +155,10 @@ struct CorpusReport {
   /// pinned here so the report stays self-contained even if the DiffCode
   /// instance (or the request's interner) goes away first.
   std::shared_ptr<const support::Interner> Labels;
+  /// Observability summary of the run: metrics snapshot + per-stage
+  /// timing table. Empty unless the request carried an Observer; rendered
+  /// as the report's "metrics" JSON block.
+  obs::RunSummary Metrics;
 };
 
 /// Everything one pipeline run needs, replacing runPipeline's former
@@ -159,6 +180,13 @@ struct PipelineRequest {
   /// callers that compare or combine reports across pipeline runs pass a
   /// shared one so id-based equality spans the runs.
   std::shared_ptr<support::Interner> Labels;
+  /// Observability sink. Null (the default) turns instrumentation off —
+  /// every site reduces to one pointer test and the report's Metrics
+  /// summary stays empty. When set, stages open spans in Metrics->Trace,
+  /// counters/histograms land in Metrics->Metrics, and runPipeline
+  /// freezes the result into CorpusReport::Metrics. Must outlive the
+  /// call.
+  obs::Observer *Metrics = nullptr;
 };
 
 /// Recomputes \p Report's health summary from its records (at most
@@ -222,13 +250,22 @@ public:
                 const std::vector<std::string> &TargetClasses,
                 const std::vector<const rules::Rule *> &ClassifyWith,
                 support::Interner &Table) const;
+  /// Observed variant: additionally records per-version interpreter
+  /// metrics (steps/entries/objects histograms, budget-hit counters) and
+  /// usage-change counts into \p Reg. Null \p Reg behaves exactly like
+  /// the unobserved overload.
+  ChangeRecord
+  processChange(const corpus::CodeChange &Change,
+                const std::vector<std::string> &TargetClasses,
+                const std::vector<const rules::Rule *> &ClassifyWith,
+                support::Interner &Table, obs::Registry *Reg) const;
 
-  //===--------------------------------------------------------------------===
+  //===--------------------------------------------------------------------===//
   // Stage entry points. runPipeline composes exactly these three, so
   // callers can run any prefix (analysis only, analysis + filters) or
   // re-cluster a filtered class under different options without
   // re-analyzing the corpus.
-  //===--------------------------------------------------------------------===
+  //===--------------------------------------------------------------------===//
 
   /// Stage 1 — per-change analysis: processChange over
   /// Request.Changes in parallel (Opts.Threads workers), one record per

@@ -68,10 +68,39 @@ void emitHealth(JsonWriter &W, const CorpusHealth &Health) {
   W.key("clusteringFailures")
       .value(static_cast<std::uint64_t>(Health.ClusteringFailures));
   W.key("worstOffenders").beginArray();
-  for (const auto &[Origin, Steps] : Health.WorstOffenders) {
+  for (const WorstOffender &O : Health.WorstOffenders) {
     W.beginObject();
-    W.key("origin").value(Origin);
-    W.key("steps").value(static_cast<std::uint64_t>(Steps));
+    W.key("origin").value(O.Origin);
+    W.key("steps").value(O.Steps);
+    // Deliberately no wall time here: the "health" block is part of the
+    // byte-deterministic report surface; per-offender wall time lives in
+    // the PerRun "metrics" block and the CLI table.
+    W.key("status").value(changeStatusName(O.Status));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+/// The "metrics" block: the run summary plus per-offender wall times
+/// (PerRun data whose only JSON home is this block).
+void emitMetrics(JsonWriter &W, const CorpusReport &Report) {
+  W.beginObject();
+  W.key("counters").rawValue(Report.Metrics.Metrics.json());
+  W.key("stages").beginArray();
+  for (const obs::Tracer::StageTotal &S : Report.Metrics.Stages) {
+    W.beginObject();
+    W.key("name").value(S.Name);
+    W.key("spans").value(S.Spans);
+    W.key("totalNs").value(S.TotalNs);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("worstOffenders").beginArray();
+  for (const WorstOffender &O : Report.Health.WorstOffenders) {
+    W.beginObject();
+    W.key("origin").value(O.Origin);
+    W.key("wallNs").value(O.WallNanos);
     W.endObject();
   }
   W.endArray();
@@ -130,6 +159,13 @@ std::string diffcode::core::corpusReportToJson(const CorpusReport &Report) {
   W.key("changes").value(Report.Changes.size());
   W.key("health");
   emitHealth(W, Report.Health);
+  // Last key, and only for observed runs: a metrics-off report is a
+  // byte-for-byte prefix of the metrics-on report of the same corpus
+  // (tests/test_metrics_differential.cpp relies on this).
+  if (!Report.Metrics.empty()) {
+    W.key("metrics");
+    emitMetrics(W, Report);
+  }
   W.endObject();
   return W.take();
 }

@@ -1,0 +1,65 @@
+//===- obs/Observer.cpp - Pipeline observability facade --------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Observer.h"
+
+#include "support/JsonWriter.h"
+
+namespace diffcode {
+namespace obs {
+
+RunSummary Observer::summarize() const {
+  RunSummary Summary;
+  Summary.Metrics = Metrics.snapshot();
+  Summary.Stages = Trace.aggregate();
+  return Summary;
+}
+
+std::string RunSummary::json() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("counters");
+  W.rawValue(Metrics.json(/*DeterministicOnly=*/false));
+  W.key("stages");
+  W.beginArray();
+  for (const Tracer::StageTotal &S : Stages) {
+    W.beginObject();
+    W.key("name");
+    W.value(S.Name);
+    W.key("spans");
+    W.value(S.Spans);
+    W.key("totalNs");
+    W.value(S.TotalNs);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
+std::string RunSummary::deterministicJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("counters");
+  W.rawValue(Metrics.json(/*DeterministicOnly=*/true));
+  W.key("stages");
+  W.beginArray();
+  for (const Tracer::StageTotal &S : Stages) {
+    W.beginObject();
+    W.key("name");
+    W.value(S.Name);
+    W.key("spans");
+    W.value(S.Spans);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
+} // namespace obs
+} // namespace diffcode

@@ -1,0 +1,58 @@
+//===- obs/Observer.h - Pipeline observability facade ----------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// \ref Observer bundles the metrics registry and the tracer into the
+/// single handle the pipeline takes (`PipelineRequest::Metrics`); null
+/// means observability is off and every instrumentation site reduces to
+/// one pointer test. \ref RunSummary is the frozen result attached to
+/// `CorpusReport`: a metrics snapshot plus the aggregated per-stage
+/// timing table, with JSON renderers for the report's "metrics" block
+/// and for the determinism-comparable projection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_OBS_OBSERVER_H
+#define DIFFCODE_OBS_OBSERVER_H
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+namespace diffcode {
+namespace obs {
+
+/// Everything one observed pipeline run records into.
+struct Observer {
+  Registry Metrics;
+  Tracer Trace;
+
+  /// Freezes the current state into a RunSummary (defined below).
+  struct RunSummary summarize() const;
+};
+
+/// Immutable summary of one observed run, carried on CorpusReport.
+struct RunSummary {
+  Snapshot Metrics;
+  std::vector<Tracer::StageTotal> Stages;
+
+  bool empty() const { return Metrics.empty() && Stages.empty(); }
+
+  /// The report's "metrics" block: {"counters":[...],"stages":[...]}
+  /// with full (PerRun included) values.
+  std::string json() const;
+
+  /// The byte-comparable projection: deterministic metrics only, and
+  /// stages reduced to (name, span count) — no wall times. Two runs of
+  /// the same pipeline input must produce identical bytes here
+  /// regardless of thread count.
+  std::string deterministicJson() const;
+};
+
+} // namespace obs
+} // namespace diffcode
+
+#endif // DIFFCODE_OBS_OBSERVER_H

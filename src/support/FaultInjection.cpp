@@ -48,5 +48,13 @@ bool diffcode::support::faultPoint(FaultSite Site, std::uint64_t Key) {
   // bits become a uniform draw in [0, 1).
   std::uint64_t H = faultMix(Plan->Seed ^ faultMix(Current.ScopeKey));
   H = faultMix(H ^ (static_cast<std::uint64_t>(Site) << 56) ^ Key);
-  return static_cast<double>(H >> 11) * 0x1.0p-53 < Plan->Rate;
+  bool Fires = static_cast<double>(H >> 11) * 0x1.0p-53 < Plan->Rate;
+  if (FaultStats *Stats = Plan->Stats) {
+    Stats->Evaluated[static_cast<unsigned>(Site)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (Fires)
+      Stats->Fired[static_cast<unsigned>(Site)].fetch_add(
+          1, std::memory_order_relaxed);
+  }
+  return Fires;
 }

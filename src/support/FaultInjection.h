@@ -29,6 +29,7 @@
 #ifndef DIFFCODE_SUPPORT_FAULTINJECTION_H
 #define DIFFCODE_SUPPORT_FAULTINJECTION_H
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -55,6 +56,30 @@ constexpr std::uint32_t faultSiteBit(FaultSite Site) {
 /// Human-readable site name ("parser", "interpreter", ...).
 const char *faultSiteName(FaultSite Site);
 
+/// Per-site tally of a campaign's activity: how many armed injection
+/// points were evaluated and how many fired. Atomic so every pipeline
+/// thread can report into one shared block; plain data (no obs/
+/// dependency — the support layer sits below obs), copied into the
+/// metrics registry by core after a run.
+struct FaultStats {
+  std::atomic<std::uint64_t> Evaluated[NumFaultSites] = {};
+  std::atomic<std::uint64_t> Fired[NumFaultSites] = {};
+
+  std::uint64_t evaluated(FaultSite Site) const {
+    return Evaluated[static_cast<unsigned>(Site)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t fired(FaultSite Site) const {
+    return Fired[static_cast<unsigned>(Site)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t totalFired() const {
+    std::uint64_t N = 0;
+    for (unsigned I = 0; I < NumFaultSites; ++I)
+      N += Fired[I].load(std::memory_order_relaxed);
+    return N;
+  }
+};
+
 /// A fault-injection campaign: which sites may fail, how often, under
 /// which seed. Rate 0 (the default) disables every injection point; a
 /// default-constructed plan is exactly a production run.
@@ -64,6 +89,10 @@ struct FaultPlan {
   double Rate = 0.0;
   /// Which sites are armed; defaults to all.
   std::uint32_t SiteMask = (1u << NumFaultSites) - 1;
+  /// Optional campaign tally; when set, faultPoint counts every armed
+  /// evaluation and fire into it. Does not affect fault decisions, so a
+  /// counted campaign stays byte-identical to an uncounted one.
+  FaultStats *Stats = nullptr;
 
   bool enabled() const { return Rate > 0.0; }
   bool armed(FaultSite Site) const {

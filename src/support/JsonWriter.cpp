@@ -136,6 +136,12 @@ JsonWriter &JsonWriter::null() {
   return *this;
 }
 
+JsonWriter &JsonWriter::rawValue(std::string_view Json) {
+  separator();
+  Out += Json;
+  return *this;
+}
+
 std::string JsonWriter::take() {
   assert(NeedComma.empty() && "unbalanced containers at take()");
   PendingKey = false;

@@ -50,6 +50,11 @@ public:
   JsonWriter &value(bool Flag);
   JsonWriter &null();
 
+  /// Splices \p Json verbatim as the next value. The caller guarantees it
+  /// is a complete, well-formed JSON document (used to embed output of
+  /// other writers, e.g. metric snapshots, without re-parsing).
+  JsonWriter &rawValue(std::string_view Json);
+
   /// The finished document (writer resets to empty).
   std::string take();
 

@@ -13,11 +13,19 @@ unsigned support::resolveThreads(unsigned Requested) {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
-ThreadPool::ThreadPool(unsigned ThreadCount) {
+ThreadPool::ThreadPool(unsigned ThreadCount, bool CollectStats)
+    : Collect(CollectStats) {
   unsigned Resolved = resolveThreads(ThreadCount);
+  if (Collect)
+    Accounting.WorkerBusyNs.assign(Resolved, 0);
   Workers.reserve(Resolved - 1);
   for (unsigned I = 1; I < Resolved; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::Stats ThreadPool::statsSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Accounting;
 }
 
 ThreadPool::~ThreadPool() {
@@ -31,12 +39,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::runChunks(
-    const std::function<void(std::size_t, std::size_t)> &Body) {
+    const std::function<void(std::size_t, std::size_t)> &Body, unsigned Worker,
+    std::uint64_t QueueWaitNs) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point T0;
+  if (Collect)
+    T0 = Clock::now();
+  std::uint64_t LocalChunks = 0;
   while (!Failed.load(std::memory_order_relaxed)) {
     std::size_t Begin = Cursor.fetch_add(Chunk, std::memory_order_relaxed);
     if (Begin >= End)
-      return;
+      break;
     std::size_t Stop = std::min(End, Begin + Chunk);
+    ++LocalChunks;
     try {
       Body(Begin, Stop);
     } catch (...) {
@@ -46,9 +61,18 @@ void ThreadPool::runChunks(
       Failed.store(true, std::memory_order_relaxed);
     }
   }
+  if (Collect) {
+    std::uint64_t BusyNs = std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - T0)
+            .count());
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Accounting.Chunks += LocalChunks;
+    Accounting.QueueWaitNs += QueueWaitNs;
+    Accounting.WorkerBusyNs[Worker] += BusyNs;
+  }
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(unsigned Worker) {
   std::uint64_t SeenGeneration = 0;
   std::unique_lock<std::mutex> Lock(Mutex);
   while (true) {
@@ -60,12 +84,18 @@ void ThreadPool::workerLoop() {
     SeenGeneration = Generation;
     const auto *Batch = Body;
     FaultContext Ctx = BatchFaults;
+    std::uint64_t WaitNs = 0;
+    if (Collect)
+      WaitNs = std::uint64_t(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - BatchPublish)
+              .count());
     Lock.unlock();
     {
       // Mirror the caller's fault-injection context so seeded campaigns
       // fire identically whether a chunk runs here or on the caller.
       FaultScope Scope(Ctx);
-      runChunks(*Batch);
+      runChunks(*Batch, Worker, WaitNs);
     }
     Lock.lock();
     if (--Busy == 0)
@@ -81,7 +111,20 @@ void ThreadPool::parallelForChunked(
   if (ChunkSize == 0)
     ChunkSize = 1;
   if (Workers.empty() || N <= ChunkSize) {
+    if (!Collect) {
+      Fn(0, N);
+      return;
+    }
+    auto T0 = std::chrono::steady_clock::now();
     Fn(0, N);
+    std::uint64_t BusyNs = std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Accounting.Batches;
+    ++Accounting.Chunks;
+    Accounting.WorkerBusyNs[0] += BusyNs;
     return;
   }
   {
@@ -94,10 +137,14 @@ void ThreadPool::parallelForChunked(
     FirstError = nullptr;
     Failed.store(false, std::memory_order_relaxed);
     BatchFaults = FaultContext::current();
+    if (Collect) {
+      ++Accounting.Batches;
+      BatchPublish = std::chrono::steady_clock::now();
+    }
     ++Generation;
   }
   WakeCV.notify_all();
-  runChunks(Fn);
+  runChunks(Fn, 0, 0);
   std::unique_lock<std::mutex> Lock(Mutex);
   DoneCV.wait(Lock, [&] { return Busy == 0; });
   Body = nullptr;

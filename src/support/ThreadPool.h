@@ -32,6 +32,7 @@
 #include "support/FaultInjection.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -54,9 +55,32 @@ unsigned resolveThreads(unsigned Requested);
 
 class ThreadPool {
 public:
+  /// Utilization accounting a stats-collecting pool accumulates across
+  /// batches. The pool lives in the support layer and cannot depend on
+  /// obs/, so this is a plain struct; core copies it into the metrics
+  /// registry after each batch. All values are scheduling-dependent
+  /// (PerRun in obs terms) except Batches.
+  struct Stats {
+    /// parallelFor/parallelForChunked invocations, including ones that
+    /// took the serial fast path.
+    std::uint64_t Batches = 0;
+    /// Chunks executed. Differs between the serial fast path (one chunk
+    /// covering [0, N)) and threaded execution (N/ChunkSize claims).
+    std::uint64_t Chunks = 0;
+    /// Total nanoseconds workers spent between a batch being published
+    /// and their first chunk claim of that batch (the caller contributes
+    /// zero — it starts claiming immediately).
+    std::uint64_t QueueWaitNs = 0;
+    /// Per-thread nanoseconds spent inside batches; index 0 is the
+    /// calling thread, 1.. are the pool's workers.
+    std::vector<std::uint64_t> WorkerBusyNs;
+  };
+
   /// \p ThreadCount total threads including the caller; 0 = one per
-  /// hardware thread.
-  explicit ThreadPool(unsigned ThreadCount = 0);
+  /// hardware thread. With \p CollectStats the pool times every batch
+  /// into a Stats block (see statsSnapshot()); off by default so
+  /// unobserved loops pay nothing.
+  explicit ThreadPool(unsigned ThreadCount = 0, bool CollectStats = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;
@@ -66,6 +90,12 @@ public:
   unsigned threadCount() const {
     return static_cast<unsigned>(Workers.size()) + 1;
   }
+
+  bool collectingStats() const { return Collect; }
+
+  /// Copy of the accumulated utilization stats (empty unless constructed
+  /// with CollectStats). Call between batches, not from a Body.
+  Stats statsSnapshot() const;
 
   /// Runs Body(I) for every I in [0, N); blocks until all indices are
   /// done. The first exception thrown by Body is rethrown here; once one
@@ -82,11 +112,12 @@ public:
       const std::function<void(std::size_t, std::size_t)> &Body);
 
 private:
-  void workerLoop();
-  void runChunks(const std::function<void(std::size_t, std::size_t)> &Body);
+  void workerLoop(unsigned Worker);
+  void runChunks(const std::function<void(std::size_t, std::size_t)> &Body,
+                 unsigned Worker, std::uint64_t QueueWaitNs);
 
   std::vector<std::thread> Workers;
-  std::mutex Mutex;
+  mutable std::mutex Mutex;
   std::condition_variable WakeCV; ///< Workers wait here for a new batch.
   std::condition_variable DoneCV; ///< The caller waits here for workers.
 
@@ -102,6 +133,11 @@ private:
   std::atomic<bool> Failed{false}; ///< Set with FirstError; aborts the batch.
   FaultContext BatchFaults;        ///< Caller's context, mirrored in workers.
   bool ShuttingDown = false;
+
+  // Utilization accounting (only touched when Collect).
+  bool Collect = false;
+  Stats Accounting; ///< Guarded by Mutex.
+  std::chrono::steady_clock::time_point BatchPublish; ///< Guarded by Mutex.
 };
 
 } // namespace support

@@ -1,0 +1,509 @@
+//===- tests/test_metrics.cpp - Observability layer unit tests -------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+// Unit coverage for obs/: histogram bucket edges, counter saturation,
+// registry semantics under an 8-thread race (mirroring
+// test_interner.cpp's ConcurrentInterningIsStructural), span/tracer
+// behaviour, and — through the real CLI binary — that --trace-out
+// produces structurally valid Chrome trace_event JSON.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DiffCode.h"
+#include "obs/Observer.h"
+
+#include "gtest/gtest.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace diffcode;
+using namespace diffcode::obs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Histogram buckets
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, BucketEdges) {
+  // Bucket 0 is exactly {0}; bucket I >= 1 covers [2^(I-1), 2^I - 1].
+  EXPECT_EQ(Histogram::bucketFor(0), 0u);
+  EXPECT_EQ(Histogram::bucketFor(1), 1u);
+  EXPECT_EQ(Histogram::bucketFor(2), 2u);
+  EXPECT_EQ(Histogram::bucketFor(3), 2u);
+  EXPECT_EQ(Histogram::bucketFor(4), 3u);
+
+  for (unsigned I = 1; I < Histogram::NumBuckets; ++I) {
+    EXPECT_EQ(Histogram::bucketFor(Histogram::bucketLo(I)), I) << I;
+    EXPECT_EQ(Histogram::bucketFor(Histogram::bucketHi(I)), I) << I;
+    if (I + 1 < Histogram::NumBuckets)
+      EXPECT_EQ(Histogram::bucketHi(I) + 1, Histogram::bucketLo(I + 1)) << I;
+  }
+  EXPECT_EQ(Histogram::bucketLo(0), 0u);
+  EXPECT_EQ(Histogram::bucketHi(0), 0u);
+  EXPECT_EQ(Histogram::bucketHi(Histogram::NumBuckets - 1), ~std::uint64_t(0));
+  EXPECT_EQ(Histogram::bucketFor(~std::uint64_t(0)),
+            Histogram::NumBuckets - 1);
+}
+
+TEST(Histogram, RecordAggregates) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u); // empty histogram reports 0, not UINT64_MAX
+
+  for (std::uint64_t V : {0ull, 1ull, 2ull, 3ull, 1024ull})
+    H.record(V);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 1030u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 1024u);
+  EXPECT_EQ(H.bucketCount(0), 1u); // 0
+  EXPECT_EQ(H.bucketCount(1), 1u); // 1
+  EXPECT_EQ(H.bucketCount(2), 2u); // 2, 3
+  EXPECT_EQ(H.bucketCount(11), 1u); // 1024 = 2^10
+}
+
+TEST(Histogram, SumSaturates) {
+  Histogram H;
+  H.record(~std::uint64_t(0));
+  H.record(~std::uint64_t(0));
+  EXPECT_EQ(H.sum(), ~std::uint64_t(0)); // pinned, not wrapped
+  EXPECT_EQ(H.count(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Counter / Gauge
+//===----------------------------------------------------------------------===//
+
+TEST(Counter, AddAndSaturate) {
+  Counter C;
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.get(), 42u);
+  C.add(~std::uint64_t(0) - 10);
+  EXPECT_EQ(C.get(), ~std::uint64_t(0)); // saturated at the max
+  C.add(7);
+  EXPECT_EQ(C.get(), ~std::uint64_t(0)); // stays pinned
+}
+
+TEST(Gauge, SetAndMax) {
+  Gauge G;
+  G.set(10);
+  EXPECT_EQ(G.get(), 10);
+  G.max(5);
+  EXPECT_EQ(G.get(), 10); // max() never lowers
+  G.max(20);
+  EXPECT_EQ(G.get(), 20);
+  G.set(-3);
+  EXPECT_EQ(G.get(), -3); // set() always wins
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(Registry, GetOrCreateIsStable) {
+  Registry R;
+  Counter &A = R.counter("a");
+  Counter &B = R.counter("a");
+  EXPECT_EQ(&A, &B);
+  EXPECT_EQ(R.size(), 1u);
+  R.histogram("h").record(3);
+  R.gauge("g").set(7);
+  EXPECT_EQ(R.size(), 3u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry R;
+  R.counter("x");
+  EXPECT_THROW(R.gauge("x"), std::logic_error);
+  EXPECT_THROW(R.histogram("x"), std::logic_error);
+}
+
+TEST(Registry, SnapshotIsNameSorted) {
+  Registry R;
+  R.counter("zeta").add(1);
+  R.counter("alpha").add(2);
+  R.histogram("mid").record(5);
+  Snapshot S = R.snapshot();
+  ASSERT_EQ(S.Values.size(), 3u);
+  EXPECT_EQ(S.Values[0].Name, "alpha");
+  EXPECT_EQ(S.Values[1].Name, "mid");
+  EXPECT_EQ(S.Values[2].Name, "zeta");
+}
+
+TEST(Registry, DeterministicOnlyJsonDropsPerRun) {
+  Registry R;
+  R.counter("stable").add(1);
+  R.counter("wall", Unit::Nanoseconds, Stability::PerRun).add(12345);
+  std::string Full = R.snapshot().json(/*DeterministicOnly=*/false);
+  std::string Det = R.snapshot().json(/*DeterministicOnly=*/true);
+  EXPECT_NE(Full.find("\"wall\""), std::string::npos);
+  EXPECT_EQ(Det.find("\"wall\""), std::string::npos);
+  EXPECT_NE(Det.find("\"stable\""), std::string::npos);
+}
+
+// Mirrors test_interner.cpp's concurrent-interning race: 8 threads hammer
+// an overlapping metric vocabulary; every get-or-create must resolve to
+// the same object and the final counts must be exact.
+TEST(Registry, EightThreadRace) {
+  Registry R;
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned Rounds = 200;
+  const std::vector<std::string> Names = {"alpha", "beta", "gamma", "delta",
+                                          "epsilon"};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I < Rounds; ++I) {
+        // Each thread touches every name each round, from a different
+        // starting offset so creations genuinely race.
+        for (std::size_t J = 0; J < Names.size(); ++J) {
+          const std::string &Name = Names[(T + J) % Names.size()];
+          R.counter("c." + Name).add(1);
+          R.histogram("h." + Name).record(I);
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(R.size(), 2 * Names.size());
+  for (const std::string &Name : Names) {
+    EXPECT_EQ(R.counter("c." + Name).get(), NumThreads * Rounds) << Name;
+    EXPECT_EQ(R.histogram("h." + Name).count(), NumThreads * Rounds) << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Tracer / Span
+//===----------------------------------------------------------------------===//
+
+TEST(Tracer, SpansAggregate) {
+  Tracer T;
+  {
+    Span A(&T, "outer");
+    Span B(&T, "inner");
+  }
+  { Span C(&T, "inner"); }
+  EXPECT_EQ(T.eventCount(), 3u);
+
+  std::vector<Tracer::StageTotal> Stages = T.aggregate();
+  ASSERT_EQ(Stages.size(), 2u);
+  EXPECT_EQ(Stages[0].Name, "inner"); // name-sorted
+  EXPECT_EQ(Stages[0].Spans, 2u);
+  EXPECT_EQ(Stages[1].Name, "outer");
+  EXPECT_EQ(Stages[1].Spans, 1u);
+}
+
+TEST(Tracer, NullTracerSpanIsNoOp) {
+  // The off-by-default contract: a null tracer must be safe and free.
+  Span S(nullptr, "nothing");
+}
+
+//===----------------------------------------------------------------------===//
+// JSON validation (shared by the trace-schema and CLI tests)
+//===----------------------------------------------------------------------===//
+
+/// Minimal recursive-descent JSON syntax checker — enough to assert a
+/// document is well-formed RFC 8259 JSON without depending on a parser
+/// library.
+class JsonChecker {
+public:
+  explicit JsonChecker(std::string_view Text) : S(Text) {}
+
+  bool valid() {
+    bool Ok = value();
+    ws();
+    return Ok && P == S.size();
+  }
+
+private:
+  void ws() {
+    while (P < S.size() && (S[P] == ' ' || S[P] == '\t' || S[P] == '\n' ||
+                            S[P] == '\r'))
+      ++P;
+  }
+  bool lit(std::string_view L) {
+    if (S.substr(P, L.size()) != L)
+      return false;
+    P += L.size();
+    return true;
+  }
+  bool string() {
+    if (P >= S.size() || S[P] != '"')
+      return false;
+    ++P;
+    while (P < S.size() && S[P] != '"') {
+      if (S[P] == '\\') {
+        ++P;
+        if (P >= S.size())
+          return false;
+        if (S[P] == 'u') {
+          for (int I = 0; I < 4; ++I)
+            if (++P >= S.size() || !std::isxdigit(static_cast<unsigned char>(S[P])))
+              return false;
+        }
+      }
+      ++P;
+    }
+    if (P >= S.size())
+      return false;
+    ++P; // closing quote
+    return true;
+  }
+  bool number() {
+    std::size_t Start = P;
+    if (P < S.size() && S[P] == '-')
+      ++P;
+    while (P < S.size() && std::isdigit(static_cast<unsigned char>(S[P])))
+      ++P;
+    if (P == Start || (S[Start] == '-' && P == Start + 1))
+      return false;
+    if (P < S.size() && S[P] == '.') {
+      ++P;
+      if (P >= S.size() || !std::isdigit(static_cast<unsigned char>(S[P])))
+        return false;
+      while (P < S.size() && std::isdigit(static_cast<unsigned char>(S[P])))
+        ++P;
+    }
+    if (P < S.size() && (S[P] == 'e' || S[P] == 'E')) {
+      ++P;
+      if (P < S.size() && (S[P] == '+' || S[P] == '-'))
+        ++P;
+      if (P >= S.size() || !std::isdigit(static_cast<unsigned char>(S[P])))
+        return false;
+      while (P < S.size() && std::isdigit(static_cast<unsigned char>(S[P])))
+        ++P;
+    }
+    return true;
+  }
+  bool value() {
+    ws();
+    if (P >= S.size())
+      return false;
+    switch (S[P]) {
+    case '{': {
+      ++P;
+      ws();
+      if (P < S.size() && S[P] == '}') {
+        ++P;
+        return true;
+      }
+      while (true) {
+        ws();
+        if (!string())
+          return false;
+        ws();
+        if (P >= S.size() || S[P] != ':')
+          return false;
+        ++P;
+        if (!value())
+          return false;
+        ws();
+        if (P < S.size() && S[P] == ',') {
+          ++P;
+          continue;
+        }
+        break;
+      }
+      ws();
+      if (P >= S.size() || S[P] != '}')
+        return false;
+      ++P;
+      return true;
+    }
+    case '[': {
+      ++P;
+      ws();
+      if (P < S.size() && S[P] == ']') {
+        ++P;
+        return true;
+      }
+      while (true) {
+        if (!value())
+          return false;
+        ws();
+        if (P < S.size() && S[P] == ',') {
+          ++P;
+          continue;
+        }
+        break;
+      }
+      ws();
+      if (P >= S.size() || S[P] != ']')
+        return false;
+      ++P;
+      return true;
+    }
+    case '"':
+      return string();
+    case 't':
+      return lit("true");
+    case 'f':
+      return lit("false");
+    case 'n':
+      return lit("null");
+    default:
+      return number();
+    }
+  }
+
+  std::string_view S;
+  std::size_t P = 0;
+};
+
+std::size_t countOccurrences(const std::string &Haystack,
+                             const std::string &Needle) {
+  std::size_t N = 0;
+  for (std::size_t P = Haystack.find(Needle); P != std::string::npos;
+       P = Haystack.find(Needle, P + Needle.size()))
+    ++N;
+  return N;
+}
+
+/// Chrome trace_event structural checks: a document that
+/// chrome://tracing / Perfetto would accept as complete "X" events.
+void expectValidTraceEventJson(const std::string &Json) {
+  EXPECT_TRUE(JsonChecker(Json).valid());
+  EXPECT_EQ(Json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(Json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+
+  // Every event is a complete-phase event carrying the full field set.
+  std::size_t Events = countOccurrences(Json, "\"ph\":\"X\"");
+  EXPECT_GT(Events, 0u);
+  EXPECT_EQ(countOccurrences(Json, "\"cat\":\"diffcode\""), Events);
+  EXPECT_EQ(countOccurrences(Json, "\"name\":"), Events);
+  EXPECT_EQ(countOccurrences(Json, "\"ts\":"), Events);
+  EXPECT_EQ(countOccurrences(Json, "\"dur\":"), Events);
+  EXPECT_EQ(countOccurrences(Json, "\"pid\":"), Events);
+  EXPECT_EQ(countOccurrences(Json, "\"tid\":"), Events);
+}
+
+TEST(Tracer, TraceJsonSchema) {
+  Tracer T;
+  {
+    Span A(&T, "alpha");
+    Span B(&T, "beta");
+  }
+  expectValidTraceEventJson(T.traceJson());
+}
+
+TEST(Snapshot, JsonIsWellFormed) {
+  Registry R;
+  R.counter("c", Unit::Bytes).add(7);
+  R.gauge("g").set(-2);
+  Histogram &H = R.histogram("h", Unit::Nanoseconds, Stability::PerRun);
+  H.record(0);
+  H.record(300);
+  EXPECT_TRUE(JsonChecker(R.snapshot().json(false)).valid());
+  EXPECT_TRUE(JsonChecker(R.snapshot().json(true)).valid());
+}
+
+//===----------------------------------------------------------------------===//
+// Worst-offender determinism (satellite: tie-breaking unit test)
+//===----------------------------------------------------------------------===//
+
+TEST(CorpusHealth, WorstOffenderTieBreaking) {
+  core::CorpusReport Report;
+  auto AddRecord = [&Report](const char *Origin, std::uint64_t Steps,
+                             core::ChangeStatus Status) {
+    core::ChangeRecord R;
+    R.Origin = Origin;
+    R.StepsUsed = Steps;
+    R.Status = Status;
+    Report.Changes.push_back(std::move(R));
+  };
+  // Equal step counts must order by origin ascending, regardless of the
+  // record order they arrive in.
+  AddRecord("proj-b/c0002", 100, core::ChangeStatus::Ok);
+  AddRecord("proj-a/c0001", 100, core::ChangeStatus::Degraded);
+  AddRecord("proj-c/c0003", 500, core::ChangeStatus::BudgetExceeded);
+  AddRecord("proj-d/c0004", 0, core::ChangeStatus::Ok); // no steps: excluded
+
+  core::computeCorpusHealth(Report);
+  ASSERT_EQ(Report.Health.WorstOffenders.size(), 3u);
+  EXPECT_EQ(Report.Health.WorstOffenders[0].Origin, "proj-c/c0003");
+  EXPECT_EQ(Report.Health.WorstOffenders[0].Status,
+            core::ChangeStatus::BudgetExceeded);
+  EXPECT_EQ(Report.Health.WorstOffenders[1].Origin, "proj-a/c0001");
+  EXPECT_EQ(Report.Health.WorstOffenders[1].Status,
+            core::ChangeStatus::Degraded);
+  EXPECT_EQ(Report.Health.WorstOffenders[2].Origin, "proj-b/c0002");
+
+  // Shuffling the input records must not change the table.
+  std::swap(Report.Changes[0], Report.Changes[2]);
+  auto Before = Report.Health.WorstOffenders;
+  core::computeCorpusHealth(Report);
+  ASSERT_EQ(Report.Health.WorstOffenders.size(), Before.size());
+  for (std::size_t I = 0; I < Before.size(); ++I) {
+    EXPECT_EQ(Report.Health.WorstOffenders[I].Origin, Before[I].Origin);
+    EXPECT_EQ(Report.Health.WorstOffenders[I].Steps, Before[I].Steps);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CLI --trace-out smoke test (tier1)
+//===----------------------------------------------------------------------===//
+
+TEST(CliTrace, TraceOutSchema) {
+  const std::string TracePath =
+      testing::TempDir() + "diffcode_cli_trace_test.json";
+  std::remove(TracePath.c_str());
+  std::string Cmd = std::string(DIFFCODE_CLI_PATH) + " pipeline " +
+                    DIFFCODE_SMOKE_CORPUS + " --metrics --trace-out=" +
+                    TracePath + " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(Cmd.c_str()), 0) << Cmd;
+
+  std::ifstream In(TracePath);
+  ASSERT_TRUE(In.good()) << TracePath;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Json = Buffer.str();
+  while (!Json.empty() && (Json.back() == '\n' || Json.back() == '\r'))
+    Json.pop_back();
+  ASSERT_FALSE(Json.empty());
+  expectValidTraceEventJson(Json);
+
+  // The pipeline's stage spans must all be present.
+  for (const char *Stage :
+       {"pipeline", "analyzeChanges", "filterClass", "computeCorpusHealth",
+        "processChange"})
+    EXPECT_NE(Json.find(std::string("\"name\":\"") + Stage + "\""),
+              std::string::npos)
+        << Stage;
+  std::remove(TracePath.c_str());
+}
+
+TEST(CliTrace, JsonReportCarriesMetricsBlock) {
+  const std::string OutPath =
+      testing::TempDir() + "diffcode_cli_metrics_report.json";
+  std::string Cmd = std::string(DIFFCODE_CLI_PATH) + " pipeline " +
+                    DIFFCODE_SMOKE_CORPUS + " --metrics --json > " + OutPath +
+                    " 2>/dev/null";
+  ASSERT_EQ(std::system(Cmd.c_str()), 0) << Cmd;
+
+  std::ifstream In(OutPath);
+  ASSERT_TRUE(In.good());
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Json = Buffer.str();
+  while (!Json.empty() && (Json.back() == '\n' || Json.back() == '\r'))
+    Json.pop_back();
+  EXPECT_TRUE(JsonChecker(Json).valid());
+  EXPECT_NE(Json.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(Json.find("\"stages\":["), std::string::npos);
+  EXPECT_NE(Json.find("\"counters\":["), std::string::npos);
+  std::remove(OutPath.c_str());
+}
+
+} // namespace
