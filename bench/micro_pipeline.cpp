@@ -28,6 +28,7 @@
 #include "javaast/AstPrinter.h"
 #include "javaast/Lexer.h"
 #include "javaast/Parser.h"
+#include "javaast/ReferenceLexer.h"
 #include "obs/Observer.h"
 #include "support/JsonWriter.h"
 
@@ -62,6 +63,19 @@ void BM_Lexer(benchmark::State &State) {
 }
 BENCHMARK(BM_Lexer);
 
+void BM_ReferenceLexer(benchmark::State &State) {
+  // The retained seed scanner — the baseline BM_Lexer is measured against
+  // (bench/micro_lexer.cpp asserts the speedup bar over a whole corpus).
+  std::string Source = sampleSource(true);
+  for (auto _ : State) {
+    java::DiagnosticsEngine Diags;
+    java::ReferenceLexer Lex(Source, Diags);
+    benchmark::DoNotOptimize(Lex.lexAll());
+  }
+  State.SetBytesProcessed(State.iterations() * Source.size());
+}
+BENCHMARK(BM_ReferenceLexer);
+
 void BM_Parser(benchmark::State &State) {
   std::string Source = sampleSource(true);
   for (auto _ : State) {
@@ -72,6 +86,20 @@ void BM_Parser(benchmark::State &State) {
   State.SetBytesProcessed(State.iterations() * Source.size());
 }
 BENCHMARK(BM_Parser);
+
+void BM_ParserArenaReuse(benchmark::State &State) {
+  // Steady-state parse cost when one AstContext is recycled across files,
+  // as processChange does: the arena reaches zero allocator traffic.
+  std::string Source = sampleSource(true);
+  java::AstContext Ctx;
+  for (auto _ : State) {
+    Ctx.reset();
+    java::DiagnosticsEngine Diags;
+    benchmark::DoNotOptimize(java::parseJava(Source, Ctx, Diags));
+  }
+  State.SetBytesProcessed(State.iterations() * Source.size());
+}
+BENCHMARK(BM_ParserArenaReuse);
 
 void BM_PrettyPrinter(benchmark::State &State) {
   std::string Source = sampleSource(true);

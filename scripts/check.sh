@@ -10,9 +10,11 @@
 # --asan (opt-in): build into build-asan/ with AddressSanitizer +
 # UndefinedBehaviorSanitizer, aborting on the first report. Also drives
 # one traced CLI pipeline run (--metrics --trace-out) so the span/metrics
-# paths get a sanitized pass; the overhead guard is skipped (sanitizer
-# timings are meaningless). The regular build/ directory is untouched, so
-# a sanitizer sweep never invalidates the incremental tier-1 build.
+# paths get a sanitized pass, and re-runs the lexer fuzz suite
+# (test_lexer_fuzz) so the mutation corpus executes under the
+# sanitizers; the overhead guard is skipped (sanitizer timings are
+# meaningless). The regular build/ directory is untouched, so a
+# sanitizer sweep never invalidates the incremental tier-1 build.
 #   scripts/check.sh --asan -L tier1
 #
 # --bench-sharding (opt-in): after the test suite, run the sharded
@@ -36,6 +38,15 @@
 # metrics that disagree with the health block — and leaves
 # BENCH_faults.json in the build directory.
 #   scripts/check.sh --bench-faults -L tier1
+#
+# --bench-lexer (opt-in): after the test suite, run the front-end scanner
+# sweep (bench/micro_lexer): table-driven lexer vs the retained seed
+# scanner over the concatenated corpus stream, with each timing taken in
+# a forked child so neither scanner inherits the other's heap state.
+# Self-verifying — non-zero exit if the two scanners are not
+# byte-identical on every corpus source or the corpus-stream speedup
+# falls below 5x — and leaves BENCH_lexer.json in the build directory.
+#   scripts/check.sh --bench-lexer -L tier1
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -47,6 +58,7 @@ ASAN=0
 BENCH_SHARDING=0
 BENCH_INTERNING=0
 BENCH_FAULTS=0
+BENCH_LEXER=0
 for arg in "$@"; do
   if [[ "$arg" == "--asan" ]]; then
     ASAN=1
@@ -61,6 +73,8 @@ for arg in "$@"; do
     BENCH_INTERNING=1
   elif [[ "$arg" == "--bench-faults" ]]; then
     BENCH_FAULTS=1
+  elif [[ "$arg" == "--bench-lexer" ]]; then
+    BENCH_LEXER=1
   else
     CTEST_ARGS+=("$arg")
   fi
@@ -75,6 +89,8 @@ if [[ "$ASAN" == "1" ]]; then
   echo "== traced pipeline under sanitizers =="
   ./examples/diffcode_cli pipeline ../tests/data/smoke_corpus \
     --metrics --trace-out=trace_asan.json > /dev/null
+  echo "== lexer fuzz suite under sanitizers =="
+  ./tests/test_lexer_fuzz
 else
   echo "== observability overhead guard (bench/micro_pipeline) =="
   ./bench/micro_pipeline --verify-overhead
@@ -93,4 +109,9 @@ fi
 if [[ "$BENCH_FAULTS" == "1" ]]; then
   echo "== fault-campaign sweep (bench/micro_faults) =="
   ./bench/micro_faults 120 42 BENCH_faults.json
+fi
+
+if [[ "$BENCH_LEXER" == "1" ]]; then
+  echo "== front-end scanner sweep (bench/micro_lexer) =="
+  ./bench/micro_lexer 120 42 BENCH_lexer.json
 fi

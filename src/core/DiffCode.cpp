@@ -71,10 +71,17 @@ support::Interner &DiffCode::internerFor(const PipelineRequest &Request) const {
 
 DiffCode::SourceAnalysis
 DiffCode::analyzeSourceChecked(std::string_view Source) const {
+  java::AstContext Ctx;
+  return analyzeSourceChecked(Source, Ctx);
+}
+
+DiffCode::SourceAnalysis
+DiffCode::analyzeSourceChecked(std::string_view Source,
+                               java::AstContext &Ctx) const {
   SourceAnalysis Out;
   if (Source.empty())
     return Out;
-  java::AstContext Ctx;
+  Ctx.reset();
   java::DiagnosticsEngine Diags;
   java::CompilationUnit *Unit =
       java::parseJava(Source, Ctx, Diags, Opts.ParseBudget);
@@ -126,10 +133,11 @@ DiffCode::dagsForClass(const analysis::AnalysisResult &Result,
 std::vector<usage::UsageChange>
 DiffCode::usageChangesFor(const corpus::CodeChange &Change,
                           const std::string &TargetClass) const {
+  java::AstContext Ctx; // shared across both versions (reset in between)
   analysis::AnalysisResult OldResult =
-      analyzeSourceChecked(Change.OldCode).Result;
+      analyzeSourceChecked(Change.OldCode, Ctx).Result;
   analysis::AnalysisResult NewResult =
-      analyzeSourceChecked(Change.NewCode).Result;
+      analyzeSourceChecked(Change.NewCode, Ctx).Result;
   std::vector<usage::UsageChange> Changes = usage::deriveUsageChanges(
       dagsForClass(OldResult, TargetClass), dagsForClass(NewResult, TargetClass),
       TargetClass, *DefaultLabels);
@@ -163,8 +171,9 @@ ChangeRecord DiffCode::processChange(
   Record.GroundTruthKind = Change.Kind;
 
   try {
-    SourceAnalysis Old = analyzeSourceChecked(Change.OldCode);
-    SourceAnalysis New = analyzeSourceChecked(Change.NewCode);
+    java::AstContext Ctx; // shared across both versions (reset in between)
+    SourceAnalysis Old = analyzeSourceChecked(Change.OldCode, Ctx);
+    SourceAnalysis New = analyzeSourceChecked(Change.NewCode, Ctx);
 
     // Worst of the two versions wins; keep the detail of the losing side.
     const SourceAnalysis &Worst = New.Status > Old.Status ? New : Old;

@@ -217,6 +217,14 @@ public:
   /// the result use analyzeSourceChecked(Source).Result.
   SourceAnalysis analyzeSourceChecked(std::string_view Source) const;
 
+  /// Arena-reuse variant: parses into \p Ctx after resetting it, so a
+  /// caller analyzing several versions (processChange does old + new)
+  /// recycles the same slab memory instead of re-allocating per parse.
+  /// The AnalysisResult holds no AST pointers, so the returned value
+  /// remains valid after the next reset.
+  SourceAnalysis analyzeSourceChecked(std::string_view Source,
+                                      java::AstContext &Ctx) const;
+
   /// Deduplicated usage DAGs of \p TargetClass across all executions.
   std::vector<usage::UsageDag>
   dagsForClass(const analysis::AnalysisResult &Result,

@@ -17,10 +17,13 @@
 #define DIFFCODE_JAVAAST_AST_H
 
 #include "javaast/SourceLocation.h"
+#include "support/Arena.h"
 
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace diffcode {
@@ -772,23 +775,72 @@ public:
 
 /// Arena that owns every node of one or more parsed units. Raw pointers in
 /// the tree remain valid for the context's lifetime.
+/// Arena owner for one or more parses. Nodes are placement-new'd into a
+/// bump-pointer arena — one pointer bump per node instead of one malloc —
+/// and freed wholesale. Types with non-trivial destructors (today: any
+/// node holding std::string/std::vector members) register a typed
+/// destructor callback; trivially destructible nodes cost nothing to tear
+/// down. reset() destroys all nodes but retains the slab memory, so a
+/// context reused across files (e.g. the old/new versions of one mined
+/// change) reaches a steady state with no allocator traffic at all.
+///
+/// Lifetime rule: every AstNode, and every pointer into the tree, dies at
+/// reset() or context destruction. Analysis results that must outlive the
+/// tree (analysis::AnalysisResult) copy what they keep — they hold no
+/// node pointers.
 class AstContext {
 public:
+  AstContext() = default;
+  AstContext(const AstContext &) = delete;
+  AstContext &operator=(const AstContext &) = delete;
+  ~AstContext() { destroyAll(); }
+
   /// Allocates and owns a node of type \p T.
   template <typename T, typename... Args> T *create(Args &&...A) {
-    auto Owned = std::make_unique<T>(std::forward<Args>(A)...);
-    T *Ptr = Owned.get();
-    Nodes.push_back(
-        std::unique_ptr<AstNode, void (*)(AstNode *)>(
-            Ptr, [](AstNode *N) { delete static_cast<T *>(N); }));
-    Owned.release();
+    void *Mem = Alloc.allocate(sizeof(T), alignof(T));
+    T *Ptr = new (Mem) T(std::forward<Args>(A)...);
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      Dtors.push_back({Ptr, [](void *P) { static_cast<T *>(P)->~T(); }});
+    ++NumNodes;
     return Ptr;
   }
 
-  std::size_t size() const { return Nodes.size(); }
+  std::size_t size() const { return NumNodes; }
+
+  /// Destroys every node and rewinds the arena, retaining slab memory for
+  /// the next parse. All node pointers are invalidated.
+  void reset() {
+    destroyAll();
+    Dtors.clear();
+    NumNodes = 0;
+    Alloc.reset();
+  }
+
+  /// Bytes of node storage handed out since construction / last reset().
+  std::size_t arenaBytes() const { return Alloc.bytesRequested(); }
+
+  /// Slab capacity currently retained by the arena.
+  std::size_t arenaCapacity() const { return Alloc.bytesCapacity(); }
+
+  /// Number of slabs the arena currently holds.
+  std::size_t arenaSlabs() const { return Alloc.slabCount(); }
 
 private:
-  std::vector<std::unique_ptr<AstNode, void (*)(AstNode *)>> Nodes;
+  struct DtorEntry {
+    void *Ptr;
+    void (*Destroy)(void *);
+  };
+
+  void destroyAll() {
+    // Reverse order: children were created before their parents, so
+    // parents (whose vectors point at children) go first.
+    for (auto It = Dtors.rbegin(); It != Dtors.rend(); ++It)
+      It->Destroy(It->Ptr);
+  }
+
+  support::Arena Alloc;
+  std::vector<DtorEntry> Dtors;
+  std::size_t NumNodes = 0;
 };
 
 } // namespace java

@@ -37,9 +37,10 @@ private:
   Parser &P;
 };
 
-Parser::Parser(std::vector<Token> Tokens, AstContext &Ctx,
-               DiagnosticsEngine &Diags, ParseLimits Limits)
-    : Tokens(std::move(Tokens)), Ctx(Ctx), Diags(Diags), Limits(Limits) {
+Parser::Parser(TokenStream Stream, AstContext &Ctx, DiagnosticsEngine &Diags,
+               ParseLimits Limits)
+    : Stream(std::move(Stream)), Tokens(this->Stream.Tokens), Ctx(Ctx),
+      Diags(Diags), Limits(Limits) {
   assert(!this->Tokens.empty() &&
          this->Tokens.back().is(TokenKind::EndOfFile) &&
          "token stream must end with EOF");
@@ -254,7 +255,8 @@ ClassDecl *Parser::parseClassDecl(unsigned Modifiers) {
       skipBalanced(TokenKind::LBrace, TokenKind::RBrace);
     return nullptr;
   }
-  auto *Class = Ctx.create<ClassDecl>(Loc, Modifiers, advance().Text);
+  auto *Class =
+      Ctx.create<ClassDecl>(Loc, Modifiers, std::string(advance().Text));
   Class->IsInterface = IsInterface;
   if (at(TokenKind::Less))
     skipGenericArgs();
@@ -317,7 +319,7 @@ void Parser::parseMember(ClassDecl *Class) {
   if (at(TokenKind::Identifier) && cur().Text == Class->Name &&
       peek().is(TokenKind::LParen)) {
     SourceLocation Loc = cur().Loc;
-    std::string Name = advance().Text;
+    std::string Name(advance().Text);
     advance(); // '('
     std::vector<ParamDecl> Params;
     if (!at(TokenKind::RParen)) {
@@ -327,7 +329,8 @@ void Parser::parseMember(ClassDecl *Class) {
         TypeRef PType = parseType();
         accept(TokenKind::Ellipsis);
         std::string PName =
-            at(TokenKind::Identifier) ? advance().Text : std::string();
+            at(TokenKind::Identifier) ? std::string(advance().Text)
+                                      : std::string();
         Params.push_back({std::move(PType), std::move(PName)});
       } while (accept(TokenKind::Comma));
     }
@@ -374,7 +377,7 @@ void Parser::parseMember(ClassDecl *Class) {
     return;
   }
   SourceLocation NameLoc = cur().Loc;
-  std::string Name = advance().Text;
+  std::string Name(advance().Text);
 
   if (at(TokenKind::LParen)) {
     // Method declaration.
@@ -387,7 +390,8 @@ void Parser::parseMember(ClassDecl *Class) {
         TypeRef PType = parseType();
         accept(TokenKind::Ellipsis);
         std::string PName =
-            at(TokenKind::Identifier) ? advance().Text : std::string();
+            at(TokenKind::Identifier) ? std::string(advance().Text)
+                                      : std::string();
         // C-style trailing array dims on the parameter name.
         while (at(TokenKind::LBracket) && peek().is(TokenKind::RBracket)) {
           advance();
@@ -699,7 +703,7 @@ Stmt *Parser::parseLocalVarDecl() {
       break;
     }
     SourceLocation NameLoc = cur().Loc;
-    std::string Name = advance().Text;
+    std::string Name(advance().Text);
     TypeRef VarType = Type;
     while (at(TokenKind::LBracket) && peek().is(TokenKind::RBracket)) {
       advance();
@@ -767,7 +771,7 @@ Stmt *Parser::parseFor() {
     TypeRef Type = parseType();
     if (at(TokenKind::Identifier) && peek().is(TokenKind::Colon)) {
       SourceLocation NameLoc = cur().Loc;
-      std::string Name = advance().Text;
+      std::string Name(advance().Text);
       advance(); // ':'
       Expr *Range = parseExpr();
       expect(TokenKind::RParen, "after for-each header");
@@ -819,7 +823,7 @@ Stmt *Parser::parseTry() {
         TypeRef Type = parseType();
         if (at(TokenKind::Identifier)) {
           SourceLocation NameLoc = cur().Loc;
-          std::string Name = advance().Text;
+          std::string Name(advance().Text);
           Expr *Init = nullptr;
           if (accept(TokenKind::Assign))
             Init = parseExpr();
@@ -1198,7 +1202,7 @@ Expr *Parser::parsePostfix(Expr *Base) {
         Diags.error(cur().Loc, "expected member name after '.'");
         return Base;
       }
-      std::string Name = advance().Text;
+      std::string Name(advance().Text);
       if (at(TokenKind::Less) && scanType(Index) != 0) {
         // Explicit generic method call `obj.<T>method(...)` — unusual;
         // just drop the type arguments.
@@ -1321,17 +1325,19 @@ Expr *Parser::parsePrimary() {
   SourceLocation Loc = cur().Loc;
   switch (cur().Kind) {
   case TokenKind::IntLiteral: {
-    Token T = advance();
+    // strtoll needs NUL termination, so copy the spelling first (the AST
+    // keeps the copy anyway).
+    std::string Spelling(advance().Text);
     return Ctx.create<IntLiteralExpr>(
-        Loc, std::strtoll(T.Text.c_str(), nullptr, 0), T.Text);
+        Loc, std::strtoll(Spelling.c_str(), nullptr, 0), std::move(Spelling));
   }
   case TokenKind::LongLiteral: {
-    Token T = advance();
+    std::string Spelling(advance().Text);
     return Ctx.create<LongLiteralExpr>(
-        Loc, std::strtoll(T.Text.c_str(), nullptr, 0), T.Text);
+        Loc, std::strtoll(Spelling.c_str(), nullptr, 0), std::move(Spelling));
   }
   case TokenKind::StringLiteral:
-    return Ctx.create<StringLiteralExpr>(Loc, advance().Text);
+    return Ctx.create<StringLiteralExpr>(Loc, std::string(advance().Text));
   case TokenKind::CharLiteral: {
     Token T = advance();
     return Ctx.create<CharLiteralExpr>(Loc, T.Text.empty() ? '\0' : T.Text[0]);
@@ -1368,7 +1374,7 @@ Expr *Parser::parsePrimary() {
   case TokenKind::KwNew:
     return parseNew();
   case TokenKind::Identifier: {
-    std::string Name = advance().Text;
+    std::string Name(advance().Text);
     if (at(TokenKind::LParen)) {
       std::vector<Expr *> Args = parseArgList();
       return Ctx.create<MethodCallExpr>(Loc, nullptr, std::move(Name),

@@ -26,6 +26,7 @@
 
 #include "javaast/Ast.h"
 #include "javaast/Diagnostics.h"
+#include "javaast/Lexer.h"
 #include "javaast/Token.h"
 
 #include <string_view>
@@ -56,8 +57,8 @@ struct ParseLimits {
 /// Parses one compilation unit from a token stream.
 class Parser {
 public:
-  Parser(std::vector<Token> Tokens, AstContext &Ctx,
-         DiagnosticsEngine &Diags, ParseLimits Limits = ParseLimits());
+  Parser(TokenStream Stream, AstContext &Ctx, DiagnosticsEngine &Diags,
+         ParseLimits Limits = ParseLimits());
 
   /// Parses the whole buffer. Returns a unit (possibly with fewer members
   /// than the source on errors) — or nullptr when a ParseLimits budget was
@@ -132,7 +133,12 @@ private:
   class DepthGuard;
   friend class DepthGuard;
 
-  std::vector<Token> Tokens;
+  /// The stream owns both the token vector and the arena holding decoded
+  /// literal spellings; Tokens aliases Stream.Tokens for brevity. The
+  /// parser copies every spelling it keeps into the AST (std::string
+  /// members), so the tree safely outlives the stream.
+  TokenStream Stream;
+  std::vector<Token> &Tokens;
   std::size_t Index = 0;
   AstContext &Ctx;
   DiagnosticsEngine &Diags;

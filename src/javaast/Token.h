@@ -17,6 +17,7 @@
 
 #include "javaast/SourceLocation.h"
 
+#include <cstring>
 #include <string>
 #include <string_view>
 
@@ -132,13 +133,15 @@ enum class TokenKind {
   Shr,
 };
 
-/// A lexed token: kind, spelling, and position. Spelling views into the
-/// source buffer for identifiers; literal tokens carry decoded text in
-/// Text (e.g., string literals without quotes, escapes resolved).
+/// A lexed token: kind, spelling, and position. Text is a non-owning view:
+/// identifiers, numbers, and escape-free literals view directly into the
+/// source buffer; literals that needed decoding (escapes resolved, quotes
+/// stripped) view into the TokenStream's decode storage. Tokens are only
+/// valid while both the source buffer and the owning TokenStream live.
 struct Token {
   TokenKind Kind = TokenKind::Unknown;
   SourceLocation Loc;
-  std::string Text;
+  std::string_view Text;
 
   bool is(TokenKind K) const { return Kind == K; }
   bool isNot(TokenKind K) const { return Kind != K; }
@@ -152,9 +155,161 @@ struct Token {
 /// Human-readable token-kind name for diagnostics ("identifier", "'{'").
 std::string_view tokenKindName(TokenKind Kind);
 
+namespace detail {
+
+/// One keyword candidate; length and first byte already matched by the
+/// caller's switch, so only the remaining bytes are compared.
+inline TokenKind tryKeyword(std::string_view Spelling, const char *Candidate,
+                            TokenKind Kind) {
+  return std::memcmp(Spelling.data() + 1, Candidate + 1,
+                     Spelling.size() - 1) == 0
+             ? Kind
+             : TokenKind::Identifier;
+}
+
+} // namespace detail
+
 /// Maps identifier spelling to a keyword kind; returns
 /// TokenKind::Identifier when \p Spelling is not a keyword.
-TokenKind lookupKeyword(std::string_view Spelling);
+///
+/// Defined inline: the lexer calls this once per identifier, which makes
+/// it part of the scan hot path — the branch on (length, first byte)
+/// leaves at most two constant-length memcmp candidates, so the common
+/// miss (an ordinary identifier) costs a couple of comparisons and no
+/// hashing.
+inline TokenKind lookupKeyword(std::string_view Spelling) {
+  using detail::tryKeyword;
+  if (Spelling.size() < 2 || Spelling.size() > 12)
+    return TokenKind::Identifier;
+  char First = Spelling[0];
+  switch (Spelling.size()) {
+  case 2:
+    if (First == 'd' && Spelling[1] == 'o')
+      return TokenKind::KwDo;
+    if (First == 'i' && Spelling[1] == 'f')
+      return TokenKind::KwIf;
+    return TokenKind::Identifier;
+  case 3:
+    switch (First) {
+    case 'f':
+      return tryKeyword(Spelling, "for", TokenKind::KwFor);
+    case 'i':
+      return tryKeyword(Spelling, "int", TokenKind::KwInt);
+    case 'n':
+      return tryKeyword(Spelling, "new", TokenKind::KwNew);
+    case 't':
+      return tryKeyword(Spelling, "try", TokenKind::KwTry);
+    }
+    return TokenKind::Identifier;
+  case 4:
+    switch (First) {
+    case 'b':
+      return tryKeyword(Spelling, "byte", TokenKind::KwByte);
+    case 'c':
+      if (Spelling[1] == 'a')
+        return tryKeyword(Spelling, "case", TokenKind::KwCase);
+      return tryKeyword(Spelling, "char", TokenKind::KwChar);
+    case 'e':
+      return tryKeyword(Spelling, "else", TokenKind::KwElse);
+    case 'l':
+      return tryKeyword(Spelling, "long", TokenKind::KwLong);
+    case 'n':
+      return tryKeyword(Spelling, "null", TokenKind::KwNull);
+    case 't':
+      if (Spelling[1] == 'h')
+        return tryKeyword(Spelling, "this", TokenKind::KwThis);
+      return tryKeyword(Spelling, "true", TokenKind::KwTrue);
+    case 'v':
+      return tryKeyword(Spelling, "void", TokenKind::KwVoid);
+    }
+    return TokenKind::Identifier;
+  case 5:
+    switch (First) {
+    case 'b':
+      return tryKeyword(Spelling, "break", TokenKind::KwBreak);
+    case 'c':
+      if (Spelling[1] == 'a')
+        return tryKeyword(Spelling, "catch", TokenKind::KwCatch);
+      return tryKeyword(Spelling, "class", TokenKind::KwClass);
+    case 'f':
+      if (Spelling[1] == 'a')
+        return tryKeyword(Spelling, "false", TokenKind::KwFalse);
+      if (Spelling[1] == 'i')
+        return tryKeyword(Spelling, "final", TokenKind::KwFinal);
+      return tryKeyword(Spelling, "float", TokenKind::KwFloat);
+    case 's':
+      if (Spelling[1] == 'h')
+        return tryKeyword(Spelling, "short", TokenKind::KwShort);
+      return tryKeyword(Spelling, "super", TokenKind::KwSuper);
+    case 't':
+      return tryKeyword(Spelling, "throw", TokenKind::KwThrow);
+    case 'w':
+      return tryKeyword(Spelling, "while", TokenKind::KwWhile);
+    }
+    return TokenKind::Identifier;
+  case 6:
+    switch (First) {
+    case 'a':
+      return tryKeyword(Spelling, "assert", TokenKind::KwAssert);
+    case 'd':
+      return tryKeyword(Spelling, "double", TokenKind::KwDouble);
+    case 'i':
+      return tryKeyword(Spelling, "import", TokenKind::KwImport);
+    case 'p':
+      return tryKeyword(Spelling, "public", TokenKind::KwPublic);
+    case 'r':
+      return tryKeyword(Spelling, "return", TokenKind::KwReturn);
+    case 's':
+      if (Spelling[1] == 't')
+        return tryKeyword(Spelling, "static", TokenKind::KwStatic);
+      return tryKeyword(Spelling, "switch", TokenKind::KwSwitch);
+    case 't':
+      return tryKeyword(Spelling, "throws", TokenKind::KwThrows);
+    }
+    return TokenKind::Identifier;
+  case 7:
+    switch (First) {
+    case 'b':
+      return tryKeyword(Spelling, "boolean", TokenKind::KwBoolean);
+    case 'd':
+      return tryKeyword(Spelling, "default", TokenKind::KwDefault);
+    case 'e':
+      return tryKeyword(Spelling, "extends", TokenKind::KwExtends);
+    case 'f':
+      return tryKeyword(Spelling, "finally", TokenKind::KwFinally);
+    case 'p':
+      if (Spelling[1] == 'a')
+        return tryKeyword(Spelling, "package", TokenKind::KwPackage);
+      return tryKeyword(Spelling, "private", TokenKind::KwPrivate);
+    }
+    return TokenKind::Identifier;
+  case 8:
+    switch (First) {
+    case 'a':
+      return tryKeyword(Spelling, "abstract", TokenKind::KwAbstract);
+    case 'c':
+      return tryKeyword(Spelling, "continue", TokenKind::KwContinue);
+    }
+    return TokenKind::Identifier;
+  case 9:
+    if (First == 'i')
+      return tryKeyword(Spelling, "interface", TokenKind::KwInterface);
+    if (First == 'p')
+      return tryKeyword(Spelling, "protected", TokenKind::KwProtected);
+    return TokenKind::Identifier;
+  case 10:
+    if (First != 'i')
+      return TokenKind::Identifier;
+    if (Spelling[1] == 'n')
+      return tryKeyword(Spelling, "instanceof", TokenKind::KwInstanceof);
+    return tryKeyword(Spelling, "implements", TokenKind::KwImplements);
+  case 12:
+    if (First == 's')
+      return tryKeyword(Spelling, "synchronized", TokenKind::KwSynchronized);
+    return TokenKind::Identifier;
+  }
+  return TokenKind::Identifier;
+}
 
 } // namespace java
 } // namespace diffcode

@@ -1,0 +1,70 @@
+//===- support/Arena.cpp ---------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <new>
+
+using namespace diffcode::support;
+
+namespace {
+
+constexpr std::size_t FirstSlabSize = 4096;
+constexpr std::size_t MaxSlabSize = 256 * 1024;
+
+} // namespace
+
+Arena::~Arena() {
+  for (const Slab &S : Slabs)
+    ::operator delete(S.Mem);
+}
+
+void Arena::reset() {
+  Requested = 0;
+  CurSlab = 0;
+  if (Slabs.empty()) {
+    Cur = End = nullptr;
+    return;
+  }
+  Cur = Slabs[0].Mem;
+  End = Cur + Slabs[0].Size;
+}
+
+std::size_t Arena::bytesCapacity() const {
+  std::size_t Total = 0;
+  for (const Slab &S : Slabs)
+    Total += S.Size;
+  return Total;
+}
+
+void *Arena::allocateSlow(std::size_t Size, std::size_t Align) {
+  // Step through retained slabs first (reset() keeps them for reuse), then
+  // grow. Slab sizes double up to a cap; a request larger than the next
+  // slab gets a dedicated exact-fit slab that participates in reuse like
+  // any other.
+  while (true) {
+    std::size_t NextIdx = Slabs.empty() || Cur == nullptr ? 0 : CurSlab + 1;
+    if (NextIdx < Slabs.size()) {
+      CurSlab = NextIdx;
+      Cur = Slabs[NextIdx].Mem;
+      End = Cur + Slabs[NextIdx].Size;
+    } else {
+      std::size_t SlabSize = FirstSlabSize << (NextIdx < 7 ? NextIdx : 7);
+      if (SlabSize > MaxSlabSize)
+        SlabSize = MaxSlabSize;
+      if (SlabSize < Size + Align)
+        SlabSize = Size + Align;
+      char *Mem = static_cast<char *>(::operator new(SlabSize));
+      Slabs.push_back({Mem, SlabSize});
+      CurSlab = NextIdx;
+      Cur = Mem;
+      End = Mem + SlabSize;
+    }
+    char *P = alignPtr(Cur, Align);
+    if (P + Size <= End) {
+      Cur = P + Size;
+      Requested += Size;
+      return P;
+    }
+    // A retained slab was too small for this request; try the next one.
+  }
+}

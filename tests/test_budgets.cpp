@@ -11,6 +11,8 @@
 #include "corpus/CorpusGenerator.h"
 #include "corpus/Miner.h"
 #include "javaast/Parser.h"
+#include "javaast/ReferenceLexer.h"
+#include "support/FaultInjection.h"
 
 #include <gtest/gtest.h>
 
@@ -262,4 +264,97 @@ TEST(BudgetPipeline, HealthSerializedInReportJson) {
   EXPECT_NE(Json.find("\"health\""), std::string::npos);
   EXPECT_NE(Json.find("\"budget-exceeded\":1"), std::string::npos);
   EXPECT_NE(Json.find("\"ok\":0"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Budget parity across lexers, and faults inside arena parses
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Renders diagnostics ("line:col: level: message" lines) so two runs can
+/// be compared byte for byte, including the positions budget trips fire
+/// at.
+std::string renderDiags(const java::DiagnosticsEngine &Diags) {
+  std::string Out;
+  for (const java::Diagnostic &D : Diags.all()) {
+    Out += D.str();
+    Out += '\n';
+  }
+  Out += Diags.budgetExceeded() ? "budget=1" : "budget=0";
+  return Out;
+}
+
+/// Parses \p Source with \p Limits from either the production or the
+/// reference lexer's token stream.
+std::string parseDiagsVia(bool UseReference, const std::string &Source,
+                          java::ParseLimits Limits, bool &GotUnit) {
+  java::AstContext Ctx;
+  java::DiagnosticsEngine Diags;
+  java::TokenStream Stream =
+      UseReference ? java::ReferenceLexer(Source, Diags).lexAll()
+                   : java::Lexer(Source, Diags).lexAll();
+  java::Parser P(std::move(Stream), Ctx, Diags, Limits);
+  GotUnit = P.parseCompilationUnit() != nullptr;
+  return renderDiags(Diags);
+}
+
+} // namespace
+
+TEST(ParseBudget, NestingTripIdenticalFromEitherLexer) {
+  java::ParseLimits Limits;
+  Limits.MaxNestingDepth = 50;
+  const std::string Source = nestedExprSource(300);
+  bool NewGotUnit = true, RefGotUnit = true;
+  std::string NewDiags = parseDiagsVia(false, Source, Limits, NewGotUnit);
+  std::string RefDiags = parseDiagsVia(true, Source, Limits, RefGotUnit);
+  EXPECT_FALSE(NewGotUnit);
+  EXPECT_FALSE(RefGotUnit);
+  // Byte-identical rendering means the trip fired at the same source
+  // position regardless of which scanner produced the tokens.
+  EXPECT_EQ(NewDiags, RefDiags);
+  EXPECT_NE(NewDiags.find("budget=1"), std::string::npos);
+}
+
+TEST(ParseBudget, TokenTripIdenticalFromEitherLexer) {
+  java::ParseLimits Limits;
+  Limits.MaxTokens = 10;
+  const std::string Source =
+      "class A { void m() { int x = 1; int y = 2; } }";
+  bool NewGotUnit = true, RefGotUnit = true;
+  std::string NewDiags = parseDiagsVia(false, Source, Limits, NewGotUnit);
+  std::string RefDiags = parseDiagsVia(true, Source, Limits, RefGotUnit);
+  EXPECT_FALSE(NewGotUnit);
+  EXPECT_FALSE(RefGotUnit);
+  EXPECT_EQ(NewDiags, RefDiags);
+}
+
+TEST(ParseBudget, InjectedParserFaultFiresInsideArenaParse) {
+  // A Rate=1 parser-site plan must throw from inside the arena-backed
+  // parse; afterwards the same context resets and parses cleanly, i.e. a
+  // mid-parse exception leaves the arena reusable, not poisoned.
+  support::FaultPlan Plan;
+  Plan.Seed = 99;
+  Plan.Rate = 1.0;
+  Plan.SiteMask = support::faultSiteBit(support::FaultSite::Parser);
+  support::FaultStats Stats;
+  Plan.Stats = &Stats;
+
+  const std::string Source = longChainSource(4);
+  java::AstContext Ctx;
+  {
+    support::FaultScope Scope(&Plan, /*ScopeKey=*/7);
+    java::DiagnosticsEngine Diags;
+    EXPECT_THROW((void)java::parseJava(Source, Ctx, Diags),
+                 support::FaultInjected);
+  }
+  EXPECT_GT(Stats.fired(support::FaultSite::Parser), 0u);
+
+  Ctx.reset();
+  EXPECT_EQ(Ctx.size(), 0u);
+  java::DiagnosticsEngine CleanDiags;
+  java::CompilationUnit *Unit = java::parseJava(Source, Ctx, CleanDiags);
+  ASSERT_NE(Unit, nullptr);
+  EXPECT_FALSE(CleanDiags.hasErrors());
+  EXPECT_GT(Ctx.size(), 0u);
 }

@@ -8,14 +8,14 @@ using namespace diffcode::java;
 
 namespace {
 
-std::vector<Token> lex(std::string_view Source) {
+TokenStream lex(std::string_view Source) {
   DiagnosticsEngine Diags;
   Lexer L(Source, Diags);
   return L.lexAll();
 }
 
-std::vector<Token> lexExpectErrors(std::string_view Source,
-                                   DiagnosticsEngine &Diags) {
+TokenStream lexExpectErrors(std::string_view Source,
+                            DiagnosticsEngine &Diags) {
   Lexer L(Source, Diags);
   return L.lexAll();
 }
@@ -23,13 +23,13 @@ std::vector<Token> lexExpectErrors(std::string_view Source,
 } // namespace
 
 TEST(Lexer, EmptyInput) {
-  std::vector<Token> Tokens = lex("");
+  TokenStream Tokens = lex("");
   ASSERT_EQ(Tokens.size(), 1u);
   EXPECT_EQ(Tokens[0].Kind, TokenKind::EndOfFile);
 }
 
 TEST(Lexer, Identifiers) {
-  std::vector<Token> Tokens = lex("foo _bar $baz a1b2");
+  TokenStream Tokens = lex("foo _bar $baz a1b2");
   ASSERT_EQ(Tokens.size(), 5u);
   for (int I = 0; I < 4; ++I)
     EXPECT_EQ(Tokens[I].Kind, TokenKind::Identifier);
@@ -40,7 +40,7 @@ TEST(Lexer, Identifiers) {
 }
 
 TEST(Lexer, Keywords) {
-  std::vector<Token> Tokens = lex("class if else while new return try");
+  TokenStream Tokens = lex("class if else while new return try");
   EXPECT_EQ(Tokens[0].Kind, TokenKind::KwClass);
   EXPECT_EQ(Tokens[1].Kind, TokenKind::KwIf);
   EXPECT_EQ(Tokens[2].Kind, TokenKind::KwElse);
@@ -51,14 +51,14 @@ TEST(Lexer, Keywords) {
 }
 
 TEST(Lexer, KeywordPrefixIsIdentifier) {
-  std::vector<Token> Tokens = lex("classy ifx news");
+  TokenStream Tokens = lex("classy ifx news");
   EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
   EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
   EXPECT_EQ(Tokens[2].Kind, TokenKind::Identifier);
 }
 
 TEST(Lexer, IntLiterals) {
-  std::vector<Token> Tokens = lex("0 42 0x1F 123L");
+  TokenStream Tokens = lex("0 42 0x1F 123L");
   EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
   EXPECT_EQ(Tokens[0].Text, "0");
   EXPECT_EQ(Tokens[1].Text, "42");
@@ -68,26 +68,26 @@ TEST(Lexer, IntLiterals) {
 }
 
 TEST(Lexer, FloatLiteralLexedAsNumber) {
-  std::vector<Token> Tokens = lex("3.14f 2.5");
+  TokenStream Tokens = lex("3.14f 2.5");
   EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
   EXPECT_EQ(Tokens[0].Text, "3.14f");
   EXPECT_EQ(Tokens[1].Text, "2.5");
 }
 
 TEST(Lexer, StringLiteralDecodesEscapes) {
-  std::vector<Token> Tokens = lex(R"("a\nb\"c\\d")");
+  TokenStream Tokens = lex(R"("a\nb\"c\\d")");
   ASSERT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
   EXPECT_EQ(Tokens[0].Text, "a\nb\"c\\d");
 }
 
 TEST(Lexer, StringLiteralPlain) {
-  std::vector<Token> Tokens = lex("\"AES/CBC/PKCS5Padding\"");
+  TokenStream Tokens = lex("\"AES/CBC/PKCS5Padding\"");
   ASSERT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
   EXPECT_EQ(Tokens[0].Text, "AES/CBC/PKCS5Padding");
 }
 
 TEST(Lexer, CharLiteral) {
-  std::vector<Token> Tokens = lex("'x' '\\n' '\\''");
+  TokenStream Tokens = lex("'x' '\\n' '\\''");
   EXPECT_EQ(Tokens[0].Kind, TokenKind::CharLiteral);
   EXPECT_EQ(Tokens[0].Text, "x");
   EXPECT_EQ(Tokens[1].Text, "\n");
@@ -95,19 +95,19 @@ TEST(Lexer, CharLiteral) {
 }
 
 TEST(Lexer, UnicodeEscape) {
-  std::vector<Token> Tokens = lex(R"("A")");
+  TokenStream Tokens = lex(R"("A")");
   EXPECT_EQ(Tokens[0].Text, "A");
 }
 
 TEST(Lexer, LineCommentsSkipped) {
-  std::vector<Token> Tokens = lex("a // comment with * and /\nb");
+  TokenStream Tokens = lex("a // comment with * and /\nb");
   ASSERT_EQ(Tokens.size(), 3u);
   EXPECT_EQ(Tokens[0].Text, "a");
   EXPECT_EQ(Tokens[1].Text, "b");
 }
 
 TEST(Lexer, BlockCommentsSkipped) {
-  std::vector<Token> Tokens = lex("a /* multi\nline\ncomment */ b");
+  TokenStream Tokens = lex("a /* multi\nline\ncomment */ b");
   ASSERT_EQ(Tokens.size(), 3u);
   EXPECT_EQ(Tokens[1].Text, "b");
 }
@@ -125,7 +125,7 @@ TEST(Lexer, UnterminatedStringDiagnosed) {
 }
 
 TEST(Lexer, OperatorsAndPunctuation) {
-  std::vector<Token> Tokens =
+  TokenStream Tokens =
       lex("{ } ( ) [ ] ; , . == != <= >= && || += -= ++ -- << >> ...");
   std::vector<TokenKind> Expected = {
       TokenKind::LBrace,     TokenKind::RBrace,       TokenKind::LParen,
@@ -143,7 +143,7 @@ TEST(Lexer, OperatorsAndPunctuation) {
 
 TEST(Lexer, MaximalMunch) {
   // `a+++b` lexes as a ++ + b.
-  std::vector<Token> Tokens = lex("a+++b");
+  TokenStream Tokens = lex("a+++b");
   EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
   EXPECT_EQ(Tokens[1].Kind, TokenKind::PlusPlus);
   EXPECT_EQ(Tokens[2].Kind, TokenKind::Plus);
@@ -151,7 +151,7 @@ TEST(Lexer, MaximalMunch) {
 }
 
 TEST(Lexer, TracksLineAndColumn) {
-  std::vector<Token> Tokens = lex("a\n  b");
+  TokenStream Tokens = lex("a\n  b");
   EXPECT_EQ(Tokens[0].Loc.Line, 1u);
   EXPECT_EQ(Tokens[0].Loc.Column, 1u);
   EXPECT_EQ(Tokens[1].Loc.Line, 2u);
@@ -160,7 +160,7 @@ TEST(Lexer, TracksLineAndColumn) {
 
 TEST(Lexer, UnknownCharacterDiagnosed) {
   DiagnosticsEngine Diags;
-  std::vector<Token> Tokens = lexExpectErrors("a # b", Diags);
+  TokenStream Tokens = lexExpectErrors("a # b", Diags);
   EXPECT_TRUE(Diags.hasErrors());
   // Lexing continues past the bad character.
   EXPECT_EQ(Tokens.back().Kind, TokenKind::EndOfFile);
@@ -168,9 +168,42 @@ TEST(Lexer, UnknownCharacterDiagnosed) {
 }
 
 TEST(Lexer, AnnotationAt) {
-  std::vector<Token> Tokens = lex("@Override");
+  TokenStream Tokens = lex("@Override");
   EXPECT_EQ(Tokens[0].Kind, TokenKind::At);
   EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, LineOffsetTableHandlesCrlfAndUnicodeEscapes) {
+  // CRLF line endings: '\r' counts one column like any byte; only '\n'
+  // starts a new line. The \u escape inside the string consumes source
+  // bytes without producing them, so following tokens must still get
+  // their location from the raw buffer offsets.
+  std::string_view Source = "a\r\nbb \"x\\u0041y\" c\r\n  d";
+  TokenStream Tokens = lex(Source);
+  ASSERT_EQ(Tokens.size(), 6u); // five tokens + EOF
+  EXPECT_EQ(Tokens[0].Loc, (SourceLocation{1, 1, 0}));   // a
+  EXPECT_EQ(Tokens[1].Loc, (SourceLocation{2, 1, 3}));   // bb
+  EXPECT_EQ(Tokens[2].Loc, (SourceLocation{2, 4, 6}));   // string
+  EXPECT_EQ(Tokens[2].Text, "xAy");
+  EXPECT_EQ(Tokens[3].Loc, (SourceLocation{2, 15, 17})); // c
+  EXPECT_EQ(Tokens[4].Loc, (SourceLocation{3, 3, 22}));  // d
+  // SourceLocation::operator== ignores Offset; check it explicitly.
+  EXPECT_EQ(Tokens[0].Loc.Offset, 0u);
+  EXPECT_EQ(Tokens[1].Loc.Offset, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Offset, 6u);
+  EXPECT_EQ(Tokens[3].Loc.Offset, 17u);
+  EXPECT_EQ(Tokens[4].Loc.Offset, 22u);
+}
+
+TEST(Lexer, MultiLineStringEscapeKeepsFollowingLocations) {
+  // A backslash-newline inside a string consumes the newline; the line
+  // table must still place later tokens correctly.
+  TokenStream Tokens = lex("\"a\\\nb\" x");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Tokens[0].Text, "a\nb");
+  EXPECT_EQ(Tokens[1].Text, "x");
+  EXPECT_EQ(Tokens[1].Loc, (SourceLocation{2, 4, 7}));
 }
 
 TEST(TokenNames, CoverCommonKinds) {

@@ -1,5 +1,6 @@
 //===- tests/test_parser.cpp - Java parser unit tests ----------------------===//
 
+#include "javaast/AstPrinter.h"
 #include "javaast/Parser.h"
 
 #include "support/Casting.h"
@@ -479,4 +480,81 @@ TEST(ParserModern, CastStillWorksDespiteLambdaLookahead) {
       cast<AssignExpr>(cast<ExprStmt>(bodyOf(*P)[0])->E)->Rhs));
   EXPECT_TRUE(isa<CastExpr>(
       cast<AssignExpr>(cast<ExprStmt>(bodyOf(*P)[1])->E)->Rhs));
+}
+
+//===----------------------------------------------------------------------===//
+// Arena lifetime: AstContext reset/reuse across files
+//===----------------------------------------------------------------------===//
+
+TEST(ParserArena, ResetReleasesNodesAndReusesSlabs) {
+  const std::string Source = wrap(
+      "Cipher c = Cipher.getInstance(\"AES/CBC/PKCS5Padding\"); "
+      "c.init(Cipher.ENCRYPT_MODE, key); byte[] out = c.doFinal(data);");
+  AstContext Ctx;
+  DiagnosticsEngine FirstDiags;
+  CompilationUnit *First = parseJava(Source, Ctx, FirstDiags);
+  ASSERT_NE(First, nullptr);
+  EXPECT_GT(Ctx.size(), 0u);
+  EXPECT_GT(Ctx.arenaBytes(), 0u);
+  std::string FirstPrinted = AstPrinter().print(First);
+
+  Ctx.reset();
+  EXPECT_EQ(Ctx.size(), 0u);
+  EXPECT_EQ(Ctx.arenaBytes(), 0u);
+  // Slabs are retained across reset, so capacity survives.
+  EXPECT_GT(Ctx.arenaCapacity(), 0u);
+
+  // Reparsing into the recycled arena yields a byte-identical tree.
+  DiagnosticsEngine SecondDiags;
+  CompilationUnit *Second = parseJava(Source, Ctx, SecondDiags);
+  ASSERT_NE(Second, nullptr);
+  EXPECT_EQ(AstPrinter().print(Second), FirstPrinted);
+  EXPECT_FALSE(SecondDiags.hasErrors());
+}
+
+TEST(ParserArena, RepeatedReuseReachesSteadyStateCapacity) {
+  // processChange recycles one AstContext across every file of a change;
+  // after the first few cycles the arena must stop growing.
+  const std::string Source = wrap(
+      "for (int i = 0; i < n; i++) { sb.append(items[i]); } "
+      "Mac m = Mac.getInstance(\"HmacSHA256\"); m.update(data);");
+  AstContext Ctx;
+  std::size_t CapacityAfterWarmup = 0;
+  for (int Cycle = 0; Cycle < 10; ++Cycle) {
+    Ctx.reset();
+    DiagnosticsEngine Diags;
+    ASSERT_NE(parseJava(Source, Ctx, Diags), nullptr) << "cycle " << Cycle;
+    if (Cycle == 1)
+      CapacityAfterWarmup = Ctx.arenaCapacity();
+    else if (Cycle > 1)
+      EXPECT_EQ(Ctx.arenaCapacity(), CapacityAfterWarmup)
+          << "arena still growing at cycle " << Cycle;
+  }
+}
+
+TEST(ParserArena, ReuseAcrossDifferentFilesKeepsTreesIndependent) {
+  // The AST of file N must not depend on what file N-1 left in the arena.
+  const std::string A = wrap("int x = 1; String s = \"alpha\";");
+  const std::string B = wrap("Cipher c = Cipher.getInstance(\"DES\");");
+
+  auto PrintFresh = [](const std::string &Source) {
+    AstContext Fresh;
+    DiagnosticsEngine Diags;
+    CompilationUnit *Unit = parseJava(Source, Fresh, Diags);
+    EXPECT_NE(Unit, nullptr);
+    return Unit ? AstPrinter().print(Unit) : std::string();
+  };
+  const std::string WantA = PrintFresh(A);
+  const std::string WantB = PrintFresh(B);
+
+  AstContext Shared;
+  for (int Round = 0; Round < 4; ++Round) {
+    const std::string &Source = Round % 2 == 0 ? A : B;
+    const std::string &Want = Round % 2 == 0 ? WantA : WantB;
+    Shared.reset();
+    DiagnosticsEngine Diags;
+    CompilationUnit *Unit = parseJava(Source, Shared, Diags);
+    ASSERT_NE(Unit, nullptr) << "round " << Round;
+    EXPECT_EQ(AstPrinter().print(Unit), Want) << "round " << Round;
+  }
 }
