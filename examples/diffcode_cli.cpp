@@ -18,7 +18,9 @@
 //       auto-suggest a rule from the change (Section 6.3).
 //
 //   diffcode_cli pipeline <corpus-dir> [--json] [--cluster] [--shard <n>]
-//                [--metrics] [--trace-out=<file>]
+//                [--metrics] [--trace-out=<file>] [--workers <n>]
+//                [--unit-deadline-ms <n>] [--max-retries <n>]
+//                [--fail-on-degraded <pct>]
 //       load a corpus from disk (see corpus/CorpusIO.h for the layout,
 //       exportable from git) and run the full mining -> abstraction ->
 //       filter -> cluster pipeline, printing the Figure-6-style table.
@@ -31,11 +33,22 @@
 //       --trace-out=<file> (implies --metrics) additionally writes the
 //       span trace as Chrome trace_event JSON — load it in
 //       chrome://tracing or https://ui.perfetto.dev.
+//       --workers <n> runs the per-change analysis stage under the
+//       supervised multi-process engine (exec/Supervisor): n worker
+//       subprocesses (0 = one per hardware thread) with crash/hang/OOM
+//       containment; the report is byte-identical to the in-process
+//       engine. --unit-deadline-ms <n> and --max-retries <n> tune the
+//       watchdog and the terminal-failure bar (only meaningful with
+//       --workers). --fail-on-degraded <pct> exits with status 3 when
+//       more than pct percent of the mined changes did not process
+//       cleanly (any non-ok status) — the CI tripwire for corpora that
+//       silently rot.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/DiffCode.h"
 #include "core/ReportWriter.h"
+#include "exec/Supervisor.h"
 #include "corpus/CorpusIO.h"
 #include "corpus/Miner.h"
 #include "rules/BuiltinRules.h"
@@ -60,7 +73,11 @@ int printUsage() {
                "       diffcode_cli suggest <old.java> <new.java>\n"
                "       diffcode_cli pipeline <corpus-dir> [--json] "
                "[--cluster] [--shard <n>]\n"
-               "                    [--metrics] [--trace-out=<file>]\n");
+               "                    [--metrics] [--trace-out=<file>] "
+               "[--workers <n>]\n"
+               "                    [--unit-deadline-ms <n>] "
+               "[--max-retries <n>]\n"
+               "                    [--fail-on-degraded <pct>]\n");
   return 2;
 }
 
@@ -187,6 +204,8 @@ int runPipeline(int argc, char **argv, bool Json) {
   bool Metrics = false;
   std::size_t ShardSize = 0;
   std::string TraceOut;
+  core::ExecutionPolicy Exec;
+  double FailOnDegradedPct = -1.0; // negative: tripwire disabled
   for (int I = 3; I < argc; ++I) {
     if (std::strcmp(argv[I], "--cluster") == 0) {
       Cluster = true;
@@ -202,6 +221,25 @@ int runPipeline(int argc, char **argv, bool Json) {
       if (TraceOut.empty())
         return printUsage();
       Metrics = true;
+    } else if (std::strcmp(argv[I], "--workers") == 0) {
+      if (I + 1 >= argc)
+        return printUsage();
+      Exec.Mode = core::ExecutionMode::Supervised;
+      Exec.Workers =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (std::strcmp(argv[I], "--unit-deadline-ms") == 0) {
+      if (I + 1 >= argc)
+        return printUsage();
+      Exec.UnitDeadlineMs = std::strtoull(argv[++I], nullptr, 10);
+    } else if (std::strcmp(argv[I], "--max-retries") == 0) {
+      if (I + 1 >= argc)
+        return printUsage();
+      Exec.MaxRetries =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (std::strcmp(argv[I], "--fail-on-degraded") == 0) {
+      if (I + 1 >= argc)
+        return printUsage();
+      FailOnDegradedPct = std::strtod(argv[++I], nullptr);
     } else if (std::strcmp(argv[I], "--json") != 0) {
       return printUsage();
     }
@@ -232,11 +270,29 @@ int runPipeline(int argc, char **argv, bool Json) {
   }
   core::DiffCode System(Api, Opts);
   obs::Observer Obs;
+  // Routed through exec::runPipeline so --workers can swap in the
+  // supervised engine; without it this is exactly System.runPipeline.
   core::CorpusReport Report =
-      System.runPipeline({.Changes = Mined,
-                          .TargetClasses = Api.targetClasses(),
-                          .BuildDendrograms = Cluster,
-                          .Metrics = Metrics ? &Obs : nullptr});
+      exec::runPipeline(System, {.Changes = Mined,
+                                 .TargetClasses = Api.targetClasses(),
+                                 .BuildDendrograms = Cluster,
+                                 .Metrics = Metrics ? &Obs : nullptr,
+                                 .Exec = Exec});
+
+  // The --fail-on-degraded tripwire: share of changes that did not
+  // process cleanly (any non-ok status), in percent of the mined corpus.
+  int ExitCode = 0;
+  if (FailOnDegradedPct >= 0.0 && !Report.Changes.empty()) {
+    double Share =
+        100.0 * double(Report.Health.troubled()) / double(Report.Changes.size());
+    if (Share > FailOnDegradedPct) {
+      std::fprintf(stderr,
+                   "error: %.2f%% of changes degraded or failed "
+                   "(threshold %.2f%%)\n",
+                   Share, FailOnDegradedPct);
+      ExitCode = 3;
+    }
+  }
 
   if (!TraceOut.empty()) {
     std::ofstream Out(TraceOut);
@@ -252,7 +308,7 @@ int runPipeline(int argc, char **argv, bool Json) {
 
   if (Json) {
     std::printf("%s\n", core::corpusReportToJson(Report).c_str());
-    return 0;
+    return ExitCode;
   }
   std::printf("%-16s %8s %7s %6s %6s %6s\n", "target class", "usages",
               "fsame", "fadd", "frem", "fdup");
@@ -340,7 +396,7 @@ int runPipeline(int argc, char **argv, bool Json) {
       }
     }
   }
-  return 0;
+  return ExitCode;
 }
 
 } // namespace

@@ -47,6 +47,16 @@
 # byte-identical on every corpus source or the corpus-stream speedup
 # falls below 5x — and leaves BENCH_lexer.json in the build directory.
 #   scripts/check.sh --bench-lexer -L tier1
+#
+# --chaos (opt-in): after the regular suite, run the seeded chaos
+# campaign (ctest -L chaos): workers that crash, hang, OOM-exit, start
+# slowly, and corrupt result streams, asserting deterministic per-status
+# counts and zero coordinator crashes; then the supervision throughput
+# guard (bench/micro_supervision, asserting supervised execution stays
+# byte-identical to in-process and within 10% of its CPU time at
+# min(4, hardware-width) workers; leaves BENCH_supervision.json in the
+# build directory).
+#   scripts/check.sh --chaos -L tier1
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -59,6 +69,7 @@ BENCH_SHARDING=0
 BENCH_INTERNING=0
 BENCH_FAULTS=0
 BENCH_LEXER=0
+CHAOS=0
 for arg in "$@"; do
   if [[ "$arg" == "--asan" ]]; then
     ASAN=1
@@ -75,6 +86,8 @@ for arg in "$@"; do
     BENCH_FAULTS=1
   elif [[ "$arg" == "--bench-lexer" ]]; then
     BENCH_LEXER=1
+  elif [[ "$arg" == "--chaos" ]]; then
+    CHAOS=1
   else
     CTEST_ARGS+=("$arg")
   fi
@@ -89,6 +102,8 @@ if [[ "$ASAN" == "1" ]]; then
   echo "== traced pipeline under sanitizers =="
   ./examples/diffcode_cli pipeline ../tests/data/smoke_corpus \
     --metrics --trace-out=trace_asan.json > /dev/null
+  echo "== supervised execution differential under sanitizers =="
+  ./tests/test_supervised_exec
   echo "== lexer fuzz suite under sanitizers =="
   ./tests/test_lexer_fuzz
 else
@@ -114,4 +129,11 @@ fi
 if [[ "$BENCH_LEXER" == "1" ]]; then
   echo "== front-end scanner sweep (bench/micro_lexer) =="
   ./bench/micro_lexer 120 42 BENCH_lexer.json
+fi
+
+if [[ "$CHAOS" == "1" ]]; then
+  echo "== seeded chaos campaign (ctest -L chaos) =="
+  ctest --output-on-failure -j"$(nproc)" -L chaos
+  echo "== supervision throughput guard (bench/micro_supervision) =="
+  ./bench/micro_supervision 32 42 BENCH_supervision.json
 fi

@@ -27,8 +27,25 @@ const char *core::changeStatusName(ChangeStatus Status) {
     return "budget-exceeded";
   case ChangeStatus::AnalysisThrow:
     return "analysis-throw";
+  case ChangeStatus::WorkerCrash:
+    return "worker-crash";
+  case ChangeStatus::WorkerTimeout:
+    return "worker-timeout";
+  case ChangeStatus::WorkerOom:
+    return "worker-oom";
   }
   return "unknown";
+}
+
+bool core::changeStatusFromName(std::string_view Name, ChangeStatus &Out) {
+  for (std::size_t I = 0; I < NumChangeStatuses; ++I) {
+    ChangeStatus Status = static_cast<ChangeStatus>(I);
+    if (Name == changeStatusName(Status)) {
+      Out = Status;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::size_t CorpusHealth::troubled() const {
@@ -372,6 +389,12 @@ static void recordClassMetrics(obs::Registry &R, const ClassReport &Class) {
 }
 
 CorpusReport DiffCode::runPipeline(const PipelineRequest &Request) const {
+  return runPipelineFrom(Request, [&] { return analyzeChanges(Request); });
+}
+
+CorpusReport DiffCode::runPipelineFrom(
+    const PipelineRequest &Request,
+    const std::function<std::vector<ChangeRecord>()> &Analyze) const {
   CorpusReport Report;
   Report.Labels = Request.Labels ? Request.Labels : DefaultLabels;
   obs::Observer *Obs = Request.Metrics;
@@ -380,7 +403,7 @@ CorpusReport DiffCode::runPipeline(const PipelineRequest &Request) const {
     obs::Span Whole(T, "pipeline");
     {
       obs::Span S(T, "analyzeChanges");
-      Report.Changes = analyzeChanges(Request);
+      Report.Changes = Analyze();
     }
     for (const std::string &TargetClass : Request.TargetClasses) {
       ClassReport ClassOut;

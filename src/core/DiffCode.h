@@ -29,6 +29,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -64,20 +65,32 @@ struct DiffCodeOptions {
 };
 
 /// Outcome taxonomy for one processed code change. Ordered by severity:
-/// combining the old/new version outcomes takes the maximum.
+/// combining the old/new version outcomes takes the maximum. The first
+/// five are in-process containment outcomes (PR 2); the Worker* statuses
+/// are terminal verdicts of the supervised multi-process engine
+/// (exec/Supervisor): the subprocess holding this change died, overran
+/// its deadline, or hit its memory limit even after bounded retry and
+/// half-batch bisection.
 enum class ChangeStatus {
   Ok = 0,         ///< Both versions parsed and analyzed cleanly.
   Degraded,       ///< Parse diagnostics; analysis ran on a partial tree.
   ParseError,     ///< A version produced no usable compilation unit.
   BudgetExceeded, ///< A ParseLimits or AnalysisOptions budget truncated it.
   AnalysisThrow,  ///< The worker threw; the record is empty but present.
+  WorkerCrash,    ///< Worker subprocess died (signal/exit/protocol error).
+  WorkerTimeout,  ///< Worker overran the per-unit wall-clock deadline.
+  WorkerOom,      ///< Worker hit its memory limit and took the OOM exit.
 };
 
 /// Number of ChangeStatus values (for count arrays).
-inline constexpr std::size_t NumChangeStatuses = 5;
+inline constexpr std::size_t NumChangeStatuses = 8;
 
 /// Stable lowercase name ("ok", "parse-error", ...) for reports.
 const char *changeStatusName(ChangeStatus Status);
+
+/// Inverse of changeStatusName, for consumers that round-trip reports
+/// through JSON (returns false for unknown names).
+bool changeStatusFromName(std::string_view Name, ChangeStatus &Out);
 
 /// The per-code-change output: usage changes per target class, the
 /// rule-based classification, and provenance.
@@ -161,6 +174,44 @@ struct CorpusReport {
   obs::RunSummary Metrics;
 };
 
+/// How the per-change analysis stage executes.
+enum class ExecutionMode {
+  InProcess,  ///< analyzeChanges on a thread pool in this process.
+  Supervised, ///< exec/Supervisor worker subprocesses with containment.
+};
+
+/// Supervised-execution policy (exec/Supervisor.h consumes it; the core
+/// library itself always runs in-process). Lives in core so a
+/// PipelineRequest fully describes a run without the caller linking
+/// against the exec layer.
+struct ExecutionPolicy {
+  ExecutionMode Mode = ExecutionMode::InProcess;
+  /// Worker subprocesses; support::resolveThreads semantics (0 = one per
+  /// hardware thread), additionally clamped to the number of work units.
+  unsigned Workers = 0;
+  /// Changes per work unit (serialized batch). 0 means the default (32).
+  /// Larger units amortize the per-unit dispatch round-trip (a unit
+  /// completion context-switches worker -> coordinator -> worker); on
+  /// failure, half-batch bisection recovers single-change granularity,
+  /// so the batch size only prices the clean path.
+  std::size_t BatchSize = 32;
+  /// Wall-clock watchdog per dispatched unit; a worker that exceeds it is
+  /// SIGKILLed and the unit enters retry/bisection. 0 disables the
+  /// watchdog.
+  std::uint64_t UnitDeadlineMs = 10000;
+  /// Terminal-failure bar: a single poisoned change is retried this many
+  /// times (with exponential backoff) before its record is stamped
+  /// WorkerCrash/WorkerTimeout/WorkerOom.
+  unsigned MaxRetries = 2;
+  /// Backoff before the Nth retry of a singleton unit:
+  /// min(BackoffBaseMs << (N-1), BackoffCapMs).
+  std::uint64_t BackoffBaseMs = 10;
+  std::uint64_t BackoffCapMs = 1000;
+  /// RLIMIT_AS for each worker in MiB (0 = unlimited). A worker that
+  /// cannot allocate takes a distinguished exit, reported as WorkerOom.
+  std::uint64_t WorkerMemoryLimitMb = 0;
+};
+
 /// Everything one pipeline run needs, replacing runPipeline's former
 /// positional parameter list. Aggregate-initializable:
 ///
@@ -187,6 +238,11 @@ struct PipelineRequest {
   /// freezes the result into CorpusReport::Metrics. Must outlive the
   /// call.
   obs::Observer *Metrics = nullptr;
+  /// Execution mode + supervision knobs. DiffCode::runPipeline itself
+  /// ignores this (it always runs in-process); exec::runPipeline
+  /// dispatches on it, so callers that may or may not supervise route
+  /// every run through the exec entry point.
+  ExecutionPolicy Exec;
 };
 
 /// Recomputes \p Report's health summary from its records (at most
@@ -300,6 +356,16 @@ public:
   /// summary; a clustering failure empties that class's Tree and sets
   /// ClusteringError.
   CorpusReport runPipeline(const PipelineRequest &Request) const;
+
+  /// runPipeline with the per-change analysis stage swapped out: \p
+  /// Analyze produces the record vector (one per Request.Changes entry,
+  /// input order) and everything downstream — filters, clustering,
+  /// health, metrics rollup — is byte-identical to runPipeline over the
+  /// same records. This is the seam the supervised multi-process engine
+  /// (exec/Supervisor) plugs into.
+  CorpusReport runPipelineFrom(
+      const PipelineRequest &Request,
+      const std::function<std::vector<ChangeRecord>()> &Analyze) const;
 
 private:
   /// Request.Labels when set, the instance interner otherwise.

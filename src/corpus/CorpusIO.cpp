@@ -29,6 +29,12 @@ bool writeFile(const fs::path &Path, const std::string &Content,
   if (!Out)
     return fail(Error, "cannot write " + Path.string());
   Out << Content;
+  // A full disk or I/O error surfaces on the stream state, possibly only
+  // when the buffer flushes at close — an unchecked short write here
+  // would round-trip a silently truncated corpus.
+  Out.close();
+  if (Out.fail())
+    return fail(Error, "short write to " + Path.string());
   return true;
 }
 
@@ -38,6 +44,10 @@ std::optional<std::string> readFile(const fs::path &Path) {
     return std::nullopt;
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
+  // badbit = a read error mid-stream; returning the prefix would mint a
+  // plausible-looking but truncated source file.
+  if (In.bad())
+    return std::nullopt;
   return Buffer.str();
 }
 

@@ -1,0 +1,207 @@
+//===- exec/Protocol.h - Coordinator/worker message codecs -----------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The message layer on top of exec/Wire.h framing: what the coordinator
+/// and its worker subprocesses actually say to each other.
+///
+/// Coordinator -> worker:
+///   Work      one unit: (unit id, attempt, global change indices)
+///   Shutdown  drain and _exit(0)
+///
+/// Worker -> coordinator:
+///   Hello     startup handshake (protocol version)
+///   LabelDef  one newly interned NodeLabel (worker-local id order)
+///   PathDef   one newly interned path (worker-local label ids)
+///   Result    one ChangeRecord (worker-local path ids)
+///   UnitDone  unit complete (unit id)
+///
+/// The interned data model does not ship id values across processes —
+/// ids are assignment-order dependent and never comparable across
+/// interners — with one fork()-shaped exception: a forked worker
+/// inherits the parent interner via copy-on-write, so every id below
+/// the table's fork-time high-water mark ("the base") means exactly the
+/// same thing in both processes. Hello carries the worker's base
+/// (label count, path count); the worker interns on top of its
+/// inherited copy and streams *definitions* only for entries above the
+/// base (dense, in id order, labels before the paths that reference
+/// them, defs before the results that reference them). The coordinator
+/// keeps a per-worker IdRemap — identity below the base, worker-local
+/// id -> parent-interner id above it — rebuilt on every respawn (a
+/// respawned worker forks from the current, larger table, so its base
+/// moves up and it streams even less). A base of zero degrades to full
+/// def streaming, which is what a future exec()-spawned worker with no
+/// shared ancestry would use. Results decoded through the remap are
+/// structurally identical to in-process records, which is what keeps
+/// supervised reports byte-identical.
+///
+/// Every decoder is defensive: unknown ids, out-of-order defs, trailing
+/// payload bytes, or truncation all return false and the supervisor
+/// treats the worker as poisoned (kill, restart, retry the unit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_EXEC_PROTOCOL_H
+#define DIFFCODE_EXEC_PROTOCOL_H
+
+#include "core/DiffCode.h"
+#include "exec/Wire.h"
+#include "support/Interner.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace diffcode {
+namespace exec {
+
+/// Protocol frame types (Wire frame header's `type` field).
+enum class FrameType : std::uint32_t {
+  Hello = 1,
+  Work = 2,
+  Shutdown = 3,
+  LabelDef = 4,
+  PathDef = 5,
+  Result = 6,
+  UnitDone = 7,
+};
+
+/// Bumped whenever any payload layout changes; Hello carries it and the
+/// coordinator refuses a mismatched worker (impossible with fork(), but
+/// cheap insurance against a future exec()-based spawn path).
+/// v2: Hello gained the worker's inherited interner base counts.
+inline constexpr std::uint32_t ProtocolVersion = 2;
+
+/// Distinguished exit code a worker takes when it cannot allocate
+/// (set_new_handler under RLIMIT_AS, or the ProcOomExit chaos site).
+/// The supervisor maps it to ChangeStatus::WorkerOom.
+inline constexpr int OomExitCode = 86;
+
+/// One dispatched batch of changes, identified by global indices into
+/// PipelineRequest::Changes. Attempt counts singleton retries (bisected
+/// halves restart at 0 — they are new units with a fresh identity).
+struct WorkUnit {
+  std::uint64_t Id = 0;
+  std::uint32_t Attempt = 0;
+  std::vector<std::uint64_t> Indices;
+};
+
+/// Hello carries the protocol version plus the worker's interner base:
+/// the label/path counts of the table it inherited at fork time. Ids
+/// below the base need no defs — they are the parent's own ids.
+std::string encodeHello(std::uint32_t BaseLabels, std::uint32_t BasePaths);
+bool decodeHello(std::string_view Payload, std::uint32_t &BaseLabels,
+                 std::uint32_t &BasePaths);
+
+std::string encodeWork(const WorkUnit &Unit);
+bool decodeWork(std::string_view Payload, WorkUnit &Out);
+
+std::string encodeUnitDone(std::uint64_t UnitId);
+bool decodeUnitDone(std::string_view Payload, std::uint64_t &UnitId);
+
+/// Worker side: incremental interner-definition streaming. The worker's
+/// interner is append-only and single-threaded, so everything past the
+/// last flushed high-water mark is new; one flush() appends a LabelDef
+/// frame per new label then a PathDef frame per new path (in that order
+/// — paths only reference already-interned labels). Construction
+/// records the current counts as the base: everything already in the
+/// table (the fork-inherited state) is never streamed. Construct
+/// against an empty interner to stream everything.
+class DefSender {
+public:
+  explicit DefSender(const support::Interner &Table)
+      : Table(Table), LabelsSent(Table.labelCount()),
+        PathsSent(Table.pathCount()), BaseLabels(LabelsSent),
+        BasePaths(PathsSent) {}
+
+  /// The construction-time counts — what Hello advertises.
+  std::uint32_t baseLabels() const {
+    return static_cast<std::uint32_t>(BaseLabels);
+  }
+  std::uint32_t basePaths() const {
+    return static_cast<std::uint32_t>(BasePaths);
+  }
+
+  /// Appends encoded def frames for everything interned since the last
+  /// flush to \p Out.
+  void flush(std::string &Out);
+
+private:
+  const support::Interner &Table;
+  std::size_t LabelsSent = 0;
+  std::size_t PathsSent = 0;
+  std::size_t BaseLabels = 0;
+  std::size_t BasePaths = 0;
+};
+
+/// Coordinator side: one worker incarnation's id translation table.
+/// Worker ids below the Hello-advertised base are the parent's own ids
+/// (fork-inherited, identity mapping); defs above the base arrive dense
+/// and in order, so the rest is a plain vector: Labels[workerLabelId -
+/// BaseLabels] is the parent-interner id. Default-constructed (base 0)
+/// it is the full-streaming remap the pre-fork-aware protocol used.
+struct IdRemap {
+  std::uint32_t BaseLabels = 0;
+  std::uint32_t BasePaths = 0;
+  std::vector<support::LabelId> Labels;
+  std::vector<support::PathId> Paths;
+
+  /// Decodes one LabelDef / PathDef payload and extends the table,
+  /// interning into \p Table. False on any protocol violation
+  /// (non-dense id, unknown label reference, malformed payload).
+  bool applyLabelDef(std::string_view Payload, support::Interner &Table);
+  bool applyPathDef(std::string_view Payload, support::Interner &Table);
+
+  /// Resolves a worker-local label/path id to a parent id; false when
+  /// the id is neither inherited nor defined.
+  bool mapLabel(std::uint32_t Local, support::LabelId &Out) const {
+    if (Local < BaseLabels) {
+      Out = Local;
+      return true;
+    }
+    if (Local - BaseLabels >= Labels.size())
+      return false;
+    Out = Labels[Local - BaseLabels];
+    return true;
+  }
+  bool mapPath(std::uint32_t Local, support::PathId &Out) const {
+    if (Local < BasePaths) {
+      Out = Local;
+      return true;
+    }
+    if (Local - BasePaths >= Paths.size())
+      return false;
+    Out = Paths[Local - BasePaths];
+    return true;
+  }
+};
+
+/// Serializes one ChangeRecord with worker-local path ids (the worker's
+/// DefSender has already streamed the defs they resolve through).
+/// WallNanos is deliberately not carried: workers run unobserved, and
+/// the field is PerRun — never part of the byte-compared report surface.
+std::string encodeResult(std::uint64_t ChangeIndex,
+                         const core::ChangeRecord &Record);
+
+/// Appends the Result frame to \p Out, reusing \p Scratch for the
+/// payload — the worker's per-change encode path (one call per change;
+/// the temporaries encodeResult allocates would be pure churn there).
+void appendResult(std::string &Out, WireWriter &Scratch,
+                  std::uint64_t ChangeIndex, const core::ChangeRecord &Record);
+
+/// Decodes one Result payload, remapping worker path ids through
+/// \p Remap into \p Table and stamping UsageChange::Table. False on any
+/// malformed or unresolvable payload.
+bool decodeResult(std::string_view Payload, const IdRemap &Remap,
+                  support::Interner &Table, std::uint64_t &ChangeIndex,
+                  core::ChangeRecord &Out);
+
+} // namespace exec
+} // namespace diffcode
+
+#endif // DIFFCODE_EXEC_PROTOCOL_H

@@ -1,0 +1,150 @@
+//===- exec/Wire.cpp -------------------------------------------------------===//
+
+#include "exec/Wire.h"
+
+#include <cstring>
+
+using namespace diffcode;
+using namespace diffcode::exec;
+
+std::uint32_t diffcode::exec::wireChecksum(std::string_view Bytes) {
+  std::uint32_t H = 0x811c9dc5u;
+  for (char C : Bytes) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x01000193u;
+  }
+  return H;
+}
+
+void WireWriter::u32(std::uint32_t V) {
+  char B[4] = {static_cast<char>(V), static_cast<char>(V >> 8),
+               static_cast<char>(V >> 16), static_cast<char>(V >> 24)};
+  Buf.append(B, 4);
+}
+
+void WireWriter::u64(std::uint64_t V) {
+  u32(static_cast<std::uint32_t>(V));
+  u32(static_cast<std::uint32_t>(V >> 32));
+}
+
+void WireWriter::str(std::string_view S) {
+  u32(static_cast<std::uint32_t>(S.size()));
+  Buf.append(S.data(), S.size());
+}
+
+bool WireReader::take(std::size_t N, const char *&Out) {
+  if (!Ok || Buf.size() - Pos < N) {
+    Ok = false;
+    return false;
+  }
+  Out = Buf.data() + Pos;
+  Pos += N;
+  return true;
+}
+
+std::uint8_t WireReader::u8() {
+  const char *P;
+  if (!take(1, P))
+    return 0;
+  return static_cast<std::uint8_t>(*P);
+}
+
+std::uint32_t WireReader::u32() {
+  const char *P;
+  if (!take(4, P))
+    return 0;
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(P[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(P[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(P[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(P[3])) << 24;
+}
+
+std::uint64_t WireReader::u64() {
+  std::uint64_t Lo = u32();
+  std::uint64_t Hi = u32();
+  return Lo | (Hi << 32);
+}
+
+std::string_view WireReader::str() {
+  std::uint32_t Len = u32();
+  const char *P;
+  if (!take(Len, P))
+    return {};
+  return std::string_view(P, Len);
+}
+
+void diffcode::exec::appendFrame(std::string &Out, std::uint32_t Type,
+                                 std::string_view Payload) {
+  Out.reserve(Out.size() + WireHeaderBytes + Payload.size());
+  auto PutU32 = [&Out](std::uint32_t V) {
+    char B[4] = {static_cast<char>(V), static_cast<char>(V >> 8),
+                 static_cast<char>(V >> 16), static_cast<char>(V >> 24)};
+    Out.append(B, 4);
+  };
+  PutU32(WireMagic);
+  PutU32(Type);
+  PutU32(static_cast<std::uint32_t>(Payload.size()));
+  PutU32(wireChecksum(Payload));
+  Out.append(Payload.data(), Payload.size());
+}
+
+std::string diffcode::exec::encodeFrame(std::uint32_t Type,
+                                        std::string_view Payload) {
+  std::string Out;
+  appendFrame(Out, Type, Payload);
+  return Out;
+}
+
+void FrameDecoder::feed(const char *Data, std::size_t Size) {
+  if (Bad)
+    return;
+  // Compact lazily so a long-lived stream does not grow without bound.
+  if (Pos > 0 && Pos == Buf.size()) {
+    Buf.clear();
+    Pos = 0;
+  } else if (Pos > (1u << 20)) {
+    Buf.erase(0, Pos);
+    Pos = 0;
+  }
+  Buf.append(Data, Size);
+}
+
+std::optional<FrameView> FrameDecoder::nextView() {
+  if (Bad || Buf.size() - Pos < WireHeaderBytes)
+    return std::nullopt;
+  WireReader Header(std::string_view(Buf).substr(Pos, WireHeaderBytes));
+  std::uint32_t Magic = Header.u32();
+  std::uint32_t Type = Header.u32();
+  std::uint32_t Length = Header.u32();
+  std::uint32_t Check = Header.u32();
+  if (Magic != WireMagic) {
+    Bad = true;
+    Error = "bad frame magic";
+    return std::nullopt;
+  }
+  if (Length > MaxFramePayload) {
+    Bad = true;
+    Error = "oversized frame";
+    return std::nullopt;
+  }
+  if (Buf.size() - Pos < WireHeaderBytes + Length)
+    return std::nullopt; // incomplete: wait for more bytes
+  std::string_view Payload(Buf.data() + Pos + WireHeaderBytes, Length);
+  if (wireChecksum(Payload) != Check) {
+    Bad = true;
+    Error = "bad frame checksum";
+    return std::nullopt;
+  }
+  Pos += WireHeaderBytes + Length;
+  return FrameView{Type, Payload};
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  std::optional<FrameView> V = nextView();
+  if (!V)
+    return std::nullopt;
+  Frame Out;
+  Out.Type = V->Type;
+  Out.Payload.assign(V->Payload.data(), V->Payload.size());
+  return Out;
+}

@@ -1,0 +1,157 @@
+//===- exec/Wire.h - Binary wire format & frame codec ----------------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-level layer of the coordinator/worker protocol: a little-
+/// endian primitive codec (WireWriter/WireReader) and a checksummed
+/// frame format. One frame is
+///
+///   magic   u32   0x44465731 ("DFW1")
+///   type    u32   protocol frame type (exec/Protocol.h)
+///   length  u32   payload byte count
+///   check   u32   FNV-1a over the payload
+///   payload length bytes
+///
+/// FrameDecoder reassembles frames from arbitrary read(2) chunk
+/// boundaries and *validates before trusting*: a bad magic, an insane
+/// length, or a checksum mismatch flips the decoder into a sticky error
+/// state — the supervisor treats that worker as poisoned (kill, restart,
+/// retry the unit), which is exactly what the ProcFrameCorrupt chaos
+/// site exercises.
+///
+/// Everything is bounds-checked; WireReader never reads past its buffer
+/// and reports truncation through ok() instead of UB.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_EXEC_WIRE_H
+#define DIFFCODE_EXEC_WIRE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace diffcode {
+namespace exec {
+
+/// Frame header constants.
+inline constexpr std::uint32_t WireMagic = 0x44465731; // "DFW1"
+inline constexpr std::size_t WireHeaderBytes = 16;
+/// Sanity bound: no legitimate frame (one work unit or one change
+/// record) comes close; anything larger means a corrupt length field.
+inline constexpr std::uint32_t MaxFramePayload = 1u << 30;
+
+/// FNV-1a over \p Bytes — the frame checksum.
+std::uint32_t wireChecksum(std::string_view Bytes);
+
+/// Appends little-endian primitives and length-prefixed strings to a
+/// byte buffer.
+class WireWriter {
+public:
+  void u8(std::uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void u32(std::uint32_t V);
+  void u64(std::uint64_t V);
+  /// Length-prefixed (u32) raw bytes; embedded NULs are fine.
+  void str(std::string_view S);
+
+  const std::string &bytes() const { return Buf; }
+  std::string take() { return std::move(Buf); }
+  /// Drops the contents but keeps the capacity — hot encode loops reuse
+  /// one writer instead of reallocating per message.
+  void clear() { Buf.clear(); }
+
+private:
+  std::string Buf;
+};
+
+/// Bounds-checked reader over one payload. After any failed extraction
+/// ok() is false and every further extraction returns 0/"" — callers
+/// check ok() once at the end of a decode instead of after every field.
+class WireReader {
+public:
+  explicit WireReader(std::string_view Bytes) : Buf(Bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::string_view str();
+
+  bool ok() const { return Ok; }
+  /// True when the whole payload was consumed (trailing garbage in a
+  /// frame is a protocol error too).
+  bool atEnd() const { return Ok && Pos == Buf.size(); }
+
+private:
+  bool take(std::size_t N, const char *&Out);
+
+  std::string_view Buf;
+  std::size_t Pos = 0;
+  bool Ok = true;
+};
+
+/// One decoded frame.
+struct Frame {
+  std::uint32_t Type = 0;
+  std::string Payload;
+};
+
+/// One decoded frame, borrowing its payload from the decoder's buffer.
+/// Valid only until the next feed()/next()/nextView() call — the hot
+/// path (one Result frame per change) decodes through this to avoid a
+/// per-frame payload copy.
+struct FrameView {
+  std::uint32_t Type = 0;
+  std::string_view Payload;
+};
+
+/// Serializes a frame (header + checksum + payload).
+std::string encodeFrame(std::uint32_t Type, std::string_view Payload);
+
+/// Appends a serialized frame to \p Out without intermediate buffers —
+/// the encode-side hot path (workers coalesce many frames per write).
+void appendFrame(std::string &Out, std::uint32_t Type,
+                 std::string_view Payload);
+
+/// Incremental frame reassembler over a byte stream.
+class FrameDecoder {
+public:
+  /// Appends raw bytes read from the pipe.
+  void feed(const char *Data, std::size_t Size);
+
+  /// Extracts the next complete frame, if any. Returns std::nullopt when
+  /// more bytes are needed *or* after a protocol error — check bad() to
+  /// tell the two apart.
+  std::optional<Frame> next();
+
+  /// Zero-copy variant of next(): the returned payload view aliases the
+  /// decoder's buffer and is invalidated by the next feed()/next()/
+  /// nextView(). Validation (magic, length, checksum) is identical —
+  /// next() is implemented on top of this.
+  std::optional<FrameView> nextView();
+
+  /// Sticky error state (bad magic / oversized length / checksum
+  /// mismatch). A decoder never recovers: resynchronizing a corrupt
+  /// byte stream silently would defeat the whole point of framing.
+  bool bad() const { return Bad; }
+  const std::string &error() const { return Error; }
+
+  /// Bytes currently buffered but not yet consumed (truncation
+  /// diagnostics: nonzero at EOF means a frame was cut mid-flight).
+  std::size_t pendingBytes() const { return Buf.size() - Pos; }
+
+private:
+  std::string Buf;
+  std::size_t Pos = 0;
+  bool Bad = false;
+  std::string Error;
+};
+
+} // namespace exec
+} // namespace diffcode
+
+#endif // DIFFCODE_EXEC_WIRE_H

@@ -19,6 +19,16 @@ const char *diffcode::support::faultSiteName(FaultSite Site) {
     return "hungarian";
   case FaultSite::Clustering:
     return "clustering";
+  case FaultSite::ProcKill:
+    return "proc-kill";
+  case FaultSite::ProcHang:
+    return "proc-hang";
+  case FaultSite::ProcSlowStart:
+    return "proc-slow-start";
+  case FaultSite::ProcFrameCorrupt:
+    return "proc-frame-corrupt";
+  case FaultSite::ProcOomExit:
+    return "proc-oom";
   }
   return "unknown";
 }

@@ -37,16 +37,32 @@
 namespace diffcode {
 namespace support {
 
-/// Places in the pipeline that can be told to fail.
+/// Places in the pipeline that can be told to fail. The first four are
+/// in-process sites (an armed point throws FaultInjected and the
+/// containment boundary turns it into a structured ChangeStatus); the
+/// Proc* sites are process-level and only exist inside exec/ worker
+/// subprocesses, where firing means the *process itself* misbehaves —
+/// dies, hangs, starts slowly, or corrupts its result stream — and the
+/// supervisor's watchdog/retry machinery is what gets exercised.
 enum class FaultSite : unsigned {
-  Parser,      ///< javaast::Parser expression recursion.
-  Interpreter, ///< analysis::Engine statement execution.
-  Hungarian,   ///< support::solveAssignment entry.
-  Clustering,  ///< cluster agglomeration merge step.
+  Parser,          ///< javaast::Parser expression recursion.
+  Interpreter,     ///< analysis::Engine statement execution.
+  Hungarian,       ///< support::solveAssignment entry.
+  Clustering,      ///< cluster agglomeration merge step.
+  ProcKill,        ///< exec worker raises SIGKILL mid-unit (crash).
+  ProcHang,        ///< exec worker sleeps past the unit deadline.
+  ProcSlowStart,   ///< exec worker delays its startup handshake.
+  ProcFrameCorrupt,///< exec worker corrupts/truncates a result frame.
+  ProcOomExit,     ///< exec worker takes its out-of-memory exit path.
 };
 
 /// Number of FaultSite enumerators (for mask building / iteration).
-inline constexpr unsigned NumFaultSites = 4;
+inline constexpr unsigned NumFaultSites = 9;
+
+/// First process-level site (sites >= this only fire inside exec
+/// workers; in-process pipeline runs never evaluate them).
+inline constexpr unsigned FirstProcFaultSite =
+    static_cast<unsigned>(FaultSite::ProcKill);
 
 /// Bit for \p Site in FaultPlan::SiteMask.
 constexpr std::uint32_t faultSiteBit(FaultSite Site) {

@@ -1,0 +1,191 @@
+//===- support/Process.cpp -------------------------------------------------===//
+
+#include "support/Process.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <stdexcept>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace diffcode;
+using namespace diffcode::support;
+
+Pipe::Pipe() {
+  int Fds[2];
+  if (::pipe(Fds) != 0)
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  ReadFd = Fds[0];
+  WriteFd = Fds[1];
+}
+
+Pipe::~Pipe() {
+  closeRead();
+  closeWrite();
+}
+
+Pipe::Pipe(Pipe &&Other) noexcept
+    : ReadFd(Other.ReadFd), WriteFd(Other.WriteFd) {
+  Other.ReadFd = Other.WriteFd = -1;
+}
+
+Pipe &Pipe::operator=(Pipe &&Other) noexcept {
+  if (this != &Other) {
+    closeRead();
+    closeWrite();
+    ReadFd = Other.ReadFd;
+    WriteFd = Other.WriteFd;
+    Other.ReadFd = Other.WriteFd = -1;
+  }
+  return *this;
+}
+
+void Pipe::closeRead() {
+  if (ReadFd >= 0) {
+    ::close(ReadFd);
+    ReadFd = -1;
+  }
+}
+
+void Pipe::closeWrite() {
+  if (WriteFd >= 0) {
+    ::close(WriteFd);
+    WriteFd = -1;
+  }
+}
+
+int Pipe::releaseRead() {
+  int Fd = ReadFd;
+  ReadFd = -1;
+  return Fd;
+}
+
+int Pipe::releaseWrite() {
+  int Fd = WriteFd;
+  WriteFd = -1;
+  return Fd;
+}
+
+ssize_t diffcode::support::readFull(int Fd, void *Buf, std::size_t Size) {
+  char *Out = static_cast<char *>(Buf);
+  std::size_t Done = 0;
+  while (Done < Size) {
+    ssize_t N = ::read(Fd, Out + Done, Size - Done);
+    if (N > 0) {
+      Done += static_cast<std::size_t>(N);
+      continue;
+    }
+    if (N == 0)
+      return static_cast<ssize_t>(Done); // EOF mid-read: short count
+    if (errno == EINTR)
+      continue;
+    return -1;
+  }
+  return static_cast<ssize_t>(Done);
+}
+
+ssize_t diffcode::support::writeFull(int Fd, const void *Buf,
+                                     std::size_t Size) {
+  const char *In = static_cast<const char *>(Buf);
+  std::size_t Done = 0;
+  while (Done < Size) {
+    ssize_t N = ::write(Fd, In + Done, Size - Done);
+    if (N >= 0) {
+      Done += static_cast<std::size_t>(N);
+      continue;
+    }
+    if (errno == EINTR)
+      continue;
+    return -1;
+  }
+  return static_cast<ssize_t>(Done);
+}
+
+ssize_t diffcode::support::readSome(int Fd, void *Buf, std::size_t Size) {
+  for (;;) {
+    ssize_t N = ::read(Fd, Buf, Size);
+    if (N >= 0 || errno != EINTR)
+      return N;
+  }
+}
+
+bool diffcode::support::setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0)
+    return false;
+  return ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+ScopedSigpipeIgnore::ScopedSigpipeIgnore() {
+  struct sigaction Ignore;
+  std::memset(&Ignore, 0, sizeof(Ignore));
+  Ignore.sa_handler = SIG_IGN;
+  sigemptyset(&Ignore.sa_mask);
+  Restore = ::sigaction(SIGPIPE, &Ignore, &Saved) == 0;
+}
+
+ScopedSigpipeIgnore::~ScopedSigpipeIgnore() {
+  if (Restore)
+    ::sigaction(SIGPIPE, &Saved, nullptr);
+}
+
+pid_t diffcode::support::spawnProcess(const std::function<int()> &Body) {
+  pid_t Pid = ::fork();
+  if (Pid != 0)
+    return Pid; // parent (or -1 on failure, errno set)
+  int Code = 125;
+  try {
+    Code = Body();
+  } catch (...) {
+    // Nothing sane to report from a forked child; the supervisor treats
+    // 125 like any other abnormal exit.
+  }
+  ::_exit(Code);
+}
+
+static ExitStatus classifyWait(pid_t Result, int Status) {
+  ExitStatus Out;
+  if (Result < 0) {
+    Out.K = ExitStatus::Kind::Error;
+    Out.Code = errno;
+    return Out;
+  }
+  if (WIFSIGNALED(Status)) {
+    Out.K = ExitStatus::Kind::Signaled;
+    Out.Code = WTERMSIG(Status);
+  } else {
+    Out.K = ExitStatus::Kind::Exited;
+    Out.Code = WIFEXITED(Status) ? WEXITSTATUS(Status) : 125;
+  }
+  return Out;
+}
+
+ExitStatus diffcode::support::waitProcess(pid_t Pid) {
+  int Status = 0;
+  pid_t Result;
+  do {
+    Result = ::waitpid(Pid, &Status, 0);
+  } while (Result < 0 && errno == EINTR);
+  return classifyWait(Result, Status);
+}
+
+bool diffcode::support::tryWaitProcess(pid_t Pid, ExitStatus &Out) {
+  int Status = 0;
+  pid_t Result;
+  do {
+    Result = ::waitpid(Pid, &Status, WNOHANG);
+  } while (Result < 0 && errno == EINTR);
+  if (Result == 0)
+    return false;
+  Out = classifyWait(Result, Status);
+  return true;
+}
+
+bool diffcode::support::killProcess(pid_t Pid, int Signal) {
+  if (Pid <= 0)
+    return false;
+  if (::kill(Pid, Signal) == 0)
+    return true;
+  return errno == ESRCH;
+}

@@ -1,0 +1,122 @@
+//===- support/Process.h - POSIX subprocess & pipe helpers -----------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin, EINTR-correct wrappers around the POSIX process and pipe calls
+/// the supervised execution layer (src/exec) is built on. Everything here
+/// is policy-free: fork a child that runs a callable and _exits, wait for
+/// it with a classified exit status, and move bytes through pipe fds with
+/// proper short-read/short-write loops. Signal handling is explicit —
+/// SIGPIPE is never a correct way to learn a peer died, so the supervisor
+/// installs ScopedSigpipeIgnore and handles EPIPE as a return value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_SUPPORT_PROCESS_H
+#define DIFFCODE_SUPPORT_PROCESS_H
+
+#include <csignal>
+#include <cstddef>
+#include <functional>
+#include <sys/types.h>
+
+namespace diffcode {
+namespace support {
+
+/// One end-pair of a unidirectional pipe. Owns both fds; close-on-destroy
+/// unless released. Ends are closed independently (the parent closes the
+/// child's end after fork and vice versa).
+class Pipe {
+public:
+  /// Creates the pipe; throws std::runtime_error on resource exhaustion.
+  Pipe();
+  ~Pipe();
+  Pipe(Pipe &&Other) noexcept;
+  Pipe &operator=(Pipe &&Other) noexcept;
+  Pipe(const Pipe &) = delete;
+  Pipe &operator=(const Pipe &) = delete;
+
+  int readFd() const { return ReadFd; }
+  int writeFd() const { return WriteFd; }
+  void closeRead();
+  void closeWrite();
+  /// Transfers ownership of an end to the caller (-1 afterwards).
+  int releaseRead();
+  int releaseWrite();
+
+private:
+  int ReadFd = -1;
+  int WriteFd = -1;
+};
+
+/// Reads exactly \p Size bytes from \p Fd, looping over short reads and
+/// retrying EINTR. Returns the byte count actually read: Size on success,
+/// less on EOF, and -1 (as ssize_t) on a real error (errno preserved).
+ssize_t readFull(int Fd, void *Buf, std::size_t Size);
+
+/// Writes exactly \p Size bytes to \p Fd, looping over short writes and
+/// retrying EINTR. Returns Size on success or -1 on error; a closed peer
+/// surfaces as -1 with errno == EPIPE (never a SIGPIPE — callers run
+/// under ScopedSigpipeIgnore or ignore the signal process-wide).
+ssize_t writeFull(int Fd, const void *Buf, std::size_t Size);
+
+/// Reads whatever is available (up to \p Size) — one read(2) with EINTR
+/// retry. Returns >0 bytes, 0 on EOF, or -1 with errno (EAGAIN for an
+/// empty non-blocking fd).
+ssize_t readSome(int Fd, void *Buf, std::size_t Size);
+
+/// Marks \p Fd non-blocking. Returns false on fcntl failure.
+bool setNonBlocking(int Fd);
+
+/// RAII: ignores SIGPIPE for the enclosing scope, restoring the previous
+/// disposition on exit. Pipe writes then report a dead peer via EPIPE.
+class ScopedSigpipeIgnore {
+public:
+  ScopedSigpipeIgnore();
+  ~ScopedSigpipeIgnore();
+  ScopedSigpipeIgnore(const ScopedSigpipeIgnore &) = delete;
+  ScopedSigpipeIgnore &operator=(const ScopedSigpipeIgnore &) = delete;
+
+private:
+  struct sigaction Saved;
+  bool Restore = false;
+};
+
+/// How a waited-for child ended.
+struct ExitStatus {
+  enum class Kind {
+    Exited,   ///< _exit/main return; Code is the exit code.
+    Signaled, ///< killed by a signal; Code is the signal number.
+    Error,    ///< waitpid itself failed (errno in Code).
+  };
+  Kind K = Kind::Exited;
+  int Code = 0;
+
+  bool cleanExit() const { return K == Kind::Exited && Code == 0; }
+};
+
+/// Forks and runs \p Body in the child, passing its return value to
+/// _exit (never exit — the child must not flush the parent's stdio
+/// buffers or run atexit handlers). Returns the child pid, or -1 with
+/// errno when fork fails. An exception escaping Body becomes _exit(125).
+pid_t spawnProcess(const std::function<int()> &Body);
+
+/// Blocking waitpid with EINTR retry; classifies the result.
+ExitStatus waitProcess(pid_t Pid);
+
+/// Non-blocking waitpid poll. Returns true (and fills \p Out) when the
+/// child has ended; false while it is still running.
+bool tryWaitProcess(pid_t Pid, ExitStatus &Out);
+
+/// kill(2) wrapper; true when the signal was delivered (or the process
+/// already ended — ESRCH is not an error for supervision purposes).
+bool killProcess(pid_t Pid, int Signal);
+
+} // namespace support
+} // namespace diffcode
+
+#endif // DIFFCODE_SUPPORT_PROCESS_H

@@ -1,0 +1,568 @@
+//===- tests/test_exec_protocol.cpp - Wire format & protocol codecs --------===//
+//
+// The byte-level half of the supervised execution layer, tested without
+// any subprocess: frame encode/decode across arbitrary chunk
+// boundaries, corruption detection (magic, length, checksum,
+// truncation), the message codecs, the cross-interner definition
+// streaming that keeps reports id-value independent, and the POSIX
+// pipe helpers (short-read/short-write loops, EPIPE-as-return-value).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DiffCode.h"
+#include "core/ReportWriter.h"
+#include "exec/Protocol.h"
+#include "exec/Wire.h"
+#include "support/FaultInjection.h"
+#include "support/Process.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+using namespace diffcode;
+using namespace diffcode::exec;
+
+namespace {
+
+usage::FeaturePath makePath(const std::string &Type, const std::string &Method,
+                            unsigned ArgIndex, const std::string &Value,
+                            bool IsString) {
+  usage::FeaturePath Path;
+  Path.push_back(usage::NodeLabel::root(Type));
+  Path.push_back(usage::NodeLabel::method(Method));
+  usage::NodeLabel Arg;
+  Arg.K = usage::NodeLabel::Kind::Arg;
+  Arg.ArgIndex = ArgIndex;
+  Arg.ValueIsString = IsString;
+  Arg.Text = Value;
+  Path.push_back(Arg);
+  return Path;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Wire primitives
+//===----------------------------------------------------------------------===//
+
+TEST(Wire, PrimitiveRoundTrip) {
+  WireWriter W;
+  W.u8(0xab);
+  W.u32(0xdeadbeef);
+  W.u64(0x0123456789abcdefULL);
+  W.str("hello");
+  W.str(std::string("nul\0byte", 8)); // embedded NUL survives
+  W.str("");
+
+  WireReader R(W.bytes());
+  EXPECT_EQ(R.u8(), 0xab);
+  EXPECT_EQ(R.u32(), 0xdeadbeefu);
+  EXPECT_EQ(R.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(R.str(), "hello");
+  EXPECT_EQ(R.str(), std::string_view("nul\0byte", 8));
+  EXPECT_EQ(R.str(), "");
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(Wire, ReaderIsBoundsCheckedAndSticky) {
+  WireWriter W;
+  W.u32(7);
+  WireReader R(W.bytes());
+  EXPECT_EQ(R.u32(), 7u);
+  EXPECT_TRUE(R.atEnd());
+  // Past the end: zero values, ok() false, and it stays false.
+  EXPECT_EQ(R.u64(), 0u);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.u32(), 0u);
+  EXPECT_FALSE(R.atEnd());
+
+  // A string whose length prefix overruns the buffer must not read past
+  // the end.
+  WireWriter W2;
+  W2.u32(1000); // claims 1000 bytes; none follow
+  WireReader R2(W2.bytes());
+  EXPECT_EQ(R2.str(), "");
+  EXPECT_FALSE(R2.ok());
+}
+
+TEST(Wire, FrameRoundTripAtEveryChunkSize) {
+  std::string Stream = encodeFrame(1, "first payload") +
+                       encodeFrame(2, "") +
+                       encodeFrame(3, std::string(1000, 'x'));
+  for (std::size_t Chunk : {std::size_t(1), std::size_t(7), Stream.size()}) {
+    FrameDecoder D;
+    std::vector<Frame> Frames;
+    for (std::size_t Pos = 0; Pos < Stream.size(); Pos += Chunk) {
+      D.feed(Stream.data() + Pos, std::min(Chunk, Stream.size() - Pos));
+      while (auto F = D.next())
+        Frames.push_back(std::move(*F));
+    }
+    ASSERT_EQ(Frames.size(), 3u) << "chunk size " << Chunk;
+    EXPECT_EQ(Frames[0].Type, 1u);
+    EXPECT_EQ(Frames[0].Payload, "first payload");
+    EXPECT_EQ(Frames[1].Type, 2u);
+    EXPECT_EQ(Frames[1].Payload, "");
+    EXPECT_EQ(Frames[2].Payload, std::string(1000, 'x'));
+    EXPECT_FALSE(D.bad());
+    EXPECT_EQ(D.pendingBytes(), 0u);
+  }
+}
+
+TEST(Wire, CorruptionIsDetectedAndSticky) {
+  // Flipped payload byte -> checksum mismatch.
+  {
+    std::string F = encodeFrame(6, "payload bytes");
+    F[WireHeaderBytes] ^= 0x01;
+    FrameDecoder D;
+    D.feed(F.data(), F.size());
+    EXPECT_FALSE(D.next().has_value());
+    EXPECT_TRUE(D.bad());
+    EXPECT_NE(D.error().find("checksum"), std::string::npos);
+    // Sticky: feeding a pristine frame afterwards cannot resynchronize.
+    std::string Good = encodeFrame(1, "ok");
+    D.feed(Good.data(), Good.size());
+    EXPECT_FALSE(D.next().has_value());
+    EXPECT_TRUE(D.bad());
+  }
+  // Bad magic.
+  {
+    std::string F = encodeFrame(6, "x");
+    F[0] ^= 0xff;
+    FrameDecoder D;
+    D.feed(F.data(), F.size());
+    EXPECT_FALSE(D.next().has_value());
+    EXPECT_TRUE(D.bad());
+    EXPECT_NE(D.error().find("magic"), std::string::npos);
+  }
+  // Insane length field.
+  {
+    std::string F = encodeFrame(6, "x");
+    F[8] = F[9] = F[10] = F[11] = static_cast<char>(0xff);
+    FrameDecoder D;
+    D.feed(F.data(), F.size());
+    EXPECT_FALSE(D.next().has_value());
+    EXPECT_TRUE(D.bad());
+    EXPECT_NE(D.error().find("oversized"), std::string::npos);
+  }
+  // Truncation is NOT an error (more bytes may come) but is visible.
+  {
+    std::string F = encodeFrame(6, "a longer payload");
+    FrameDecoder D;
+    D.feed(F.data(), F.size() / 2);
+    EXPECT_FALSE(D.next().has_value());
+    EXPECT_FALSE(D.bad());
+    EXPECT_EQ(D.pendingBytes(), F.size() / 2);
+  }
+}
+
+TEST(Wire, ChecksumIsFnv1a) {
+  EXPECT_EQ(wireChecksum(""), 0x811c9dc5u);
+  EXPECT_NE(wireChecksum("a"), wireChecksum("b"));
+}
+
+//===----------------------------------------------------------------------===//
+// Message codecs
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, ControlFrameRoundTrip) {
+  std::uint32_t BaseLabels = 0, BasePaths = 0;
+  EXPECT_TRUE(decodeHello(
+      std::string_view(encodeHello(17, 5)).substr(WireHeaderBytes),
+      BaseLabels, BasePaths));
+  EXPECT_EQ(BaseLabels, 17u);
+  EXPECT_EQ(BasePaths, 5u);
+  // A version-1 worker (no base counts) is refused, not misparsed.
+  {
+    WireWriter W;
+    W.u32(1);
+    EXPECT_FALSE(decodeHello(W.bytes(), BaseLabels, BasePaths));
+  }
+
+  WorkUnit In;
+  In.Id = 42;
+  In.Attempt = 3;
+  In.Indices = {7, 8, 9, 1ull << 40};
+  std::string F = encodeWork(In);
+  WorkUnit Out;
+  ASSERT_TRUE(decodeWork(std::string_view(F).substr(WireHeaderBytes), Out));
+  EXPECT_EQ(Out.Id, 42u);
+  EXPECT_EQ(Out.Attempt, 3u);
+  EXPECT_EQ(Out.Indices, In.Indices);
+
+  std::uint64_t UnitId = 0;
+  std::string Done = encodeUnitDone(99);
+  ASSERT_TRUE(decodeUnitDone(std::string_view(Done).substr(WireHeaderBytes),
+                             UnitId));
+  EXPECT_EQ(UnitId, 99u);
+
+  // Trailing garbage is a protocol error, not silently ignored.
+  std::string Longer = std::string(F).substr(WireHeaderBytes) + "x";
+  EXPECT_FALSE(decodeWork(Longer, Out));
+}
+
+TEST(Protocol, DefStreamingRemapsAcrossInterners) {
+  // Worker side: intern paths in one table, stream defs.
+  support::Interner WorkerTable;
+  DefSender Defs(WorkerTable);
+  std::vector<support::PathId> WorkerIds;
+  WorkerIds.push_back(WorkerTable.path(
+      makePath("javax.crypto.Cipher", "getInstance(String)", 0, "AES", true)));
+  WorkerIds.push_back(WorkerTable.path(
+      makePath("java.security.MessageDigest", "getInstance(String)", 0, "MD5",
+               true)));
+  std::string Stream;
+  Defs.flush(Stream);
+  // Incremental: a second flush with nothing new adds nothing...
+  std::string Empty;
+  Defs.flush(Empty);
+  EXPECT_TRUE(Empty.empty());
+  // ...and later interning flushes only the delta.
+  WorkerIds.push_back(WorkerTable.path(
+      makePath("javax.crypto.Cipher", "doFinal(byte[])", 0, "T", false)));
+  Defs.flush(Stream);
+
+  // Coordinator side: a parent table that already holds other content,
+  // so the id values cannot possibly line up.
+  support::Interner ParentTable;
+  ParentTable.path(makePath("unrelated.Type", "m()", 0, "x", false));
+  IdRemap Remap;
+  FrameDecoder D;
+  D.feed(Stream.data(), Stream.size());
+  while (auto F = D.next()) {
+    if (F->Type == static_cast<std::uint32_t>(FrameType::LabelDef))
+      ASSERT_TRUE(Remap.applyLabelDef(F->Payload, ParentTable));
+    else if (F->Type == static_cast<std::uint32_t>(FrameType::PathDef))
+      ASSERT_TRUE(Remap.applyPathDef(F->Payload, ParentTable));
+    else
+      FAIL() << "unexpected frame type " << F->Type;
+  }
+  EXPECT_FALSE(D.bad());
+  ASSERT_EQ(Remap.Paths.size(), WorkerTable.pathCount());
+
+  // Remapped paths materialize byte-identically through the parent.
+  for (support::PathId WorkerId : WorkerIds)
+    EXPECT_EQ(ParentTable.pathString(Remap.Paths[WorkerId]),
+              WorkerTable.pathString(WorkerId));
+}
+
+TEST(Protocol, InheritedBaseStreamsOnlyTheDelta) {
+  // Fork hands the worker a copy-on-write snapshot of the parent table:
+  // identical content, identical dense ids, up to the fork-time counts.
+  // Interners assign ids deterministically, so interning the same
+  // entries in the same order reproduces that snapshot exactly.
+  auto Shared1 = makePath("javax.crypto.Cipher", "getInstance(String)", 0,
+                          "AES", true);
+  auto Shared2 = makePath("javax.net.ssl.SSLContext", "getInstance(String)",
+                          0, "TLS", true);
+  support::Interner ParentTable, WorkerTable;
+  std::vector<support::PathId> SharedIds;
+  for (const auto &P : {Shared1, Shared2}) {
+    SharedIds.push_back(ParentTable.path(P));
+    ASSERT_EQ(WorkerTable.path(P), SharedIds.back());
+  }
+
+  // DefSender constructed on the warm table: the base is the snapshot.
+  DefSender Defs(WorkerTable);
+  EXPECT_EQ(Defs.baseLabels(), WorkerTable.labelCount());
+  EXPECT_EQ(Defs.basePaths(), SharedIds.size());
+
+  // Nothing inherited is ever streamed...
+  std::string Stream;
+  Defs.flush(Stream);
+  EXPECT_TRUE(Stream.empty());
+
+  // ...only the delta the worker interns on top.
+  support::PathId NewId = WorkerTable.path(
+      makePath("javax.crypto.Cipher", "init(int,Key)", 1, "SecretKeySpec",
+               false));
+  Defs.flush(Stream);
+  EXPECT_FALSE(Stream.empty());
+
+  IdRemap Remap;
+  Remap.BaseLabels = Defs.baseLabels();
+  Remap.BasePaths = Defs.basePaths();
+  FrameDecoder D;
+  D.feed(Stream.data(), Stream.size());
+  while (auto F = D.next()) {
+    if (F->Type == static_cast<std::uint32_t>(FrameType::LabelDef))
+      ASSERT_TRUE(Remap.applyLabelDef(F->Payload, ParentTable));
+    else if (F->Type == static_cast<std::uint32_t>(FrameType::PathDef))
+      ASSERT_TRUE(Remap.applyPathDef(F->Payload, ParentTable));
+    else
+      FAIL() << "unexpected frame type " << F->Type;
+  }
+  EXPECT_FALSE(D.bad());
+
+  // Inherited ids map through the identity, new ids through the defs;
+  // both materialize byte-identically in the parent.
+  for (support::PathId Id : SharedIds) {
+    support::PathId Parent = ~support::PathId(0);
+    ASSERT_TRUE(Remap.mapPath(Id, Parent));
+    EXPECT_EQ(Parent, Id);
+    EXPECT_EQ(ParentTable.pathString(Parent), WorkerTable.pathString(Id));
+  }
+  support::PathId ParentNew = 0;
+  ASSERT_TRUE(Remap.mapPath(NewId, ParentNew));
+  EXPECT_EQ(ParentTable.pathString(ParentNew), WorkerTable.pathString(NewId));
+
+  // Past-the-end ids are still protocol violations.
+  support::PathId Bogus = 0;
+  EXPECT_FALSE(Remap.mapPath(NewId + 1, Bogus));
+  support::LabelId BogusLabel = 0;
+  EXPECT_FALSE(
+      Remap.mapLabel(static_cast<std::uint32_t>(WorkerTable.labelCount()),
+                     BogusLabel));
+}
+
+TEST(Protocol, RemapRejectsProtocolViolations) {
+  support::Interner Table;
+  IdRemap Remap;
+  // A path referencing a label id that was never defined.
+  WireWriter W;
+  W.u32(0); // worker path id 0 (dense: ok)
+  W.u32(1); // one label
+  W.u32(5); // ...which does not exist
+  EXPECT_FALSE(Remap.applyPathDef(W.bytes(), Table));
+  // A label def arriving out of dense order.
+  WireWriter W2;
+  W2.u32(3); // should be 0
+  W2.u8(0);
+  W2.u32(0);
+  W2.u8(0);
+  W2.str("T");
+  EXPECT_FALSE(Remap.applyLabelDef(W2.bytes(), Table));
+  // Truncated payloads.
+  EXPECT_FALSE(Remap.applyLabelDef("ab", Table));
+  EXPECT_FALSE(Remap.applyPathDef("", Table));
+}
+
+TEST(Protocol, ResultRoundTripAcrossInterners) {
+  support::Interner WorkerTable;
+  DefSender Defs(WorkerTable);
+
+  core::ChangeRecord In;
+  In.Origin = "projX@c3";
+  In.GroundTruthKind = "fix:R1";
+  In.Status = core::ChangeStatus::Degraded;
+  In.StatusDetail = "parse diagnostics on old version";
+  In.StepsUsed = 1234;
+  In.PerClass["javax.crypto.Cipher"].push_back(usage::UsageChange::intern(
+      WorkerTable, "javax.crypto.Cipher",
+      {makePath("javax.crypto.Cipher", "getInstance(String)", 0, "DES", true)},
+      {makePath("javax.crypto.Cipher", "getInstance(String)", 0, "AES", true)},
+      "projX@c3"));
+  In.PerClass["java.security.MessageDigest"] = {};
+  In.Classification["R1"] = rules::ChangeClass::SecurityFix;
+  In.Classification["R7"] = rules::ChangeClass::NonSemantic;
+
+  std::string Stream;
+  Defs.flush(Stream);
+  Stream += encodeResult(17, In);
+
+  support::Interner ParentTable;
+  ParentTable.path(makePath("pad.Type", "pad()", 2, "pad", false));
+  IdRemap Remap;
+  FrameDecoder D;
+  D.feed(Stream.data(), Stream.size());
+  core::ChangeRecord Out;
+  std::uint64_t Index = 0;
+  bool GotResult = false;
+  while (auto F = D.next()) {
+    switch (static_cast<FrameType>(F->Type)) {
+    case FrameType::LabelDef:
+      ASSERT_TRUE(Remap.applyLabelDef(F->Payload, ParentTable));
+      break;
+    case FrameType::PathDef:
+      ASSERT_TRUE(Remap.applyPathDef(F->Payload, ParentTable));
+      break;
+    case FrameType::Result:
+      ASSERT_TRUE(decodeResult(F->Payload, Remap, ParentTable, Index, Out));
+      GotResult = true;
+      break;
+    default:
+      FAIL() << "unexpected frame type " << F->Type;
+    }
+  }
+  ASSERT_TRUE(GotResult);
+  EXPECT_EQ(Index, 17u);
+  // The decoded record renders byte-identically (the JSON materializes
+  // paths through the interner, so this proves the remap is faithful).
+  EXPECT_EQ(core::changeRecordToJson(Out), core::changeRecordToJson(In));
+  ASSERT_EQ(Out.PerClass.count("javax.crypto.Cipher"), 1u);
+  EXPECT_EQ(Out.PerClass["javax.crypto.Cipher"][0].Table, &ParentTable);
+
+  // Corrupted payload: flip the status byte to an invalid value.
+  std::string Payload = std::string(
+      std::string_view(encodeResult(17, In)).substr(WireHeaderBytes));
+  core::ChangeRecord Dummy;
+  EXPECT_FALSE(decodeResult(Payload.substr(0, Payload.size() / 2), Remap,
+                            ParentTable, Index, Dummy));
+}
+
+//===----------------------------------------------------------------------===//
+// ChangeStatus taxonomy
+//===----------------------------------------------------------------------===//
+
+TEST(ChangeStatusNames, RoundTripAllStatuses) {
+  for (std::size_t I = 0; I < core::NumChangeStatuses; ++I) {
+    core::ChangeStatus S = static_cast<core::ChangeStatus>(I);
+    core::ChangeStatus Back;
+    ASSERT_TRUE(core::changeStatusFromName(core::changeStatusName(S), Back))
+        << core::changeStatusName(S);
+    EXPECT_EQ(Back, S);
+  }
+  core::ChangeStatus Out;
+  EXPECT_FALSE(core::changeStatusFromName("not-a-status", Out));
+  EXPECT_FALSE(core::changeStatusFromName("", Out));
+  // The supervised taxonomy's stable names.
+  EXPECT_STREQ(core::changeStatusName(core::ChangeStatus::WorkerCrash),
+               "worker-crash");
+  EXPECT_STREQ(core::changeStatusName(core::ChangeStatus::WorkerTimeout),
+               "worker-timeout");
+  EXPECT_STREQ(core::changeStatusName(core::ChangeStatus::WorkerOom),
+               "worker-oom");
+}
+
+//===----------------------------------------------------------------------===//
+// Process-level fault sites (no subprocess: decision purity only)
+//===----------------------------------------------------------------------===//
+
+TEST(ProcFaultSites, NamedAndMaskable) {
+  EXPECT_STREQ(support::faultSiteName(support::FaultSite::ProcKill),
+               "proc-kill");
+  EXPECT_STREQ(support::faultSiteName(support::FaultSite::ProcHang),
+               "proc-hang");
+  EXPECT_STREQ(support::faultSiteName(support::FaultSite::ProcSlowStart),
+               "proc-slow-start");
+  EXPECT_STREQ(support::faultSiteName(support::FaultSite::ProcFrameCorrupt),
+               "proc-frame-corrupt");
+  EXPECT_STREQ(support::faultSiteName(support::FaultSite::ProcOomExit),
+               "proc-oom");
+  // The default mask arms every site, including the process-level ones.
+  support::FaultPlan Plan;
+  Plan.Rate = 1.0;
+  for (unsigned I = 0; I < support::NumFaultSites; ++I)
+    EXPECT_TRUE(Plan.armed(static_cast<support::FaultSite>(I)));
+  EXPECT_GE(support::FirstProcFaultSite, 4u);
+}
+
+TEST(ProcFaultSites, NestedScopesDecideIndependentlyAndRestore) {
+  support::FaultPlan Plan;
+  Plan.Seed = 11;
+  Plan.Rate = 0.5;
+  Plan.SiteMask = support::faultSiteBit(support::FaultSite::ProcKill) |
+                  support::faultSiteBit(support::FaultSite::ProcHang);
+
+  auto Decide = [](unsigned Key) {
+    return std::make_pair(
+        support::faultPoint(support::FaultSite::ProcKill, Key),
+        support::faultPoint(support::FaultSite::ProcHang, Key));
+  };
+
+  // No scope installed: never fires.
+  EXPECT_EQ(Decide(0), std::make_pair(false, false));
+
+  std::vector<std::pair<bool, bool>> OuterFirst, OuterSecond, Inner;
+  {
+    support::FaultScope Outer(&Plan, /*ScopeKey=*/3);
+    for (unsigned Key = 0; Key < 64; ++Key)
+      OuterFirst.push_back(Decide(Key));
+    {
+      // A nested scope (a different change) decides independently...
+      support::FaultScope Nested(&Plan, /*ScopeKey=*/4);
+      for (unsigned Key = 0; Key < 64; ++Key)
+        Inner.push_back(Decide(Key));
+    }
+    // ...and the outer scope's decisions are restored exactly.
+    for (unsigned Key = 0; Key < 64; ++Key)
+      OuterSecond.push_back(Decide(Key));
+  }
+  EXPECT_EQ(OuterFirst, OuterSecond);
+  EXPECT_NE(OuterFirst, Inner); // 2^-128 false-failure odds; seed-stable
+  // Rate 0.5 over 64 keys x 2 sites: both outcomes occur.
+  bool AnyFired = false, AnyClean = false;
+  for (auto [K, H] : OuterFirst) {
+    AnyFired = AnyFired || K || H;
+    AnyClean = AnyClean || (!K && !H);
+  }
+  EXPECT_TRUE(AnyFired);
+  EXPECT_TRUE(AnyClean);
+  // Scope gone: decisions stop firing again.
+  EXPECT_EQ(Decide(0), std::make_pair(false, false));
+}
+
+//===----------------------------------------------------------------------===//
+// POSIX pipe helpers
+//===----------------------------------------------------------------------===//
+
+TEST(ProcessHelpers, FullReadWriteAcrossPipeBuffer) {
+  // 1 MiB through a ~64 KiB pipe: both sides must loop over short
+  // transfers. Writer on a thread, reader on the test thread.
+  support::Pipe P;
+  const std::size_t Size = 1 << 20;
+  std::string Sent(Size, '\0');
+  for (std::size_t I = 0; I < Size; ++I)
+    Sent[I] = static_cast<char>(I * 1315423911u >> 3);
+  std::thread Writer([&] {
+    EXPECT_EQ(support::writeFull(P.writeFd(), Sent.data(), Size),
+              static_cast<ssize_t>(Size));
+    P.closeWrite();
+  });
+  std::string Got(Size, '\0');
+  EXPECT_EQ(support::readFull(P.readFd(), Got.data(), Size),
+            static_cast<ssize_t>(Size));
+  EXPECT_EQ(Got, Sent);
+  // EOF after the writer closed: short count, not an error.
+  char Extra;
+  EXPECT_EQ(support::readFull(P.readFd(), &Extra, 1), 0);
+  Writer.join();
+}
+
+TEST(ProcessHelpers, ClosedPeerIsEpipeNotSigpipe) {
+  support::ScopedSigpipeIgnore Ignore;
+  support::Pipe P;
+  P.closeRead();
+  char Byte = 'x';
+  errno = 0;
+  EXPECT_EQ(support::writeFull(P.writeFd(), &Byte, 1), -1);
+  EXPECT_EQ(errno, EPIPE);
+}
+
+TEST(ProcessHelpers, SpawnWaitAndKill) {
+  // Clean exit.
+  pid_t Pid = support::spawnProcess([] { return 0; });
+  ASSERT_GT(Pid, 0);
+  support::ExitStatus ES = support::waitProcess(Pid);
+  EXPECT_TRUE(ES.cleanExit());
+  // Distinguished exit code.
+  Pid = support::spawnProcess([] { return 86; });
+  ASSERT_GT(Pid, 0);
+  ES = support::waitProcess(Pid);
+  EXPECT_EQ(ES.K, support::ExitStatus::Kind::Exited);
+  EXPECT_EQ(ES.Code, 86);
+  // Signal death.
+  Pid = support::spawnProcess([]() -> int {
+    for (;;)
+      ::pause();
+  });
+  ASSERT_GT(Pid, 0);
+  EXPECT_TRUE(support::killProcess(Pid, SIGKILL));
+  ES = support::waitProcess(Pid);
+  EXPECT_EQ(ES.K, support::ExitStatus::Kind::Signaled);
+  EXPECT_EQ(ES.Code, SIGKILL);
+  // An escaping exception is contained into exit code 125.
+  Pid = support::spawnProcess([]() -> int { throw std::runtime_error("x"); });
+  ASSERT_GT(Pid, 0);
+  ES = support::waitProcess(Pid);
+  EXPECT_EQ(ES.K, support::ExitStatus::Kind::Exited);
+  EXPECT_EQ(ES.Code, 125);
+}

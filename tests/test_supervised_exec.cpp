@@ -1,0 +1,200 @@
+//===- tests/test_supervised_exec.cpp - Supervised execution differential -===//
+//
+// The byte-identity contract of the supervised engine: with no faults
+// firing, a report produced by forked worker subprocesses is
+// byte-identical to the in-process engine's, at every worker count and
+// batch size. Also covers the supervision bookkeeping (SupervisionStats
+// on a clean run), the exec::runPipeline dispatch, edge cases (empty
+// corpus, more workers than units), and the CLI surface (--workers,
+// --fail-on-degraded).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DiffCode.h"
+#include "core/ReportWriter.h"
+#include "corpus/CorpusGenerator.h"
+#include "corpus/Miner.h"
+#include "exec/Supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+using namespace diffcode;
+using namespace diffcode::core;
+
+namespace {
+
+const apimodel::CryptoApiModel &api() {
+  return apimodel::CryptoApiModel::javaCryptoApi();
+}
+
+/// Shared corpus + in-process baseline, built once for the whole suite.
+struct Env {
+  corpus::Corpus C;
+  std::vector<const corpus::CodeChange *> Mined;
+  CorpusReport Baseline;
+  std::string BaselineJson;
+};
+
+const Env &env() {
+  static Env *E = [] {
+    Env *Out = new Env;
+    corpus::CorpusOptions Opts;
+    Opts.Seed = 61;
+    Opts.NumProjects = 8;
+    Out->C = corpus::CorpusGenerator(Opts).generate();
+    corpus::Miner M(api());
+    Out->Mined = M.mine(Out->C);
+    Out->Baseline = DiffCode(api()).runPipeline(
+        {.Changes = Out->Mined, .TargetClasses = api().targetClasses()});
+    Out->BaselineJson = corpusReportToJson(Out->Baseline);
+    return Out;
+  }();
+  return *E;
+}
+
+CorpusReport runSupervised(unsigned Workers, std::size_t BatchSize) {
+  ExecutionPolicy Exec;
+  Exec.Mode = ExecutionMode::Supervised;
+  Exec.Workers = Workers;
+  Exec.BatchSize = BatchSize;
+  DiffCode System(api());
+  return exec::runPipeline(System,
+                           {.Changes = env().Mined,
+                            .TargetClasses = api().targetClasses(),
+                            .Exec = Exec});
+}
+
+#ifdef DIFFCODE_CLI_PATH
+std::string readWholeFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+int runCli(const std::string &Args, const std::string &StdoutFile) {
+  std::string Cmd = std::string(DIFFCODE_CLI_PATH) + " " + Args + " > " +
+                    StdoutFile + " 2>/dev/null";
+  int Rc = std::system(Cmd.c_str());
+  return WIFEXITED(Rc) ? WEXITSTATUS(Rc) : -1;
+}
+#endif
+
+} // namespace
+
+TEST(SupervisedExec, ByteIdenticalAcrossWorkersAndBatchSizes) {
+  for (unsigned Workers : {1u, 2u, 4u})
+    for (std::size_t Batch : {std::size_t(1), std::size_t(3), std::size_t(8)})
+      EXPECT_EQ(env().BaselineJson,
+                corpusReportToJson(runSupervised(Workers, Batch)))
+          << Workers << " workers, batch " << Batch;
+}
+
+TEST(SupervisedExec, CleanRunBookkeeping) {
+  exec::SupervisionStats Stats;
+  ExecutionPolicy Exec;
+  Exec.Mode = ExecutionMode::Supervised;
+  Exec.Workers = 2;
+  Exec.BatchSize = 4;
+  DiffCode System(api());
+  std::vector<ChangeRecord> Records = exec::superviseChanges(
+      System,
+      {.Changes = env().Mined, .TargetClasses = api().targetClasses(),
+       .Exec = Exec},
+      &Stats);
+
+  ASSERT_EQ(Records.size(), env().Mined.size());
+  // One unit per contiguous batch; a clean run never retries, bisects,
+  // restarts, kills, falls back inline, or stamps a terminal status.
+  std::uint64_t N = env().Mined.size();
+  EXPECT_EQ(Stats.UnitsDispatched, (N + 3) / 4);
+  EXPECT_EQ(Stats.Retries, 0u);
+  EXPECT_EQ(Stats.Bisections, 0u);
+  EXPECT_EQ(Stats.WorkerRestarts, 0u);
+  EXPECT_EQ(Stats.DeadlineKills, 0u);
+  EXPECT_EQ(Stats.InlineFallbacks, 0u);
+  for (std::size_t I = 0; I < NumChangeStatuses; ++I)
+    EXPECT_EQ(Stats.TerminalStatus[I], 0u) << changeStatusName(
+        static_cast<ChangeStatus>(I));
+  // Results did flow over the wire.
+  EXPECT_GE(Stats.FramesReceived, N);
+  EXPECT_GT(Stats.BytesReceived, 0u);
+}
+
+TEST(SupervisedExec, InProcessModeDispatchesUnchanged) {
+  DiffCode System(api());
+  CorpusReport R = exec::runPipeline(
+      System,
+      {.Changes = env().Mined, .TargetClasses = api().targetClasses()});
+  EXPECT_EQ(env().BaselineJson, corpusReportToJson(R));
+}
+
+TEST(SupervisedExec, EmptyAndOverprovisionedRuns) {
+  DiffCode System(api());
+  ExecutionPolicy Exec;
+  Exec.Mode = ExecutionMode::Supervised;
+  Exec.Workers = 4;
+
+  // Empty corpus: no workers needed, report still well-formed.
+  exec::SupervisionStats Stats;
+  std::vector<ChangeRecord> None = exec::superviseChanges(
+      System, {.Changes = {}, .TargetClasses = api().targetClasses(),
+               .Exec = Exec},
+      &Stats);
+  EXPECT_TRUE(None.empty());
+  EXPECT_EQ(Stats.UnitsDispatched, 0u);
+  EXPECT_EQ(Stats.WorkerRestarts, 0u);
+
+  // Far more workers than units: the pool clamps, the report matches.
+  Exec.Workers = 16;
+  Exec.BatchSize = 64; // one unit per 64 changes -> 1-2 units total
+  CorpusReport R = exec::runPipeline(
+      System, {.Changes = env().Mined, .TargetClasses = api().targetClasses(),
+               .Exec = Exec});
+  EXPECT_EQ(env().BaselineJson, corpusReportToJson(R));
+}
+
+#ifdef DIFFCODE_CLI_PATH
+TEST(SupervisedCli, WorkersFlagIsByteIdentical) {
+  std::string Dir = testing::TempDir();
+  std::string Corpus = DIFFCODE_SMOKE_CORPUS;
+  ASSERT_EQ(runCli("pipeline " + Corpus + " --json", Dir + "/inproc.json"), 0);
+  ASSERT_EQ(runCli("pipeline " + Corpus + " --workers 2 --json",
+                   Dir + "/supervised.json"),
+            0);
+  std::string InProc = readWholeFile(Dir + "/inproc.json");
+  ASSERT_FALSE(InProc.empty());
+  EXPECT_EQ(InProc, readWholeFile(Dir + "/supervised.json"));
+}
+
+TEST(SupervisedCli, FailOnDegradedThreshold) {
+  // The smoke corpus is 1 ok + 1 degraded = 50% non-ok. Above a 10%
+  // threshold the run must fail with the distinguished exit code 3;
+  // above 60% it is within budget and exits 0. Both runs still print
+  // the full report (the tripwire gates the exit code, not the output).
+  std::string Dir = testing::TempDir();
+  std::string Corpus = DIFFCODE_SMOKE_CORPUS;
+  EXPECT_EQ(runCli("pipeline " + Corpus + " --fail-on-degraded 10",
+                   Dir + "/strict.txt"),
+            3);
+  EXPECT_NE(readWholeFile(Dir + "/strict.txt").find("corpus health"),
+            std::string::npos);
+  EXPECT_EQ(runCli("pipeline " + Corpus + " --fail-on-degraded 60",
+                   Dir + "/lenient.txt"),
+            0);
+  // The tripwire composes with supervised mode.
+  EXPECT_EQ(runCli("pipeline " + Corpus + " --workers 2 --fail-on-degraded 10",
+                   Dir + "/strict2.txt"),
+            3);
+  EXPECT_EQ(runCli("pipeline " + Corpus + " --workers 2 --fail-on-degraded 60",
+                   Dir + "/lenient2.txt"),
+            0);
+}
+#endif
