@@ -44,8 +44,8 @@ Score scorePipeline(const bench::MinedCorpus &Mined,
                     analysis::AnalysisOptions::BaseAbstraction Mode) {
   const apimodel::CryptoApiModel &Api =
       apimodel::CryptoApiModel::javaCryptoApi();
-  DiffCodeOptions Opts;
-  Opts.Analysis.Abstraction = Mode;
+  PipelineConfig Opts;
+  Opts.Limits.Analysis.Abstraction = Mode;
   Opts.Threads = 0;
   DiffCode System(Api, Opts);
 
@@ -72,7 +72,7 @@ Score scorePipeline(const bench::MinedCorpus &Mined,
 
   // Corpus-level inspection load (after fdup).
   CorpusReport Report =
-      System.runPipeline({.Changes = Mined.Changes,
+      System.run({.Changes = Mined.Changes,
                           .TargetClasses = Api.targetClasses(),
                           .BuildDendrograms = false});
   for (const ClassReport &Class : Report.PerClass)

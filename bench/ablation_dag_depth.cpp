@@ -37,8 +37,8 @@ int main(int argc, char **argv) {
   TablePrinter Table({"depth n", "fix recall", "refactor FP rate",
                       "mean DAG nodes"});
   for (unsigned Depth = 1; Depth <= 7; ++Depth) {
-    DiffCodeOptions Opts;
-    Opts.DagDepth = Depth;
+    PipelineConfig Opts;
+    Opts.Limits.DagDepth = Depth;
     DiffCode System(Api, Opts);
 
     std::size_t FixTotal = 0, FixSurvive = 0, RefTotal = 0, RefSurvive = 0;

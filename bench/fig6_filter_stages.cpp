@@ -49,11 +49,11 @@ int main(int argc, char **argv) {
 
   const apimodel::CryptoApiModel &Api =
       apimodel::CryptoApiModel::javaCryptoApi();
-  core::DiffCodeOptions SysOpts;
+  core::PipelineConfig SysOpts;
   SysOpts.Threads = 0; // all cores; results are order-deterministic
   core::DiffCode System(Api, SysOpts);
   core::CorpusReport Report =
-      System.runPipeline({.Changes = Mined.Changes,
+      System.run({.Changes = Mined.Changes,
                           .TargetClasses = Api.targetClasses(),
                           .BuildDendrograms = false});
 

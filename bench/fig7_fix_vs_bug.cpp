@@ -47,14 +47,14 @@ int main(int argc, char **argv) {
 
   const apimodel::CryptoApiModel &Api =
       apimodel::CryptoApiModel::javaCryptoApi();
-  core::DiffCodeOptions SysOpts;
+  core::PipelineConfig SysOpts;
   SysOpts.Threads = 0; // all cores; results are order-deterministic
   core::DiffCode System(Api, SysOpts);
   std::vector<const Rule *> CLRules;
   for (const Rule &R : cryptoLintRules())
     CLRules.push_back(&R);
 
-  CorpusReport Report = System.runPipeline({.Changes = Mined.Changes,
+  CorpusReport Report = System.run({.Changes = Mined.Changes,
                                             .TargetClasses = Api.targetClasses(),
                                             .ClassifyWith = CLRules,
                                             .BuildDendrograms = false});

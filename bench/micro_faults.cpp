@@ -79,11 +79,11 @@ support::FaultPlan planFor(const CampaignSpec &Spec,
 CorpusReport runCampaign(const std::vector<const corpus::CodeChange *> &Mined,
                          const support::FaultPlan &Plan, unsigned Threads,
                          obs::Observer *Obs) {
-  DiffCodeOptions Opts;
+  PipelineConfig Opts;
   Opts.Threads = Threads;
   Opts.Clustering.Threads = Threads;
   Opts.Faults = Plan;
-  return DiffCode(api(), Opts).runPipeline({.Changes = Mined,
+  return DiffCode(api(), Opts).run({.Changes = Mined,
                                             .TargetClasses =
                                                 api().targetClasses(),
                                             .Metrics = Obs});
@@ -131,7 +131,7 @@ int main(int argc, char **argv) {
 
   // Unobserved, fault-free reference for the rate-0 byte check.
   std::string BaselineJson = corpusReportToJson(
-      DiffCode(api()).runPipeline(
+      DiffCode(api()).run(
           {.Changes = Mined, .TargetClasses = api().targetClasses()}));
 
   constexpr std::uint32_t AllSites = (1u << support::NumFaultSites) - 1;

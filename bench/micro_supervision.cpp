@@ -199,7 +199,7 @@ int main(int argc, char **argv) {
                Projects, static_cast<unsigned long long>(Seed), Mined.size(),
                Parallelism, RequestedParallelism);
 
-  DiffCodeOptions SysOpts;
+  PipelineConfig SysOpts;
   SysOpts.Threads = Parallelism;
   DiffCode System(api(), SysOpts);
 
@@ -220,12 +220,12 @@ int main(int argc, char **argv) {
   // Byte-identity + clean-run bookkeeping
   //===--------------------------------------------------------------------===//
 
-  std::string InProcJson = corpusReportToJson(System.runPipeline(InProc));
+  std::string InProcJson = corpusReportToJson(System.run(InProc));
   exec::SupervisionStats Stats;
   std::vector<ChangeRecord> SupRecords =
       exec::superviseChanges(System, FullPool, &Stats);
   std::string SupervisedJson =
-      corpusReportToJson(exec::runPipeline(System, FullPool));
+      corpusReportToJson(System.run(FullPool));
   bool ByteIdentical = !InProcJson.empty() && InProcJson == SupervisedJson;
 
   std::uint64_t TerminalTotal = 0;

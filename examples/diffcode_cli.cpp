@@ -44,6 +44,20 @@
 //       cleanly (any non-ok status) — the CI tripwire for corpora that
 //       silently rot.
 //
+//   diffcode_cli serve <socket-path> [--threads <n>] [--max-cached <n>]
+//       run the incremental analysis service in the foreground on a UNIX
+//       socket (same server loop as the diffcoded binary); stops at the
+//       first client shutdown request. Also spelled --serve.
+//
+//   diffcode_cli connect <socket-path> [--ingest <corpus-dir>]
+//                [--query <what>] [--snapshot] [--shutdown]
+//       talk to a running service; operations execute in flag order.
+//       --ingest mines a corpus directory client-side and ships the
+//       changes, printing the session's cache/repair stats; --query asks
+//       "health", "stats", or "class:<Name>"; --snapshot prints the full
+//       report JSON (byte-identical to a cold `pipeline --json --cluster`
+//       run over everything ingested so far). Also spelled --connect.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/DiffCode.h"
@@ -54,6 +68,7 @@
 #include "rules/BuiltinRules.h"
 #include "rules/CryptoChecker.h"
 #include "rules/RuleSuggestion.h"
+#include "service/Server.h"
 
 #include <cstdio>
 #include <cstring>
@@ -61,6 +76,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace diffcode;
 
@@ -77,7 +94,13 @@ int printUsage() {
                "[--workers <n>]\n"
                "                    [--unit-deadline-ms <n>] "
                "[--max-retries <n>]\n"
-               "                    [--fail-on-degraded <pct>]\n");
+               "                    [--fail-on-degraded <pct>]\n"
+               "       diffcode_cli serve <socket-path> [--threads <n>] "
+               "[--max-cached <n>]\n"
+               "       diffcode_cli connect <socket-path> "
+               "[--ingest <corpus-dir>]\n"
+               "                    [--query <what>] [--snapshot] "
+               "[--shutdown]\n");
   return 2;
 }
 
@@ -261,23 +284,22 @@ int runPipeline(int argc, char **argv, bool Json) {
     std::printf("loaded %zu projects, mined %zu crypto-touching changes\n\n",
                 C->Projects.size(), Mined.size());
 
-  core::DiffCodeOptions Opts;
+  core::PipelineConfig Opts;
   Opts.Threads = 0;
   if (Shard) {
-    Opts.Clustering.Sharding.Enabled = true;
-    Opts.Clustering.Sharding.MaxShardSize = ShardSize;
-    Opts.Clustering.Sharding.Threads = 0; // all cores
+    Opts.Sharding.Enabled = true;
+    Opts.Sharding.MaxShardSize = ShardSize;
+    Opts.Sharding.Threads = 0; // all cores
   }
   core::DiffCode System(Api, Opts);
   obs::Observer Obs;
-  // Routed through exec::runPipeline so --workers can swap in the
-  // supervised engine; without it this is exactly System.runPipeline.
-  core::CorpusReport Report =
-      exec::runPipeline(System, {.Changes = Mined,
-                                 .TargetClasses = Api.targetClasses(),
-                                 .BuildDendrograms = Cluster,
-                                 .Metrics = Metrics ? &Obs : nullptr,
-                                 .Exec = Exec});
+  // run() dispatches on Exec.Mode, so --workers swaps in the
+  // supervised engine without a separate entry point.
+  core::CorpusReport Report = System.run({.Changes = Mined,
+                                          .TargetClasses = Api.targetClasses(),
+                                          .BuildDendrograms = Cluster,
+                                          .Metrics = Metrics ? &Obs : nullptr,
+                                          .Exec = Exec});
 
   // The --fail-on-degraded tripwire: share of changes that did not
   // process cleanly (any non-ok status), in percent of the mined corpus.
@@ -328,10 +350,10 @@ int runPipeline(int argc, char **argv, bool Json) {
       if (Class.Filtered.Kept.empty())
         continue;
       std::size_t Clusters =
-          Class.Tree.cut(System.options().ClusterCut).size();
+          Class.Tree.cut(System.config().Clustering.Cut).size();
       std::printf("%s: %zu flat clusters at cut %.2f",
                   Class.TargetClass.c_str(), Clusters,
-                  System.options().ClusterCut);
+                  System.config().Clustering.Cut);
       if (Class.Sharding.NumShards > 0)
         std::printf(" (sharded: %zu shards, largest %zu, %zu "
                     "representatives)",
@@ -399,6 +421,105 @@ int runPipeline(int argc, char **argv, bool Json) {
   return ExitCode;
 }
 
+int runServe(int argc, char **argv) {
+  if (argc < 3)
+    return printUsage();
+  service::SessionOptions Opts;
+  Opts.Config.Threads = 0; // one analysis worker per hardware thread
+  for (int I = 3; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc)
+      Opts.Config.Threads =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (std::strcmp(argv[I], "--max-cached") == 0 && I + 1 < argc)
+      Opts.MaxCachedChanges = std::strtoull(argv[++I], nullptr, 10);
+    else
+      return printUsage();
+  }
+  std::string Error;
+  int ListenFd = service::listenUnix(argv[2], &Error);
+  if (ListenFd < 0) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  service::Server S(apimodel::CryptoApiModel::javaCryptoApi(),
+                    std::move(Opts));
+  std::fprintf(stderr, "serving on %s\n", argv[2]);
+  int Code = service::serveUnix(S, ListenFd);
+  std::remove(argv[2]);
+  return Code;
+}
+
+int runConnect(int argc, char **argv) {
+  if (argc < 3)
+    return printUsage();
+  std::string Error;
+  int Fd = service::connectUnix(argv[2], &Error);
+  if (Fd < 0) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  service::Client C(Fd);
+  int Code = 0;
+  for (int I = 3; I < argc && Code == 0; ++I) {
+    if (std::strcmp(argv[I], "--ingest") == 0 && I + 1 < argc) {
+      std::optional<corpus::Corpus> Corpus =
+          corpus::readCorpus(argv[++I], &Error);
+      if (!Corpus) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        Code = 1;
+        break;
+      }
+      // Mine client-side so the wire carries only crypto-touching
+      // changes; the server sees the same change stream `pipeline` would.
+      corpus::MinerOptions MinerOpts;
+      MinerOpts.MinCommitsPerProject = 1;
+      corpus::Miner M(apimodel::CryptoApiModel::javaCryptoApi(), MinerOpts);
+      std::vector<corpus::CodeChange> Changes;
+      for (const corpus::CodeChange *Change : M.mine(*Corpus))
+        Changes.push_back(*Change);
+      service::IngestReply Reply;
+      if (!C.ingest(Changes, Reply, &Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        Code = 1;
+        break;
+      }
+      std::printf("ingested %zu changes (session total %llu): "
+                  "%zu cache hits, %zu misses, %zu classes repaired, "
+                  "%llu pair distances reused\n",
+                  Reply.Stats.Ingested,
+                  static_cast<unsigned long long>(Reply.TotalChanges),
+                  Reply.Stats.CacheHits, Reply.Stats.CacheMisses,
+                  Reply.Stats.ClassesRepaired,
+                  static_cast<unsigned long long>(Reply.Stats.PairsReused));
+    } else if (std::strcmp(argv[I], "--query") == 0 && I + 1 < argc) {
+      std::string Answer;
+      if (!C.query(argv[++I], Answer, &Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        Code = 1;
+        break;
+      }
+      std::printf("%s\n", Answer.c_str());
+    } else if (std::strcmp(argv[I], "--snapshot") == 0) {
+      std::string Json;
+      if (!C.snapshot(Json, &Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        Code = 1;
+        break;
+      }
+      std::printf("%s\n", Json.c_str());
+    } else if (std::strcmp(argv[I], "--shutdown") == 0) {
+      if (!C.shutdown(&Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        Code = 1;
+      }
+    } else {
+      Code = printUsage();
+    }
+  }
+  ::close(Fd);
+  return Code;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -416,5 +537,11 @@ int main(int argc, char **argv) {
     return runSuggest(argc, argv);
   if (std::strcmp(argv[1], "pipeline") == 0)
     return runPipeline(argc, argv, Json);
+  if (std::strcmp(argv[1], "serve") == 0 ||
+      std::strcmp(argv[1], "--serve") == 0)
+    return runServe(argc, argv);
+  if (std::strcmp(argv[1], "connect") == 0 ||
+      std::strcmp(argv[1], "--connect") == 0)
+    return runConnect(argc, argv);
   return printUsage();
 }

@@ -1,0 +1,65 @@
+//===- examples/diffcoded.cpp - The incremental analysis daemon ------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+//
+// The long-lived service front end (DESIGN.md "Service mode and the
+// session API"):
+//
+//   diffcoded <socket-path> [--threads <n>] [--max-cached <n>]
+//
+// binds a UNIX socket, keeps one AnalysisSession alive, and answers
+// framed Ingest/Query/Snapshot/Shutdown requests until a client asks it
+// to stop. Clients are `diffcode_cli connect <socket-path> ...` or
+// anything speaking service/Protocol.h over the socket. Connections are
+// served sequentially — the session's incremental caches are the point,
+// not concurrency — so a corpus streamed in commit-sized ingests
+// re-analyzes only what each commit touched.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace diffcode;
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: diffcoded <socket-path> [--threads <n>] "
+                 "[--max-cached <n>]\n");
+    return 2;
+  }
+  std::string SocketPath = argv[1];
+  service::SessionOptions Opts;
+  Opts.Config.Threads = 0; // one analysis worker per hardware thread
+  for (int I = 2; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc) {
+      Opts.Config.Threads =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (std::strcmp(argv[I], "--max-cached") == 0 && I + 1 < argc) {
+      Opts.MaxCachedChanges = std::strtoull(argv[++I], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[I]);
+      return 2;
+    }
+  }
+
+  std::string Error;
+  int ListenFd = service::listenUnix(SocketPath, &Error);
+  if (ListenFd < 0) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  service::Server S(apimodel::CryptoApiModel::javaCryptoApi(),
+                    std::move(Opts));
+  std::fprintf(stderr, "diffcoded: serving on %s\n", SocketPath.c_str());
+  int Code = service::serveUnix(S, ListenFd);
+  std::remove(SocketPath.c_str());
+  return Code;
+}

@@ -42,7 +42,7 @@ int main(int argc, char **argv) {
               Mined.size(), C.totalChanges());
 
   core::DiffCode System(Api);
-  core::CorpusReport Report = System.runPipeline(
+  core::CorpusReport Report = System.run(
       {.Changes = Mined, .TargetClasses = Api.targetClasses()});
 
   std::printf("%-16s %8s %7s %6s %6s %6s\n", "target class", "usages",
@@ -70,7 +70,7 @@ int main(int argc, char **argv) {
     std::printf("\n== auto-suggested rule candidates (clusters with >= 2 "
                 "changes) ==\n");
     for (const std::vector<std::size_t> &Cluster :
-         Class.Tree.cut(System.options().ClusterCut)) {
+         Class.Tree.cut(System.config().Clustering.Cut)) {
       if (Cluster.size() < 2)
         continue;
       std::vector<usage::UsageChange> Members;

@@ -48,6 +48,14 @@
 # falls below 5x — and leaves BENCH_lexer.json in the build directory.
 #   scripts/check.sh --bench-lexer -L tier1
 #
+# --bench-incremental (opt-in): after the test suite, run the service
+# append-vs-cold-batch guard (bench/micro_incremental) at n=10k.
+# Self-verifying — non-zero exit if the warmed session's snapshot is not
+# byte-identical to the cold batch report or the single-commit append
+# speedup falls below 5x — and leaves BENCH_incremental.json in the
+# build directory.
+#   scripts/check.sh --bench-incremental -L tier1
+#
 # --chaos (opt-in): after the regular suite, run the seeded chaos
 # campaign (ctest -L chaos): workers that crash, hang, OOM-exit, start
 # slowly, and corrupt result streams, asserting deterministic per-status
@@ -69,6 +77,7 @@ BENCH_SHARDING=0
 BENCH_INTERNING=0
 BENCH_FAULTS=0
 BENCH_LEXER=0
+BENCH_INCREMENTAL=0
 CHAOS=0
 for arg in "$@"; do
   if [[ "$arg" == "--asan" ]]; then
@@ -86,6 +95,8 @@ for arg in "$@"; do
     BENCH_FAULTS=1
   elif [[ "$arg" == "--bench-lexer" ]]; then
     BENCH_LEXER=1
+  elif [[ "$arg" == "--bench-incremental" ]]; then
+    BENCH_INCREMENTAL=1
   elif [[ "$arg" == "--chaos" ]]; then
     CHAOS=1
   else
@@ -106,6 +117,20 @@ if [[ "$ASAN" == "1" ]]; then
   ./tests/test_supervised_exec
   echo "== lexer fuzz suite under sanitizers =="
   ./tests/test_lexer_fuzz
+  echo "== service round-trip under sanitizers =="
+  # One full serve/connect cycle over a UNIX socket: ingest the smoke
+  # corpus, query, snapshot, shut down. `wait` surfaces the daemon's
+  # exit code, so a sanitizer report on either side fails the sweep.
+  SOCK="${TMPDIR:-/tmp}/diffcoded_asan_$$.sock"
+  rm -f "$SOCK"
+  ./examples/diffcoded "$SOCK" --threads 2 &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do [[ -S "$SOCK" ]] && break; sleep 0.1; done
+  ./examples/diffcode_cli connect "$SOCK" \
+    --ingest ../tests/data/smoke_corpus \
+    --query health --query stats --snapshot --shutdown > /dev/null
+  wait "$SERVE_PID"
+  rm -f "$SOCK"
 else
   echo "== observability overhead guard (bench/micro_pipeline) =="
   ./bench/micro_pipeline --verify-overhead
@@ -129,6 +154,11 @@ fi
 if [[ "$BENCH_LEXER" == "1" ]]; then
   echo "== front-end scanner sweep (bench/micro_lexer) =="
   ./bench/micro_lexer 120 42 BENCH_lexer.json
+fi
+
+if [[ "$BENCH_INCREMENTAL" == "1" ]]; then
+  echo "== service incremental-append guard (bench/micro_incremental) =="
+  ./bench/micro_incremental 10000 42 BENCH_incremental.json
 fi
 
 if [[ "$CHAOS" == "1" ]]; then

@@ -3,6 +3,7 @@
 #include "core/DiffCode.h"
 
 #include "cluster/ShardedClustering.h"
+#include "exec/Supervisor.h"
 #include "javaast/Parser.h"
 #include "obs/Observer.h"
 #include "support/ThreadPool.h"
@@ -78,9 +79,43 @@ void core::computeCorpusHealth(CorpusReport &Report, std::size_t MaxOffenders) {
   Report.Health = Health;
 }
 
-DiffCode::DiffCode(const apimodel::CryptoApiModel &Api, DiffCodeOptions Opts)
-    : Api(Api), Opts(Opts),
+/// The pre-PR-8 field layout of \p Config, for the deprecated options()
+/// accessor and round-trip tests.
+static DiffCodeOptions legacyView(const PipelineConfig &Config) {
+  DiffCodeOptions Opts;
+  Opts.Analysis = Config.Limits.Analysis;
+  Opts.ParseBudget = Config.Limits.Parse;
+  Opts.DagDepth = Config.Limits.DagDepth;
+  Opts.ClusterCut = Config.Clustering.Cut;
+  Opts.Threads = Config.Threads;
+  Opts.Clustering = Config.clusteringOptions();
+  Opts.Faults = Config.Faults;
+  return Opts;
+}
+
+static PipelineConfig configFrom(const DiffCodeOptions &Opts) {
+  PipelineConfig Config;
+  Config.Threads = Opts.Threads;
+  Config.Limits.Parse = Opts.ParseBudget;
+  Config.Limits.Analysis = Opts.Analysis;
+  Config.Limits.DagDepth = Opts.DagDepth;
+  Config.Clustering.Cut = Opts.ClusterCut;
+  Config.Clustering.Algo = Opts.Clustering.Algo;
+  Config.Clustering.Threads = Opts.Clustering.Threads;
+  Config.Sharding = Opts.Clustering.Sharding;
+  Config.Faults = Opts.Faults;
+  return Config;
+}
+
+DiffCode::DiffCode(const apimodel::CryptoApiModel &Api)
+    : DiffCode(Api, PipelineConfig()) {}
+
+DiffCode::DiffCode(const apimodel::CryptoApiModel &Api, PipelineConfig Config)
+    : Api(Api), Config(Config), LegacyOpts(legacyView(Config)),
       DefaultLabels(std::make_shared<support::Interner>()) {}
+
+DiffCode::DiffCode(const apimodel::CryptoApiModel &Api, DiffCodeOptions Opts)
+    : DiffCode(Api, configFrom(Opts)) {}
 
 support::Interner &DiffCode::internerFor(const PipelineRequest &Request) const {
   return Request.Labels ? *Request.Labels : *DefaultLabels;
@@ -101,7 +136,7 @@ DiffCode::analyzeSourceChecked(std::string_view Source,
   Ctx.reset();
   java::DiagnosticsEngine Diags;
   java::CompilationUnit *Unit =
-      java::parseJava(Source, Ctx, Diags, Opts.ParseBudget);
+      java::parseJava(Source, Ctx, Diags, Config.Limits.Parse);
   auto FirstError = [&Diags]() -> std::string {
     for (const java::Diagnostic &D : Diags.all())
       if (D.Level == java::DiagLevel::Error)
@@ -114,7 +149,7 @@ DiffCode::analyzeSourceChecked(std::string_view Source,
     Out.Detail = FirstError();
     return Out;
   }
-  analysis::AbstractInterpreter Interp(Api, Opts.Analysis);
+  analysis::AbstractInterpreter Interp(Api, Config.Limits.Analysis);
   Out.Result = Interp.analyze(Unit);
   if (Out.Result.Stats.anyBudgetHit()) {
     Out.Status = ChangeStatus::BudgetExceeded;
@@ -139,7 +174,7 @@ DiffCode::dagsForClass(const analysis::AnalysisResult &Result,
       if (Result.Objects.get(ObjId).TypeName != TargetClass)
         continue;
       usage::UsageDag Dag =
-          usage::UsageDag::build(Result.Objects, Log, ObjId, Opts.DagDepth);
+          usage::UsageDag::build(Result.Objects, Log, ObjId, Config.Limits.DagDepth);
       if (Seen.insert(Dag.canonicalString()).second)
         Dags.push_back(std::move(Dag));
     }
@@ -266,7 +301,7 @@ DiffCode::analyzeChanges(const PipelineRequest &Request) const {
   // (and therefore every downstream number) is identical to the serial
   // run for any thread count.
   unsigned Threads =
-      std::min<unsigned>(support::resolveThreads(Opts.Threads),
+      std::min<unsigned>(support::resolveThreads(Config.Threads),
                          std::max<std::size_t>(Request.Changes.size(), 1));
   // Workers intern into one shared table concurrently; id *values* are
   // therefore scheduling dependent, which is fine — everything downstream
@@ -280,7 +315,7 @@ DiffCode::analyzeChanges(const PipelineRequest &Request) const {
         for (std::size_t I = Begin; I < Stop; ++I) {
           // Scope key = change index, so an armed fault plan hits the
           // same changes whether one thread or sixteen claim the work.
-          support::FaultScope Scope(&Opts.Faults, I);
+          support::FaultScope Scope(&Config.Faults, I);
           if (!Obs) {
             Records[I] = processChange(*Request.Changes[I],
                                        Request.TargetClasses,
@@ -345,14 +380,14 @@ void DiffCode::clusterClass(ClassReport &Class) const {
   std::uint64_t ClassKey = 0xcbf29ce484222325ull;
   for (char C : Class.TargetClass)
     ClassKey = (ClassKey ^ static_cast<unsigned char>(C)) * 0x100000001b3ull;
-  support::FaultScope Scope(&Opts.Faults, ClassKey);
+  support::FaultScope Scope(&Config.Faults, ClassKey);
+  cluster::ClusteringOptions Engine = Config.clusteringOptions();
   try {
-    if (Opts.Clustering.Sharding.Enabled)
+    if (Engine.Sharding.Enabled)
       Class.Tree = cluster::clusterUsageChangesSharded(
-          Class.Filtered.Kept, Opts.Clustering, &Class.Sharding);
+          Class.Filtered.Kept, Engine, &Class.Sharding);
     else
-      Class.Tree = cluster::clusterUsageChanges(Class.Filtered.Kept,
-                                                Opts.Clustering);
+      Class.Tree = cluster::clusterUsageChanges(Class.Filtered.Kept, Engine);
   } catch (const std::exception &E) {
     Class.Tree = cluster::Dendrogram();
     Class.Sharding = cluster::ShardingStats();
@@ -386,6 +421,20 @@ static void recordClassMetrics(obs::Registry &R, const ClassReport &Class) {
             obs::Stability::PerRun)
         .max(std::int64_t(Sh.PeakMatrixBytes));
   }
+}
+
+CorpusReport DiffCode::run(const PipelineRequest &Request) const {
+  PipelineRequest Effective = Request;
+  if (Effective.Exec == ExecutionPolicy())
+    Effective.Exec = Config.Exec;
+  if (!Effective.Metrics)
+    Effective.Metrics = Config.Metrics;
+  if (Effective.Exec.Mode == ExecutionMode::Supervised)
+    return runPipelineFrom(Effective, [&, this] {
+      return exec::superviseChanges(*this, Effective);
+    });
+  return runPipelineFrom(Effective,
+                         [&, this] { return analyzeChanges(Effective); });
 }
 
 CorpusReport DiffCode::runPipeline(const PipelineRequest &Request) const {
@@ -434,7 +483,7 @@ CorpusReport DiffCode::runPipelineFrom(
           .add(Report.Health.StatusCounts[I]);
     R.counter("pipeline.clustering_failures")
         .add(Report.Health.ClusteringFailures);
-    if (const support::FaultStats *FS = Opts.Faults.Stats) {
+    if (const support::FaultStats *FS = Config.Faults.Stats) {
       // A poisoned batch can abort mid-loop, so how many armed points
       // were even reached depends on scheduling: PerRun.
       for (unsigned I = 0; I < support::NumFaultSites; ++I) {

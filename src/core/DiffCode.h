@@ -39,7 +39,126 @@
 namespace diffcode {
 namespace core {
 
-/// Pipeline knobs.
+/// How the per-change analysis stage executes.
+enum class ExecutionMode {
+  InProcess,  ///< analyzeChanges on a thread pool in this process.
+  Supervised, ///< exec/Supervisor worker subprocesses with containment.
+};
+
+/// Supervised-execution policy (exec/Supervisor.h consumes it). Lives in
+/// core so a PipelineRequest fully describes a run without the caller
+/// naming anything in the exec layer.
+struct ExecutionPolicy {
+  ExecutionMode Mode = ExecutionMode::InProcess;
+  /// Worker subprocesses; support::resolveThreads semantics (0 = one per
+  /// hardware thread), additionally clamped to the number of work units.
+  unsigned Workers = 0;
+  /// Changes per work unit (serialized batch). 0 means the default (32).
+  /// Larger units amortize the per-unit dispatch round-trip (a unit
+  /// completion context-switches worker -> coordinator -> worker); on
+  /// failure, half-batch bisection recovers single-change granularity,
+  /// so the batch size only prices the clean path.
+  std::size_t BatchSize = 32;
+  /// Wall-clock watchdog per dispatched unit; a worker that exceeds it is
+  /// SIGKILLed and the unit enters retry/bisection. 0 disables the
+  /// watchdog.
+  std::uint64_t UnitDeadlineMs = 10000;
+  /// Terminal-failure bar: a single poisoned change is retried this many
+  /// times (with exponential backoff) before its record is stamped
+  /// WorkerCrash/WorkerTimeout/WorkerOom.
+  unsigned MaxRetries = 2;
+  /// Backoff before the Nth retry of a singleton unit:
+  /// min(BackoffBaseMs << (N-1), BackoffCapMs).
+  std::uint64_t BackoffBaseMs = 10;
+  std::uint64_t BackoffCapMs = 1000;
+  /// RLIMIT_AS for each worker in MiB (0 = unlimited). A worker that
+  /// cannot allocate takes a distinguished exit, reported as WorkerOom.
+  std::uint64_t WorkerMemoryLimitMb = 0;
+
+  /// Field-wise equality. DiffCode::run uses it to recognize a
+  /// default-constructed request policy and fall back to
+  /// PipelineConfig::Exec.
+  friend bool operator==(const ExecutionPolicy &,
+                         const ExecutionPolicy &) = default;
+};
+
+/// The system's one documented knob surface, replacing the ad-hoc
+/// clusters that accumulated on DiffCodeOptions across PRs 1-7. Six
+/// groups — threads, limits, clustering, sharding, exec, metrics — plus
+/// the fault-injection campaign, all designed for designated-initializer
+/// construction:
+///
+///   core::DiffCode System(Api, {.Threads = 8,
+///                               .Clustering = {.Cut = 0.3},
+///                               .Sharding = {.Enabled = true}});
+///
+/// Every thread knob shares support::resolveThreads semantics (0 = one
+/// per hardware thread), and no knob changes report bytes except through
+/// its documented effect (sharding estimates cross-shard linkage; the
+/// cut threshold moves flat-cluster boundaries).
+struct PipelineConfig {
+  /// -- threads: worker threads for the per-change analysis stage (each
+  /// change is independent: parse + analyze + diff). Results are
+  /// deterministic regardless.
+  unsigned Threads = 1;
+
+  /// -- limits: deterministic frontend/interpreter budgets applied to
+  /// every parsed version (0 = unlimited), and the usage-DAG depth.
+  struct LimitsGroup {
+    /// Frontend budgets applied to every parsed version.
+    java::ParseLimits Parse;
+    /// Abstract-interpreter fuel and object caps.
+    analysis::AnalysisOptions Analysis;
+    unsigned DagDepth = 5; ///< Section 3.4's n.
+  };
+  LimitsGroup Limits;
+
+  /// -- clustering: the agglomeration engine. Algorithm choice (NNChain
+  /// by default; the naive reference is retained for differential
+  /// testing) and matrix threads never change the dendrogram; Cut is the
+  /// threshold for flat clusters (manual-inspection aid).
+  struct ClusteringGroup {
+    double Cut = 0.4;
+    cluster::ClusteringOptions::Algorithm Algo =
+        cluster::ClusteringOptions::Algorithm::NNChain;
+    /// Threads for the pairwise distance matrix and cache warm-up.
+    unsigned Threads = 1;
+  };
+  ClusteringGroup Clustering;
+
+  /// -- sharding: the shard-and-merge engine for corpora whose dense
+  /// matrix would not fit; clustering dispatches on Sharding.Enabled.
+  cluster::ShardingOptions Sharding;
+
+  /// -- exec: the execution policy run() falls back to when the request
+  /// leaves its own policy default-constructed.
+  ExecutionPolicy Exec;
+
+  /// -- metrics: the observability sink run() falls back to when the
+  /// request does not carry one. Null keeps instrumentation off (every
+  /// site reduces to one pointer test). Must outlive the DiffCode.
+  obs::Observer *Metrics = nullptr;
+
+  /// Fault-injection campaign (testing only; disabled by default). When
+  /// armed, every per-change worker and the per-class clustering step run
+  /// under a deterministic FaultScope, so injected failures land on the
+  /// same changes at any thread count.
+  support::FaultPlan Faults;
+
+  /// The clustering-engine view of this config (Clustering + Sharding
+  /// folded back into the cluster layer's option struct).
+  cluster::ClusteringOptions clusteringOptions() const {
+    cluster::ClusteringOptions Out;
+    Out.Threads = Clustering.Threads;
+    Out.Algo = Clustering.Algo;
+    Out.Sharding = Sharding;
+    return Out;
+  }
+};
+
+/// Pre-PR-8 pipeline knobs. Deprecated spelling kept for one release:
+/// the DiffCode(Api, DiffCodeOptions) constructor maps it onto
+/// PipelineConfig field by field (see tests/test_api_compat.cpp).
 struct DiffCodeOptions {
   analysis::AnalysisOptions Analysis;
   /// Frontend budgets applied to every parsed version (0 = unlimited).
@@ -47,20 +166,11 @@ struct DiffCodeOptions {
   unsigned DagDepth = 5; ///< Section 3.4's n.
   /// Dendrogram cut threshold for flat clusters (manual-inspection aid).
   double ClusterCut = 0.4;
-  /// Worker threads for the per-change analysis stage (each change is
-  /// independent: parse + analyze + diff), resolved by
-  /// support::resolveThreads. Results are deterministic regardless.
+  /// Worker threads for the per-change analysis stage.
   unsigned Threads = 1;
-  /// Clustering engine knobs: distance-matrix threads, the agglomeration
-  /// algorithm (NNChain by default; the naive reference is retained for
-  /// differential testing), and the sharded engine's configuration. All
-  /// thread knobs share support::resolveThreads semantics. With sharding
-  /// disabled every setting yields the identical CorpusReport.
+  /// Clustering engine knobs (now PipelineConfig::Clustering/Sharding).
   cluster::ClusteringOptions Clustering;
-  /// Fault-injection campaign (testing only; disabled by default). When
-  /// armed, every per-change worker and the per-class clustering step run
-  /// under a deterministic FaultScope, so injected failures land on the
-  /// same changes at any thread count.
+  /// Fault-injection campaign (testing only; disabled by default).
   support::FaultPlan Faults;
 };
 
@@ -174,51 +284,16 @@ struct CorpusReport {
   obs::RunSummary Metrics;
 };
 
-/// How the per-change analysis stage executes.
-enum class ExecutionMode {
-  InProcess,  ///< analyzeChanges on a thread pool in this process.
-  Supervised, ///< exec/Supervisor worker subprocesses with containment.
-};
-
-/// Supervised-execution policy (exec/Supervisor.h consumes it; the core
-/// library itself always runs in-process). Lives in core so a
-/// PipelineRequest fully describes a run without the caller linking
-/// against the exec layer.
-struct ExecutionPolicy {
-  ExecutionMode Mode = ExecutionMode::InProcess;
-  /// Worker subprocesses; support::resolveThreads semantics (0 = one per
-  /// hardware thread), additionally clamped to the number of work units.
-  unsigned Workers = 0;
-  /// Changes per work unit (serialized batch). 0 means the default (32).
-  /// Larger units amortize the per-unit dispatch round-trip (a unit
-  /// completion context-switches worker -> coordinator -> worker); on
-  /// failure, half-batch bisection recovers single-change granularity,
-  /// so the batch size only prices the clean path.
-  std::size_t BatchSize = 32;
-  /// Wall-clock watchdog per dispatched unit; a worker that exceeds it is
-  /// SIGKILLed and the unit enters retry/bisection. 0 disables the
-  /// watchdog.
-  std::uint64_t UnitDeadlineMs = 10000;
-  /// Terminal-failure bar: a single poisoned change is retried this many
-  /// times (with exponential backoff) before its record is stamped
-  /// WorkerCrash/WorkerTimeout/WorkerOom.
-  unsigned MaxRetries = 2;
-  /// Backoff before the Nth retry of a singleton unit:
-  /// min(BackoffBaseMs << (N-1), BackoffCapMs).
-  std::uint64_t BackoffBaseMs = 10;
-  std::uint64_t BackoffCapMs = 1000;
-  /// RLIMIT_AS for each worker in MiB (0 = unlimited). A worker that
-  /// cannot allocate takes a distinguished exit, reported as WorkerOom.
-  std::uint64_t WorkerMemoryLimitMb = 0;
-};
-
-/// Everything one pipeline run needs, replacing runPipeline's former
-/// positional parameter list. Aggregate-initializable:
+/// Everything one pipeline run needs, replacing run's former positional
+/// parameter list. Aggregate-initializable:
 ///
-///   System.runPipeline({.Changes = Mined,
-///                       .TargetClasses = Api.targetClasses()});
+///   System.run({.Changes = Mined,
+///               .TargetClasses = Api.targetClasses()});
 ///
-/// Pointed-to changes and rules must outlive the call.
+/// Pointed-to changes and rules must outlive the call. A request
+/// describes exactly one run; service::AnalysisSession is the stateful
+/// extension of this model — a session is a request whose Changes
+/// accumulate across ingests and whose intermediate products persist.
 struct PipelineRequest {
   std::vector<const corpus::CodeChange *> Changes;
   std::vector<std::string> TargetClasses;
@@ -238,10 +313,10 @@ struct PipelineRequest {
   /// freezes the result into CorpusReport::Metrics. Must outlive the
   /// call.
   obs::Observer *Metrics = nullptr;
-  /// Execution mode + supervision knobs. DiffCode::runPipeline itself
-  /// ignores this (it always runs in-process); exec::runPipeline
-  /// dispatches on it, so callers that may or may not supervise route
-  /// every run through the exec entry point.
+  /// Execution mode + supervision knobs. DiffCode::run dispatches on
+  /// Exec.Mode (a default-constructed policy falls back to
+  /// PipelineConfig::Exec first); the stage entry points and
+  /// runPipelineFrom ignore it.
   ExecutionPolicy Exec;
 };
 
@@ -253,10 +328,17 @@ void computeCorpusHealth(CorpusReport &Report, std::size_t MaxOffenders = 5);
 /// The system facade.
 class DiffCode {
 public:
-  explicit DiffCode(const apimodel::CryptoApiModel &Api,
-                    DiffCodeOptions Opts = DiffCodeOptions());
+  explicit DiffCode(const apimodel::CryptoApiModel &Api);
+  DiffCode(const apimodel::CryptoApiModel &Api, PipelineConfig Config);
+  /// Legacy knob surface; maps Opts onto PipelineConfig field by field.
+  [[deprecated("construct from core::PipelineConfig")]] DiffCode(
+      const apimodel::CryptoApiModel &Api, DiffCodeOptions Opts);
 
-  const DiffCodeOptions &options() const { return Opts; }
+  const PipelineConfig &config() const { return Config; }
+  /// Legacy view of config() in the pre-PR-8 field layout.
+  [[deprecated("use config()")]] const DiffCodeOptions &options() const {
+    return LegacyOpts;
+  }
 
   /// One parsed-and-analyzed program version plus how it went. Frontend
   /// problems are recorded, never silently swallowed.
@@ -332,8 +414,8 @@ public:
   //===--------------------------------------------------------------------===//
 
   /// Stage 1 — per-change analysis: processChange over
-  /// Request.Changes in parallel (Opts.Threads workers), one record per
-  /// input in input order, each under a deterministic fault scope.
+  /// Request.Changes in parallel (config().Threads workers), one record
+  /// per input in input order, each under a deterministic fault scope.
   /// Request.BuildDendrograms is ignored here.
   std::vector<ChangeRecord> analyzeChanges(const PipelineRequest &Request) const;
 
@@ -344,25 +426,36 @@ public:
                           const std::string &TargetClass) const;
 
   /// Stage 3 — clustering: builds \p Class.Tree over Class.Filtered.Kept
-  /// under Opts.Clustering (sharded when Opts.Clustering.Sharding is
-  /// enabled, filling Class.Sharding). A failure empties the Tree and
-  /// sets Class.ClusteringError instead of throwing.
+  /// under config's clustering/sharding groups (sharded when
+  /// config().Sharding.Enabled, filling Class.Sharding). A failure
+  /// empties the Tree and sets Class.ClusteringError instead of throwing.
   void clusterClass(ClassReport &Class) const;
 
-  /// Runs the full pipeline: analyzeChanges, then per target class
+  /// The one pipeline entry point: dispatches on Request.Exec.Mode
+  /// (falling back to config().Exec when the request's policy is
+  /// default-constructed, and to config().Metrics when the request
+  /// carries no observer), then runs analyzeChanges — in this process or
+  /// under the exec/Supervisor worker pool — followed per target class by
   /// filterClass and (when Request.BuildDendrograms) clusterClass, then
   /// the corpus-health rollup. Per-change failures are contained in the
   /// corresponding ChangeRecord and tallied in the report's Health
   /// summary; a clustering failure empties that class's Tree and sets
-  /// ClusteringError.
+  /// ClusteringError. Both execution modes produce byte-identical
+  /// reports.
+  CorpusReport run(const PipelineRequest &Request) const;
+
+  /// Legacy spelling of the in-process run; unlike run() it never
+  /// consults Request.Exec or the config fallbacks.
+  [[deprecated("use run(); it dispatches on Request.Exec.Mode")]]
   CorpusReport runPipeline(const PipelineRequest &Request) const;
 
-  /// runPipeline with the per-change analysis stage swapped out: \p
-  /// Analyze produces the record vector (one per Request.Changes entry,
-  /// input order) and everything downstream — filters, clustering,
-  /// health, metrics rollup — is byte-identical to runPipeline over the
-  /// same records. This is the seam the supervised multi-process engine
-  /// (exec/Supervisor) plugs into.
+  /// run with the per-change analysis stage swapped out: \p Analyze
+  /// produces the record vector (one per Request.Changes entry, input
+  /// order) and everything downstream — filters, clustering, health,
+  /// metrics rollup — is byte-identical to an in-process run over the
+  /// same records. This is the internal seam the supervised engine
+  /// (exec/Supervisor) and the incremental session
+  /// (service/AnalysisSession) plug into.
   CorpusReport runPipelineFrom(
       const PipelineRequest &Request,
       const std::function<std::vector<ChangeRecord>()> &Analyze) const;
@@ -372,7 +465,10 @@ private:
   support::Interner &internerFor(const PipelineRequest &Request) const;
 
   const apimodel::CryptoApiModel &Api;
-  DiffCodeOptions Opts;
+  PipelineConfig Config;
+  /// Materialized pre-PR-8 view of Config, returned by the deprecated
+  /// options() accessor.
+  DiffCodeOptions LegacyOpts;
   /// Corpus interner backing every change this instance derives (unless
   /// a request supplies its own). shared_ptr so reports can outlive the
   /// facade.

@@ -70,7 +70,7 @@ int workerMain(const core::DiffCode &System,
                unsigned Incarnation, int ReqFd, int RespFd) {
   ::signal(SIGPIPE, SIG_IGN);
   const core::ExecutionPolicy &Policy = Request.Exec;
-  const support::FaultPlan &Plan = System.options().Faults;
+  const support::FaultPlan &Plan = System.config().Faults;
 
   if (Policy.WorkerMemoryLimitMb > 0) {
     struct rlimit Lim;
@@ -664,7 +664,7 @@ void Coordinator::enforceDeadlines(Clock::time_point Now) {
 /// process containment in processChange still does.)
 void Coordinator::runUnitInline(const PendingUnit &Unit) {
   for (std::uint64_t Index : Unit.Indices) {
-    support::FaultScope Scope(&System.options().Faults, Index);
+    support::FaultScope Scope(&System.config().Faults, Index);
     Records[Index] =
         System.processChange(*Request.Changes[Index], Request.TargetClasses,
                              Request.ClassifyWith, Table);
@@ -840,13 +840,4 @@ diffcode::exec::superviseChanges(const core::DiffCode &System,
         .add(St.BytesReceived);
   }
   return std::move(C.Records);
-}
-
-core::CorpusReport
-diffcode::exec::runPipeline(const core::DiffCode &System,
-                            const core::PipelineRequest &Request) {
-  if (Request.Exec.Mode == core::ExecutionMode::InProcess)
-    return System.runPipeline(Request);
-  return System.runPipelineFrom(
-      Request, [&] { return superviseChanges(System, Request); });
 }

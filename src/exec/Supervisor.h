@@ -80,19 +80,15 @@ struct SupervisionStats {
 /// every failure contained. Honors Request.Exec (workers, batch size,
 /// deadline, retry budget, memory limit) and the system's fault plan
 /// (both the in-process sites — they fire inside workers exactly as they
-/// would in-process — and the Proc* chaos sites). Exposed separately
-/// from runPipeline for the differential and chaos tests.
+/// would in-process — and the Proc* chaos sites). This is the analysis
+/// stage core::DiffCode::run plugs into runPipelineFrom when
+/// Request.Exec.Mode is Supervised; exposed separately for the
+/// differential and chaos tests (the former exec::runPipeline dispatcher
+/// is gone — run() is the one entry point).
 std::vector<core::ChangeRecord>
 superviseChanges(const core::DiffCode &System,
                  const core::PipelineRequest &Request,
                  SupervisionStats *Stats = nullptr);
-
-/// The execution-aware pipeline entry point: dispatches on
-/// Request.Exec.Mode — InProcess runs DiffCode::runPipeline unchanged,
-/// Supervised plugs superviseChanges into DiffCode::runPipelineFrom.
-/// Callers that may or may not supervise route every run through here.
-core::CorpusReport runPipeline(const core::DiffCode &System,
-                               const core::PipelineRequest &Request);
 
 } // namespace exec
 } // namespace diffcode

@@ -1,0 +1,111 @@
+//===- service/Protocol.cpp ------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "exec/Wire.h"
+
+using namespace diffcode;
+using namespace diffcode::service;
+
+namespace {
+
+bool fail(std::string *Error, const char *Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+} // namespace
+
+std::string service::encodeIngestRequest(
+    const std::vector<corpus::CodeChange> &Changes) {
+  exec::WireWriter W;
+  W.u32(ServiceProtocolVersion);
+  W.u32(static_cast<std::uint32_t>(Changes.size()));
+  for (const corpus::CodeChange &C : Changes) {
+    W.str(C.ProjectName);
+    W.u32(C.CommitIndex);
+    W.str(C.FileName);
+    W.str(C.Kind);
+    W.str(C.OldCode);
+    W.str(C.NewCode);
+  }
+  return W.take();
+}
+
+bool service::decodeIngestRequest(std::string_view Payload,
+                                  std::vector<corpus::CodeChange> &Out,
+                                  std::string *Error) {
+  exec::WireReader R(Payload);
+  std::uint32_t Version = R.u32();
+  if (R.ok() && Version != ServiceProtocolVersion)
+    return fail(Error, "service protocol version mismatch");
+  std::uint32_t Count = R.u32();
+  // An absurd count means a corrupt (but checksum-colliding) frame;
+  // refuse before the reserve below turns it into an allocation bomb.
+  if (R.ok() && Count > exec::MaxFramePayload / 16)
+    return fail(Error, "ingest count exceeds frame capacity");
+  Out.clear();
+  Out.reserve(Count);
+  for (std::uint32_t I = 0; I < Count && R.ok(); ++I) {
+    corpus::CodeChange C;
+    C.ProjectName = std::string(R.str());
+    C.CommitIndex = R.u32();
+    C.FileName = std::string(R.str());
+    C.Kind = std::string(R.str());
+    C.OldCode = std::string(R.str());
+    C.NewCode = std::string(R.str());
+    Out.push_back(std::move(C));
+  }
+  if (!R.atEnd())
+    return fail(Error, "malformed ingest payload");
+  return true;
+}
+
+std::string service::encodeIngestReply(const IngestReply &Reply) {
+  exec::WireWriter W;
+  W.u64(Reply.TotalChanges);
+  W.u64(Reply.Stats.Ingested);
+  W.u64(Reply.Stats.CacheHits);
+  W.u64(Reply.Stats.CacheMisses);
+  W.u64(Reply.Stats.Evictions);
+  W.u64(Reply.Stats.ClassesRepaired);
+  W.u64(Reply.Stats.ClassesReused);
+  W.u64(Reply.Stats.PairsComputed);
+  W.u64(Reply.Stats.PairsReused);
+  return W.take();
+}
+
+bool service::decodeIngestReply(std::string_view Payload, IngestReply &Out) {
+  exec::WireReader R(Payload);
+  Out.TotalChanges = R.u64();
+  Out.Stats.Ingested = R.u64();
+  Out.Stats.CacheHits = R.u64();
+  Out.Stats.CacheMisses = R.u64();
+  Out.Stats.Evictions = R.u64();
+  Out.Stats.ClassesRepaired = R.u64();
+  Out.Stats.ClassesReused = R.u64();
+  Out.Stats.PairsComputed = R.u64();
+  Out.Stats.PairsReused = R.u64();
+  return R.atEnd();
+}
+
+std::string service::encodeQueryRequest(std::string_view What) {
+  return encodeText(What);
+}
+
+bool service::decodeQueryRequest(std::string_view Payload, std::string &Out) {
+  return decodeText(Payload, Out);
+}
+
+std::string service::encodeText(std::string_view Text) {
+  exec::WireWriter W;
+  W.str(Text);
+  return W.take();
+}
+
+bool service::decodeText(std::string_view Payload, std::string &Out) {
+  exec::WireReader R(Payload);
+  Out = std::string(R.str());
+  return R.atEnd();
+}

@@ -1,0 +1,94 @@
+//===- service/Protocol.h - diffcoded request/reply codecs -----------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The message layer of service mode, built on the same checksummed
+/// exec/Wire framing the supervised engine uses (magic, type, length,
+/// FNV-1a checksum — one corrupt byte flips the decoder into its sticky
+/// error state and the connection is dropped, never resynchronized).
+///
+/// Client -> server:
+///   IngestReq    protocol version + a batch of code changes
+///   QueryReq     a stats question ("health" | "stats" | "class:<Name>")
+///   SnapshotReq  ask for the full corpus report JSON
+///   ShutdownReq  stop the server after acknowledging
+///
+/// Server -> client (exactly one per request, in request order):
+///   ReplyOk      payload depends on the request (see codecs below)
+///   ReplyErr     length-prefixed human-readable error
+///
+/// Service frame types live in a disjoint range (0x100+) from the
+/// exec worker protocol's 1..7, so a frame mis-routed between the two
+/// protocols is rejected by type, not misparsed.
+///
+/// Every decoder is defensive: truncation, trailing bytes, or an absurd
+/// element count returns false and the server answers ReplyErr (or the
+/// client treats the server as poisoned).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_SERVICE_PROTOCOL_H
+#define DIFFCODE_SERVICE_PROTOCOL_H
+
+#include "corpus/RepoModel.h"
+#include "service/AnalysisSession.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace diffcode {
+namespace service {
+
+/// Service frame types (exec/Wire frame header's `type` field).
+enum class ServiceFrame : std::uint32_t {
+  IngestReq = 0x101,
+  QueryReq = 0x102,
+  SnapshotReq = 0x103,
+  ShutdownReq = 0x104,
+  ReplyOk = 0x110,
+  ReplyErr = 0x111,
+};
+
+/// Bumped whenever any payload layout changes; IngestReq carries it and
+/// the server refuses a mismatched client with ReplyErr.
+inline constexpr std::uint32_t ServiceProtocolVersion = 1;
+
+/// What an acknowledged ingest reports back: the session high-water mark
+/// plus that ingest's IngestStats.
+struct IngestReply {
+  std::uint64_t TotalChanges = 0;
+  IngestStats Stats;
+};
+
+/// IngestReq payload: u32 version, u32 count, then per change
+/// (project, commitIndex, file, kind, old code, new code) with
+/// length-prefixed strings.
+std::string encodeIngestRequest(const std::vector<corpus::CodeChange> &Changes);
+bool decodeIngestRequest(std::string_view Payload,
+                         std::vector<corpus::CodeChange> &Out,
+                         std::string *Error = nullptr);
+
+/// ReplyOk payload for IngestReq: nine u64s.
+std::string encodeIngestReply(const IngestReply &Reply);
+bool decodeIngestReply(std::string_view Payload, IngestReply &Out);
+
+/// QueryReq payload: one length-prefixed question string. The ReplyOk
+/// payload is one length-prefixed answer (JSON).
+std::string encodeQueryRequest(std::string_view What);
+bool decodeQueryRequest(std::string_view Payload, std::string &Out);
+
+/// ReplyOk payload for QueryReq/SnapshotReq, and the ReplyErr payload:
+/// one length-prefixed string.
+std::string encodeText(std::string_view Text);
+bool decodeText(std::string_view Payload, std::string &Out);
+
+} // namespace service
+} // namespace diffcode
+
+#endif // DIFFCODE_SERVICE_PROTOCOL_H

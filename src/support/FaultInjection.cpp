@@ -19,6 +19,8 @@ const char *diffcode::support::faultSiteName(FaultSite Site) {
     return "hungarian";
   case FaultSite::Clustering:
     return "clustering";
+  case FaultSite::ServiceHash:
+    return "service-hash";
   case FaultSite::ProcKill:
     return "proc-kill";
   case FaultSite::ProcHang:

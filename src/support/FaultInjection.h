@@ -49,6 +49,11 @@ enum class FaultSite : unsigned {
   Interpreter,     ///< analysis::Engine statement execution.
   Hungarian,       ///< support::solveAssignment entry.
   Clustering,      ///< cluster agglomeration merge step.
+  ServiceHash,     ///< service cache keying: collapses the primary content
+                   ///< hash to a constant so every entry collides; the
+                   ///< session must still discriminate via its secondary
+                   ///< hash + length key (an in-process site: firing
+                   ///< degrades cache selectivity, never correctness).
   ProcKill,        ///< exec worker raises SIGKILL mid-unit (crash).
   ProcHang,        ///< exec worker sleeps past the unit deadline.
   ProcSlowStart,   ///< exec worker delays its startup handshake.
@@ -57,7 +62,7 @@ enum class FaultSite : unsigned {
 };
 
 /// Number of FaultSite enumerators (for mask building / iteration).
-inline constexpr unsigned NumFaultSites = 9;
+inline constexpr unsigned NumFaultSites = 10;
 
 /// First process-level site (sites >= this only fire inside exec
 /// workers; in-process pipeline runs never evaluate them).

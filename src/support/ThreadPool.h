@@ -46,7 +46,7 @@ namespace diffcode {
 namespace support {
 
 /// Canonical resolution of every "Threads" knob in the system
-/// (DiffCodeOptions::Threads, ClusteringOptions::Threads,
+/// (PipelineConfig::Threads, ClusteringOptions::Threads,
 /// ShardingOptions::Threads): 0 means one thread per hardware thread
 /// (at least 1), any other value is taken literally (1 = serial).
 /// ThreadPool's constructor applies it, so passing a raw knob through is

@@ -1,0 +1,117 @@
+//===- tests/test_api_compat.cpp - Deprecated API spellings still work ----===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PR 8 collapsed the pipeline knobs into core::PipelineConfig and the
+/// two entry points into DiffCode::run. The old spellings —
+/// DiffCodeOptions, the DiffCode(Api, DiffCodeOptions) constructor,
+/// options(), and runPipeline() — are deprecated but contractually kept
+/// for one release. This suite is the compat gate: it must keep
+/// *compiling* against the old names (a removal breaks the build here
+/// first) and the old spellings must keep producing the exact bytes of
+/// their replacements.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DiffCode.h"
+
+#include "core/ReportWriter.h"
+#include "corpus/CorpusGenerator.h"
+#include "corpus/Miner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace diffcode;
+using namespace diffcode::core;
+
+// The whole point of this file is to use the deprecated surface.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace {
+
+const apimodel::CryptoApiModel &api() {
+  return apimodel::CryptoApiModel::javaCryptoApi();
+}
+
+struct MinedFixture {
+  corpus::Corpus C;
+  std::vector<const corpus::CodeChange *> Mined;
+  MinedFixture() {
+    corpus::CorpusOptions Opts;
+    Opts.NumProjects = 8;
+    Opts.Seed = 21;
+    C = corpus::CorpusGenerator(Opts).generate();
+    Mined = corpus::Miner(api()).mine(C);
+  }
+};
+
+} // namespace
+
+TEST(ApiCompat, OldOptionsSpellingStillBuildsAndMapsOntoConfig) {
+  // Every pre-PR-8 field by its old name; a rename or removal fails to
+  // compile right here.
+  DiffCodeOptions Old;
+  Old.Analysis.MaxStatesPerEntry = 16;
+  Old.Analysis.MaxInlineDepth = 3;
+  Old.ParseBudget.MaxTokens = 100000;
+  Old.ParseBudget.MaxNestingDepth = 64;
+  Old.DagDepth = 4;
+  Old.ClusterCut = 0.5;
+  Old.Threads = 2;
+  Old.Clustering.Threads = 2;
+  Old.Faults.Rate = 0.0;
+
+  DiffCode System(api(), Old);
+  const DiffCodeOptions &Back = System.options();
+  EXPECT_EQ(Back.Analysis.MaxStatesPerEntry, 16u);
+  EXPECT_EQ(Back.Analysis.MaxInlineDepth, 3u);
+  EXPECT_EQ(Back.ParseBudget.MaxTokens, 100000u);
+  EXPECT_EQ(Back.ParseBudget.MaxNestingDepth, 64u);
+  EXPECT_EQ(Back.DagDepth, 4u);
+  EXPECT_DOUBLE_EQ(Back.ClusterCut, 0.5);
+  EXPECT_EQ(Back.Threads, 2u);
+  EXPECT_EQ(Back.Clustering.Threads, 2u);
+
+  // And the mapping onto the new spelling is field-faithful.
+  const PipelineConfig &New = System.config();
+  EXPECT_EQ(New.Limits.Analysis.MaxStatesPerEntry, 16u);
+  EXPECT_EQ(New.Limits.Parse.MaxTokens, 100000u);
+  EXPECT_EQ(New.Limits.DagDepth, 4u);
+  EXPECT_DOUBLE_EQ(New.Clustering.Cut, 0.5);
+  EXPECT_EQ(New.Threads, 2u);
+}
+
+TEST(ApiCompat, RunPipelineIsRunByteForByte) {
+  MinedFixture F;
+  ASSERT_FALSE(F.Mined.empty());
+
+  PipelineRequest Request;
+  Request.Changes = F.Mined;
+  Request.TargetClasses = api().targetClasses();
+
+  DiffCodeOptions Old;
+  Old.Threads = 2;
+  DiffCode Legacy(api(), Old);
+  std::string ViaRunPipeline = corpusReportToJson(Legacy.runPipeline(Request));
+
+  PipelineConfig Config;
+  Config.Threads = 2;
+  DiffCode Current(api(), Config);
+  std::string ViaRun = corpusReportToJson(Current.run(Request));
+
+  EXPECT_FALSE(ViaRun.empty());
+  EXPECT_EQ(ViaRunPipeline, ViaRun);
+  // The deprecated entry point on a new-style system too: one surface,
+  // two spellings.
+  EXPECT_EQ(corpusReportToJson(Current.runPipeline(Request)), ViaRun);
+}
+
+#pragma GCC diagnostic pop

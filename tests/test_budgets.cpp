@@ -101,8 +101,8 @@ TEST(ParseBudget, DeepStatementNestingCapped) {
 }
 
 TEST(AnalysisBudget, FuelExhaustionFlagged) {
-  DiffCodeOptions Opts;
-  Opts.Analysis.Fuel = 3;
+  PipelineConfig Opts;
+  Opts.Limits.Analysis.Fuel = 3;
   DiffCode System(api(), Opts);
   DiffCode::SourceAnalysis Out =
       System.analyzeSourceChecked(longChainSource(50));
@@ -112,8 +112,8 @@ TEST(AnalysisBudget, FuelExhaustionFlagged) {
 }
 
 TEST(AnalysisBudget, ObjectCapDegradesToUntracked) {
-  DiffCodeOptions Opts;
-  Opts.Analysis.MaxObjects = 1;
+  PipelineConfig Opts;
+  Opts.Limits.Analysis.MaxObjects = 1;
   DiffCode System(api(), Opts);
   DiffCode::SourceAnalysis Out = System.analyzeSourceChecked(
       "class A { void m() throws Exception { "
@@ -181,12 +181,12 @@ TEST(BudgetPipeline, DegradedOutcomeIdenticalAcrossThreadCounts) {
     Mined.push_back(&C);
 
   auto Run = [&Mined](unsigned Threads) {
-    DiffCodeOptions Opts;
+    PipelineConfig Opts;
     Opts.Threads = Threads;
-    Opts.ParseBudget.MaxNestingDepth = 50;
-    Opts.Analysis.Fuel = 100;
+    Opts.Limits.Parse.MaxNestingDepth = 50;
+    Opts.Limits.Analysis.Fuel = 100;
     DiffCode System(api(), Opts);
-    return System.runPipeline(
+    return System.run(
         {.Changes = Mined, .TargetClasses = api().targetClasses()});
   };
 
@@ -228,10 +228,10 @@ TEST(BudgetPipeline, DefaultLimitsCalibratedForCleanCorpus) {
   std::vector<const corpus::CodeChange *> Mined = M.mine(C);
   ASSERT_GE(Mined.size(), 1000u);
 
-  DiffCodeOptions Opts;  // all-default budgets — that is the point
+  PipelineConfig Opts;  // all-default budgets — that is the point
   Opts.Threads = 8;
   DiffCode System(api(), Opts);
-  CorpusReport Report = System.runPipeline(
+  CorpusReport Report = System.run(
       {.Changes = Mined, .TargetClasses = api().targetClasses()});
 
   std::size_t Exceeded = Report.Health.count(ChangeStatus::BudgetExceeded);
@@ -255,11 +255,11 @@ TEST(BudgetPipeline, HealthSerializedInReportJson) {
   Storage[0].NewCode = nestedExprSource(300);
   std::vector<const corpus::CodeChange *> Mined = {&Storage[0]};
 
-  DiffCodeOptions Opts;
-  Opts.ParseBudget.MaxNestingDepth = 32;
+  PipelineConfig Opts;
+  Opts.Limits.Parse.MaxNestingDepth = 32;
   DiffCode System(api(), Opts);
   CorpusReport Report =
-      System.runPipeline({.Changes = Mined, .TargetClasses = {"Cipher"}});
+      System.run({.Changes = Mined, .TargetClasses = {"Cipher"}});
   std::string Json = corpusReportToJson(Report);
   EXPECT_NE(Json.find("\"health\""), std::string::npos);
   EXPECT_NE(Json.find("\"budget-exceeded\":1"), std::string::npos);

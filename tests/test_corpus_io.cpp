@@ -7,8 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sys/stat.h>
+#include <thread>
 
 namespace fs = std::filesystem;
 
@@ -126,6 +131,63 @@ TEST_F(CorpusIOTest, HandLaidOutProjectLoads) {
   EXPECT_EQ(P.History[0].FileName, "A.java");
   EXPECT_TRUE(P.History[0].Kind.empty()); // no kind.txt -> mined change
   EXPECT_NE(P.History[0].OldCode.find("Cipher"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// readFileContents: the mmap fast path and its chunked fallback
+//===----------------------------------------------------------------------===//
+
+TEST_F(CorpusIOTest, ReadFileContentsExactBytesAroundPageBoundaries) {
+  fs::create_directories(Root);
+  // Sizes straddling the page size catch off-by-one mapping bugs; the
+  // NUL byte catches any string-based truncation.
+  for (std::size_t Size : {std::size_t(0), std::size_t(1), std::size_t(4095),
+                           std::size_t(4096), std::size_t(4097),
+                           std::size_t(70000)}) {
+    std::string Want(Size, '\0');
+    for (std::size_t I = 0; I < Size; ++I)
+      Want[I] = static_cast<char>(I % 251); // includes embedded NULs
+    fs::path P = Root / ("f" + std::to_string(Size));
+    std::ofstream(P, std::ios::binary).write(Want.data(),
+                                             static_cast<std::streamsize>(Size));
+    std::optional<std::string> Got = readFileContents(P.string());
+    ASSERT_TRUE(Got.has_value()) << Size;
+    EXPECT_EQ(*Got, Want) << Size;
+  }
+}
+
+TEST_F(CorpusIOTest, ReadFileContentsMissingFileIsNullopt) {
+  EXPECT_FALSE(readFileContents((Root / "absent").string()).has_value());
+}
+
+// The short-read regression (the seed double-buffered through stream
+// internals and a FIFO delivering data in dribs truncated at the first
+// partial read): a pipe that yields its payload in small flushed chunks
+// must still be read to EOF, byte for byte.
+TEST_F(CorpusIOTest, ReadFileContentsFifoToleratesShortReads) {
+  fs::create_directories(Root);
+  fs::path FifoPath = Root / "stream.fifo";
+  ASSERT_EQ(::mkfifo(FifoPath.c_str(), 0600), 0) << strerror(errno);
+
+  std::string Want;
+  for (int Chunk = 0; Chunk < 64; ++Chunk)
+    Want.append(997, static_cast<char>('a' + Chunk % 26));
+
+  std::thread Writer([&] {
+    // Opening the write end blocks until readFileContents opens the
+    // read end; flushing per chunk forces the reader into short reads.
+    std::ofstream Out(FifoPath, std::ios::binary);
+    for (std::size_t Off = 0; Off < Want.size(); Off += 997) {
+      Out.write(Want.data() + Off, 997);
+      Out.flush();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::optional<std::string> Got = readFileContents(FifoPath.string());
+  Writer.join();
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(Got->size(), Want.size());
+  EXPECT_EQ(*Got, Want);
 }
 
 TEST_F(CorpusIOTest, LoadedCorpusMinesIdentically) {

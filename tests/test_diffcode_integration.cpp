@@ -186,7 +186,7 @@ TEST(DiffCodeE2E, PipelineOverSmallCorpus) {
   std::vector<const rules::Rule *> CLRules;
   for (const rules::Rule &R : rules::cryptoLintRules())
     CLRules.push_back(&R);
-  CorpusReport Report = System.runPipeline({.Changes = Mined,
+  CorpusReport Report = System.run({.Changes = Mined,
                                             .TargetClasses = api().targetClasses(),
                                             .ClassifyWith = CLRules});
 
@@ -265,9 +265,9 @@ TEST(DiffCodeE2E, PipelineDeterminism) {
   std::vector<const corpus::CodeChange *> Mined = M.mine(C);
   DiffCode System(api());
   CorpusReport A =
-      System.runPipeline({.Changes = Mined, .TargetClasses = {"Cipher"}});
+      System.run({.Changes = Mined, .TargetClasses = {"Cipher"}});
   CorpusReport B =
-      System.runPipeline({.Changes = Mined, .TargetClasses = {"Cipher"}});
+      System.run({.Changes = Mined, .TargetClasses = {"Cipher"}});
   ASSERT_EQ(A.PerClass.size(), B.PerClass.size());
   EXPECT_EQ(A.PerClass[0].Filtered.Total, B.PerClass[0].Filtered.Total);
   EXPECT_EQ(A.PerClass[0].Filtered.AfterDup,
@@ -287,15 +287,15 @@ TEST(DiffCodeE2E, ParallelPipelineMatchesSerial) {
   corpus::Miner M(api());
   std::vector<const corpus::CodeChange *> Mined = M.mine(C);
 
-  DiffCodeOptions Serial;
+  PipelineConfig Serial;
   Serial.Threads = 1;
-  DiffCodeOptions Parallel;
+  PipelineConfig Parallel;
   Parallel.Threads = 4;
   CorpusReport A = DiffCode(api(), Serial)
-                       .runPipeline({.Changes = Mined,
+                       .run({.Changes = Mined,
                                      .TargetClasses = api().targetClasses()});
   CorpusReport B = DiffCode(api(), Parallel)
-                       .runPipeline({.Changes = Mined,
+                       .run({.Changes = Mined,
                                      .TargetClasses = api().targetClasses()});
 
   ASSERT_EQ(A.Changes.size(), B.Changes.size());
@@ -327,15 +327,15 @@ TEST(DiffCodeE2E, ThreadedPipelineReportIsByteIdentical) {
   std::vector<const corpus::CodeChange *> Mined = M.mine(C);
   ASSERT_FALSE(Mined.empty());
 
-  DiffCodeOptions Serial;
+  PipelineConfig Serial;
   Serial.Threads = 1;
   Serial.Clustering.Threads = 1;
 
-  DiffCodeOptions Threaded;
+  PipelineConfig Threaded;
   Threaded.Threads = 8;
   Threaded.Clustering.Threads = 8;
 
-  DiffCodeOptions NaiveCluster;
+  PipelineConfig NaiveCluster;
   NaiveCluster.Threads = 8;
   NaiveCluster.Clustering.Threads = 8;
   NaiveCluster.Clustering.Algo =
@@ -343,9 +343,9 @@ TEST(DiffCodeE2E, ThreadedPipelineReportIsByteIdentical) {
 
   core::PipelineRequest Request{.Changes = Mined,
                                 .TargetClasses = api().targetClasses()};
-  CorpusReport A = DiffCode(api(), Serial).runPipeline(Request);
-  CorpusReport B = DiffCode(api(), Threaded).runPipeline(Request);
-  CorpusReport N = DiffCode(api(), NaiveCluster).runPipeline(Request);
+  CorpusReport A = DiffCode(api(), Serial).run(Request);
+  CorpusReport B = DiffCode(api(), Threaded).run(Request);
+  CorpusReport N = DiffCode(api(), NaiveCluster).run(Request);
 
   std::string JsonA = corpusReportToJson(A);
   EXPECT_EQ(JsonA, corpusReportToJson(B));
@@ -374,7 +374,7 @@ TEST(DiffCodeE2E, ThreadedPipelineReportIsByteIdentical) {
 }
 
 TEST(DiffCodeE2E, StageEntryPointsComposeToRunPipeline) {
-  // The redesigned API contract: runPipeline(Request) is exactly
+  // The redesigned API contract: run(Request) is exactly
   // analyzeChanges + per-class filterClass/clusterClass + the health
   // rollup. Composing the stages by hand reproduces it byte for byte.
   corpus::CorpusOptions Opts;
@@ -389,7 +389,7 @@ TEST(DiffCodeE2E, StageEntryPointsComposeToRunPipeline) {
   PipelineRequest Request{.Changes = Mined,
                           .TargetClasses = api().targetClasses()};
 
-  CorpusReport Whole = System.runPipeline(Request);
+  CorpusReport Whole = System.run(Request);
 
   CorpusReport Staged;
   Staged.Changes = System.analyzeChanges(Request);
@@ -423,16 +423,16 @@ TEST(DiffCodeE2E, ShardedPipelineMatchesDenseTreesAndReportsStats) {
   std::vector<const corpus::CodeChange *> Mined = M.mine(C);
   ASSERT_FALSE(Mined.empty());
 
-  DiffCodeOptions Dense;
-  DiffCodeOptions Unlimited; // armed, but one shard: byte-identical trees
-  Unlimited.Clustering.Sharding.Enabled = true;
-  Unlimited.Clustering.Sharding.MaxShardSize = 0;
-  Unlimited.Clustering.Sharding.Threads = 4;
+  PipelineConfig Dense;
+  PipelineConfig Unlimited; // armed, but one shard: byte-identical trees
+  Unlimited.Sharding.Enabled = true;
+  Unlimited.Sharding.MaxShardSize = 0;
+  Unlimited.Sharding.Threads = 4;
 
   PipelineRequest Request{.Changes = Mined,
                           .TargetClasses = api().targetClasses()};
-  CorpusReport A = DiffCode(api(), Dense).runPipeline(Request);
-  CorpusReport B = DiffCode(api(), Unlimited).runPipeline(Request);
+  CorpusReport A = DiffCode(api(), Dense).run(Request);
+  CorpusReport B = DiffCode(api(), Unlimited).run(Request);
 
   ASSERT_EQ(A.PerClass.size(), B.PerClass.size());
   for (std::size_t I = 0; I < A.PerClass.size(); ++I) {

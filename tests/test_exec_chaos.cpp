@@ -57,7 +57,7 @@ const Env &env() {
     Out->C = corpus::CorpusGenerator(Opts).generate();
     corpus::Miner M(api());
     Out->Mined = M.mine(Out->C);
-    Out->BaselineJson = corpusReportToJson(DiffCode(api()).runPipeline(
+    Out->BaselineJson = corpusReportToJson(DiffCode(api()).run(
         {.Changes = Out->Mined, .TargetClasses = api().targetClasses()}));
     return Out;
   }();
@@ -78,7 +78,7 @@ struct ChaosRun {
 
 ChaosRun runCampaign(const support::FaultPlan &Plan, ExecutionPolicy Exec,
                      const std::vector<const corpus::CodeChange *> &Changes) {
-  DiffCodeOptions Opts;
+  PipelineConfig Opts;
   Opts.Faults = Plan;
   DiffCode System(api(), Opts);
   Exec.Mode = ExecutionMode::Supervised;
@@ -200,13 +200,13 @@ TEST(Chaos, SlowStartIsLatencyOnly) {
   ExecutionPolicy Exec;
   Exec.Workers = 4;
   Exec.BatchSize = 3;
-  DiffCodeOptions Opts;
+  PipelineConfig Opts;
   Opts.Faults = soloSite(support::FaultSite::ProcSlowStart, 7);
   DiffCode System(api(), Opts);
   Exec.Mode = ExecutionMode::Supervised;
-  CorpusReport R = exec::runPipeline(
-      System, {.Changes = env().Mined, .TargetClasses = api().targetClasses(),
-               .Exec = Exec});
+  CorpusReport R = System.run(
+      {.Changes = env().Mined, .TargetClasses = api().targetClasses(),
+       .Exec = Exec});
   EXPECT_EQ(env().BaselineJson, corpusReportToJson(R));
 }
 

@@ -49,7 +49,7 @@ const Env &env() {
     Out->C = corpus::CorpusGenerator(Opts).generate();
     corpus::Miner M(api());
     Out->Mined = M.mine(Out->C);
-    Out->Baseline = DiffCode(api()).runPipeline(
+    Out->Baseline = DiffCode(api()).run(
         {.Changes = Out->Mined, .TargetClasses = api().targetClasses()});
     Out->BaselineJson = corpusReportToJson(Out->Baseline);
     return Out;
@@ -59,11 +59,11 @@ const Env &env() {
 
 CorpusReport runWithPlan(const support::FaultPlan &Plan, unsigned Threads,
                          unsigned ClusterThreads = 1) {
-  DiffCodeOptions Opts;
+  PipelineConfig Opts;
   Opts.Threads = Threads;
   Opts.Clustering.Threads = ClusterThreads;
   Opts.Faults = Plan;
-  return DiffCode(api(), Opts).runPipeline(
+  return DiffCode(api(), Opts).run(
       {.Changes = env().Mined, .TargetClasses = api().targetClasses()});
 }
 

@@ -229,10 +229,10 @@ TEST(FrontendEquivalence, CorpusReportJsonByteIdenticalAcrossThreads) {
   ASSERT_GE(Mined.size(), 1000u);
 
   auto Run = [&Mined](unsigned Threads) {
-    core::DiffCodeOptions Opts;
+    core::PipelineConfig Opts;
     Opts.Threads = Threads;
     core::DiffCode System(api(), Opts);
-    return core::corpusReportToJson(System.runPipeline(
+    return core::corpusReportToJson(System.run(
         {.Changes = Mined, .TargetClasses = api().targetClasses()}));
   };
 

@@ -290,10 +290,10 @@ TEST(InterningEquivalence, PipelineReportByteIdenticalAcrossThreadCounts) {
 
   std::string Baseline;
   for (unsigned Threads : {1u, 2u, 8u}) {
-    DiffCodeOptions Options;
+    PipelineConfig Options;
     Options.Threads = Threads;
     Options.Clustering.Threads = Threads;
-    CorpusReport Report = DiffCode(api(), Options).runPipeline(Request);
+    CorpusReport Report = DiffCode(api(), Options).run(Request);
     std::string Json = corpusReportToJson(Report);
     if (Baseline.empty())
       Baseline = Json;
@@ -332,7 +332,7 @@ TEST(InterningEquivalence, ExplicitSharedInternerMatchesPerEngineDefault) {
   PipelineRequest Shared = Default;
   Shared.Labels = std::make_shared<support::Interner>();
 
-  std::string A = corpusReportToJson(System.runPipeline(Default));
-  std::string B = corpusReportToJson(System.runPipeline(Shared));
+  std::string A = corpusReportToJson(System.run(Default));
+  std::string B = corpusReportToJson(System.run(Shared));
   EXPECT_EQ(A, B);
 }

@@ -107,7 +107,7 @@ TEST(ReportWriter, CorpusReportJsonStructure) {
   corpus::Miner M(apimodel::CryptoApiModel::javaCryptoApi());
   core::DiffCode System(apimodel::CryptoApiModel::javaCryptoApi());
   core::CorpusReport Report =
-      System.runPipeline({.Changes = M.mine(C),
+      System.run({.Changes = M.mine(C),
                           .TargetClasses = {"Cipher"},
                           .BuildDendrograms = false});
   std::string Json = core::corpusReportToJson(Report);

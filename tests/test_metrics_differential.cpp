@@ -55,14 +55,14 @@ const Env &env() {
   return *E;
 }
 
-DiffCodeOptions optionsFor(unsigned Threads, bool Shard = false) {
-  DiffCodeOptions Opts;
+PipelineConfig optionsFor(unsigned Threads, bool Shard = false) {
+  PipelineConfig Opts;
   Opts.Threads = Threads;
   Opts.Clustering.Threads = Threads;
   if (Shard) {
-    Opts.Clustering.Sharding.Enabled = true;
-    Opts.Clustering.Sharding.MaxShardSize = 4;
-    Opts.Clustering.Sharding.Threads = Threads;
+    Opts.Sharding.Enabled = true;
+    Opts.Sharding.MaxShardSize = 4;
+    Opts.Sharding.Threads = Threads;
   }
   return Opts;
 }
@@ -70,14 +70,14 @@ DiffCodeOptions optionsFor(unsigned Threads, bool Shard = false) {
 CorpusReport runObserved(unsigned Threads, obs::Observer &Obs,
                          bool Shard = false) {
   return DiffCode(api(), optionsFor(Threads, Shard))
-      .runPipeline({.Changes = env().Mined,
+      .run({.Changes = env().Mined,
                     .TargetClasses = api().targetClasses(),
                     .Metrics = &Obs});
 }
 
 CorpusReport runUnobserved(unsigned Threads, bool Shard = false) {
   return DiffCode(api(), optionsFor(Threads, Shard))
-      .runPipeline({.Changes = env().Mined,
+      .run({.Changes = env().Mined,
                     .TargetClasses = api().targetClasses()});
 }
 
@@ -185,23 +185,23 @@ TEST(MetricsDifferential, FaultCountersAreObservedWithoutChangingDecisions) {
   Plan.Rate = 0.001;
 
   // Reference: the armed campaign without stats.
-  DiffCodeOptions Opts = optionsFor(2);
+  PipelineConfig Opts = optionsFor(2);
   Opts.Faults = Plan;
   std::string Reference = corpusReportToJson(
-      DiffCode(api(), Opts).runPipeline(
+      DiffCode(api(), Opts).run(
           {.Changes = env().Mined, .TargetClasses = api().targetClasses()}));
 
   // Same campaign with FaultStats wired through an observer: the fault
   // decisions (and therefore the report body) must be unchanged, and the
   // stats must have seen at least as many evaluations as firings.
   support::FaultStats Stats;
-  DiffCodeOptions ObsOpts = optionsFor(2);
+  PipelineConfig ObsOpts = optionsFor(2);
   ObsOpts.Faults = Plan;
   ObsOpts.Faults.Stats = &Stats;
   obs::Observer Obs;
   std::string Observed = corpusReportToJson(
       DiffCode(api(), ObsOpts)
-          .runPipeline({.Changes = env().Mined,
+          .run({.Changes = env().Mined,
                         .TargetClasses = api().targetClasses(),
                         .Metrics = &Obs}));
 

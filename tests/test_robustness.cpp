@@ -294,12 +294,12 @@ TEST_P(MutantContainment, MutantsKeepTaxonomyAndReportsComplete) {
 
   const apimodel::CryptoApiModel &Api =
       apimodel::CryptoApiModel::javaCryptoApi();
-  core::DiffCodeOptions Opts;
-  Opts.Analysis.Fuel = 20000;
+  core::PipelineConfig Opts;
+  Opts.Limits.Analysis.Fuel = 20000;
   core::DiffCode System(Api, Opts);
   core::CorpusReport Report;
   // The process-level contract: no mutant aborts the run.
-  ASSERT_NO_THROW(Report = System.runPipeline(
+  ASSERT_NO_THROW(Report = System.run(
                     {.Changes = Mined, .TargetClasses = Api.targetClasses()}));
   ASSERT_EQ(Report.Changes.size(), Mined.size());
 

@@ -4,7 +4,7 @@
 // firing, a report produced by forked worker subprocesses is
 // byte-identical to the in-process engine's, at every worker count and
 // batch size. Also covers the supervision bookkeeping (SupervisionStats
-// on a clean run), the exec::runPipeline dispatch, edge cases (empty
+// on a clean run), the DiffCode::run dispatch, edge cases (empty
 // corpus, more workers than units), and the CLI surface (--workers,
 // --fail-on-degraded).
 //
@@ -51,7 +51,7 @@ const Env &env() {
     Out->C = corpus::CorpusGenerator(Opts).generate();
     corpus::Miner M(api());
     Out->Mined = M.mine(Out->C);
-    Out->Baseline = DiffCode(api()).runPipeline(
+    Out->Baseline = DiffCode(api()).run(
         {.Changes = Out->Mined, .TargetClasses = api().targetClasses()});
     Out->BaselineJson = corpusReportToJson(Out->Baseline);
     return Out;
@@ -65,10 +65,9 @@ CorpusReport runSupervised(unsigned Workers, std::size_t BatchSize) {
   Exec.Workers = Workers;
   Exec.BatchSize = BatchSize;
   DiffCode System(api());
-  return exec::runPipeline(System,
-                           {.Changes = env().Mined,
-                            .TargetClasses = api().targetClasses(),
-                            .Exec = Exec});
+  return System.run({.Changes = env().Mined,
+                     .TargetClasses = api().targetClasses(),
+                     .Exec = Exec});
 }
 
 #ifdef DIFFCODE_CLI_PATH
@@ -130,8 +129,7 @@ TEST(SupervisedExec, CleanRunBookkeeping) {
 
 TEST(SupervisedExec, InProcessModeDispatchesUnchanged) {
   DiffCode System(api());
-  CorpusReport R = exec::runPipeline(
-      System,
+  CorpusReport R = System.run(
       {.Changes = env().Mined, .TargetClasses = api().targetClasses()});
   EXPECT_EQ(env().BaselineJson, corpusReportToJson(R));
 }
@@ -155,9 +153,9 @@ TEST(SupervisedExec, EmptyAndOverprovisionedRuns) {
   // Far more workers than units: the pool clamps, the report matches.
   Exec.Workers = 16;
   Exec.BatchSize = 64; // one unit per 64 changes -> 1-2 units total
-  CorpusReport R = exec::runPipeline(
-      System, {.Changes = env().Mined, .TargetClasses = api().targetClasses(),
-               .Exec = Exec});
+  CorpusReport R = System.run(
+      {.Changes = env().Mined, .TargetClasses = api().targetClasses(),
+       .Exec = Exec});
   EXPECT_EQ(env().BaselineJson, corpusReportToJson(R));
 }
 
