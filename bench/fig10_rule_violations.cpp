@@ -71,11 +71,11 @@ int main(int argc, char **argv) {
       Units.push_back(UnitFacts::from(Result));
 
     ProjectReport Report = Checker.checkProject(Units, P.Meta);
-    for (const RuleVerdict &Verdict : Report.Verdicts) {
+    for (const RuleVerdict &Verdict : Report.verdicts()) {
       if (Verdict.Applicable)
-        ++Applicable[Verdict.RuleId];
+        ++Applicable[Report.text(Verdict.Rule)];
       if (Verdict.Matched)
-        ++Matching[Verdict.RuleId];
+        ++Matching[Report.text(Verdict.Rule)];
     }
     if (Report.anyMatch())
       ++ProjectsWithViolation;

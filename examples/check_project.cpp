@@ -86,15 +86,16 @@ int main(int argc, char **argv) {
 
   std::printf("\n%-5s %-11s %-8s %s\n", "rule", "applicable", "matched",
               "description");
-  for (const rules::RuleVerdict &Verdict : Report.Verdicts) {
-    const rules::Rule *R = rules::findRule(Verdict.RuleId);
-    std::printf("%-5s %-11s %-8s %s\n", Verdict.RuleId.c_str(),
+  for (const rules::RuleVerdict &Verdict : Report.verdicts()) {
+    const std::string &RuleId = Report.text(Verdict.Rule);
+    const rules::Rule *R = rules::findRule(RuleId);
+    std::printf("%-5s %-11s %-8s %s\n", RuleId.c_str(),
                 Verdict.Applicable ? "yes" : "no",
                 Verdict.Matched ? "YES" : "no",
                 R ? R->Description.c_str() : "");
     for (const rules::Violation &V : Verdict.Violations)
-      std::printf("      -> %s at %s (%s)\n", V.TypeName.c_str(),
-                  V.SiteLabel.c_str(),
+      std::printf("      -> %s at %s (%s)\n", Report.text(V.Type).c_str(),
+                  Report.text(V.Site).c_str(),
                   Sources[V.UnitIndex].first.c_str());
   }
   std::printf("\nproject %s at least one rule\n",

@@ -44,19 +44,41 @@
 //       cleanly (any non-ok status) — the CI tripwire for corpora that
 //       silently rot.
 //
+//   diffcode_cli scan (<file.java ...> | --corpus <dir>) [--json]
+//                [--rules <id,id,...>] [--refine] [--threads <n>]
+//                [--no-unit-cache] [--metrics] [--fail-on-violation]
+//       run the streaming rule scanner (scan/Scanner.h). Plain files are
+//       scanned as one project; --corpus scans every project of an
+//       on-disk corpus (HEAD files). --rules restricts evaluation to a
+//       comma-separated rule-id subset (unknown ids warn and select
+//       nothing); --refine arms the demand-driven refinement pass that
+//       re-checks matched rules against per-execution abstract state
+//       (suppressed witness counts appear in the report; off by default,
+//       and off is byte-identical to the batch CryptoChecker).
+//       --threads fans projects out over a thread pool (0 = one per
+//       hardware thread; report bytes never depend on it);
+//       --no-unit-cache disables the content-hash unit cache. --json
+//       streams the report as projects complete; --metrics adds per-rule
+//       counters and latency histograms. --fail-on-violation exits 1
+//       when any project violates any evaluated rule (the CI tripwire).
+//
 //   diffcode_cli serve <socket-path> [--threads <n>] [--max-cached <n>]
 //       run the incremental analysis service in the foreground on a UNIX
 //       socket (same server loop as the diffcoded binary); stops at the
 //       first client shutdown request. Also spelled --serve.
 //
 //   diffcode_cli connect <socket-path> [--ingest <corpus-dir>]
-//                [--query <what>] [--snapshot] [--shutdown]
+//                [--query <what>] [--snapshot] [--rules <id,...>]
+//                [--refine] [--scan <corpus-dir>] [--shutdown]
 //       talk to a running service; operations execute in flag order.
 //       --ingest mines a corpus directory client-side and ships the
 //       changes, printing the session's cache/repair stats; --query asks
 //       "health", "stats", or "class:<Name>"; --snapshot prints the full
 //       report JSON (byte-identical to a cold `pipeline --json --cluster`
-//       run over everything ingested so far). Also spelled --connect.
+//       run over everything ingested so far); --scan ships a corpus
+//       directory's projects to the server's warm rule scanner and
+//       prints the scan report JSON (--rules/--refine, given earlier on
+//       the command line, shape the request). Also spelled --connect.
 //
 //===----------------------------------------------------------------------===//
 
@@ -68,11 +90,14 @@
 #include "rules/BuiltinRules.h"
 #include "rules/CryptoChecker.h"
 #include "rules/RuleSuggestion.h"
+#include "scan/ScanReportWriter.h"
+#include "scan/Scanner.h"
 #include "service/Server.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -95,11 +120,19 @@ int printUsage() {
                "                    [--unit-deadline-ms <n>] "
                "[--max-retries <n>]\n"
                "                    [--fail-on-degraded <pct>]\n"
+               "       diffcode_cli scan (<file.java ...> | --corpus <dir>) "
+               "[--json]\n"
+               "                    [--rules <id,id,...>] [--refine] "
+               "[--threads <n>]\n"
+               "                    [--no-unit-cache] [--metrics] "
+               "[--fail-on-violation]\n"
                "       diffcode_cli serve <socket-path> [--threads <n>] "
                "[--max-cached <n>]\n"
                "       diffcode_cli connect <socket-path> "
                "[--ingest <corpus-dir>]\n"
                "                    [--query <what>] [--snapshot] "
+               "[--rules <id,...>]\n"
+               "                    [--refine] [--scan <corpus-dir>] "
                "[--shutdown]\n");
   return 2;
 }
@@ -176,16 +209,17 @@ int runCheck(int argc, char **argv, bool Json) {
   if (Json) {
     std::printf("%s\n", core::projectReportToJson(Report).c_str());
   } else {
-    for (const rules::RuleVerdict &V : Report.Verdicts) {
+    for (const rules::RuleVerdict &V : Report.verdicts()) {
       if (!V.Matched)
         continue;
-      const rules::Rule *R = rules::findRule(V.RuleId);
-      std::printf("%s: %s\n", V.RuleId.c_str(),
+      const std::string &RuleId = Report.text(V.Rule);
+      const rules::Rule *R = rules::findRule(RuleId);
+      std::printf("%s: %s\n", RuleId.c_str(),
                   R ? R->Description.c_str() : "");
       for (const rules::Violation &Site : V.Violations)
-        std::printf("  %s at %s:%s\n", Site.TypeName.c_str(),
+        std::printf("  %s at %s:%s\n", Report.text(Site.Type).c_str(),
                     Names[Site.UnitIndex].c_str(),
-                    Site.SiteLabel.c_str() + 1); // drop the 'l'
+                    Report.text(Site.Site).c_str() + 1); // drop the 'l'
     }
     if (!Report.anyMatch())
       std::printf("no violations\n");
@@ -421,6 +455,167 @@ int runPipeline(int argc, char **argv, bool Json) {
   return ExitCode;
 }
 
+std::vector<std::string> splitCommaList(const char *Arg) {
+  std::vector<std::string> Out;
+  std::string Current;
+  for (const char *P = Arg; *P; ++P) {
+    if (*P == ',') {
+      if (!Current.empty())
+        Out.push_back(std::move(Current));
+      Current.clear();
+    } else {
+      Current.push_back(*P);
+    }
+  }
+  if (!Current.empty())
+    Out.push_back(std::move(Current));
+  return Out;
+}
+
+int runScan(int argc, char **argv) {
+  bool Json = false, Refine = false, Metrics = false;
+  bool FailOnViolation = false, CacheUnits = true;
+  unsigned Threads = 0;
+  std::string CorpusDir;
+  std::vector<std::string> RuleFilter;
+  std::vector<const char *> FileArgs;
+  for (int I = 2; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0)
+      Json = true;
+    else if (std::strcmp(argv[I], "--refine") == 0)
+      Refine = true;
+    else if (std::strcmp(argv[I], "--metrics") == 0)
+      Metrics = true;
+    else if (std::strcmp(argv[I], "--fail-on-violation") == 0)
+      FailOnViolation = true;
+    else if (std::strcmp(argv[I], "--no-unit-cache") == 0)
+      CacheUnits = false;
+    else if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc)
+      Threads = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (std::strcmp(argv[I], "--corpus") == 0 && I + 1 < argc)
+      CorpusDir = argv[++I];
+    else if (std::strcmp(argv[I], "--rules") == 0 && I + 1 < argc)
+      RuleFilter = splitCommaList(argv[++I]);
+    else if (argv[I][0] == '-')
+      return printUsage();
+    else
+      FileArgs.push_back(argv[I]);
+  }
+
+  std::optional<corpus::Corpus> C;
+  corpus::Project AdHoc;
+  std::vector<const corpus::Project *> Projects;
+  if (!CorpusDir.empty()) {
+    std::string Error;
+    C = corpus::readCorpus(CorpusDir.c_str(), &Error);
+    if (!C) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    for (const corpus::Project &P : C->Projects)
+      Projects.push_back(&P);
+  } else if (!FileArgs.empty()) {
+    AdHoc.Name = "project";
+    for (const char *Path : FileArgs) {
+      corpus::ProjectFile File;
+      File.Name = Path;
+      if (!readFile(Path, File.Code))
+        return 1;
+      AdHoc.Files.push_back(std::move(File));
+    }
+    Projects.push_back(&AdHoc);
+  } else {
+    return printUsage();
+  }
+
+  obs::Observer Obs;
+  scan::ScanConfig Config;
+  Config.Threads = Threads;
+  Config.CacheUnits = CacheUnits;
+  Config.Metrics = Metrics ? &Obs : nullptr;
+  scan::Scanner Scanner(apimodel::CryptoApiModel::javaCryptoApi(), Config);
+
+  for (const std::string &Id : RuleFilter) {
+    bool Known = false;
+    for (const rules::Rule &R : Scanner.rules().rules())
+      Known = Known || R.Id == Id;
+    if (!Known)
+      std::fprintf(stderr, "warning: unknown rule id %s\n", Id.c_str());
+  }
+
+  scan::ScanRequest Request;
+  Request.Projects = std::move(Projects);
+  Request.RuleFilter = std::move(RuleFilter);
+  Request.Refine = Refine;
+
+  scan::ScanReport Report;
+  if (Json) {
+    // Stream each project record as it completes; finish() appends the
+    // summary, so the bytes match scanReportToJson exactly.
+    scan::ScanReportWriter Writer(std::cout);
+    Report = Scanner.scan(Request, &Writer);
+    Writer.finish(Report);
+    std::cout << '\n';
+  } else {
+    Report = Scanner.scan(Request);
+    std::printf("scanned %zu projects, %u with violations\n\n",
+                Report.Projects.size(), Report.ProjectsWithViolation);
+    std::printf("%-6s %10s %8s %10s %10s\n", "rule", "applicable", "matched",
+                "violations", "suppressed");
+    for (const scan::RuleTotal &T : Report.Rules)
+      std::printf("%-6s %10llu %8llu %10llu %10llu\n",
+                  Report.text(T.Rule).c_str(),
+                  static_cast<unsigned long long>(T.Applicable),
+                  static_cast<unsigned long long>(T.Matched),
+                  static_cast<unsigned long long>(T.Violations),
+                  static_cast<unsigned long long>(T.Suppressed));
+    bool AnySite = false;
+    for (const scan::ProjectScanRecord &Rec : Report.Projects)
+      for (const rules::RuleVerdict &V : Rec.Report.verdicts())
+        for (const rules::Violation &Site : V.Violations) {
+          if (!AnySite)
+            std::printf("\n");
+          AnySite = true;
+          std::printf("%s: %s violated by %s at %s (unit %u)\n",
+                      Rec.Project.c_str(), Rec.Report.text(V.Rule).c_str(),
+                      Rec.Report.text(Site.Type).c_str(),
+                      Rec.Report.text(Site.Site).c_str(), Site.UnitIndex);
+        }
+    bool AnyTrouble = false;
+    for (const scan::ProjectScanRecord &Rec : Report.Projects)
+      if (Rec.Status != core::ChangeStatus::Ok) {
+        if (!AnyTrouble)
+          std::printf("\n");
+        AnyTrouble = true;
+        std::printf("  [%s] %s: %s\n", core::changeStatusName(Rec.Status),
+                    Rec.Project.c_str(), Rec.Detail.c_str());
+      }
+    if (Metrics) {
+      std::printf("\nmetrics:\n");
+      for (const obs::MetricValue &V : Report.Metrics.Metrics.Values) {
+        switch (V.Kind) {
+        case obs::MetricKind::Counter:
+          std::printf("  %-32s %12llu\n", V.Name.c_str(),
+                      static_cast<unsigned long long>(V.Count));
+          break;
+        case obs::MetricKind::Gauge:
+          std::printf("  %-32s %12lld\n", V.Name.c_str(),
+                      static_cast<long long>(V.Value));
+          break;
+        case obs::MetricKind::Histogram:
+          std::printf("  %-32s %12llu samples, sum %llu, min %llu, max %llu\n",
+                      V.Name.c_str(), static_cast<unsigned long long>(V.Count),
+                      static_cast<unsigned long long>(V.Sum),
+                      static_cast<unsigned long long>(V.Min),
+                      static_cast<unsigned long long>(V.Max));
+          break;
+        }
+      }
+    }
+  }
+  return FailOnViolation && Report.ProjectsWithViolation > 0 ? 1 : 0;
+}
+
 int runServe(int argc, char **argv) {
   if (argc < 3)
     return printUsage();
@@ -460,6 +655,8 @@ int runConnect(int argc, char **argv) {
   }
   service::Client C(Fd);
   int Code = 0;
+  bool ScanRefine = false;
+  std::vector<std::string> ScanRules;
   for (int I = 3; I < argc && Code == 0; ++I) {
     if (std::strcmp(argv[I], "--ingest") == 0 && I + 1 < argc) {
       std::optional<corpus::Corpus> Corpus =
@@ -507,6 +704,29 @@ int runConnect(int argc, char **argv) {
         break;
       }
       std::printf("%s\n", Json.c_str());
+    } else if (std::strcmp(argv[I], "--refine") == 0) {
+      ScanRefine = true;
+    } else if (std::strcmp(argv[I], "--rules") == 0 && I + 1 < argc) {
+      ScanRules = splitCommaList(argv[++I]);
+    } else if (std::strcmp(argv[I], "--scan") == 0 && I + 1 < argc) {
+      std::optional<corpus::Corpus> Corpus =
+          corpus::readCorpus(argv[++I], &Error);
+      if (!Corpus) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        Code = 1;
+        break;
+      }
+      service::ScanRequestWire Wire;
+      Wire.Refine = ScanRefine;
+      Wire.RuleFilter = ScanRules;
+      Wire.Projects = std::move(Corpus->Projects);
+      std::string Json;
+      if (!C.scan(Wire, Json, &Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        Code = 1;
+        break;
+      }
+      std::printf("%s\n", Json.c_str());
     } else if (std::strcmp(argv[I], "--shutdown") == 0) {
       if (!C.shutdown(&Error)) {
         std::fprintf(stderr, "error: %s\n", Error.c_str());
@@ -537,6 +757,8 @@ int main(int argc, char **argv) {
     return runSuggest(argc, argv);
   if (std::strcmp(argv[1], "pipeline") == 0)
     return runPipeline(argc, argv, Json);
+  if (std::strcmp(argv[1], "scan") == 0)
+    return runScan(argc, argv);
   if (std::strcmp(argv[1], "serve") == 0 ||
       std::strcmp(argv[1], "--serve") == 0)
     return runServe(argc, argv);

@@ -113,10 +113,11 @@ int main() {
   rules::UnitFacts Facts = rules::UnitFacts::from(OldResult);
   rules::ProjectReport Report = Checker.checkProject({Facts});
   std::printf("rules violated by the old version:\n");
-  for (const rules::RuleVerdict &Verdict : Report.Verdicts)
+  for (const rules::RuleVerdict &Verdict : Report.verdicts())
     if (Verdict.Matched) {
-      const rules::Rule *R = rules::findRule(Verdict.RuleId);
-      std::printf("  %s: %s\n", Verdict.RuleId.c_str(),
+      const std::string &RuleId = Report.text(Verdict.Rule);
+      const rules::Rule *R = rules::findRule(RuleId);
+      std::printf("  %s: %s\n", RuleId.c_str(),
                   R ? R->Description.c_str() : "");
     }
   return 0;

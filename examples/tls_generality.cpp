@@ -87,11 +87,13 @@ int main() {
   rules::UnitFacts NewFacts = rules::UnitFacts::from(NewResult);
 
   std::printf("\nCryptoChecker with the TLS rule set:\n");
-  for (const rules::RuleVerdict &V : Checker.checkProject({OldFacts}).Verdicts)
-    std::printf("  old version, %s: %s\n", V.RuleId.c_str(),
+  rules::ProjectReport OldReport = Checker.checkProject({OldFacts});
+  for (const rules::RuleVerdict &V : OldReport.verdicts())
+    std::printf("  old version, %s: %s\n", OldReport.text(V.Rule).c_str(),
                 V.Matched ? "VIOLATED" : "ok");
-  for (const rules::RuleVerdict &V : Checker.checkProject({NewFacts}).Verdicts)
-    std::printf("  new version, %s: %s\n", V.RuleId.c_str(),
+  rules::ProjectReport NewReport = Checker.checkProject({NewFacts});
+  for (const rules::RuleVerdict &V : NewReport.verdicts())
+    std::printf("  new version, %s: %s\n", NewReport.text(V.Rule).c_str(),
                 V.Matched ? "VIOLATED" : "ok");
   return 0;
 }

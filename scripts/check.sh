@@ -56,6 +56,15 @@
 # build directory.
 #   scripts/check.sh --bench-incremental -L tier1
 #
+# --bench-scan (opt-in): after the test suite, run the streaming rule
+# scanner guard (bench/micro_scan) at 5x the Fig-10 corpus.
+# Self-verifying — non-zero exit if the streamed scan report is not
+# byte-identical to the serial CryptoChecker loop at 1/2/8 threads, the
+# warm-scan speedup falls below 3x, the per-rule counters are missing
+# from the metrics snapshot, or refinement widens a verdict — and leaves
+# BENCH_scan.json in the build directory.
+#   scripts/check.sh --bench-scan -L tier1
+#
 # --chaos (opt-in): after the regular suite, run the seeded chaos
 # campaign (ctest -L chaos): workers that crash, hang, OOM-exit, start
 # slowly, and corrupt result streams, asserting deterministic per-status
@@ -78,6 +87,7 @@ BENCH_INTERNING=0
 BENCH_FAULTS=0
 BENCH_LEXER=0
 BENCH_INCREMENTAL=0
+BENCH_SCAN=0
 CHAOS=0
 for arg in "$@"; do
   if [[ "$arg" == "--asan" ]]; then
@@ -97,6 +107,8 @@ for arg in "$@"; do
     BENCH_LEXER=1
   elif [[ "$arg" == "--bench-incremental" ]]; then
     BENCH_INCREMENTAL=1
+  elif [[ "$arg" == "--bench-scan" ]]; then
+    BENCH_SCAN=1
   elif [[ "$arg" == "--chaos" ]]; then
     CHAOS=1
   else
@@ -131,6 +143,19 @@ if [[ "$ASAN" == "1" ]]; then
     --query health --query stats --snapshot --shutdown > /dev/null
   wait "$SERVE_PID"
   rm -f "$SOCK"
+  echo "== rule scan under sanitizers =="
+  # One refined scan through the streaming pipeline (parse, digest,
+  # refinement, reorder buffer, report writer) so the scan layer gets a
+  # sanitized pass too. The smoke file violates R5/R7 by design, so the
+  # expected exit code under --fail-on-violation is 1.
+  SCAN_RC=0
+  ./examples/diffcode_cli scan --json --refine --fail-on-violation \
+    ../tests/data/smoke_corpus/projA/commits/c0001/new.java > /dev/null \
+    || SCAN_RC=$?
+  if [[ "$SCAN_RC" != "1" ]]; then
+    echo "scan --fail-on-violation exited $SCAN_RC, expected 1" >&2
+    exit 1
+  fi
 else
   echo "== observability overhead guard (bench/micro_pipeline) =="
   ./bench/micro_pipeline --verify-overhead
@@ -159,6 +184,11 @@ fi
 if [[ "$BENCH_INCREMENTAL" == "1" ]]; then
   echo "== service incremental-append guard (bench/micro_incremental) =="
   ./bench/micro_incremental 10000 42 BENCH_incremental.json
+fi
+
+if [[ "$BENCH_SCAN" == "1" ]]; then
+  echo "== streaming rule scanner guard (bench/micro_scan) =="
+  ./bench/micro_scan 600 42 BENCH_scan.json
 fi
 
 if [[ "$CHAOS" == "1" ]]; then

@@ -79,43 +79,12 @@ void core::computeCorpusHealth(CorpusReport &Report, std::size_t MaxOffenders) {
   Report.Health = Health;
 }
 
-/// The pre-PR-8 field layout of \p Config, for the deprecated options()
-/// accessor and round-trip tests.
-static DiffCodeOptions legacyView(const PipelineConfig &Config) {
-  DiffCodeOptions Opts;
-  Opts.Analysis = Config.Limits.Analysis;
-  Opts.ParseBudget = Config.Limits.Parse;
-  Opts.DagDepth = Config.Limits.DagDepth;
-  Opts.ClusterCut = Config.Clustering.Cut;
-  Opts.Threads = Config.Threads;
-  Opts.Clustering = Config.clusteringOptions();
-  Opts.Faults = Config.Faults;
-  return Opts;
-}
-
-static PipelineConfig configFrom(const DiffCodeOptions &Opts) {
-  PipelineConfig Config;
-  Config.Threads = Opts.Threads;
-  Config.Limits.Parse = Opts.ParseBudget;
-  Config.Limits.Analysis = Opts.Analysis;
-  Config.Limits.DagDepth = Opts.DagDepth;
-  Config.Clustering.Cut = Opts.ClusterCut;
-  Config.Clustering.Algo = Opts.Clustering.Algo;
-  Config.Clustering.Threads = Opts.Clustering.Threads;
-  Config.Sharding = Opts.Clustering.Sharding;
-  Config.Faults = Opts.Faults;
-  return Config;
-}
-
 DiffCode::DiffCode(const apimodel::CryptoApiModel &Api)
     : DiffCode(Api, PipelineConfig()) {}
 
 DiffCode::DiffCode(const apimodel::CryptoApiModel &Api, PipelineConfig Config)
-    : Api(Api), Config(Config), LegacyOpts(legacyView(Config)),
+    : Api(Api), Config(Config),
       DefaultLabels(std::make_shared<support::Interner>()) {}
-
-DiffCode::DiffCode(const apimodel::CryptoApiModel &Api, DiffCodeOptions Opts)
-    : DiffCode(Api, configFrom(Opts)) {}
 
 support::Interner &DiffCode::internerFor(const PipelineRequest &Request) const {
   return Request.Labels ? *Request.Labels : *DefaultLabels;
@@ -435,10 +404,6 @@ CorpusReport DiffCode::run(const PipelineRequest &Request) const {
     });
   return runPipelineFrom(Effective,
                          [&, this] { return analyzeChanges(Effective); });
-}
-
-CorpusReport DiffCode::runPipeline(const PipelineRequest &Request) const {
-  return runPipelineFrom(Request, [&] { return analyzeChanges(Request); });
 }
 
 CorpusReport DiffCode::runPipelineFrom(

@@ -83,7 +83,7 @@ struct ExecutionPolicy {
 };
 
 /// The system's one documented knob surface, replacing the ad-hoc
-/// clusters that accumulated on DiffCodeOptions across PRs 1-7. Six
+/// option clusters that accumulated across PRs 1-7. Six
 /// groups — threads, limits, clustering, sharding, exec, metrics — plus
 /// the fault-injection campaign, all designed for designated-initializer
 /// construction:
@@ -154,24 +154,6 @@ struct PipelineConfig {
     Out.Sharding = Sharding;
     return Out;
   }
-};
-
-/// Pre-PR-8 pipeline knobs. Deprecated spelling kept for one release:
-/// the DiffCode(Api, DiffCodeOptions) constructor maps it onto
-/// PipelineConfig field by field (see tests/test_api_compat.cpp).
-struct DiffCodeOptions {
-  analysis::AnalysisOptions Analysis;
-  /// Frontend budgets applied to every parsed version (0 = unlimited).
-  java::ParseLimits ParseBudget;
-  unsigned DagDepth = 5; ///< Section 3.4's n.
-  /// Dendrogram cut threshold for flat clusters (manual-inspection aid).
-  double ClusterCut = 0.4;
-  /// Worker threads for the per-change analysis stage.
-  unsigned Threads = 1;
-  /// Clustering engine knobs (now PipelineConfig::Clustering/Sharding).
-  cluster::ClusteringOptions Clustering;
-  /// Fault-injection campaign (testing only; disabled by default).
-  support::FaultPlan Faults;
 };
 
 /// Outcome taxonomy for one processed code change. Ordered by severity:
@@ -309,7 +291,7 @@ struct PipelineRequest {
   /// Observability sink. Null (the default) turns instrumentation off —
   /// every site reduces to one pointer test and the report's Metrics
   /// summary stays empty. When set, stages open spans in Metrics->Trace,
-  /// counters/histograms land in Metrics->Metrics, and runPipeline
+  /// counters/histograms land in Metrics->Metrics, and run()
   /// freezes the result into CorpusReport::Metrics. Must outlive the
   /// call.
   obs::Observer *Metrics = nullptr;
@@ -321,7 +303,7 @@ struct PipelineRequest {
 };
 
 /// Recomputes \p Report's health summary from its records (at most
-/// \p MaxOffenders worst-offender entries). runPipeline calls this;
+/// \p MaxOffenders worst-offender entries). run() calls this;
 /// exposed for tests and for callers that post-edit reports.
 void computeCorpusHealth(CorpusReport &Report, std::size_t MaxOffenders = 5);
 
@@ -330,15 +312,8 @@ class DiffCode {
 public:
   explicit DiffCode(const apimodel::CryptoApiModel &Api);
   DiffCode(const apimodel::CryptoApiModel &Api, PipelineConfig Config);
-  /// Legacy knob surface; maps Opts onto PipelineConfig field by field.
-  [[deprecated("construct from core::PipelineConfig")]] DiffCode(
-      const apimodel::CryptoApiModel &Api, DiffCodeOptions Opts);
 
   const PipelineConfig &config() const { return Config; }
-  /// Legacy view of config() in the pre-PR-8 field layout.
-  [[deprecated("use config()")]] const DiffCodeOptions &options() const {
-    return LegacyOpts;
-  }
 
   /// One parsed-and-analyzed program version plus how it went. Frontend
   /// problems are recorded, never silently swallowed.
@@ -407,7 +382,7 @@ public:
                 support::Interner &Table, obs::Registry *Reg) const;
 
   //===--------------------------------------------------------------------===//
-  // Stage entry points. runPipeline composes exactly these three, so
+  // Stage entry points. run() composes exactly these three, so
   // callers can run any prefix (analysis only, analysis + filters) or
   // re-cluster a filtered class under different options without
   // re-analyzing the corpus.
@@ -444,11 +419,6 @@ public:
   /// reports.
   CorpusReport run(const PipelineRequest &Request) const;
 
-  /// Legacy spelling of the in-process run; unlike run() it never
-  /// consults Request.Exec or the config fallbacks.
-  [[deprecated("use run(); it dispatches on Request.Exec.Mode")]]
-  CorpusReport runPipeline(const PipelineRequest &Request) const;
-
   /// run with the per-change analysis stage swapped out: \p Analyze
   /// produces the record vector (one per Request.Changes entry, input
   /// order) and everything downstream — filters, clustering, health,
@@ -466,9 +436,6 @@ private:
 
   const apimodel::CryptoApiModel &Api;
   PipelineConfig Config;
-  /// Materialized pre-PR-8 view of Config, returned by the deprecated
-  /// options() accessor.
-  DiffCodeOptions LegacyOpts;
   /// Corpus interner backing every change this instance derives (unless
   /// a request supplies its own). shared_ptr so reports can outlive the
   /// facade.

@@ -175,16 +175,20 @@ diffcode::core::projectReportToJson(const rules::ProjectReport &Report) {
   JsonWriter W;
   W.beginObject();
   W.key("rules").beginArray();
-  for (const rules::RuleVerdict &Verdict : Report.Verdicts) {
+  for (const rules::RuleVerdict &Verdict : Report.verdicts()) {
     W.beginObject();
-    W.key("id").value(Verdict.RuleId);
+    W.key("id").value(Report.text(Verdict.Rule));
     W.key("applicable").value(Verdict.Applicable);
     W.key("matched").value(Verdict.Matched);
+    // Only refined runs can suppress; the key's absence keeps the
+    // refine-off report byte-identical to the pre-refinement shape.
+    if (Verdict.Suppressed > 0)
+      W.key("suppressed").value(static_cast<std::uint64_t>(Verdict.Suppressed));
     W.key("violations").beginArray();
     for (const rules::Violation &V : Verdict.Violations) {
       W.beginObject();
-      W.key("type").value(V.TypeName);
-      W.key("site").value(V.SiteLabel);
+      W.key("type").value(Report.text(V.Type));
+      W.key("site").value(Report.text(V.Site));
       W.key("unit").value(static_cast<std::uint64_t>(V.UnitIndex));
       W.endObject();
     }

@@ -4,16 +4,77 @@
 
 #include "rules/BuiltinRules.h"
 
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
 using namespace diffcode;
 using namespace diffcode::rules;
 
-CryptoChecker::CryptoChecker() : Rules(elicitedRules()) {}
+support::LabelId ScanSymbols::intern(std::string_view Text) {
+  {
+    std::shared_lock<std::shared_mutex> Lock(Mutex);
+    auto It = Index.find(Text);
+    if (It != Index.end())
+      return It->second;
+  }
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  auto It = Index.find(Text);
+  if (It != Index.end())
+    return It->second;
+  auto Id = static_cast<support::LabelId>(Texts.size());
+  Texts.emplace_back(Text);
+  Index.emplace(Texts.back(), Id);
+  return Id;
+}
+
+support::LabelId ScanSymbols::find(std::string_view Text) const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  auto It = Index.find(Text);
+  return It == Index.end() ? None : It->second;
+}
+
+const std::string &ScanSymbols::text(support::LabelId Id) const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  if (Id >= Texts.size())
+    throw std::out_of_range("ScanSymbols::text: unknown id");
+  return Texts[Id];
+}
+
+std::size_t ScanSymbols::size() const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  return Texts.size();
+}
+
+const std::string &ProjectReport::text(support::LabelId Id) const {
+  if (!Symbols)
+    throw std::logic_error("ProjectReport::text: no symbol table pinned");
+  return Symbols->text(Id);
+}
+
+void rules::dedupeViolations(std::vector<Violation> &Violations) {
+  if (Violations.size() < 2)
+    return;
+  std::vector<Violation> Seen;
+  auto Duplicate = [&Seen](const Violation &V) {
+    for (const Violation &S : Seen)
+      if (S.Type == V.Type && S.Site == V.Site && S.UnitIndex == V.UnitIndex)
+        return true;
+    Seen.push_back(V);
+    return false;
+  };
+  Violations.erase(
+      std::remove_if(Violations.begin(), Violations.end(), Duplicate),
+      Violations.end());
+}
+
+CryptoChecker::CryptoChecker() : CryptoChecker(elicitedRules()) {}
 
 CryptoChecker::CryptoChecker(std::vector<Rule> Rules)
-    : Rules(std::move(Rules)) {}
+    : Rules(std::move(Rules)), Symbols(std::make_shared<ScanSymbols>()) {}
 
 std::vector<Violation>
-CryptoChecker::collectViolations(const Rule &R,
+CryptoChecker::collectViolations(const Rule &R, support::LabelId RuleId,
                                  const std::vector<UnitFacts> &Units) const {
   std::vector<Violation> Out;
   for (const Rule::Clause &Clause : R.Clauses) {
@@ -26,10 +87,12 @@ CryptoChecker::collectViolations(const Rule &R,
         if (Obj.TypeName != Clause.TypeName)
           continue;
         if (Clause.Formula.eval(Events))
-          Out.push_back({R.Id, Obj.TypeName, Obj.siteLabel(), UnitIndex});
+          Out.push_back({RuleId, Symbols->intern(Obj.TypeName),
+                         Symbols->intern(Obj.siteLabel()), UnitIndex});
       }
     }
   }
+  dedupeViolations(Out);
   return Out;
 }
 
@@ -37,15 +100,16 @@ ProjectReport
 CryptoChecker::checkProject(const std::vector<UnitFacts> &Units,
                             const ProjectMetadata &Meta) const {
   ProjectReport Report;
+  Report.Symbols = Symbols;
   for (const Rule &R : Rules) {
     RuleVerdict Verdict;
-    Verdict.RuleId = R.Id;
+    Verdict.Rule = Symbols->intern(R.Id);
     Verdict.Applicable = ruleApplicable(R, Units, Meta);
     if (Verdict.Applicable && ruleMatches(R, Units, Meta)) {
       Verdict.Matched = true;
-      Verdict.Violations = collectViolations(R, Units);
+      Verdict.Violations = collectViolations(R, Verdict.Rule, Units);
     }
-    Report.Verdicts.push_back(std::move(Verdict));
+    Report.addVerdict(std::move(Verdict));
   }
   return Report;
 }

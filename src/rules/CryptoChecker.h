@@ -11,48 +11,118 @@
 /// matches plus the concrete violating allocation sites — the data behind
 /// Figure 10.
 ///
+/// The report model is interned: Violation and RuleVerdict carry 32-bit
+/// support::LabelId handles into a ScanSymbols table instead of owning
+/// strings, so a corpus-scale scan (scan/Scanner fans the checker's
+/// semantics out over thousands of projects) shares one copy of every
+/// rule id, type name, and site label. The determinism contract mirrors
+/// support::Interner's: no output may depend on id *values* (they are
+/// interleaving-dependent under concurrent interning), only on id
+/// equality and the resolved text.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DIFFCODE_RULES_CRYPTOCHECKER_H
 #define DIFFCODE_RULES_CRYPTOCHECKER_H
 
 #include "rules/Rule.h"
+#include "support/Interner.h"
 
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace diffcode {
 namespace rules {
 
-/// One concrete violation: which rule, where.
+/// Append-only table of the strings a scan resolves through: rule ids,
+/// type names, allocation-site labels. Thread-safe like the corpus
+/// interner (scan workers intern unit facts concurrently); references
+/// returned by text() are stable forever (deque-backed storage).
+class ScanSymbols {
+public:
+  /// Sentinel for "no symbol" (e.g. a CallPattern matching any class).
+  static constexpr support::LabelId None = 0xffffffffu;
+
+  support::LabelId intern(std::string_view Text);
+
+  /// Lookup without interning: None when \p Text was never interned.
+  /// Useful for matching against a table a pattern may be absent from.
+  support::LabelId find(std::string_view Text) const;
+
+  const std::string &text(support::LabelId Id) const;
+
+  std::size_t size() const;
+
+private:
+  mutable std::shared_mutex Mutex;
+  std::deque<std::string> Texts; ///< Stable storage, indexed by id.
+  std::map<std::string, support::LabelId, std::less<>> Index;
+};
+
+/// One concrete violation: which rule, where. All symbols resolve
+/// through the report's ScanSymbols.
 struct Violation {
-  std::string RuleId;
-  std::string TypeName;
-  std::string SiteLabel; ///< "l<line>" of the violating allocation site.
+  support::LabelId Rule = ScanSymbols::None;
+  support::LabelId Type = ScanSymbols::None;
+  support::LabelId Site = ScanSymbols::None; ///< "l<line>" label.
   unsigned UnitIndex = 0;
+
+  friend bool operator==(const Violation &, const Violation &) = default;
 };
 
 /// Per-rule project verdict.
 struct RuleVerdict {
-  std::string RuleId;
+  support::LabelId Rule = ScanSymbols::None;
   bool Applicable = false;
   bool Matched = false;
+  /// Violation sites the demand-driven refinement pass suppressed as
+  /// merge artifacts (always 0 when refinement is off).
+  std::uint32_t Suppressed = 0;
   std::vector<Violation> Violations;
 };
 
-/// Whole-project report.
-struct ProjectReport {
-  std::vector<RuleVerdict> Verdicts;
-
-  bool anyMatch() const {
-    for (const RuleVerdict &V : Verdicts)
-      if (V.Matched)
-        return true;
-    return false;
+/// Whole-project report. Verdict insertion goes through addVerdict so
+/// the any-match bit is maintained incrementally instead of rescanning
+/// the verdict list on every anyMatch() call.
+class ProjectReport {
+public:
+  void addVerdict(RuleVerdict Verdict) {
+    AnyMatch = AnyMatch || Verdict.Matched;
+    Verdicts.push_back(std::move(Verdict));
   }
+
+  const std::vector<RuleVerdict> &verdicts() const { return Verdicts; }
+  bool anyMatch() const { return AnyMatch; }
+
+  /// Resolves \p Id through the report's symbol table.
+  const std::string &text(support::LabelId Id) const;
+
+  /// The table every symbol in this report resolves through, pinned here
+  /// so the report stays self-contained even if the checker (or scanner)
+  /// that produced it goes away first.
+  std::shared_ptr<const ScanSymbols> Symbols;
+
+private:
+  std::vector<RuleVerdict> Verdicts;
+  bool AnyMatch = false;
 };
 
-/// The checker: a rule set applied to analyzed projects.
+/// Deduplicates repeated sites within \p Violations in place: the same
+/// (type, site, unit) reported by several positive clauses collapses to
+/// its first occurrence (order otherwise preserved).
+void dedupeViolations(std::vector<Violation> &Violations);
+
+/// The checker: a rule set applied to analyzed projects. This is the
+/// straightforward clause-by-clause evaluator; scan/Scanner layers
+/// scheduling, caching, and streaming emission on top of the compiled
+/// fast path (rules/RuleCompiler.h) and is differentially locked to
+/// produce byte-identical reports.
 class CryptoChecker {
 public:
   /// Uses the full elicited rule set R1-R13 by default.
@@ -61,6 +131,9 @@ public:
 
   const std::vector<Rule> &rules() const { return Rules; }
 
+  /// The symbol table reports produced by this checker resolve through.
+  const std::shared_ptr<ScanSymbols> &symbols() const { return Symbols; }
+
   /// Checks one project (a set of analyzed units plus metadata).
   ProjectReport checkProject(const std::vector<UnitFacts> &Units,
                              const ProjectMetadata &Meta =
@@ -68,11 +141,13 @@ public:
 
 private:
   /// Collects the violating sites of a matched rule (positive clauses
-  /// only; negated clauses have no site to report).
+  /// only; negated clauses have no site to report), deduped per site.
   std::vector<Violation>
-  collectViolations(const Rule &R, const std::vector<UnitFacts> &Units) const;
+  collectViolations(const Rule &R, support::LabelId RuleId,
+                    const std::vector<UnitFacts> &Units) const;
 
   std::vector<Rule> Rules;
+  std::shared_ptr<ScanSymbols> Symbols;
 };
 
 } // namespace rules

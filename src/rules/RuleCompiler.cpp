@@ -1,0 +1,352 @@
+//===- rules/RuleCompiler.cpp ----------------------------------------------===//
+
+#include "rules/RuleCompiler.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace diffcode;
+using namespace diffcode::rules;
+
+const std::vector<std::uint32_t> *
+UnitScanFacts::bucket(support::LabelId Type) const {
+  auto It = std::lower_bound(
+      Buckets.begin(), Buckets.end(), Type,
+      [](const auto &Entry, support::LabelId T) { return Entry.first < T; });
+  if (It == Buckets.end() || It->first != Type)
+    return nullptr;
+  return &It->second;
+}
+
+static bool digestEvent(const analysis::UsageEvent &Event,
+                        ScanSymbols &Symbols, ScanEvent &Out) {
+  // Signatures are "Class.name/arity"; anything else matches no pattern
+  // (CallPattern::matchesEvent rejects it) and is dropped.
+  std::size_t Slash = Event.MethodSig.rfind('/');
+  std::size_t Dot = Event.MethodSig.rfind('.', Slash);
+  if (Slash == std::string::npos || Dot == std::string::npos)
+    return false;
+  std::string_view Sig = Event.MethodSig;
+  Out.Class = Symbols.intern(Sig.substr(0, Dot));
+  Out.Method = Symbols.intern(Sig.substr(Dot + 1, Slash - Dot - 1));
+  Out.Args = Event.Args;
+  return true;
+}
+
+static std::vector<ScanEvent>
+digestEvents(const std::vector<analysis::UsageEvent> &Events,
+             ScanSymbols &Symbols) {
+  std::vector<ScanEvent> Out;
+  Out.reserve(Events.size());
+  for (const analysis::UsageEvent &Event : Events) {
+    ScanEvent E;
+    if (digestEvent(Event, Symbols, E))
+      Out.push_back(std::move(E));
+  }
+  return Out;
+}
+
+UnitScanFacts rules::digestUnit(const analysis::AnalysisResult &Result,
+                                ScanSymbols &Symbols, bool KeepExecutions) {
+  UnitScanFacts Facts;
+  analysis::UsageLog Merged = Result.mergedLog();
+  Facts.Objects.reserve(Merged.size());
+  std::map<support::LabelId, std::vector<std::uint32_t>> Buckets;
+  for (const auto &[ObjId, Events] : Merged) {
+    const analysis::AbstractObject &Obj = Result.Objects.get(ObjId);
+    ScanObject O;
+    O.Type = Symbols.intern(Obj.TypeName);
+    O.Site = Symbols.intern(Obj.siteLabel());
+    O.Merged = digestEvents(Events, Symbols);
+    if (KeepExecutions)
+      for (const analysis::UsageLog &Exec : Result.Executions) {
+        auto It = Exec.find(ObjId);
+        if (It != Exec.end())
+          O.Executions.push_back(digestEvents(It->second, Symbols));
+      }
+    Buckets[O.Type].push_back(static_cast<std::uint32_t>(Facts.Objects.size()));
+    Facts.Objects.push_back(std::move(O));
+  }
+  Facts.Buckets.assign(Buckets.begin(), Buckets.end());
+  return Facts;
+}
+
+bool CompiledPattern::matches(const ScanEvent &Event) const {
+  if (Class != ScanSymbols::None && Event.Class != Class)
+    return false;
+  if (Event.Method != Method)
+    return false;
+  if (Arity >= 0 && Event.Args.size() != static_cast<std::size_t>(Arity))
+    return false;
+  if (Args)
+    for (const ArgConstraint &Constraint : *Args) {
+      if (Constraint.Index > Event.Args.size())
+        return false;
+      if (!Constraint.matches(Event.Args[Constraint.Index - 1]))
+        return false;
+    }
+  return true;
+}
+
+bool CompiledFormula::eval(const std::vector<ScanEvent> &Events) const {
+  switch (K) {
+  case ObjectFormula::Kind::Exists:
+    for (const ScanEvent &Event : Events)
+      if (Pattern.matches(Event))
+        return true;
+    return false;
+  case ObjectFormula::Kind::NotExists:
+    for (const ScanEvent &Event : Events)
+      if (Pattern.matches(Event))
+        return false;
+    return true;
+  case ObjectFormula::Kind::And:
+    for (const CompiledFormula &Child : Children)
+      if (!Child.eval(Events))
+        return false;
+    return true;
+  case ObjectFormula::Kind::Or:
+    for (const CompiledFormula &Child : Children)
+      if (Child.eval(Events))
+        return true;
+    return false;
+  }
+  return false;
+}
+
+static CompiledFormula compileFormula(const ObjectFormula &F,
+                                      ScanSymbols &Symbols) {
+  CompiledFormula Out;
+  Out.K = F.kind();
+  if (F.kind() == ObjectFormula::Kind::Exists ||
+      F.kind() == ObjectFormula::Kind::NotExists) {
+    const CallPattern &P = F.pattern();
+    Out.Pattern.Class =
+        P.ClassName.empty() ? ScanSymbols::None : Symbols.intern(P.ClassName);
+    Out.Pattern.Method = Symbols.intern(P.MethodName);
+    Out.Pattern.Arity = P.Arity;
+    Out.Pattern.Args = &P.Args;
+  } else {
+    Out.Children.reserve(F.children().size());
+    for (const ObjectFormula &Child : F.children())
+      Out.Children.push_back(compileFormula(Child, Symbols));
+  }
+  return Out;
+}
+
+CompiledRuleSet CompiledRuleSet::compile(std::vector<Rule> Rules,
+                                         std::shared_ptr<ScanSymbols> Symbols) {
+  CompiledRuleSet Set;
+  Set.Owned = std::move(Rules);
+  Set.Symbols = std::move(Symbols);
+  Set.Rules.reserve(Set.Owned.size());
+  for (const Rule &R : Set.Owned) {
+    CompiledRule C;
+    C.Source = &R;
+    C.Id = Set.Symbols->intern(R.Id);
+    C.MinSdkAtLeast = R.MinSdkAtLeast;
+    C.RequireNoLprngFix = R.RequireNoLprngFix;
+    C.RequireAndroid = R.RequireAndroid;
+    C.Clauses.reserve(R.Clauses.size());
+    for (const Rule::Clause &Clause : R.Clauses)
+      C.Clauses.push_back({Set.Symbols->intern(Clause.TypeName),
+                           compileFormula(Clause.Formula, *Set.Symbols),
+                           Clause.Negated});
+    for (const std::string &Type : R.applicableTypes())
+      C.ApplicableTypes.push_back(Set.Symbols->intern(Type));
+    Set.Rules.push_back(std::move(C));
+  }
+  return Set;
+}
+
+namespace {
+
+/// A violation witness: one (unit, object) pair satisfying a positive
+/// clause's formula on the merged log.
+struct Witness {
+  unsigned Unit;
+  std::uint32_t Obj;
+};
+
+bool clauseSatisfied(const CompiledClause &Clause,
+                     const std::vector<const UnitScanFacts *> &Units) {
+  for (const UnitScanFacts *Facts : Units) {
+    const std::vector<std::uint32_t> *Bucket = Facts->bucket(Clause.Type);
+    if (!Bucket)
+      continue;
+    for (std::uint32_t Idx : *Bucket)
+      if (Clause.Formula.eval(Facts->Objects[Idx].Merged))
+        return true;
+  }
+  return false;
+}
+
+bool hasType(support::LabelId Type,
+             const std::vector<const UnitScanFacts *> &Units) {
+  for (const UnitScanFacts *Facts : Units)
+    if (Facts->bucket(Type))
+      return true;
+  return false;
+}
+
+/// Per-rule evaluation state: clause satisfaction memo so the composite
+/// applicability check and the match check each scan a clause at most
+/// once per project.
+struct RuleEval {
+  const CompiledRule &R;
+  const std::vector<const UnitScanFacts *> &Units;
+  std::vector<signed char> Memo; // -1 unknown, 0 false, 1 true
+
+  RuleEval(const CompiledRule &R,
+           const std::vector<const UnitScanFacts *> &Units)
+      : R(R), Units(Units), Memo(R.Clauses.size(), -1) {}
+
+  bool satisfied(std::size_t ClauseIdx) {
+    signed char &M = Memo[ClauseIdx];
+    if (M < 0)
+      M = clauseSatisfied(R.Clauses[ClauseIdx], Units) ? 1 : 0;
+    return M == 1;
+  }
+
+  bool applicable(const ProjectMetadata &Meta) {
+    if (R.RequireAndroid && !Meta.IsAndroid)
+      return false;
+    // Composite rules: applicable only when every positive clause is
+    // satisfied somewhere (see ruleApplicable in Rule.cpp).
+    if (R.Clauses.size() > 1) {
+      for (std::size_t I = 0; I < R.Clauses.size(); ++I)
+        if (!R.Clauses[I].Negated && !satisfied(I))
+          return false;
+      return true;
+    }
+    for (support::LabelId Type : R.ApplicableTypes)
+      if (!hasType(Type, Units))
+        return false;
+    return !R.ApplicableTypes.empty();
+  }
+
+  bool matches(const ProjectMetadata &Meta) {
+    if (R.RequireAndroid && !Meta.IsAndroid)
+      return false;
+    if (R.MinSdkAtLeast >= 0 && Meta.MinSdkVersion < R.MinSdkAtLeast)
+      return false;
+    if (R.RequireNoLprngFix && Meta.HasLinuxPrngFix)
+      return false;
+    for (std::size_t I = 0; I < R.Clauses.size(); ++I)
+      if (R.Clauses[I].Negated ? satisfied(I) : !satisfied(I))
+        return false;
+    return true;
+  }
+
+  /// Witnesses per positive clause, in clause order; each clause's list
+  /// in unit-major, then ascending-object order — the reference
+  /// evaluator's emission order.
+  std::vector<std::vector<Witness>> collectWitnesses() const {
+    std::vector<std::vector<Witness>> Out;
+    for (const CompiledClause &Clause : R.Clauses) {
+      if (Clause.Negated)
+        continue;
+      std::vector<Witness> W;
+      for (unsigned UnitIndex = 0; UnitIndex < Units.size(); ++UnitIndex) {
+        const UnitScanFacts *Facts = Units[UnitIndex];
+        const std::vector<std::uint32_t> *Bucket = Facts->bucket(Clause.Type);
+        if (!Bucket)
+          continue;
+        for (std::uint32_t Idx : *Bucket)
+          if (Clause.Formula.eval(Facts->Objects[Idx].Merged))
+            W.push_back({UnitIndex, Idx});
+      }
+      Out.push_back(std::move(W));
+    }
+    return Out;
+  }
+};
+
+std::vector<Violation>
+witnessViolations(const CompiledRule &R,
+                  const std::vector<const UnitScanFacts *> &Units,
+                  const std::vector<std::vector<Witness>> &Clauses) {
+  std::vector<Violation> Out;
+  for (const std::vector<Witness> &W : Clauses)
+    for (const Witness &Wit : W) {
+      const ScanObject &O = Units[Wit.Unit]->Objects[Wit.Obj];
+      Out.push_back({R.Id, O.Type, O.Site, Wit.Unit});
+    }
+  dedupeViolations(Out);
+  return Out;
+}
+
+/// True when some single execution of the witness object reproduces the
+/// clause formula. Objects digested without execution data cannot be
+/// disproven and are conservatively kept.
+bool witnessSurvives(const CompiledClause &Clause, const ScanObject &O) {
+  if (O.Executions.empty())
+    return true;
+  for (const std::vector<ScanEvent> &Exec : O.Executions)
+    if (Clause.Formula.eval(Exec))
+      return true;
+  return false;
+}
+
+} // namespace
+
+ProjectReport
+rules::evaluateProject(const CompiledRuleSet &RS,
+                       const std::vector<const UnitScanFacts *> &Units,
+                       const ProjectMetadata &Meta, bool Refine,
+                       const std::vector<std::uint32_t> *RuleIndices) {
+  ProjectReport Report;
+  Report.Symbols = RS.symbols();
+  const std::vector<CompiledRule> &All = RS.compiled();
+  std::vector<std::uint32_t> Everything;
+  if (!RuleIndices) {
+    Everything.resize(All.size());
+    for (std::uint32_t I = 0; I < All.size(); ++I)
+      Everything[I] = I;
+    RuleIndices = &Everything;
+  }
+  for (std::uint32_t RuleIdx : *RuleIndices) {
+    const CompiledRule &R = All[RuleIdx];
+    RuleEval Eval(R, Units);
+    RuleVerdict Verdict;
+    Verdict.Rule = R.Id;
+    Verdict.Applicable = Eval.applicable(Meta);
+    if (Verdict.Applicable && Eval.matches(Meta)) {
+      Verdict.Matched = true;
+      std::vector<std::vector<Witness>> Clauses = Eval.collectWitnesses();
+      std::vector<Violation> All = witnessViolations(R, Units, Clauses);
+      if (!Refine) {
+        Verdict.Violations = std::move(All);
+      } else {
+        // Demand-driven refinement: keep only witnesses some single
+        // execution reproduces; a positive clause losing every witness
+        // demotes the match (merged-log artifact).
+        bool Demoted = false;
+        std::vector<std::vector<Witness>> Kept;
+        std::size_t ClauseIdx = 0;
+        for (const CompiledClause &Clause : R.Clauses) {
+          if (Clause.Negated)
+            continue;
+          const std::vector<Witness> &W = Clauses[ClauseIdx++];
+          std::vector<Witness> Survivors;
+          for (const Witness &Wit : W)
+            if (witnessSurvives(Clause, Units[Wit.Unit]->Objects[Wit.Obj]))
+              Survivors.push_back(Wit);
+          if (!W.empty() && Survivors.empty())
+            Demoted = true;
+          Kept.push_back(std::move(Survivors));
+        }
+        if (Demoted) {
+          Verdict.Matched = false;
+          Verdict.Suppressed = static_cast<std::uint32_t>(All.size());
+        } else {
+          Verdict.Violations = witnessViolations(R, Units, Kept);
+          Verdict.Suppressed =
+              static_cast<std::uint32_t>(All.size() - Verdict.Violations.size());
+        }
+      }
+    }
+    Report.addVerdict(std::move(Verdict));
+  }
+  return Report;
+}

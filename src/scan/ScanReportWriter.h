@@ -1,0 +1,68 @@
+//===- scan/ScanReportWriter.h - Streaming scan report JSON ----------------===//
+//
+// Part of the DiffCode project, a reproduction of "Inferring Crypto API
+// Rules from Code Changes" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON emission for scan results, in two equivalent forms: a streaming
+/// ScanSink that writes each project record the moment the scanner's
+/// reorder buffer releases it (an always-on scanner can ship records
+/// while later projects are still analyzing), and a one-shot
+/// scanReportToJson. Both are built from the same per-record and
+/// summary fragments, so the streamed bytes are identical to the batch
+/// string by construction — the differential tests hold them to that.
+///
+/// Report shape:
+///
+///   {"projects":[{"project":..,"status":..,("detail":..,)"units":..,
+///                 "rules":[{"id","applicable","matched",("suppressed",)
+///                           "violations":[{"type","site","unit"}]}],
+///                 "anyMatch":..}, ...],
+///    "summary":{"projects","violating","status":{..},"rules":[..]}
+///    (,"metrics":{..})}
+///
+/// "detail" appears only on non-ok records, "suppressed" only when the
+/// refinement pass suppressed something, and "metrics" last and only
+/// for observed runs — an unobserved report is a byte-prefix-compatible
+/// shape of the observed one, mirroring corpusReportToJson.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIFFCODE_SCAN_SCANREPORTWRITER_H
+#define DIFFCODE_SCAN_SCANREPORTWRITER_H
+
+#include "scan/Scanner.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace diffcode {
+namespace scan {
+
+/// Streaming writer: construct on an open stream, hand to
+/// Scanner::scan as the sink, then finish() with the returned report.
+class ScanReportWriter : public ScanSink {
+public:
+  explicit ScanReportWriter(std::ostream &Out);
+
+  void onProject(std::size_t Index, const ProjectScanRecord &Record) override;
+
+  /// Emits the summary (and metrics, when observed) and closes the
+  /// document. Must be called exactly once, after the scan returns.
+  void finish(const ScanReport &Report);
+
+private:
+  std::ostream &Out;
+  bool AnyProject = false;
+};
+
+/// One-shot serialization; byte-identical to streaming the same report
+/// through ScanReportWriter.
+std::string scanReportToJson(const ScanReport &Report);
+
+} // namespace scan
+} // namespace diffcode
+
+#endif // DIFFCODE_SCAN_SCANREPORTWRITER_H

@@ -98,6 +98,70 @@ bool service::decodeQueryRequest(std::string_view Payload, std::string &Out) {
   return decodeText(Payload, Out);
 }
 
+std::string service::encodeScanRequest(const ScanRequestWire &Request) {
+  exec::WireWriter W;
+  W.u32(ServiceProtocolVersion);
+  W.u8(Request.Refine ? 1 : 0);
+  W.u32(static_cast<std::uint32_t>(Request.RuleFilter.size()));
+  for (const std::string &Id : Request.RuleFilter)
+    W.str(Id);
+  W.u32(static_cast<std::uint32_t>(Request.Projects.size()));
+  for (const corpus::Project &P : Request.Projects) {
+    W.str(P.Name);
+    W.u8(P.Meta.IsAndroid ? 1 : 0);
+    W.u32(static_cast<std::uint32_t>(P.Meta.MinSdkVersion));
+    W.u8(P.Meta.HasLinuxPrngFix ? 1 : 0);
+    W.u32(static_cast<std::uint32_t>(P.Files.size()));
+    for (const corpus::ProjectFile &File : P.Files) {
+      W.str(File.Name);
+      W.str(File.Code);
+    }
+  }
+  return W.take();
+}
+
+bool service::decodeScanRequest(std::string_view Payload, ScanRequestWire &Out,
+                                std::string *Error) {
+  exec::WireReader R(Payload);
+  std::uint32_t Version = R.u32();
+  if (R.ok() && Version != ServiceProtocolVersion)
+    return fail(Error, "service protocol version mismatch");
+  Out.Refine = (R.u8() & 1) != 0;
+  std::uint32_t RuleCount = R.u32();
+  if (R.ok() && RuleCount > exec::MaxFramePayload / 16)
+    return fail(Error, "scan rule count exceeds frame capacity");
+  Out.RuleFilter.clear();
+  Out.RuleFilter.reserve(RuleCount);
+  for (std::uint32_t I = 0; I < RuleCount && R.ok(); ++I)
+    Out.RuleFilter.emplace_back(R.str());
+  std::uint32_t ProjectCount = R.u32();
+  if (R.ok() && ProjectCount > exec::MaxFramePayload / 16)
+    return fail(Error, "scan project count exceeds frame capacity");
+  Out.Projects.clear();
+  Out.Projects.reserve(ProjectCount);
+  for (std::uint32_t I = 0; I < ProjectCount && R.ok(); ++I) {
+    corpus::Project P;
+    P.Name = std::string(R.str());
+    P.Meta.IsAndroid = (R.u8() & 1) != 0;
+    P.Meta.MinSdkVersion = static_cast<int>(R.u32());
+    P.Meta.HasLinuxPrngFix = (R.u8() & 1) != 0;
+    std::uint32_t FileCount = R.u32();
+    if (R.ok() && FileCount > exec::MaxFramePayload / 16)
+      return fail(Error, "scan file count exceeds frame capacity");
+    P.Files.reserve(FileCount);
+    for (std::uint32_t J = 0; J < FileCount && R.ok(); ++J) {
+      corpus::ProjectFile File;
+      File.Name = std::string(R.str());
+      File.Code = std::string(R.str());
+      P.Files.push_back(std::move(File));
+    }
+    Out.Projects.push_back(std::move(P));
+  }
+  if (!R.atEnd())
+    return fail(Error, "malformed scan payload");
+  return true;
+}
+
 std::string service::encodeText(std::string_view Text) {
   exec::WireWriter W;
   W.str(Text);

@@ -16,6 +16,8 @@
 ///   QueryReq     a stats question ("health" | "stats" | "class:<Name>")
 ///   SnapshotReq  ask for the full corpus report JSON
 ///   ShutdownReq  stop the server after acknowledging
+///   ScanReq      rule-scan a batch of projects (scan/Scanner); the warm
+///                session answers rule queries without respawning
 ///
 /// Server -> client (exactly one per request, in request order):
 ///   ReplyOk      payload depends on the request (see codecs below)
@@ -51,6 +53,7 @@ enum class ServiceFrame : std::uint32_t {
   QueryReq = 0x102,
   SnapshotReq = 0x103,
   ShutdownReq = 0x104,
+  ScanReq = 0x105,
   ReplyOk = 0x110,
   ReplyErr = 0x111,
 };
@@ -87,6 +90,24 @@ bool decodeQueryRequest(std::string_view Payload, std::string &Out);
 /// one length-prefixed string.
 std::string encodeText(std::string_view Text);
 bool decodeText(std::string_view Payload, std::string &Out);
+
+/// A scan request on the wire: the project set is self-contained (name,
+/// metadata, HEAD files) so the server needs no shared filesystem.
+struct ScanRequestWire {
+  bool Refine = false;
+  std::vector<std::string> RuleFilter; ///< Empty = the server's full set.
+  std::vector<corpus::Project> Projects; ///< History is not carried.
+};
+
+/// ScanReq payload: u32 version, u8 flags (bit 0 = refine), u32 rule-id
+/// count + ids, u32 project count, then per project (name, u8 isAndroid,
+/// u32 minSdk, u8 hasLprngFix, u32 file count, per file name + code).
+/// The ReplyOk payload is one length-prefixed scan report JSON
+/// (scan/ScanReportWriter.h shape). Carried under the same protocol
+/// version: an additive frame type, no existing payload changed.
+std::string encodeScanRequest(const ScanRequestWire &Request);
+bool decodeScanRequest(std::string_view Payload, ScanRequestWire &Out,
+                       std::string *Error = nullptr);
 
 } // namespace service
 } // namespace diffcode

@@ -3,6 +3,7 @@
 #include "service/Server.h"
 
 #include "exec/Wire.h"
+#include "scan/ScanReportWriter.h"
 #include "support/JsonWriter.h"
 #include "support/Process.h"
 
@@ -54,8 +55,27 @@ bool failStr(std::string *Error, std::string Message) {
 
 } // namespace
 
+namespace {
+
+scan::ScanConfig scanConfigFrom(const SessionOptions &Opts) {
+  scan::ScanConfig Config;
+  Config.Threads = Opts.Config.Threads;
+  Config.Limits.Parse = Opts.Config.Limits.Parse;
+  Config.Limits.Analysis = Opts.Config.Limits.Analysis;
+  return Config;
+}
+
+} // namespace
+
 Server::Server(const apimodel::CryptoApiModel &Api, SessionOptions Opts)
-    : Session(Api, std::move(Opts)) {}
+    : Api(Api), ScannerConfig(scanConfigFrom(Opts)),
+      Session(Api, std::move(Opts)) {}
+
+scan::Scanner &Server::scanner() {
+  if (!RuleScanner)
+    RuleScanner = std::make_unique<scan::Scanner>(Api, ScannerConfig);
+  return *RuleScanner;
+}
 
 std::string Server::handleQuery(const std::string &What, bool &Known) const {
   Known = true;
@@ -164,6 +184,26 @@ ServeOutcome Server::serve(int InFd, int OutFd) {
     case ServiceFrame::SnapshotReq: {
       if (!sendFrame(OutFd, ServiceFrame::ReplyOk,
                      encodeText(Session.reportJson())))
+        return ServeOutcome::ProtocolError;
+      break;
+    }
+    case ServiceFrame::ScanReq: {
+      ScanRequestWire Wire;
+      std::string Error;
+      if (!decodeScanRequest(F.Payload, Wire, &Error)) {
+        if (!sendFrame(OutFd, ServiceFrame::ReplyErr, encodeText(Error)))
+          return ServeOutcome::ProtocolError;
+        break;
+      }
+      scan::ScanRequest Request;
+      Request.Projects.reserve(Wire.Projects.size());
+      for (const corpus::Project &P : Wire.Projects)
+        Request.Projects.push_back(&P);
+      Request.RuleFilter = std::move(Wire.RuleFilter);
+      Request.Refine = Wire.Refine;
+      scan::ScanReport Report = scanner().scan(Request);
+      if (!sendFrame(OutFd, ServiceFrame::ReplyOk,
+                     encodeText(scan::scanReportToJson(Report))))
         return ServeOutcome::ProtocolError;
       break;
     }
@@ -306,6 +346,17 @@ bool Client::snapshot(std::string &ReportJson, std::string *Error) {
     return false;
   if (!decodeText(Payload, ReportJson))
     return failStr(Error, "malformed snapshot reply");
+  return true;
+}
+
+bool Client::scan(const ScanRequestWire &Request, std::string &ReportJson,
+                  std::string *Error) {
+  std::string Payload;
+  if (!roundTrip(ServiceFrame::ScanReq, encodeScanRequest(Request), Payload,
+                 Error))
+    return false;
+  if (!decodeText(Payload, ReportJson))
+    return failStr(Error, "malformed scan reply");
   return true;
 }
 

@@ -32,9 +32,11 @@
 #ifndef DIFFCODE_SERVICE_SERVER_H
 #define DIFFCODE_SERVICE_SERVER_H
 
+#include "scan/Scanner.h"
 #include "service/AnalysisSession.h"
 #include "service/Protocol.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,9 +62,18 @@ public:
 
   AnalysisSession &session() { return Session; }
 
+  /// The warm rule scanner, created on the first ScanReq (thread/limit
+  /// knobs inherited from the session's PipelineConfig). Its compiled
+  /// rules and unit-digest cache persist across requests and
+  /// connections, which is the point of scanning through a session.
+  scan::Scanner &scanner();
+
 private:
   std::string handleQuery(const std::string &What, bool &Known) const;
 
+  const apimodel::CryptoApiModel &Api;
+  scan::ScanConfig ScannerConfig;
+  std::unique_ptr<scan::Scanner> RuleScanner;
   AnalysisSession Session;
 };
 
@@ -93,6 +104,8 @@ public:
   bool query(const std::string &What, std::string &Answer,
              std::string *Error = nullptr);
   bool snapshot(std::string &ReportJson, std::string *Error = nullptr);
+  bool scan(const ScanRequestWire &Request, std::string &ReportJson,
+            std::string *Error = nullptr);
   bool shutdown(std::string *Error = nullptr);
 
 private:

@@ -21,6 +21,8 @@ const char *diffcode::support::faultSiteName(FaultSite Site) {
     return "clustering";
   case FaultSite::ServiceHash:
     return "service-hash";
+  case FaultSite::ScanProject:
+    return "scan-project";
   case FaultSite::ProcKill:
     return "proc-kill";
   case FaultSite::ProcHang:

@@ -37,8 +37,8 @@
 namespace diffcode {
 namespace support {
 
-/// Places in the pipeline that can be told to fail. The first four are
-/// in-process sites (an armed point throws FaultInjected and the
+/// Places in the pipeline that can be told to fail. Sites before
+/// ProcKill are in-process (an armed point throws FaultInjected and the
 /// containment boundary turns it into a structured ChangeStatus); the
 /// Proc* sites are process-level and only exist inside exec/ worker
 /// subprocesses, where firing means the *process itself* misbehaves —
@@ -54,6 +54,9 @@ enum class FaultSite : unsigned {
                    ///< session must still discriminate via its secondary
                    ///< hash + length key (an in-process site: firing
                    ///< degrades cache selectivity, never correctness).
+  ScanProject,     ///< rule scanner per-unit digest inside one project
+                   ///< scan task (scan/Scanner); firing exercises the
+                   ///< scanner's per-project containment boundary.
   ProcKill,        ///< exec worker raises SIGKILL mid-unit (crash).
   ProcHang,        ///< exec worker sleeps past the unit deadline.
   ProcSlowStart,   ///< exec worker delays its startup handshake.
@@ -62,7 +65,7 @@ enum class FaultSite : unsigned {
 };
 
 /// Number of FaultSite enumerators (for mask building / iteration).
-inline constexpr unsigned NumFaultSites = 10;
+inline constexpr unsigned NumFaultSites = 11;
 
 /// First process-level site (sites >= this only fire inside exec
 /// workers; in-process pipeline runs never evaluate them).

@@ -1,4 +1,4 @@
-//===- tests/test_api_compat.cpp - Deprecated API spellings still work ----===//
+//===- tests/test_api_compat.cpp - Deprecated API spellings are gone ------===//
 //
 // Part of the DiffCode project, a reproduction of "Inferring Crypto API
 // Rules from Code Changes" (PLDI'18).
@@ -7,33 +7,27 @@
 ///
 /// \file
 /// PR 8 collapsed the pipeline knobs into core::PipelineConfig and the
-/// two entry points into DiffCode::run. The old spellings —
+/// two entry points into DiffCode::run, keeping the old spellings —
 /// DiffCodeOptions, the DiffCode(Api, DiffCodeOptions) constructor,
-/// options(), and runPipeline() — are deprecated but contractually kept
-/// for one release. This suite is the compat gate: it must keep
-/// *compiling* against the old names (a removal breaks the build here
-/// first) and the old spellings must keep producing the exact bytes of
-/// their replacements.
+/// options(), and runPipeline() — [[deprecated]] for one release. That
+/// release has passed: this suite is now the removal gate. It asserts,
+/// via unevaluated requires-expressions, that the old names no longer
+/// exist (someone re-adding one breaks the build here first) and that
+/// the replacement surface stands.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/DiffCode.h"
 
 #include "core/ReportWriter.h"
-#include "corpus/CorpusGenerator.h"
-#include "corpus/Miner.h"
 
 #include <gtest/gtest.h>
 
 #include <string>
-#include <vector>
+#include <type_traits>
 
 using namespace diffcode;
 using namespace diffcode::core;
-
-// The whole point of this file is to use the deprecated surface.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace {
 
@@ -41,77 +35,67 @@ const apimodel::CryptoApiModel &api() {
   return apimodel::CryptoApiModel::javaCryptoApi();
 }
 
-struct MinedFixture {
-  corpus::Corpus C;
-  std::vector<const corpus::CodeChange *> Mined;
-  MinedFixture() {
-    corpus::CorpusOptions Opts;
-    Opts.NumProjects = 8;
-    Opts.Seed = 21;
-    C = corpus::CorpusGenerator(Opts).generate();
-    Mined = corpus::Miner(api()).mine(C);
-  }
-};
+// Removal probes for the member spellings: each concept is true only if
+// the old name still resolves on DiffCode.
+template <typename System>
+concept HasOptionsAccessor = requires(const System &S) { S.options(); };
+
+template <typename System>
+concept HasRunPipeline =
+    requires(const System &S, const PipelineRequest &R) { S.runPipeline(R); };
 
 } // namespace
 
-TEST(ApiCompat, OldOptionsSpellingStillBuildsAndMapsOntoConfig) {
-  // Every pre-PR-8 field by its old name; a rename or removal fails to
-  // compile right here.
-  DiffCodeOptions Old;
-  Old.Analysis.MaxStatesPerEntry = 16;
-  Old.Analysis.MaxInlineDepth = 3;
-  Old.ParseBudget.MaxTokens = 100000;
-  Old.ParseBudget.MaxNestingDepth = 64;
-  Old.DagDepth = 4;
-  Old.ClusterCut = 0.5;
-  Old.Threads = 2;
-  Old.Clustering.Threads = 2;
-  Old.Faults.Rate = 0.0;
+// Removal probe for the struct itself: a sentinel is using-declared into
+// diffcode::core under the old name. If someone resurrects a real
+// core::DiffCodeOptions, that using-declaration becomes a conflicting
+// redeclaration and this file stops compiling — the removal gate fires
+// at build time, before any test runs.
+namespace compat_sentinel {
+struct DiffCodeOptions {
+  static constexpr bool IsRemovalSentinel = true;
+};
+} // namespace compat_sentinel
 
-  DiffCode System(api(), Old);
-  const DiffCodeOptions &Back = System.options();
-  EXPECT_EQ(Back.Analysis.MaxStatesPerEntry, 16u);
-  EXPECT_EQ(Back.Analysis.MaxInlineDepth, 3u);
-  EXPECT_EQ(Back.ParseBudget.MaxTokens, 100000u);
-  EXPECT_EQ(Back.ParseBudget.MaxNestingDepth, 64u);
-  EXPECT_EQ(Back.DagDepth, 4u);
-  EXPECT_DOUBLE_EQ(Back.ClusterCut, 0.5);
-  EXPECT_EQ(Back.Threads, 2u);
-  EXPECT_EQ(Back.Clustering.Threads, 2u);
+namespace diffcode::core {
+using ::compat_sentinel::DiffCodeOptions;
+} // namespace diffcode::core
 
-  // And the mapping onto the new spelling is field-faithful.
-  const PipelineConfig &New = System.config();
-  EXPECT_EQ(New.Limits.Analysis.MaxStatesPerEntry, 16u);
-  EXPECT_EQ(New.Limits.Parse.MaxTokens, 100000u);
-  EXPECT_EQ(New.Limits.DagDepth, 4u);
-  EXPECT_DOUBLE_EQ(New.Clustering.Cut, 0.5);
-  EXPECT_EQ(New.Threads, 2u);
+TEST(ApiCompat, DeprecatedSpellingsAreGone) {
+  static_assert(!HasOptionsAccessor<DiffCode>,
+                "DiffCode::options() was removed in PR 9; use config()");
+  static_assert(!HasRunPipeline<DiffCode>,
+                "DiffCode::runPipeline() was removed in PR 9; use run()");
+  static_assert(diffcode::core::DiffCodeOptions::IsRemovalSentinel,
+                "core::DiffCodeOptions was removed in PR 9; construct from "
+                "core::PipelineConfig");
+  SUCCEED();
 }
 
-TEST(ApiCompat, RunPipelineIsRunByteForByte) {
-  MinedFixture F;
-  ASSERT_FALSE(F.Mined.empty());
-
-  PipelineRequest Request;
-  Request.Changes = F.Mined;
-  Request.TargetClasses = api().targetClasses();
-
-  DiffCodeOptions Old;
-  Old.Threads = 2;
-  DiffCode Legacy(api(), Old);
-  std::string ViaRunPipeline = corpusReportToJson(Legacy.runPipeline(Request));
-
+TEST(ApiCompat, ReplacementSurfaceStands) {
+  // The replacement spellings, exercised end to end: PipelineConfig
+  // construction, config() round-trip, and run() as the one entry point.
   PipelineConfig Config;
   Config.Threads = 2;
-  DiffCode Current(api(), Config);
-  std::string ViaRun = corpusReportToJson(Current.run(Request));
+  Config.Limits.DagDepth = 4;
+  Config.Clustering.Cut = 0.5;
+  DiffCode System(api(), Config);
+  EXPECT_EQ(System.config().Threads, 2u);
+  EXPECT_EQ(System.config().Limits.DagDepth, 4u);
+  EXPECT_DOUBLE_EQ(System.config().Clustering.Cut, 0.5);
 
-  EXPECT_FALSE(ViaRun.empty());
-  EXPECT_EQ(ViaRunPipeline, ViaRun);
-  // The deprecated entry point on a new-style system too: one surface,
-  // two spellings.
-  EXPECT_EQ(corpusReportToJson(Current.runPipeline(Request)), ViaRun);
+  corpus::CodeChange Fix;
+  Fix.ProjectName = "proj";
+  Fix.CommitIndex = 1;
+  Fix.FileName = "A.java";
+  Fix.OldCode = "class A { void m() { MessageDigest d = "
+                "MessageDigest.getInstance(\"MD5\"); } }";
+  Fix.NewCode = "class A { void m() { MessageDigest d = "
+                "MessageDigest.getInstance(\"SHA-256\"); } }";
+  PipelineRequest Request;
+  Request.Changes = {&Fix};
+  Request.TargetClasses = api().targetClasses();
+  std::string Json = corpusReportToJson(System.run(Request));
+  EXPECT_FALSE(Json.empty());
+  EXPECT_NE(Json.find("\"changes\":1"), std::string::npos) << Json;
 }
-
-#pragma GCC diagnostic pop

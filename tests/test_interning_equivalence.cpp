@@ -13,7 +13,7 @@
 // distances with the string-space usageDist (Distance.h), which shares
 // no code with UsageDistCache's id-compacted tables beyond the unit
 // definitions. Agreement is checked on hand-built smoke changes and on
-// generated corpora, end-to-end through runPipeline at 1, 2, and 8
+// generated corpora, end-to-end through DiffCode::run at 1, 2, and 8
 // threads.
 //
 //===----------------------------------------------------------------------===//
@@ -270,7 +270,7 @@ TEST(InterningEquivalence, UsageChangeJsonMatchesHandRendering) {
 }
 
 //===----------------------------------------------------------------------===//
-// End to end: generated corpora through runPipeline at 1/2/8 threads.
+// End to end: generated corpora through DiffCode::run at 1/2/8 threads.
 // Id values are scheduling-dependent when workers intern concurrently;
 // the report must not be.
 //===----------------------------------------------------------------------===//

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 using namespace diffcode;
 using namespace diffcode::analysis;
 using namespace diffcode::rules;
@@ -401,14 +403,14 @@ TEST(CryptoChecker, ReportsViolationSites) {
   ProjectReport Report = Checker.checkProject({Facts});
   EXPECT_TRUE(Report.anyMatch());
   bool FoundR8 = false;
-  for (const RuleVerdict &V : Report.Verdicts) {
-    if (V.RuleId != "R8")
+  for (const RuleVerdict &V : Report.verdicts()) {
+    if (Report.text(V.Rule) != "R8")
       continue;
     FoundR8 = true;
     EXPECT_TRUE(V.Matched);
     ASSERT_FALSE(V.Violations.empty());
-    EXPECT_EQ(V.Violations[0].TypeName, "Cipher");
-    EXPECT_EQ(V.Violations[0].SiteLabel, "l3");
+    EXPECT_EQ(Report.text(V.Violations[0].Type), "Cipher");
+    EXPECT_EQ(Report.text(V.Violations[0].Site), "l3");
   }
   EXPECT_TRUE(FoundR8);
 }
@@ -420,7 +422,7 @@ TEST(CryptoChecker, CleanProjectPasses) {
   CryptoChecker Checker;
   ProjectReport Report = Checker.checkProject({Facts});
   EXPECT_FALSE(Report.anyMatch());
-  for (const RuleVerdict &V : Report.Verdicts)
+  for (const RuleVerdict &V : Report.verdicts())
     EXPECT_FALSE(V.Applicable);
 }
 
@@ -428,4 +430,77 @@ TEST(CryptoChecker, CustomRuleSet) {
   CryptoChecker Checker({*findRule("R8")});
   EXPECT_EQ(Checker.rules().size(), 1u);
   EXPECT_EQ(Checker.rules()[0].Id, "R8");
+}
+
+TEST(ProjectReport, AnyMatchIsCachedAtInsertion) {
+  auto Symbols = std::make_shared<ScanSymbols>();
+  ProjectReport Report;
+  Report.Symbols = Symbols;
+  RuleVerdict Quiet;
+  Quiet.Rule = Symbols->intern("R1");
+  Quiet.Applicable = true;
+  Report.addVerdict(Quiet);
+  EXPECT_FALSE(Report.anyMatch());
+  RuleVerdict Loud;
+  Loud.Rule = Symbols->intern("R8");
+  Loud.Applicable = true;
+  Loud.Matched = true;
+  Report.addVerdict(Loud);
+  EXPECT_TRUE(Report.anyMatch());
+  // A later quiet verdict must not reset the cached bit.
+  RuleVerdict Tail;
+  Tail.Rule = Symbols->intern("R9");
+  Report.addVerdict(Tail);
+  EXPECT_TRUE(Report.anyMatch());
+}
+
+TEST(ProjectReport, DedupeDropsRepeatedSitesWithinAUnit) {
+  ScanSymbols Symbols;
+  Violation A{Symbols.intern("R8"), Symbols.intern("Cipher"),
+              Symbols.intern("l3"), 0};
+  Violation SameSiteAgain = A;
+  Violation OtherUnit = A;
+  OtherUnit.UnitIndex = 1;
+  Violation OtherSite = A;
+  OtherSite.Site = Symbols.intern("l9");
+  std::vector<Violation> Violations{A, SameSiteAgain, OtherUnit, OtherSite,
+                                    SameSiteAgain};
+  dedupeViolations(Violations);
+  ASSERT_EQ(Violations.size(), 3u);
+  // First-occurrence order is preserved.
+  EXPECT_EQ(Violations[0].UnitIndex, 0u);
+  EXPECT_EQ(Symbols.text(Violations[0].Site), "l3");
+  EXPECT_EQ(Violations[1].UnitIndex, 1u);
+  EXPECT_EQ(Symbols.text(Violations[2].Site), "l9");
+}
+
+TEST(ProjectReport, DuplicateEventsYieldOneViolationPerSite) {
+  // Two misuses on one line share a site label ("l1") and collapse to a
+  // single reported violation; moving one to its own line splits them.
+  AnalysisResult SameLine = analyze(
+      "class A { void m() throws Exception { "
+      "MessageDigest d = MessageDigest.getInstance(\"MD5\"); "
+      "MessageDigest e = MessageDigest.getInstance(\"MD5\"); } }");
+  AnalysisResult TwoLines = analyze(
+      "class A { void m() throws Exception {\n"
+      "MessageDigest d = MessageDigest.getInstance(\"MD5\");\n"
+      "MessageDigest e = MessageDigest.getInstance(\"MD5\"); } }");
+  CryptoChecker Checker;
+  UnitFacts Merged = UnitFacts::from(SameLine);
+  UnitFacts Split = UnitFacts::from(TwoLines);
+  ProjectReport MergedReport = Checker.checkProject({Merged});
+  ProjectReport SplitReport = Checker.checkProject({Split});
+  bool Seen = false;
+  for (const RuleVerdict &V : MergedReport.verdicts())
+    if (MergedReport.text(V.Rule) == "R1") {
+      Seen = true;
+      ASSERT_EQ(V.Violations.size(), 1u);
+      EXPECT_EQ(MergedReport.text(V.Violations[0].Site), "l1");
+    }
+  EXPECT_TRUE(Seen);
+  for (const RuleVerdict &V : SplitReport.verdicts())
+    if (SplitReport.text(V.Rule) == "R1") {
+      ASSERT_EQ(V.Violations.size(), 2u);
+      EXPECT_NE(V.Violations[0].Site, V.Violations[1].Site);
+    }
 }

@@ -20,6 +20,8 @@
 
 #include "core/ReportWriter.h"
 #include "exec/Wire.h"
+#include "scan/ScanReportWriter.h"
+#include "scan/Scanner.h"
 #include "support/Process.h"
 
 #include <gtest/gtest.h>
@@ -183,6 +185,63 @@ TEST(ServiceProtocol, IngestReplyAndTextRoundTrip) {
   EXPECT_FALSE(decodeText("", Text));
 }
 
+TEST(ServiceProtocol, ScanRequestRoundTrips) {
+  ScanRequestWire Want;
+  Want.Refine = true;
+  Want.RuleFilter = {"R8", "R1"};
+  corpus::Project P;
+  P.Name = "proj\"hostile\"";
+  P.Meta.IsAndroid = true;
+  P.Meta.MinSdkVersion = 19;
+  P.Files.push_back({"A.java", std::string("class A { \0 }", 13)});
+  P.Files.push_back({"B.java", "class B {}"});
+  Want.Projects.push_back(std::move(P));
+
+  ScanRequestWire Got;
+  std::string Error;
+  ASSERT_TRUE(decodeScanRequest(encodeScanRequest(Want), Got, &Error)) << Error;
+  EXPECT_EQ(Got.Refine, Want.Refine);
+  EXPECT_EQ(Got.RuleFilter, Want.RuleFilter);
+  ASSERT_EQ(Got.Projects.size(), 1u);
+  EXPECT_EQ(Got.Projects[0].Name, Want.Projects[0].Name);
+  EXPECT_TRUE(Got.Projects[0].Meta.IsAndroid);
+  EXPECT_EQ(Got.Projects[0].Meta.MinSdkVersion, 19);
+  ASSERT_EQ(Got.Projects[0].Files.size(), 2u);
+  EXPECT_EQ(Got.Projects[0].Files[0].Code, Want.Projects[0].Files[0].Code);
+}
+
+TEST(ServiceProtocol, ScanRequestRejectsHostilePayloads) {
+  ScanRequestWire Got;
+  std::string Error;
+
+  ScanRequestWire Want;
+  corpus::Project P;
+  P.Name = "p";
+  P.Files.push_back({"A.java", "class A {}"});
+  Want.Projects.push_back(std::move(P));
+  std::string Payload = encodeScanRequest(Want);
+
+  // Truncation, trailing garbage, emptiness.
+  EXPECT_FALSE(decodeScanRequest(Payload.substr(0, Payload.size() / 2), Got,
+                                 &Error));
+  EXPECT_FALSE(decodeScanRequest(Payload + "x", Got, &Error));
+  EXPECT_FALSE(decodeScanRequest("", Got, &Error));
+
+  // Version skew.
+  exec::WireWriter Skew;
+  Skew.u32(ServiceProtocolVersion + 3);
+  EXPECT_FALSE(decodeScanRequest(Skew.take(), Got, &Error));
+  EXPECT_NE(Error.find("version"), std::string::npos);
+
+  // An allocation-bomb project count with no bytes behind it.
+  exec::WireWriter Bomb;
+  Bomb.u32(ServiceProtocolVersion);
+  Bomb.u8(0);
+  Bomb.u32(0);           // no rule filter
+  Bomb.u32(0xfffffff0u); // absurd project count
+  EXPECT_FALSE(decodeScanRequest(Bomb.take(), Got, &Error));
+}
+
 //===----------------------------------------------------------------------===//
 // A real forked server, end to end
 //===----------------------------------------------------------------------===//
@@ -221,6 +280,47 @@ TEST(ServiceServer, ForkedRoundTripMatchesColdBatch) {
   ::close(Fd);
   support::ExitStatus Exit = support::waitProcess(Pid);
   EXPECT_TRUE(Exit.cleanExit()) << Exit.Code;
+}
+
+TEST(ServiceServer, ForkedScanMatchesLocalScanner) {
+  // Two self-contained projects over the wire: one misuse, one clean.
+  ScanRequestWire Wire;
+  corpus::Project Bad;
+  Bad.Name = "proj-bad";
+  Bad.Files.push_back(
+      {"Bad.java", "class Bad { void m() throws Exception { Cipher c = "
+                   "Cipher.getInstance(\"DES\"); } }"});
+  corpus::Project Clean;
+  Clean.Name = "proj-clean";
+  Clean.Files.push_back({"Clean.java", "class Clean { int x; }"});
+  Wire.Projects = {Bad, Clean};
+
+  // The local ground truth, same default options the server builds its
+  // scanner from.
+  scan::Scanner Local(api(), scan::ScanConfig());
+  scan::ScanRequest Request;
+  Request.Projects = {&Bad, &Clean};
+  std::string Want = scan::scanReportToJson(Local.scan(Request));
+
+  int Fd = -1;
+  pid_t Pid = forkServer(Fd);
+  Client C(Fd);
+  std::string Error, Got;
+  ASSERT_TRUE(C.scan(Wire, Got, &Error)) << Error;
+  EXPECT_EQ(Got, Want);
+
+  // The scan is session-independent: ingesting afterwards still works.
+  IngestReply Reply;
+  ASSERT_TRUE(C.ingest(sampleChanges(), Reply, &Error)) << Error;
+  EXPECT_EQ(Reply.TotalChanges, 2u);
+
+  // A second scan reuses the server's warm scanner; still identical.
+  ASSERT_TRUE(C.scan(Wire, Got, &Error)) << Error;
+  EXPECT_EQ(Got, Want);
+
+  ASSERT_TRUE(C.shutdown(&Error)) << Error;
+  ::close(Fd);
+  EXPECT_TRUE(support::waitProcess(Pid).cleanExit());
 }
 
 TEST(ServiceServer, ClientDisconnectEndsServeCleanly) {

@@ -85,9 +85,9 @@ TEST(TlsRules, T1FlagsDeprecatedProtocols) {
 
   rules::ProjectReport OldReport = Checker.checkProject({OldFacts});
   rules::ProjectReport NewReport = Checker.checkProject({NewFacts});
-  EXPECT_TRUE(OldReport.Verdicts[0].Matched);  // T1
-  EXPECT_TRUE(OldReport.Verdicts[1].Matched);  // T2
-  EXPECT_FALSE(OldReport.Verdicts[2].Matched); // T3 (no getDefault)
+  EXPECT_TRUE(OldReport.verdicts()[0].Matched);  // T1
+  EXPECT_TRUE(OldReport.verdicts()[1].Matched);  // T2
+  EXPECT_FALSE(OldReport.verdicts()[2].Matched); // T3 (no getDefault)
   EXPECT_FALSE(NewReport.anyMatch());
 }
 
@@ -103,8 +103,8 @@ TEST(TlsRules, T3FlagsDefaultFactory) {
   rules::CryptoChecker Checker(rules::tlsRules());
   rules::ProjectReport Report = Checker.checkProject({Facts});
   bool T3 = false;
-  for (const rules::RuleVerdict &V : Report.Verdicts)
-    if (V.RuleId == "T3")
+  for (const rules::RuleVerdict &V : Report.verdicts())
+    if (Report.text(V.Rule) == "T3")
       T3 = V.Matched;
   EXPECT_TRUE(T3);
 }
