@@ -46,7 +46,8 @@
 //
 //   diffcode_cli scan (<file.java ...> | --corpus <dir>) [--json]
 //                [--rules <id,id,...>] [--refine] [--threads <n>]
-//                [--no-unit-cache] [--metrics] [--fail-on-violation]
+//                [--no-unit-cache] [--metrics] [--trace-out=<file>]
+//                [--fail-on-violation]
 //       run the streaming rule scanner (scan/Scanner.h). Plain files are
 //       scanned as one project; --corpus scans every project of an
 //       on-disk corpus (HEAD files). --rules restricts evaluation to a
@@ -59,13 +60,20 @@
 //       hardware thread; report bytes never depend on it);
 //       --no-unit-cache disables the content-hash unit cache. --json
 //       streams the report as projects complete; --metrics adds per-rule
-//       counters and latency histograms. --fail-on-violation exits 1
-//       when any project violates any evaluated rule (the CI tripwire).
+//       counters and latency histograms; --trace-out=<file> (implies
+//       --metrics) writes the span trace as Chrome trace_event JSON.
+//       --fail-on-violation exits 1 when any project violates any
+//       evaluated rule (the CI tripwire).
 //
 //   diffcode_cli serve <socket-path> [--threads <n>] [--max-cached <n>]
+//                [--metrics] [--trace-out=<file>]
 //       run the incremental analysis service in the foreground on a UNIX
 //       socket (same server loop as the diffcoded binary); stops at the
-//       first client shutdown request. Also spelled --serve.
+//       first client shutdown request. --metrics runs the daemon
+//       observed so `connect --query metrics` can introspect it live;
+//       --trace-out=<file> (implies --metrics) flushes the stitched span
+//       trace as Chrome trace_event JSON at shutdown. Also spelled
+//       --serve.
 //
 //   diffcode_cli connect <socket-path> [--ingest <corpus-dir>]
 //                [--query <what>] [--snapshot] [--rules <id,...>]
@@ -73,7 +81,9 @@
 //       talk to a running service; operations execute in flag order.
 //       --ingest mines a corpus directory client-side and ships the
 //       changes, printing the session's cache/repair stats; --query asks
-//       "health", "stats", or "class:<Name>"; --snapshot prints the full
+//       "health", "stats", "class:<Name>", or "metrics" (the daemon's
+//       live observability summary — counters plus stage table — which
+//       needs the daemon started with --metrics); --snapshot prints the full
 //       report JSON (byte-identical to a cold `pipeline --json --cluster`
 //       run over everything ingested so far); --scan ships a corpus
 //       directory's projects to the server's warm rule scanner and
@@ -125,9 +135,11 @@ int printUsage() {
                "                    [--rules <id,id,...>] [--refine] "
                "[--threads <n>]\n"
                "                    [--no-unit-cache] [--metrics] "
-               "[--fail-on-violation]\n"
+               "[--trace-out=<file>]\n"
+               "                    [--fail-on-violation]\n"
                "       diffcode_cli serve <socket-path> [--threads <n>] "
                "[--max-cached <n>]\n"
+               "                    [--metrics] [--trace-out=<file>]\n"
                "       diffcode_cli connect <socket-path> "
                "[--ingest <corpus-dir>]\n"
                "                    [--query <what>] [--snapshot] "
@@ -477,6 +489,7 @@ int runScan(int argc, char **argv) {
   bool FailOnViolation = false, CacheUnits = true;
   unsigned Threads = 0;
   std::string CorpusDir;
+  std::string TraceOut;
   std::vector<std::string> RuleFilter;
   std::vector<const char *> FileArgs;
   for (int I = 2; I < argc; ++I) {
@@ -486,7 +499,12 @@ int runScan(int argc, char **argv) {
       Refine = true;
     else if (std::strcmp(argv[I], "--metrics") == 0)
       Metrics = true;
-    else if (std::strcmp(argv[I], "--fail-on-violation") == 0)
+    else if (std::strncmp(argv[I], "--trace-out=", 12) == 0) {
+      TraceOut = argv[I] + 12;
+      if (TraceOut.empty())
+        return printUsage();
+      Metrics = true;
+    } else if (std::strcmp(argv[I], "--fail-on-violation") == 0)
       FailOnViolation = true;
     else if (std::strcmp(argv[I], "--no-unit-cache") == 0)
       CacheUnits = false;
@@ -613,6 +631,17 @@ int runScan(int argc, char **argv) {
       }
     }
   }
+  if (!TraceOut.empty()) {
+    std::ofstream Out(TraceOut);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", TraceOut.c_str());
+      return 1;
+    }
+    Out << Obs.Trace.traceJson() << '\n';
+    if (!Json)
+      std::printf("\ntrace written to %s (%zu events)\n", TraceOut.c_str(),
+                  Obs.Trace.eventCount());
+  }
   return FailOnViolation && Report.ProjectsWithViolation > 0 ? 1 : 0;
 }
 
@@ -621,15 +650,29 @@ int runServe(int argc, char **argv) {
     return printUsage();
   service::SessionOptions Opts;
   Opts.Config.Threads = 0; // one analysis worker per hardware thread
+  bool Metrics = false;
+  std::string TraceOut;
   for (int I = 3; I < argc; ++I) {
     if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc)
       Opts.Config.Threads =
           static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
     else if (std::strcmp(argv[I], "--max-cached") == 0 && I + 1 < argc)
       Opts.MaxCachedChanges = std::strtoull(argv[++I], nullptr, 10);
-    else
+    else if (std::strcmp(argv[I], "--metrics") == 0)
+      Metrics = true;
+    else if (std::strncmp(argv[I], "--trace-out=", 12) == 0) {
+      TraceOut = argv[I] + 12;
+      if (TraceOut.empty())
+        return printUsage();
+      Metrics = true;
+    } else
       return printUsage();
   }
+  // The observer must outlive the Server: the session records into it on
+  // every ingest and StatsReq summarizes it live.
+  obs::Observer Obs;
+  if (Metrics)
+    Opts.Metrics = &Obs;
   std::string Error;
   int ListenFd = service::listenUnix(argv[2], &Error);
   if (ListenFd < 0) {
@@ -641,6 +684,16 @@ int runServe(int argc, char **argv) {
   std::fprintf(stderr, "serving on %s\n", argv[2]);
   int Code = service::serveUnix(S, ListenFd);
   std::remove(argv[2]);
+  if (!TraceOut.empty()) {
+    std::ofstream Out(TraceOut);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", TraceOut.c_str());
+      return 1;
+    }
+    Out << Obs.Trace.traceJson() << '\n';
+    std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                 TraceOut.c_str(), Obs.Trace.eventCount());
+  }
   return Code;
 }
 
@@ -690,7 +743,14 @@ int runConnect(int argc, char **argv) {
                   static_cast<unsigned long long>(Reply.Stats.PairsReused));
     } else if (std::strcmp(argv[I], "--query") == 0 && I + 1 < argc) {
       std::string Answer;
-      if (!C.query(argv[++I], Answer, &Error)) {
+      // "metrics" is answered by the daemon's observer (StatsReq), not
+      // the session's query handler — it needs a daemon started with
+      // --metrics or --trace-out.
+      bool Ok = std::strcmp(argv[I + 1], "metrics") == 0
+                    ? C.stats(Answer, &Error)
+                    : C.query(argv[I + 1], Answer, &Error);
+      ++I;
+      if (!Ok) {
         std::fprintf(stderr, "error: %s\n", Error.c_str());
         Code = 1;
         break;

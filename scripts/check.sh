@@ -72,7 +72,10 @@
 # guard (bench/micro_supervision, asserting supervised execution stays
 # byte-identical to in-process and within 10% of its CPU time at
 # min(4, hardware-width) workers; leaves BENCH_supervision.json in the
-# build directory).
+# build directory); then a stitched-trace validation: two supervised
+# traced CLI runs (2 and 4 workers) whose traces must be schema-valid,
+# show at least two pid lanes, and agree on the per-change span count
+# (span-count invariance — worker scheduling must not lose spans).
 #   scripts/check.sh --chaos -L tier1
 set -euo pipefail
 
@@ -125,6 +128,11 @@ if [[ "$ASAN" == "1" ]]; then
   echo "== traced pipeline under sanitizers =="
   ./examples/diffcode_cli pipeline ../tests/data/smoke_corpus \
     --metrics --trace-out=trace_asan.json > /dev/null
+  echo "== supervised traced pipeline under sanitizers =="
+  # The cross-process telemetry path (worker observers, Telemetry frames,
+  # coordinator stitch/merge) under the sanitizers.
+  ./examples/diffcode_cli pipeline ../tests/data/smoke_corpus \
+    --workers 2 --metrics --trace-out=trace_asan_supervised.json > /dev/null
   echo "== supervised execution differential under sanitizers =="
   ./tests/test_supervised_exec
   echo "== lexer fuzz suite under sanitizers =="
@@ -135,12 +143,15 @@ if [[ "$ASAN" == "1" ]]; then
   # exit code, so a sanitizer report on either side fails the sweep.
   SOCK="${TMPDIR:-/tmp}/diffcoded_asan_$$.sock"
   rm -f "$SOCK"
-  ./examples/diffcoded "$SOCK" --threads 2 &
+  # --metrics so the live-introspection path (StatsReq) runs too: the
+  # `--query metrics` round-trip below must return the daemon's summary.
+  ./examples/diffcoded "$SOCK" --threads 2 --metrics &
   SERVE_PID=$!
   for _ in $(seq 1 100); do [[ -S "$SOCK" ]] && break; sleep 0.1; done
   ./examples/diffcode_cli connect "$SOCK" \
     --ingest ../tests/data/smoke_corpus \
-    --query health --query stats --snapshot --shutdown > /dev/null
+    --query health --query stats --query metrics --snapshot --shutdown \
+    > /dev/null
   wait "$SERVE_PID"
   rm -f "$SOCK"
   echo "== rule scan under sanitizers =="
@@ -196,4 +207,26 @@ if [[ "$CHAOS" == "1" ]]; then
   ctest --output-on-failure -j"$(nproc)" -L chaos
   echo "== supervision throughput guard (bench/micro_supervision) =="
   ./bench/micro_supervision 32 42 BENCH_supervision.json
+  echo "== stitched supervised trace validation =="
+  # Two supervised traced runs at different worker counts: both traces
+  # must be schema-valid with worker lanes present, and the per-change
+  # span count must not depend on how units were scheduled.
+  for W in 2 4; do
+    ./examples/diffcode_cli pipeline ../tests/data/smoke_corpus \
+      --workers "$W" --metrics --trace-out="trace_chaos_w$W.json" > /dev/null
+    grep -q '"traceEvents":\[' "trace_chaos_w$W.json"
+    grep -q '"ph":"X"' "trace_chaos_w$W.json"
+    PIDS=$(grep -o '"pid":[0-9]*' "trace_chaos_w$W.json" | sort -u | wc -l)
+    if [[ "$PIDS" -lt 2 ]]; then
+      echo "trace_chaos_w$W.json: expected >=2 pid lanes, got $PIDS" >&2
+      exit 1
+    fi
+  done
+  SPANS2=$(grep -o '"name":"processChange"' trace_chaos_w2.json | wc -l)
+  SPANS4=$(grep -o '"name":"processChange"' trace_chaos_w4.json | wc -l)
+  if [[ "$SPANS2" != "$SPANS4" || "$SPANS2" == "0" ]]; then
+    echo "span-count invariance violated: $SPANS2 (2 workers) vs $SPANS4 (4 workers)" >&2
+    exit 1
+  fi
+  echo "stitched traces OK: $SPANS2 per-change spans on both worker counts"
 fi

@@ -6,21 +6,25 @@ using namespace diffcode;
 using namespace diffcode::exec;
 
 std::string diffcode::exec::encodeHello(std::uint32_t BaseLabels,
-                                        std::uint32_t BasePaths) {
+                                        std::uint32_t BasePaths,
+                                        std::uint64_t TraceEpochNs) {
   WireWriter W;
   W.u32(ProtocolVersion);
   W.u32(BaseLabels);
   W.u32(BasePaths);
+  W.u64(TraceEpochNs);
   return encodeFrame(static_cast<std::uint32_t>(FrameType::Hello), W.bytes());
 }
 
 bool diffcode::exec::decodeHello(std::string_view Payload,
                                  std::uint32_t &BaseLabels,
-                                 std::uint32_t &BasePaths) {
+                                 std::uint32_t &BasePaths,
+                                 std::uint64_t &TraceEpochNs) {
   WireReader R(Payload);
   std::uint32_t Version = R.u32();
   BaseLabels = R.u32();
   BasePaths = R.u32();
+  TraceEpochNs = R.u64();
   return R.atEnd() && Version == ProtocolVersion;
 }
 
@@ -57,6 +61,140 @@ bool diffcode::exec::decodeUnitDone(std::string_view Payload,
   WireReader R(Payload);
   UnitId = R.u64();
   return R.atEnd();
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+static void writeTelemetryPayload(WireWriter &W, std::uint32_t Incarnation,
+                                  const std::vector<obs::Tracer::Event> &Spans,
+                                  const obs::Snapshot &Metrics) {
+  W.clear();
+  W.u32(Incarnation);
+  W.u32(static_cast<std::uint32_t>(Spans.size()));
+  for (const obs::Tracer::Event &E : Spans) {
+    W.str(E.Name);
+    W.u64(E.StartNs);
+    W.u64(E.DurNs);
+    W.u32(E.Tid);
+  }
+  W.u32(static_cast<std::uint32_t>(Metrics.Values.size()));
+  for (const obs::MetricValue &V : Metrics.Values) {
+    W.str(V.Name);
+    W.u8(static_cast<std::uint8_t>(V.Kind));
+    W.u8(static_cast<std::uint8_t>(V.U));
+    W.u8(static_cast<std::uint8_t>(V.S));
+    switch (V.Kind) {
+    case obs::MetricKind::Counter:
+      W.u64(V.Count);
+      break;
+    case obs::MetricKind::Gauge:
+      W.u64(static_cast<std::uint64_t>(V.Value));
+      break;
+    case obs::MetricKind::Histogram:
+      W.u64(V.Count);
+      W.u64(V.Sum);
+      W.u64(V.Min);
+      W.u64(V.Max);
+      W.u32(static_cast<std::uint32_t>(V.Buckets.size()));
+      for (const auto &[Index, BucketCount] : V.Buckets) {
+        W.u32(Index);
+        W.u64(BucketCount);
+      }
+      break;
+    }
+  }
+}
+
+std::string
+diffcode::exec::encodeTelemetry(std::uint32_t Incarnation,
+                                const std::vector<obs::Tracer::Event> &Spans,
+                                const obs::Snapshot &Metrics) {
+  WireWriter W;
+  writeTelemetryPayload(W, Incarnation, Spans, Metrics);
+  return encodeFrame(static_cast<std::uint32_t>(FrameType::Telemetry),
+                     W.bytes());
+}
+
+void diffcode::exec::appendTelemetry(
+    std::string &Out, WireWriter &Scratch, std::uint32_t Incarnation,
+    const std::vector<obs::Tracer::Event> &Spans,
+    const obs::Snapshot &Metrics) {
+  writeTelemetryPayload(Scratch, Incarnation, Spans, Metrics);
+  appendFrame(Out, static_cast<std::uint32_t>(FrameType::Telemetry),
+              Scratch.bytes());
+}
+
+bool diffcode::exec::decodeTelemetry(std::string_view Payload,
+                                     TelemetryFrame &Out) {
+  WireReader R(Payload);
+  Out.Incarnation = R.u32();
+
+  std::uint32_t SpanCount = R.u32();
+  Out.Spans.clear();
+  // No reserve from the wire-supplied count: a hostile length would
+  // balloon memory before the truncation check ever runs.
+  for (std::uint32_t I = 0; I < SpanCount && R.ok(); ++I) {
+    TelemetrySpan S;
+    S.Name = std::string(R.str());
+    S.StartNs = R.u64();
+    S.DurNs = R.u64();
+    S.Tid = R.u32();
+    Out.Spans.push_back(std::move(S));
+  }
+  if (!R.ok() || Out.Spans.size() != SpanCount)
+    return false;
+
+  std::uint32_t MetricCount = R.u32();
+  Out.Metrics.Values.clear();
+  for (std::uint32_t I = 0; I < MetricCount && R.ok(); ++I) {
+    obs::MetricValue V;
+    V.Name = std::string(R.str());
+    std::uint8_t Kind = R.u8();
+    std::uint8_t U = R.u8();
+    std::uint8_t S = R.u8();
+    if (!R.ok() || Kind > std::uint8_t(obs::MetricKind::Histogram) ||
+        U > std::uint8_t(obs::Unit::Percent) ||
+        S > std::uint8_t(obs::Stability::PerRun))
+      return false;
+    // Registry snapshots are strictly name-ordered; enforcing that here
+    // keeps the Snapshot::merge precondition safe from hostile senders.
+    if (!Out.Metrics.Values.empty() &&
+        V.Name <= Out.Metrics.Values.back().Name)
+      return false;
+    V.Kind = static_cast<obs::MetricKind>(Kind);
+    V.U = static_cast<obs::Unit>(U);
+    V.S = static_cast<obs::Stability>(S);
+    switch (V.Kind) {
+    case obs::MetricKind::Counter:
+      V.Count = R.u64();
+      break;
+    case obs::MetricKind::Gauge:
+      V.Value = static_cast<std::int64_t>(R.u64());
+      break;
+    case obs::MetricKind::Histogram: {
+      V.Count = R.u64();
+      V.Sum = R.u64();
+      V.Min = R.u64();
+      V.Max = R.u64();
+      std::uint32_t BucketCount = R.u32();
+      for (std::uint32_t B = 0; B < BucketCount && R.ok(); ++B) {
+        std::uint32_t Index = R.u32();
+        std::uint64_t C = R.u64();
+        if (Index >= obs::Histogram::NumBuckets ||
+            (!V.Buckets.empty() && Index <= V.Buckets.back().first))
+          return false;
+        V.Buckets.emplace_back(Index, C);
+      }
+      if (!R.ok() || V.Buckets.size() != BucketCount)
+        return false;
+      break;
+    }
+    }
+    Out.Metrics.Values.push_back(std::move(V));
+  }
+  return R.atEnd() && Out.Metrics.Values.size() == MetricCount;
 }
 
 //===----------------------------------------------------------------------===//

@@ -14,10 +14,12 @@
 ///   Shutdown  drain and _exit(0)
 ///
 /// Worker -> coordinator:
-///   Hello     startup handshake (protocol version)
+///   Hello     startup handshake (protocol version, trace epoch)
 ///   LabelDef  one newly interned NodeLabel (worker-local id order)
 ///   PathDef   one newly interned path (worker-local label ids)
 ///   Result    one ChangeRecord (worker-local path ids)
+///   Telemetry completed spans + cumulative metrics snapshot (observed
+///             workers only; coalesced with the per-unit writes)
 ///   UnitDone  unit complete (unit id)
 ///
 /// The interned data model does not ship id values across processes —
@@ -50,6 +52,8 @@
 
 #include "core/DiffCode.h"
 #include "exec/Wire.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Interner.h"
 
 #include <cstdint>
@@ -69,13 +73,15 @@ enum class FrameType : std::uint32_t {
   PathDef = 5,
   Result = 6,
   UnitDone = 7,
+  Telemetry = 8,
 };
 
 /// Bumped whenever any payload layout changes; Hello carries it and the
 /// coordinator refuses a mismatched worker (impossible with fork(), but
 /// cheap insurance against a future exec()-based spawn path).
 /// v2: Hello gained the worker's inherited interner base counts.
-inline constexpr std::uint32_t ProtocolVersion = 2;
+/// v3: Hello gained the worker's trace epoch; Telemetry frame added.
+inline constexpr std::uint32_t ProtocolVersion = 3;
 
 /// Distinguished exit code a worker takes when it cannot allocate
 /// (set_new_handler under RLIMIT_AS, or the ProcOomExit chaos site).
@@ -94,15 +100,70 @@ struct WorkUnit {
 /// Hello carries the protocol version plus the worker's interner base:
 /// the label/path counts of the table it inherited at fork time. Ids
 /// below the base need no defs — they are the parent's own ids.
-std::string encodeHello(std::uint32_t BaseLabels, std::uint32_t BasePaths);
+/// TraceEpochNs is the worker tracer's epoch as absolute CLOCK_MONOTONIC
+/// nanoseconds (obs::Tracer::epochSteadyNs), 0 when the worker runs
+/// unobserved; the coordinator subtracts its own epoch to get the
+/// per-incarnation offset that aligns Telemetry span timestamps into
+/// the coordinator's timeline.
+std::string encodeHello(std::uint32_t BaseLabels, std::uint32_t BasePaths,
+                        std::uint64_t TraceEpochNs);
 bool decodeHello(std::string_view Payload, std::uint32_t &BaseLabels,
-                 std::uint32_t &BasePaths);
+                 std::uint32_t &BasePaths, std::uint64_t &TraceEpochNs);
 
 std::string encodeWork(const WorkUnit &Unit);
 bool decodeWork(std::string_view Payload, WorkUnit &Out);
 
 std::string encodeUnitDone(std::uint64_t UnitId);
 bool decodeUnitDone(std::string_view Payload, std::uint64_t &UnitId);
+
+/// One completed worker span as shipped over the wire. StartNs is in
+/// the *worker* tracer's timeline; the coordinator applies the Hello
+/// epoch offset before ingesting. Tid is the worker's own small lane
+/// id (lanes are per-pid in trace_event, so no remapping is needed).
+struct TelemetrySpan {
+  std::string Name;
+  std::uint64_t StartNs = 0;
+  std::uint64_t DurNs = 0;
+  std::uint32_t Tid = 0;
+};
+
+/// Decoded Telemetry frame: the spans completed since the worker's
+/// previous telemetry flush (delta) plus the worker registry's full
+/// snapshot at send time (cumulative — the coordinator keeps only the
+/// latest per incarnation and merges at the end of the run).
+struct TelemetryFrame {
+  std::uint32_t Incarnation = 0;
+  std::vector<TelemetrySpan> Spans;
+  obs::Snapshot Metrics;
+
+  /// Stale-incarnation guard: frames are stamped with the incarnation
+  /// the worker was spawned as; anything else is dropped, never merged.
+  bool staleFor(std::uint32_t CurrentIncarnation) const {
+    return Incarnation != CurrentIncarnation;
+  }
+};
+
+/// Serializes one telemetry flush. \p Spans come straight from the
+/// worker tracer (obs::Tracer::eventsFrom); the Pid field is not
+/// carried — the coordinator stamps the pid it forked.
+std::string encodeTelemetry(std::uint32_t Incarnation,
+                            const std::vector<obs::Tracer::Event> &Spans,
+                            const obs::Snapshot &Metrics);
+
+/// Appends the Telemetry frame to \p Out, reusing \p Scratch — the
+/// worker's coalesced per-unit write path (rides the same writev as the
+/// unit's Results and UnitDone, so the clean path costs no extra
+/// syscall).
+void appendTelemetry(std::string &Out, WireWriter &Scratch,
+                     std::uint32_t Incarnation,
+                     const std::vector<obs::Tracer::Event> &Spans,
+                     const obs::Snapshot &Metrics);
+
+/// Decodes one Telemetry payload. Defensive like every other decoder:
+/// truncation, trailing bytes, out-of-range kind/unit/stability bytes,
+/// non-ascending metric names, or out-of-range/non-ascending histogram
+/// bucket indices all return false (the supervisor poisons the worker).
+bool decodeTelemetry(std::string_view Payload, TelemetryFrame &Out);
 
 /// Worker side: incremental interner-definition streaming. The worker's
 /// interner is append-only and single-threaded, so everything past the
@@ -183,8 +244,10 @@ struct IdRemap {
 
 /// Serializes one ChangeRecord with worker-local path ids (the worker's
 /// DefSender has already streamed the defs they resolve through).
-/// WallNanos is deliberately not carried: workers run unobserved, and
-/// the field is PerRun — never part of the byte-compared report surface.
+/// WallNanos is deliberately not carried: it is PerRun — never part of
+/// the byte-compared report surface. Observed workers ship their wall
+/// times through the Telemetry frame instead, keeping Result payloads
+/// identical whether or not observability is on.
 std::string encodeResult(std::uint64_t ChangeIndex,
                          const core::ChangeRecord &Record);
 

@@ -22,6 +22,7 @@
 
 #include "exec/Protocol.h"
 #include "exec/Wire.h"
+#include "obs/Observer.h"
 #include "support/FaultInjection.h"
 #include "support/Process.h"
 #include "support/ThreadPool.h"
@@ -101,7 +102,19 @@ int workerMain(const core::DiffCode &System,
       Request.Labels ? *Request.Labels : *System.labels();
   DefSender Defs(LocalTable);
 
-  std::string Hello = encodeHello(Defs.baseLabels(), Defs.basePaths());
+  // Observed workers run their own Observer: per-change spans and the
+  // interpreter metrics land here and ship back per unit in Telemetry
+  // frames. Detection is the fork-inherited request pointer — no flag
+  // crosses the wire. Hello advertises the tracer epoch (absolute
+  // CLOCK_MONOTONIC ns) so the coordinator can align span timestamps
+  // into its own timeline; 0 means "unobserved, no telemetry coming".
+  const bool Observed = Request.Metrics != nullptr;
+  obs::Observer WorkerObs;
+  std::size_t SpansShipped = 0;
+
+  std::string Hello =
+      encodeHello(Defs.baseLabels(), Defs.basePaths(),
+                  Observed ? WorkerObs.Trace.epochSteadyNs() : 0);
   if (support::writeFull(RespFd, Hello.data(), Hello.size()) < 0)
     return 0;
   FrameDecoder Decoder;
@@ -151,9 +164,17 @@ int workerMain(const core::DiffCode &System,
         for (;;)
           sleepMs(1000); // the watchdog's problem now
 
-      core::ChangeRecord Record =
-          System.processChange(*Request.Changes[Index], Request.TargetClasses,
-                               Request.ClassifyWith, LocalTable);
+      core::ChangeRecord Record;
+      {
+        // Same span name as the in-process stage, so the stitched trace
+        // aggregates worker and coordinator work under one stage row.
+        obs::Span ChangeSpan(Observed ? &WorkerObs.Trace : nullptr,
+                             "processChange");
+        Record = System.processChange(*Request.Changes[Index],
+                                      Request.TargetClasses,
+                                      Request.ClassifyWith, LocalTable,
+                                      Observed ? &WorkerObs.Metrics : nullptr);
+      }
 
       Defs.flush(Out); // defs strictly before the result that needs them
       std::size_t FrameStart = Out.size();
@@ -177,6 +198,17 @@ int workerMain(const core::DiffCode &System,
           return 0;
         Out.clear();
       }
+    }
+    if (Observed) {
+      // Telemetry coalesces with the unit's last write: the spans
+      // completed since the previous flush plus the registry's full
+      // (cumulative) snapshot. Unobserved workers skip this entirely,
+      // so the clean path's byte stream is unchanged.
+      std::vector<obs::Tracer::Event> NewSpans =
+          WorkerObs.Trace.eventsFrom(SpansShipped);
+      SpansShipped += NewSpans.size();
+      appendTelemetry(Out, Scratch, Incarnation, NewSpans,
+                      WorkerObs.Metrics.snapshot());
     }
     Out += encodeUnitDone(Unit.Id);
     if (support::writeFull(RespFd, Out.data(), Out.size()) < 0)
@@ -220,6 +252,17 @@ struct WorkerSlot {
   int RespFd = -1; ///< Coordinator reads results here (non-blocking).
   FrameDecoder Decoder;
   IdRemap Remap;
+  /// Worker tracer epoch minus coordinator tracer epoch (Hello, observed
+  /// runs only): the per-incarnation offset that aligns Telemetry span
+  /// timestamps into the coordinator's timeline. Both clocks are the
+  /// same system-wide CLOCK_MONOTONIC, so the aligned events stay
+  /// monotone per lane by construction.
+  std::int64_t EpochOffsetNs = 0;
+  /// The incarnation's latest cumulative metrics snapshot (Telemetry is
+  /// cumulative, so later frames replace earlier ones). Retired into the
+  /// coordinator's collection when the incarnation dies, merged at the
+  /// end of the run.
+  obs::Snapshot LatestTelemetry;
   bool TimedOut = false;
   std::string PoisonReason; ///< Non-empty: result stream was corrupt.
   /// Dispatched, un-finished units in the order the worker runs them.
@@ -248,6 +291,13 @@ struct Coordinator {
   std::uint64_t NextUnitId = 0;
   std::deque<WorkerSlot> Slots; // deque: FrameDecoder needn't be movable
   obs::Histogram *UnitLatency = nullptr;
+  /// The run's observer (Request.Metrics); null when unobserved. Worker
+  /// telemetry merges here: spans into Obs->Trace as they arrive,
+  /// metrics snapshots at the end of the run.
+  obs::Observer *Obs = nullptr;
+  /// Final snapshots of dead incarnations (their committed results are
+  /// kept, so their metrics count too).
+  std::vector<obs::Snapshot> RetiredTelemetry;
 
   Coordinator(const core::DiffCode &System,
               const core::PipelineRequest &Request, support::Interner &Table,
@@ -334,6 +384,8 @@ bool Coordinator::spawnSlot(WorkerSlot &S) {
   support::setNonBlocking(S.RespFd);
   S.Decoder = FrameDecoder();
   S.Remap = IdRemap();
+  S.EpochOffsetNs = 0;
+  S.LatestTelemetry = obs::Snapshot();
   S.InFlight.clear();
   S.TimedOut = false;
   S.PoisonReason.clear();
@@ -442,13 +494,18 @@ bool Coordinator::processFrames(WorkerSlot &S) {
       // worker forked from this process, and the table only grows, so
       // anything larger is a corrupt or lying worker.
       std::uint32_t BaseLabels = 0, BasePaths = 0;
-      if (!decodeHello(F->Payload, BaseLabels, BasePaths) ||
+      std::uint64_t WorkerEpochNs = 0;
+      if (!decodeHello(F->Payload, BaseLabels, BasePaths, WorkerEpochNs) ||
           BaseLabels > Table.labelCount() || BasePaths > Table.pathCount()) {
         S.PoisonReason = "bad handshake";
         return false;
       }
       S.Remap.BaseLabels = BaseLabels;
       S.Remap.BasePaths = BasePaths;
+      if (Obs && WorkerEpochNs != 0)
+        S.EpochOffsetNs =
+            static_cast<std::int64_t>(WorkerEpochNs) -
+            static_cast<std::int64_t>(Obs->Trace.epochSteadyNs());
       break;
     }
     case FrameType::LabelDef:
@@ -501,6 +558,34 @@ bool Coordinator::processFrames(WorkerSlot &S) {
         if (S.HasDeadline)
           S.Deadline = Now + std::chrono::milliseconds(Policy.UnitDeadlineMs);
       }
+      break;
+    }
+    case FrameType::Telemetry: {
+      TelemetryFrame T;
+      if (!decodeTelemetry(F->Payload, T)) {
+        S.PoisonReason = "bad telemetry frame";
+        return false;
+      }
+      // Frames are stamped with the incarnation the worker was spawned
+      // as; anything else is a corrupt or lying worker and its telemetry
+      // must not pollute the merged view. (The per-incarnation pipe and
+      // decoder make this unreachable for honest workers — the check is
+      // wire-level insurance, same spirit as the Hello version gate.)
+      if (T.staleFor(S.Incarnation)) {
+        ++Stats.StaleTelemetry;
+        break;
+      }
+      ++Stats.TelemetryFrames;
+      if (!Obs)
+        break; // unobserved run: nothing to merge into
+      for (const TelemetrySpan &Sp : T.Spans) {
+        std::int64_t Aligned =
+            static_cast<std::int64_t>(Sp.StartNs) + S.EpochOffsetNs;
+        Obs->Trace.recordForeign(
+            Sp.Name, Aligned < 0 ? 0 : static_cast<std::uint64_t>(Aligned),
+            Sp.DurNs, Sp.Tid, static_cast<std::uint32_t>(S.Pid));
+      }
+      S.LatestTelemetry = std::move(T.Metrics);
       break;
     }
     default:
@@ -573,6 +658,12 @@ void Coordinator::handleDeath(WorkerSlot &S, support::ExitStatus ES,
   } else {
     Detail = "worker exited with code " + std::to_string(ES.Code);
   }
+
+  // The dead incarnation's committed results stay in the report, so its
+  // final metrics snapshot counts too — retire it before respawning.
+  if (!S.LatestTelemetry.empty())
+    RetiredTelemetry.push_back(std::move(S.LatestTelemetry));
+  S.LatestTelemetry = obs::Snapshot();
 
   ++S.Incarnation;
   ++Stats.WorkerRestarts;
@@ -665,9 +756,11 @@ void Coordinator::enforceDeadlines(Clock::time_point Now) {
 void Coordinator::runUnitInline(const PendingUnit &Unit) {
   for (std::uint64_t Index : Unit.Indices) {
     support::FaultScope Scope(&System.config().Faults, Index);
+    obs::Span ChangeSpan(Obs ? &Obs->Trace : nullptr, "processChange");
     Records[Index] =
         System.processChange(*Request.Changes[Index], Request.TargetClasses,
-                             Request.ClassifyWith, Table);
+                             Request.ClassifyWith, Table,
+                             Obs ? &Obs->Metrics : nullptr);
     --Outstanding;
     ++Stats.InlineFallbacks;
   }
@@ -686,6 +779,35 @@ void Coordinator::shutdownWorkers() {
   for (WorkerSlot &S : Slots) {
     if (!S.alive())
       continue;
+    // Drain the response pipe to EOF before reaping: the main loop exits
+    // the moment the last Result commits, which can leave the final
+    // unit's coalesced tail (Telemetry + UnitDone) unread — or, for a
+    // telemetry payload larger than the pipe buffer, leave the worker
+    // blocked mid-write, where reaping without reading would deadlock.
+    char Buf[1 << 16];
+    for (;;) {
+      ssize_t N = support::readSome(S.RespFd, Buf, sizeof(Buf));
+      if (N > 0) {
+        Stats.BytesReceived += static_cast<std::uint64_t>(N);
+        S.Decoder.feed(Buf, static_cast<std::size_t>(N));
+        if (!processFrames(S))
+          break; // poisoned this late costs nothing: every unit is done
+        continue;
+      }
+      if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        struct pollfd P;
+        P.fd = S.RespFd;
+        P.events = POLLIN;
+        P.revents = 0;
+        if (::poll(&P, 1, 1000) <= 0) {
+          // Wedged worker: don't hang the coordinator on its tail.
+          support::killProcess(S.Pid, SIGKILL);
+          break;
+        }
+        continue;
+      }
+      break; // EOF or hard read error
+    }
     support::waitProcess(S.Pid);
     closeSlotFds(S);
   }
@@ -811,6 +933,7 @@ diffcode::exec::superviseChanges(const core::DiffCode &System,
   support::Interner &Table =
       Request.Labels ? *Request.Labels : *System.labels();
   Coordinator C(System, Request, Table, St);
+  C.Obs = Request.Metrics;
   if (Request.Metrics)
     C.UnitLatency =
         &Request.Metrics->Metrics.histogram("exec.unit_latency_ns",
@@ -819,6 +942,16 @@ diffcode::exec::superviseChanges(const core::DiffCode &System,
   C.run();
 
   if (Request.Metrics) {
+    // Fold worker registries into the run's snapshot under exec.worker.*:
+    // the final cumulative snapshot of every dead incarnation plus each
+    // surviving slot's latest. All PerRun — retries and partial-unit
+    // loss make cross-process sums scheduling-dependent under faults.
+    for (const obs::Snapshot &W : C.RetiredTelemetry)
+      Request.Metrics->adoptWorkerSnapshot(W);
+    for (const WorkerSlot &S : C.Slots)
+      if (!S.LatestTelemetry.empty())
+        Request.Metrics->adoptWorkerSnapshot(S.LatestTelemetry);
+
     obs::Registry &Reg = Request.Metrics->Metrics;
     // Dispatch/retry/restart counts depend on wall-clock races (a real
     // timeout, a delayed EOF), so everything here is PerRun.
@@ -838,6 +971,12 @@ diffcode::exec::superviseChanges(const core::DiffCode &System,
         .add(St.FramesReceived);
     Reg.counter("exec.bytes_rx", obs::Unit::Bytes, obs::Stability::PerRun)
         .add(St.BytesReceived);
+    Reg.counter("exec.telemetry_frames", obs::Unit::None,
+                obs::Stability::PerRun)
+        .add(St.TelemetryFrames);
+    Reg.counter("exec.telemetry_stale", obs::Unit::None,
+                obs::Stability::PerRun)
+        .add(St.StaleTelemetry);
   }
   return std::move(C.Records);
 }

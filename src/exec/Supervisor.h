@@ -67,6 +67,10 @@ struct SupervisionStats {
   std::uint64_t BytesReceived = 0;
   /// Changes resolved by the in-process fallback (fork exhaustion).
   std::uint64_t InlineFallbacks = 0;
+  /// Telemetry frames merged from observed workers, and frames dropped
+  /// because they were stamped with a non-current incarnation.
+  std::uint64_t TelemetryFrames = 0;
+  std::uint64_t StaleTelemetry = 0;
   /// Terminal supervisor-stamped statuses, indexed by ChangeStatus.
   std::array<std::uint64_t, core::NumChangeStatuses> TerminalStatus{};
 

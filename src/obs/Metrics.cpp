@@ -9,6 +9,7 @@
 
 #include "support/JsonWriter.h"
 
+#include <algorithm>
 #include <bit>
 #include <mutex>
 #include <stdexcept>
@@ -93,6 +94,34 @@ void Histogram::record(std::uint64_t V) {
 std::uint64_t Histogram::min() const {
   std::uint64_t M = Min.load(std::memory_order_relaxed);
   return M == ~std::uint64_t(0) ? 0 : M;
+}
+
+void Histogram::merge(const Histogram &Other) {
+  for (unsigned I = 0; I < NumBuckets; ++I)
+    if (std::uint64_t C = Other.Buckets[I].load(std::memory_order_relaxed))
+      Buckets[I].fetch_add(C, std::memory_order_relaxed);
+  Count.fetch_add(Other.Count.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+
+  std::uint64_t Add = Other.Sum.load(std::memory_order_relaxed);
+  std::uint64_t Old = Sum.load(std::memory_order_relaxed);
+  std::uint64_t New;
+  do {
+    New = saturatingAdd(Old, Add);
+  } while (!Sum.compare_exchange_weak(Old, New, std::memory_order_relaxed));
+
+  // The raw Min sentinel (~0 = empty) folds correctly without a special
+  // case: an empty source can never lower the destination.
+  std::uint64_t V = Other.Min.load(std::memory_order_relaxed);
+  std::uint64_t OldMin = Min.load(std::memory_order_relaxed);
+  while (V < OldMin &&
+         !Min.compare_exchange_weak(OldMin, V, std::memory_order_relaxed)) {
+  }
+  std::uint64_t W = Other.Max.load(std::memory_order_relaxed);
+  std::uint64_t OldMax = Max.load(std::memory_order_relaxed);
+  while (W > OldMax &&
+         !Max.compare_exchange_weak(OldMax, W, std::memory_order_relaxed)) {
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -250,6 +279,106 @@ std::string Snapshot::json(bool DeterministicOnly) const {
   }
   W.endArray();
   return W.take();
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot merging
+//===----------------------------------------------------------------------===//
+
+/// Combines \p Src into \p Dst (same name, same kind).
+static void mergeValueInto(MetricValue &Dst, const MetricValue &Src) {
+  switch (Dst.Kind) {
+  case MetricKind::Counter:
+    Dst.Count = saturatingAdd(Dst.Count, Src.Count);
+    break;
+  case MetricKind::Gauge:
+    Dst.Value = std::max(Dst.Value, Src.Value);
+    break;
+  case MetricKind::Histogram: {
+    // Min is 0-when-empty at the MetricValue layer, so an empty side
+    // must not drag the merged min to 0.
+    if (Dst.Count == 0)
+      Dst.Min = Src.Min;
+    else if (Src.Count != 0)
+      Dst.Min = std::min(Dst.Min, Src.Min);
+    Dst.Max = std::max(Dst.Max, Src.Max);
+    Dst.Count = saturatingAdd(Dst.Count, Src.Count);
+    Dst.Sum = saturatingAdd(Dst.Sum, Src.Sum);
+
+    std::vector<std::pair<unsigned, std::uint64_t>> Merged;
+    Merged.reserve(Dst.Buckets.size() + Src.Buckets.size());
+    std::size_t A = 0, B = 0;
+    while (A < Dst.Buckets.size() || B < Src.Buckets.size()) {
+      if (B == Src.Buckets.size() || (A < Dst.Buckets.size() &&
+                                      Dst.Buckets[A].first <
+                                          Src.Buckets[B].first))
+        Merged.push_back(Dst.Buckets[A++]);
+      else if (A == Dst.Buckets.size() ||
+               Src.Buckets[B].first < Dst.Buckets[A].first)
+        Merged.push_back(Src.Buckets[B++]);
+      else {
+        Merged.emplace_back(Dst.Buckets[A].first,
+                            saturatingAdd(Dst.Buckets[A].second,
+                                          Src.Buckets[B].second));
+        ++A;
+        ++B;
+      }
+    }
+    Dst.Buckets = std::move(Merged);
+    break;
+  }
+  }
+}
+
+bool Snapshot::merge(const Snapshot &Other, std::string_view Prefix) {
+  std::vector<MetricValue> In;
+  In.reserve(Other.Values.size());
+  for (const MetricValue &V : Other.Values) {
+    MetricValue C = V;
+    C.Name = std::string(Prefix) + C.Name;
+    In.push_back(std::move(C));
+  }
+
+  // Validate before mutating: a kind mismatch rejects the whole merge.
+  {
+    std::size_t I = 0, J = 0;
+    while (I < Values.size() && J < In.size()) {
+      int Cmp = Values[I].Name.compare(In[J].Name);
+      if (Cmp < 0)
+        ++I;
+      else if (Cmp > 0)
+        ++J;
+      else {
+        if (Values[I].Kind != In[J].Kind)
+          return false;
+        ++I;
+        ++J;
+      }
+    }
+  }
+
+  std::vector<MetricValue> Out;
+  Out.reserve(Values.size() + In.size());
+  std::size_t I = 0, J = 0;
+  while (I < Values.size() || J < In.size()) {
+    if (J == In.size() ||
+        (I < Values.size() && Values[I].Name < In[J].Name)) {
+      Out.push_back(std::move(Values[I++]));
+    } else if (I == Values.size() || In[J].Name < Values[I].Name) {
+      Out.push_back(std::move(In[J++]));
+    } else {
+      MetricValue M = std::move(Values[I++]);
+      mergeValueInto(M, In[J++]);
+      Out.push_back(std::move(M));
+    }
+  }
+  Values = std::move(Out);
+  return true;
+}
+
+void Snapshot::markAllPerRun() {
+  for (MetricValue &V : Values)
+    V.S = Stability::PerRun;
 }
 
 } // namespace obs

@@ -64,6 +64,13 @@ const char *metricKindName(MetricKind Kind);
 const char *unitName(Unit U);
 const char *stabilityName(Stability S);
 
+/// Saturating 64-bit add — the overflow discipline every counter and
+/// histogram sum in this layer uses (pin at the top, never wrap).
+inline std::uint64_t saturatingAdd(std::uint64_t A, std::uint64_t B) {
+  std::uint64_t Top = ~std::uint64_t(0);
+  return A > Top - B ? Top : A + B;
+}
+
 /// Monotonic counter. add() saturates at the 64-bit maximum.
 class Counter {
 public:
@@ -116,6 +123,11 @@ public:
 
   void record(std::uint64_t V);
 
+  /// Bucket-wise merge: folds \p Other's bucket counts, count, and
+  /// saturating sum into this histogram, and widens min/max. The union
+  /// is exact because both sides share the same fixed bucket layout.
+  void merge(const Histogram &Other);
+
   std::uint64_t count() const { return Count.load(std::memory_order_relaxed); }
   /// Saturating sum of recorded values.
   std::uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
@@ -155,6 +167,23 @@ struct Snapshot {
   /// Minified JSON array of metric objects. With \p DeterministicOnly,
   /// PerRun metrics are dropped — the byte-comparable projection.
   std::string json(bool DeterministicOnly = false) const;
+
+  /// Merges \p Other into this snapshot, prepending \p Prefix to every
+  /// incoming name (a uniform prefix preserves name order, so this is a
+  /// sorted two-way merge). Same-name metrics combine per kind:
+  /// counters add with saturation, gauges keep the max (high-water
+  /// semantics), histograms merge bucket-wise with saturating
+  /// count/sum, min of mins, max of maxes. Colliding entries keep this
+  /// snapshot's Unit/Stability; new entries copy \p Other's. If any
+  /// same-name pair disagrees on kind the whole merge is rejected:
+  /// returns false and leaves this snapshot untouched. Both sides must
+  /// be name-sorted, as Registry::snapshot() produces.
+  bool merge(const Snapshot &Other, std::string_view Prefix = {});
+
+  /// Marks every metric PerRun — applied to worker-shipped snapshots
+  /// before merging, since retries and crash-replay make cross-process
+  /// sums scheduling-dependent even when the per-worker values are not.
+  void markAllPerRun();
 };
 
 /// Name-keyed owner of every metric of one observed pipeline run.

@@ -12,9 +12,20 @@
 namespace diffcode {
 namespace obs {
 
+bool Observer::adoptWorkerSnapshot(const Snapshot &Worker) {
+  Snapshot Marked = Worker;
+  Marked.markAllPerRun();
+  return Adopted.merge(Marked, "exec.worker.");
+}
+
 RunSummary Observer::summarize() const {
   RunSummary Summary;
   Summary.Metrics = Metrics.snapshot();
+  // Cross-process values live only in the adopted snapshot; the names
+  // are disjoint from in-process ones by prefix, so the merge cannot be
+  // rejected here (it still would be on a hostile collision — in that
+  // case the in-process values win unmodified).
+  Summary.Metrics.merge(Adopted);
   Summary.Stages = Trace.aggregate();
   return Summary;
 }

@@ -29,6 +29,16 @@ namespace obs {
 struct Observer {
   Registry Metrics;
   Tracer Trace;
+  /// Cross-process metrics adopted from other registries (the exec
+  /// supervisor merges worker snapshots here, already prefixed with
+  /// `exec.worker.` and marked PerRun). Folded into the snapshot by
+  /// summarize(); not written concurrently with it.
+  Snapshot Adopted;
+
+  /// Adopts \p Worker under `exec.worker.*`, forcing PerRun stability —
+  /// the supervisor's merge entry point. Kind-mismatched snapshots are
+  /// dropped (returns false) rather than poisoning the run's metrics.
+  bool adoptWorkerSnapshot(const Snapshot &Worker);
 
   /// Freezes the current state into a RunSummary (defined below).
   struct RunSummary summarize() const;

@@ -13,14 +13,24 @@
 #include <cstring>
 #include <map>
 
+#include <unistd.h>
+
 namespace diffcode {
 namespace obs {
 
-Tracer::Tracer() : Epoch(std::chrono::steady_clock::now()) {}
+Tracer::Tracer()
+    : Epoch(std::chrono::steady_clock::now()),
+      SelfPid(std::uint32_t(::getpid())) {}
 
 std::uint64_t Tracer::now() const {
   return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
                            std::chrono::steady_clock::now() - Epoch)
+                           .count());
+}
+
+std::uint64_t Tracer::epochSteadyNs() const {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           Epoch.time_since_epoch())
                            .count());
 }
 
@@ -38,12 +48,28 @@ std::uint32_t Tracer::tidForThisThread() {
 void Tracer::record(const char *Name, std::uint64_t StartNs,
                     std::uint64_t DurNs) {
   std::lock_guard Lock(Mutex);
-  Events.push_back(Event{Name, StartNs, DurNs, tidForThisThread()});
+  Events.push_back(Event{Name, StartNs, DurNs, tidForThisThread(), SelfPid});
+}
+
+void Tracer::recordForeign(std::string_view Name, std::uint64_t StartNs,
+                           std::uint64_t DurNs, std::uint32_t Tid,
+                           std::uint32_t Pid) {
+  std::lock_guard Lock(Mutex);
+  const std::string &Owned = *ForeignNames.insert(std::string(Name)).first;
+  Events.push_back(Event{Owned.c_str(), StartNs, DurNs, Tid, Pid});
 }
 
 std::size_t Tracer::eventCount() const {
   std::lock_guard Lock(Mutex);
   return Events.size();
+}
+
+std::vector<Tracer::Event> Tracer::eventsFrom(std::size_t Begin) const {
+  std::lock_guard Lock(Mutex);
+  if (Begin >= Events.size())
+    return {};
+  return std::vector<Event>(Events.begin() + std::ptrdiff_t(Begin),
+                            Events.end());
 }
 
 std::vector<Tracer::StageTotal> Tracer::aggregate() const {
@@ -74,6 +100,8 @@ std::string Tracer::traceJson() const {
   std::sort(Sorted.begin(), Sorted.end(), [](const Event &A, const Event &B) {
     if (A.StartNs != B.StartNs)
       return A.StartNs < B.StartNs;
+    if (A.Pid != B.Pid)
+      return A.Pid < B.Pid;
     if (A.Tid != B.Tid)
       return A.Tid < B.Tid;
     return std::strcmp(A.Name, B.Name) < 0;
@@ -97,7 +125,7 @@ std::string Tracer::traceJson() const {
     W.key("dur");
     W.value(double(E.DurNs) / 1000.0);
     W.key("pid");
-    W.value(std::uint64_t(1));
+    W.value(std::uint64_t(E.Pid));
     W.key("tid");
     W.value(std::uint64_t(E.Tid));
     W.endObject();

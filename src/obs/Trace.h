@@ -15,6 +15,17 @@
 /// Span names must be string literals (or otherwise outlive the tracer):
 /// spans store the `const char *`, never copy, so entering a span is two
 /// clock reads plus one short mutex-protected vector push on exit.
+/// Foreign events ingested from other processes (\ref recordForeign)
+/// arrive with wire-decoded names instead; those are interned into a
+/// tracer-owned pool so the `const char *` contract still holds.
+///
+/// Cross-process stitching: every event carries a `Pid` lane (the
+/// recording process), emitted as `pid` in the trace_event JSON so
+/// Chrome/Perfetto render one lane per process. Workers ship completed
+/// spans back over the exec wire; the coordinator aligns their
+/// timestamps to its own epoch (both processes share CLOCK_MONOTONIC,
+/// and the worker's absolute epoch travels in the Hello frame) and
+/// ingests them with the worker's OS pid.
 ///
 /// Determinism contract: raw events carry wall-clock timestamps and the
 /// registration order of threads, both run-dependent, so the raw trace is
@@ -31,7 +42,9 @@
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <set>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -46,7 +59,8 @@ public:
     const char *Name = nullptr;
     std::uint64_t StartNs = 0; ///< Nanoseconds since the tracer's epoch.
     std::uint64_t DurNs = 0;
-    std::uint32_t Tid = 0; ///< Small per-tracer thread id.
+    std::uint32_t Tid = 0; ///< Small per-tracer thread id (per-Pid lane).
+    std::uint32_t Pid = 0; ///< OS pid of the recording process.
   };
 
   /// One row of the aggregated per-stage table.
@@ -63,27 +77,49 @@ public:
   /// Nanoseconds since the tracer's construction (the trace epoch).
   std::uint64_t now() const;
 
+  /// The trace epoch as absolute CLOCK_MONOTONIC nanoseconds. Two
+  /// tracers on the same machine can align their timelines by offsetting
+  /// event timestamps with the difference of their epochs — this is the
+  /// value the exec Hello frame carries across the fork boundary.
+  std::uint64_t epochSteadyNs() const;
+
   /// Records one completed span; called by Span's destructor.
   void record(const char *Name, std::uint64_t StartNs, std::uint64_t DurNs);
 
+  /// Ingests one completed span from another process. \p StartNs must
+  /// already be expressed in *this* tracer's timeline (the caller applies
+  /// the epoch offset); \p Tid is the foreign process's own lane id and
+  /// \p Pid its OS pid. The name is copied into a tracer-owned pool.
+  void recordForeign(std::string_view Name, std::uint64_t StartNs,
+                     std::uint64_t DurNs, std::uint32_t Tid,
+                     std::uint32_t Pid);
+
   std::size_t eventCount() const;
+
+  /// Copies events [Begin, eventCount()) — the worker-side telemetry
+  /// shipper's "everything since the last flush" cursor read.
+  std::vector<Event> eventsFrom(std::size_t Begin) const;
 
   /// Name-sorted totals: span count and summed duration per stage name.
   std::vector<StageTotal> aggregate() const;
 
   /// The collected events as a Chrome `trace_event` JSON document
   /// (complete "X" phase events; ts/dur in microseconds). Events are
-  /// ordered by (ts, tid, name) so the document is stable for a fixed
-  /// event set.
+  /// ordered by (ts, pid, tid, name) so the document is stable for a
+  /// fixed event set.
   std::string traceJson() const;
 
 private:
   std::uint32_t tidForThisThread();
 
   std::chrono::steady_clock::time_point Epoch;
+  std::uint32_t SelfPid; ///< Stamped on locally recorded events.
   mutable std::mutex Mutex;
   std::vector<Event> Events;
   std::vector<std::thread::id> ThreadIds; ///< Index = small tid.
+  /// Owned storage for foreign span names (set nodes never move, so the
+  /// c_str stays valid for the tracer's lifetime; duplicates dedupe).
+  std::set<std::string, std::less<>> ForeignNames;
 };
 
 /// RAII span: times the enclosing scope into \p T. A null tracer makes

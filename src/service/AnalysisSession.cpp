@@ -178,6 +178,8 @@ AnalysisSession::keyFor(const corpus::CodeChange &Change) const {
 
 IngestStats
 AnalysisSession::ingest(const std::vector<corpus::CodeChange> &Changes) {
+  obs::Span IngestSpan(Opts.Metrics ? &Opts.Metrics->Trace : nullptr,
+                       "session.ingest");
   IngestStats Stats;
   Stats.Ingested = Changes.size();
   const std::size_t FirstNewRecord = Report.Changes.size();

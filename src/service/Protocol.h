@@ -18,6 +18,9 @@
 ///   ShutdownReq  stop the server after acknowledging
 ///   ScanReq      rule-scan a batch of projects (scan/Scanner); the warm
 ///                session answers rule queries without respawning
+///   StatsReq     the daemon's live observability summary (metrics
+///                snapshot + stage table) — read-only, never touches
+///                the session state
 ///
 /// Server -> client (exactly one per request, in request order):
 ///   ReplyOk      payload depends on the request (see codecs below)
@@ -54,6 +57,7 @@ enum class ServiceFrame : std::uint32_t {
   SnapshotReq = 0x103,
   ShutdownReq = 0x104,
   ScanReq = 0x105,
+  StatsReq = 0x106,
   ReplyOk = 0x110,
   ReplyErr = 0x111,
 };
@@ -108,6 +112,13 @@ struct ScanRequestWire {
 std::string encodeScanRequest(const ScanRequestWire &Request);
 bool decodeScanRequest(std::string_view Payload, ScanRequestWire &Out,
                        std::string *Error = nullptr);
+
+/// StatsReq carries no payload (an empty frame; trailing bytes are a
+/// protocol error like everywhere else). The ReplyOk payload is one
+/// length-prefixed JSON string: the daemon observer's RunSummary
+/// ({"counters":[...],"stages":[...]}), or ReplyErr when the daemon was
+/// started unobserved. Additive frame type under the same protocol
+/// version — no existing payload changed.
 
 } // namespace service
 } // namespace diffcode

@@ -68,7 +68,7 @@ scan::ScanConfig scanConfigFrom(const SessionOptions &Opts) {
 } // namespace
 
 Server::Server(const apimodel::CryptoApiModel &Api, SessionOptions Opts)
-    : Api(Api), ScannerConfig(scanConfigFrom(Opts)),
+    : Api(Api), ScannerConfig(scanConfigFrom(Opts)), Obs(Opts.Metrics),
       Session(Api, std::move(Opts)) {}
 
 scan::Scanner &Server::scanner() {
@@ -204,6 +204,27 @@ ServeOutcome Server::serve(int InFd, int OutFd) {
       scan::ScanReport Report = scanner().scan(Request);
       if (!sendFrame(OutFd, ServiceFrame::ReplyOk,
                      encodeText(scan::scanReportToJson(Report))))
+        return ServeOutcome::ProtocolError;
+      break;
+    }
+    case ServiceFrame::StatsReq: {
+      if (!F.Payload.empty()) {
+        if (!sendFrame(OutFd, ServiceFrame::ReplyErr,
+                       encodeText("malformed stats payload")))
+          return ServeOutcome::ProtocolError;
+        break;
+      }
+      if (!Obs) {
+        if (!sendFrame(OutFd, ServiceFrame::ReplyErr,
+                       encodeText("daemon not observed (start with "
+                                  "--metrics or --trace-out)")))
+          return ServeOutcome::ProtocolError;
+        break;
+      }
+      // summarize() freezes the live registry + stage table; nothing in
+      // the session is touched, so the query never perturbs an ingest.
+      if (!sendFrame(OutFd, ServiceFrame::ReplyOk,
+                     encodeText(Obs->summarize().json())))
         return ServeOutcome::ProtocolError;
       break;
     }
@@ -357,6 +378,15 @@ bool Client::scan(const ScanRequestWire &Request, std::string &ReportJson,
     return false;
   if (!decodeText(Payload, ReportJson))
     return failStr(Error, "malformed scan reply");
+  return true;
+}
+
+bool Client::stats(std::string &SummaryJson, std::string *Error) {
+  std::string Payload;
+  if (!roundTrip(ServiceFrame::StatsReq, std::string_view(), Payload, Error))
+    return false;
+  if (!decodeText(Payload, SummaryJson))
+    return failStr(Error, "malformed stats reply");
   return true;
 }
 

@@ -62,6 +62,11 @@ public:
 
   AnalysisSession &session() { return Session; }
 
+  /// The daemon's observer (SessionOptions::Metrics), or null when the
+  /// daemon runs unobserved. StatsReq answers from it; the owner (the
+  /// CLI / diffcoded) flushes its trace at shutdown.
+  obs::Observer *observer() { return Obs; }
+
   /// The warm rule scanner, created on the first ScanReq (thread/limit
   /// knobs inherited from the session's PipelineConfig). Its compiled
   /// rules and unit-digest cache persist across requests and
@@ -74,6 +79,7 @@ private:
   const apimodel::CryptoApiModel &Api;
   scan::ScanConfig ScannerConfig;
   std::unique_ptr<scan::Scanner> RuleScanner;
+  obs::Observer *Obs = nullptr; ///< Copied from SessionOptions::Metrics.
   AnalysisSession Session;
 };
 
@@ -106,6 +112,10 @@ public:
   bool snapshot(std::string &ReportJson, std::string *Error = nullptr);
   bool scan(const ScanRequestWire &Request, std::string &ReportJson,
             std::string *Error = nullptr);
+  /// Live introspection: the daemon observer's RunSummary JSON
+  /// ({"counters":[...],"stages":[...]}). Fails with ReplyErr when the
+  /// daemon runs unobserved. Read-only — never disturbs the session.
+  bool stats(std::string &SummaryJson, std::string *Error = nullptr);
   bool shutdown(std::string *Error = nullptr);
 
 private:

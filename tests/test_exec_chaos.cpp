@@ -241,6 +241,67 @@ TEST(Chaos, RetryBudgetRecoversTransientFailures) {
   EXPECT_GT(WithRetries.Stats.Retries, 0u);
 }
 
+TEST(Chaos, ObservedCampaignKeepsTelemetryCoherent) {
+  // The ProcKill campaign rerun with an observer attached: incarnations
+  // die mid-run, yet the stitched trace and the merged worker metrics
+  // must stay coherent. Each incarnation gets a fresh pipe and decoder,
+  // so a frame from a dead incarnation can never arrive — the
+  // stale-incarnation counter existing but staying zero is exactly the
+  // invariant this campaign locks down (the wire guard is insurance
+  // against a confused sender, not a path honest workers can hit).
+  support::FaultPlan Plan;
+  Plan.Seed = 21;
+  Plan.Rate = 0.5;
+  Plan.SiteMask = support::faultSiteBit(support::FaultSite::ProcKill);
+
+  PipelineConfig Opts;
+  Opts.Faults = Plan;
+  DiffCode System(api(), Opts);
+  ExecutionPolicy Exec;
+  Exec.Mode = ExecutionMode::Supervised;
+  Exec.Workers = 2;
+  Exec.BatchSize = 2;
+  Exec.MaxRetries = 3;
+  Exec.BackoffBaseMs = 1;
+
+  obs::Observer Obs;
+  exec::SupervisionStats Stats;
+  auto Changes = fewChanges(10);
+  std::vector<ChangeRecord> Records = exec::superviseChanges(
+      System,
+      {.Changes = Changes, .TargetClasses = api().targetClasses(),
+       .Metrics = &Obs, .Exec = Exec},
+      &Stats);
+  ASSERT_EQ(Records.size(), Changes.size());
+
+  std::size_t Ok = 0;
+  for (const ChangeRecord &R : Records)
+    Ok += R.Status == ChangeStatus::Ok;
+  ASSERT_GT(Ok, 0u); // retries recovered some changes (seed-stable)
+
+  // Telemetry flowed from surviving incarnations; none of it was stale.
+  EXPECT_GT(Stats.TelemetryFrames, 0u);
+  EXPECT_EQ(Stats.StaleTelemetry, 0u);
+
+  // Every committed change's span was stitched into the coordinator's
+  // trace: a unit's telemetry frame precedes its UnitDone, so a span can
+  // only be missing if the unit never committed.
+  std::string Json = Obs.Trace.traceJson();
+  std::size_t Spans = 0;
+  for (std::size_t P = Json.find("\"name\":\"processChange\"");
+       P != std::string::npos;
+       P = Json.find("\"name\":\"processChange\"", P + 1))
+    ++Spans;
+  EXPECT_GE(Spans, Ok);
+
+  // The worker registries were merged under the exec.worker.* namespace
+  // and the transport counters made it into the summary.
+  std::string Metrics = Obs.summarize().Metrics.json();
+  EXPECT_NE(Metrics.find("\"exec.worker."), std::string::npos);
+  EXPECT_NE(Metrics.find("\"exec.telemetry_frames\""), std::string::npos);
+  EXPECT_NE(Metrics.find("\"exec.telemetry_stale\""), std::string::npos);
+}
+
 TEST(Chaos, MixedCampaignIsCompleteAndDeterministic) {
   // All five process-level sites armed at a moderate rate: the report
   // must stay complete (every change resolved, zero "supervision

@@ -175,16 +175,31 @@ TEST(Wire, ChecksumIsFnv1a) {
 
 TEST(Protocol, ControlFrameRoundTrip) {
   std::uint32_t BaseLabels = 0, BasePaths = 0;
+  std::uint64_t TraceEpochNs = 0;
   EXPECT_TRUE(decodeHello(
-      std::string_view(encodeHello(17, 5)).substr(WireHeaderBytes),
-      BaseLabels, BasePaths));
+      std::string_view(encodeHello(17, 5, 123456789)).substr(WireHeaderBytes),
+      BaseLabels, BasePaths, TraceEpochNs));
   EXPECT_EQ(BaseLabels, 17u);
   EXPECT_EQ(BasePaths, 5u);
+  EXPECT_EQ(TraceEpochNs, 123456789u);
+  // An unobserved worker ships epoch 0.
+  EXPECT_TRUE(decodeHello(
+      std::string_view(encodeHello(0, 0, 0)).substr(WireHeaderBytes),
+      BaseLabels, BasePaths, TraceEpochNs));
+  EXPECT_EQ(TraceEpochNs, 0u);
   // A version-1 worker (no base counts) is refused, not misparsed.
   {
     WireWriter W;
     W.u32(1);
-    EXPECT_FALSE(decodeHello(W.bytes(), BaseLabels, BasePaths));
+    EXPECT_FALSE(decodeHello(W.bytes(), BaseLabels, BasePaths, TraceEpochNs));
+  }
+  // A version-2 worker (base counts but no trace epoch) likewise.
+  {
+    WireWriter W;
+    W.u32(2);
+    W.u32(17);
+    W.u32(5);
+    EXPECT_FALSE(decodeHello(W.bytes(), BaseLabels, BasePaths, TraceEpochNs));
   }
 
   WorkUnit In;
@@ -207,6 +222,138 @@ TEST(Protocol, ControlFrameRoundTrip) {
   // Trailing garbage is a protocol error, not silently ignored.
   std::string Longer = std::string(F).substr(WireHeaderBytes) + "x";
   EXPECT_FALSE(decodeWork(Longer, Out));
+}
+
+TEST(Protocol, TelemetryRoundTrip) {
+  obs::Registry Reg;
+  Reg.counter("exec.changes", obs::Unit::None).add(7);
+  Reg.gauge("exec.rss", obs::Unit::Bytes).max(1 << 20);
+  obs::Histogram &H = Reg.histogram("exec.latency", obs::Unit::Nanoseconds);
+  H.record(100);
+  H.record(100000);
+
+  std::vector<obs::Tracer::Event> Spans;
+  Spans.push_back({"processChange", 1000, 500, 2, 0});
+  Spans.push_back({"processChange", 2000, 300, 2, 0});
+
+  std::string F = encodeTelemetry(4, Spans, Reg.snapshot());
+  TelemetryFrame Out;
+  ASSERT_TRUE(
+      decodeTelemetry(std::string_view(F).substr(WireHeaderBytes), Out));
+  EXPECT_EQ(Out.Incarnation, 4u);
+  EXPECT_FALSE(Out.staleFor(4));
+  EXPECT_TRUE(Out.staleFor(5)); // a frame from a dead incarnation
+  ASSERT_EQ(Out.Spans.size(), 2u);
+  EXPECT_EQ(Out.Spans[0].Name, "processChange");
+  EXPECT_EQ(Out.Spans[0].StartNs, 1000u);
+  EXPECT_EQ(Out.Spans[1].DurNs, 300u);
+  EXPECT_EQ(Out.Spans[1].Tid, 2u);
+  // The snapshot survives the wire byte-identically (JSON is the
+  // canonical rendering).
+  EXPECT_EQ(Out.Metrics.json(), Reg.snapshot().json());
+
+  // An empty frame (no new spans, empty registry) is valid too.
+  std::string Empty = encodeTelemetry(0, {}, obs::Snapshot());
+  TelemetryFrame EmptyOut;
+  ASSERT_TRUE(decodeTelemetry(
+      std::string_view(Empty).substr(WireHeaderBytes), EmptyOut));
+  EXPECT_TRUE(EmptyOut.Spans.empty());
+  EXPECT_TRUE(EmptyOut.Metrics.Values.empty());
+
+  // appendTelemetry coalesces into an existing buffer and decodes the
+  // same as the standalone encoder.
+  std::string Coalesced = encodeUnitDone(3);
+  WireWriter Scratch;
+  appendTelemetry(Coalesced, Scratch, 4, Spans, Reg.snapshot());
+  EXPECT_EQ(Coalesced.substr(encodeUnitDone(3).size()), F);
+}
+
+TEST(Protocol, TelemetryRejectsHostilePayloads) {
+  obs::Registry Reg;
+  Reg.counter("a.count").add(1);
+  Reg.histogram("b.hist").record(42);
+  std::vector<obs::Tracer::Event> Spans;
+  Spans.push_back({"span", 10, 5, 1, 0});
+  std::string Payload = std::string(
+      std::string_view(encodeTelemetry(1, Spans, Reg.snapshot()))
+          .substr(WireHeaderBytes));
+  TelemetryFrame Out;
+  ASSERT_TRUE(decodeTelemetry(Payload, Out));
+
+  // Truncation at every byte boundary fails cleanly.
+  for (std::size_t Len = 0; Len < Payload.size(); ++Len)
+    EXPECT_FALSE(decodeTelemetry(Payload.substr(0, Len), Out)) << Len;
+  // Trailing bytes are a protocol error.
+  EXPECT_FALSE(decodeTelemetry(Payload + "x", Out));
+
+  // A span count larger than the bytes that follow must not balloon.
+  {
+    WireWriter W;
+    W.u32(1);
+    W.u32(0xffffffffu); // span count
+    EXPECT_FALSE(decodeTelemetry(W.bytes(), Out));
+  }
+
+  // Out-of-range kind / unit / stability bytes.
+  auto HostileMetric = [](std::uint8_t Kind, std::uint8_t Unit,
+                          std::uint8_t Stability) {
+    WireWriter W;
+    W.u32(1); // incarnation
+    W.u32(0); // no spans
+    W.u32(1); // one metric
+    W.str("m");
+    W.u8(Kind);
+    W.u8(Unit);
+    W.u8(Stability);
+    W.u64(0);
+    return std::string(W.bytes());
+  };
+  EXPECT_FALSE(decodeTelemetry(HostileMetric(3, 0, 0), Out)); // kind
+  EXPECT_FALSE(decodeTelemetry(HostileMetric(0, 9, 0), Out)); // unit
+  EXPECT_FALSE(decodeTelemetry(HostileMetric(0, 0, 7), Out)); // stability
+  ASSERT_TRUE(decodeTelemetry(HostileMetric(0, 0, 0), Out));
+
+  // Metric names out of order (Snapshot::merge's precondition).
+  {
+    WireWriter W;
+    W.u32(1);
+    W.u32(0);
+    W.u32(2);
+    for (const char *Name : {"b", "a"}) {
+      W.str(Name);
+      W.u8(0);
+      W.u8(0);
+      W.u8(0);
+      W.u64(0);
+    }
+    EXPECT_FALSE(decodeTelemetry(W.bytes(), Out));
+  }
+
+  // Histogram buckets: index past the fixed layout, and out of order.
+  auto HostileBuckets = [](std::uint32_t I1, std::uint32_t I2) {
+    WireWriter W;
+    W.u32(1);
+    W.u32(0);
+    W.u32(1);
+    W.str("h");
+    W.u8(2); // histogram
+    W.u8(0);
+    W.u8(0);
+    W.u64(2); // count
+    W.u64(10); // sum
+    W.u64(1); // min
+    W.u64(9); // max
+    W.u32(2); // two buckets
+    W.u32(I1);
+    W.u64(1);
+    W.u32(I2);
+    W.u64(1);
+    return std::string(W.bytes());
+  };
+  EXPECT_FALSE(decodeTelemetry(HostileBuckets(1, 65), Out)); // past layout
+  EXPECT_FALSE(decodeTelemetry(HostileBuckets(5, 5), Out)); // not ascending
+  EXPECT_FALSE(decodeTelemetry(HostileBuckets(5, 3), Out)); // descending
+  ASSERT_TRUE(decodeTelemetry(HostileBuckets(3, 5), Out));
 }
 
 TEST(Protocol, DefStreamingRemapsAcrossInterners) {

@@ -16,6 +16,7 @@
 
 #include "gtest/gtest.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <cstdlib>
@@ -78,6 +79,36 @@ TEST(Histogram, SumSaturates) {
   H.record(~std::uint64_t(0));
   EXPECT_EQ(H.sum(), ~std::uint64_t(0)); // pinned, not wrapped
   EXPECT_EQ(H.count(), 2u);
+}
+
+TEST(Histogram, MergeIsBucketwise) {
+  Histogram A, B;
+  for (std::uint64_t V : {0ull, 3ull, 1024ull})
+    A.record(V);
+  for (std::uint64_t V : {2ull, 7ull, 9000ull})
+    B.record(V);
+  A.merge(B);
+  EXPECT_EQ(A.count(), 6u);
+  EXPECT_EQ(A.sum(), 0u + 3 + 1024 + 2 + 7 + 9000);
+  EXPECT_EQ(A.min(), 0u);
+  EXPECT_EQ(A.max(), 9000u);
+  EXPECT_EQ(A.bucketCount(0), 1u);  // 0
+  EXPECT_EQ(A.bucketCount(2), 2u);  // 3 and 2 land in [2,3]
+  EXPECT_EQ(A.bucketCount(3), 1u);  // 7
+  EXPECT_EQ(A.bucketCount(11), 1u); // 1024
+  EXPECT_EQ(A.bucketCount(14), 1u); // 9000
+
+  // Merging an empty histogram is the identity, including min().
+  Histogram Empty;
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), 6u);
+  EXPECT_EQ(A.min(), 0u);
+  // ...and merging INTO an empty one adopts the source's min.
+  Histogram C;
+  C.merge(A);
+  EXPECT_EQ(C.min(), 0u);
+  EXPECT_EQ(C.max(), 9000u);
+  EXPECT_EQ(C.count(), 6u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -152,6 +183,104 @@ TEST(Registry, DeterministicOnlyJsonDropsPerRun) {
   EXPECT_NE(Det.find("\"stable\""), std::string::npos);
 }
 
+//===----------------------------------------------------------------------===//
+// Snapshot::merge (cross-process metric folding)
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotMerge, CombinesPerKind) {
+  Registry Dst, Src;
+  Dst.counter("changes").add(10);
+  Src.counter("changes").add(32);
+  Dst.gauge("rss").max(100);
+  Src.gauge("rss").max(250);
+  Dst.histogram("lat").record(4);
+  Src.histogram("lat").record(1024);
+  Src.counter("only.src").add(5);
+  Dst.counter("only.dst").add(6);
+
+  Snapshot S = Dst.snapshot();
+  ASSERT_TRUE(S.merge(Src.snapshot()));
+  ASSERT_EQ(S.Values.size(), 5u);
+  // Counters sum, gauges keep the high-water mark, histograms fold
+  // bucket-wise; entries unique to either side survive as-is.
+  auto Find = [&S](const char *Name) -> const MetricValue & {
+    for (const MetricValue &V : S.Values)
+      if (V.Name == Name)
+        return V;
+    static MetricValue Missing;
+    return Missing;
+  };
+  EXPECT_EQ(Find("changes").Count, 42u);
+  EXPECT_EQ(Find("rss").Value, 250);
+  EXPECT_EQ(Find("lat").Count, 2u);
+  EXPECT_EQ(Find("lat").Sum, 1028u);
+  EXPECT_EQ(Find("lat").Min, 4u);
+  EXPECT_EQ(Find("lat").Max, 1024u);
+  ASSERT_EQ(Find("lat").Buckets.size(), 2u);
+  EXPECT_EQ(Find("lat").Buckets[0].first, 3u);  // 4
+  EXPECT_EQ(Find("lat").Buckets[1].first, 11u); // 1024
+  EXPECT_EQ(Find("only.src").Count, 5u);
+  EXPECT_EQ(Find("only.dst").Count, 6u);
+}
+
+TEST(SnapshotMerge, CounterAndHistogramSumsSaturate) {
+  Registry Dst, Src;
+  Dst.counter("c").add(~std::uint64_t(0) - 1);
+  Src.counter("c").add(10);
+  Dst.histogram("h").record(~std::uint64_t(0));
+  Src.histogram("h").record(2);
+  Snapshot S = Dst.snapshot();
+  ASSERT_TRUE(S.merge(Src.snapshot()));
+  EXPECT_EQ(S.Values[0].Count, ~std::uint64_t(0)); // pinned, not wrapped
+  EXPECT_EQ(S.Values[1].Sum, ~std::uint64_t(0));
+  EXPECT_EQ(S.Values[1].Count, 2u);
+}
+
+TEST(SnapshotMerge, KindMismatchRejectsWholeMergeUntouched) {
+  Registry Dst, Src;
+  Dst.counter("aaa").add(1);
+  Dst.counter("clash").add(2);
+  Src.counter("aaa").add(100);   // would merge fine...
+  Src.gauge("clash").set(3);     // ...but this one disagrees on kind
+  Snapshot S = Dst.snapshot();
+  std::string Before = S.json();
+  EXPECT_FALSE(S.merge(Src.snapshot()));
+  EXPECT_EQ(S.json(), Before); // validate-then-merge: nothing applied
+}
+
+TEST(SnapshotMerge, PrefixPreservesNameOrder) {
+  Registry Dst, Src;
+  Dst.counter("alpha").add(1);
+  Dst.counter("zeta").add(1);
+  Src.counter("beta").add(2);
+  Src.counter("gamma").add(3);
+  Snapshot S = Dst.snapshot();
+  ASSERT_TRUE(S.merge(Src.snapshot(), "exec.worker."));
+  ASSERT_EQ(S.Values.size(), 4u);
+  EXPECT_EQ(S.Values[0].Name, "alpha");
+  EXPECT_EQ(S.Values[1].Name, "exec.worker.beta");
+  EXPECT_EQ(S.Values[2].Name, "exec.worker.gamma");
+  EXPECT_EQ(S.Values[3].Name, "zeta");
+  for (std::size_t I = 1; I < S.Values.size(); ++I)
+    EXPECT_LT(S.Values[I - 1].Name, S.Values[I].Name);
+  // Prefixed names never collide with the originals, so merging the
+  // same worker snapshot under a prefix twice doubles the counts.
+  ASSERT_TRUE(S.merge(Src.snapshot(), "exec.worker."));
+  EXPECT_EQ(S.Values[1].Count, 4u);
+  EXPECT_EQ(S.Values[2].Count, 6u);
+}
+
+TEST(SnapshotMerge, MarkAllPerRunDemotesStability) {
+  Registry R;
+  R.counter("det").add(1);
+  R.counter("wall", Unit::Nanoseconds, Stability::PerRun).add(2);
+  Snapshot S = R.snapshot();
+  S.markAllPerRun();
+  for (const MetricValue &V : S.Values)
+    EXPECT_EQ(V.S, Stability::PerRun) << V.Name;
+  EXPECT_EQ(S.json(/*DeterministicOnly=*/true), "[]");
+}
+
 // Mirrors test_interner.cpp's concurrent-interning race: 8 threads hammer
 // an overlapping metric vocabulary; every get-or-create must resolve to
 // the same object and the final counts must be exact.
@@ -208,6 +337,43 @@ TEST(Tracer, SpansAggregate) {
 TEST(Tracer, NullTracerSpanIsNoOp) {
   // The off-by-default contract: a null tracer must be safe and free.
   Span S(nullptr, "nothing");
+}
+
+TEST(Tracer, RecordForeignStitchesOtherProcesses) {
+  Tracer T;
+  { Span A(&T, "local"); }
+  // A worker's spans arrive with their own tid and pid; the name is
+  // interned by the tracer (the worker's string dies with the frame).
+  {
+    std::string Transient = "worker-span";
+    T.recordForeign(Transient, 500, 100, 3, 4242);
+    Transient.assign(64, 'x'); // must not affect the recorded name
+  }
+  T.recordForeign("worker-span", 700, 50, 3, 4242);
+  EXPECT_EQ(T.eventCount(), 3u);
+
+  // eventsFrom returns the tail past a cursor — the worker-side
+  // shipping primitive.
+  EXPECT_EQ(T.eventsFrom(0).size(), 3u);
+  EXPECT_EQ(T.eventsFrom(1).size(), 2u);
+  EXPECT_EQ(T.eventsFrom(3).size(), 0u);
+  EXPECT_EQ(T.eventsFrom(99).size(), 0u);
+
+  // Foreign spans aggregate alongside local ones.
+  std::vector<Tracer::StageTotal> Stages = T.aggregate();
+  ASSERT_EQ(Stages.size(), 2u);
+  EXPECT_EQ(Stages[1].Name, "worker-span");
+  EXPECT_EQ(Stages[1].Spans, 2u);
+}
+
+TEST(Tracer, EpochSteadyNsAnchorsAlignment) {
+  // The epoch is an absolute point on the shared monotonic clock, so a
+  // tracer created later must report a later (or equal) epoch — this is
+  // the property the coordinator's offset computation relies on.
+  Tracer First;
+  Tracer Second;
+  EXPECT_GT(First.epochSteadyNs(), 0u);
+  EXPECT_GE(Second.epochSteadyNs(), First.epochSteadyNs());
 }
 
 //===----------------------------------------------------------------------===//
@@ -398,6 +564,19 @@ TEST(Tracer, TraceJsonSchema) {
   expectValidTraceEventJson(T.traceJson());
 }
 
+TEST(Tracer, TraceJsonSeparatesPidLanes) {
+  Tracer T;
+  { Span A(&T, "coordinator"); }
+  T.recordForeign("worker", 10, 5, 1, 1111);
+  T.recordForeign("worker", 20, 5, 1, 2222);
+  std::string Json = T.traceJson();
+  expectValidTraceEventJson(Json);
+  // Two foreign lanes plus the recording process's own.
+  EXPECT_NE(Json.find("\"pid\":1111"), std::string::npos);
+  EXPECT_NE(Json.find("\"pid\":2222"), std::string::npos);
+  EXPECT_EQ(countOccurrences(Json, "\"pid\":"), 3u);
+}
+
 TEST(Snapshot, JsonIsWellFormed) {
   Registry R;
   R.counter("c", Unit::Bytes).add(7);
@@ -482,6 +661,80 @@ TEST(CliTrace, TraceOutSchema) {
               std::string::npos)
         << Stage;
   std::remove(TracePath.c_str());
+}
+
+/// Every numeric value following \p Key in \p Json, in document order.
+std::vector<double> numbersAfterKey(const std::string &Json,
+                                    const std::string &Key) {
+  std::vector<double> Out;
+  for (std::size_t P = Json.find(Key); P != std::string::npos;
+       P = Json.find(Key, P + Key.size()))
+    Out.push_back(std::strtod(Json.c_str() + P + Key.size(), nullptr));
+  return Out;
+}
+
+TEST(CliTrace, SupervisedTraceStitchesWorkerLanes) {
+  const std::string TracePath =
+      testing::TempDir() + "diffcode_cli_supervised_trace.json";
+  std::remove(TracePath.c_str());
+  std::string Cmd = std::string(DIFFCODE_CLI_PATH) + " pipeline " +
+                    DIFFCODE_SMOKE_CORPUS +
+                    " --workers 2 --metrics --trace-out=" + TracePath +
+                    " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(Cmd.c_str()), 0) << Cmd;
+
+  std::ifstream In(TracePath);
+  ASSERT_TRUE(In.good()) << TracePath;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Json = Buffer.str();
+  while (!Json.empty() && (Json.back() == '\n' || Json.back() == '\r'))
+    Json.pop_back();
+  expectValidTraceEventJson(Json);
+
+  // Worker spans land on their own pid lanes next to the coordinator's.
+  std::vector<double> Pids = numbersAfterKey(Json, "\"pid\":");
+  std::sort(Pids.begin(), Pids.end());
+  Pids.erase(std::unique(Pids.begin(), Pids.end()), Pids.end());
+  EXPECT_GE(Pids.size(), 2u) << Json.substr(0, 400);
+
+  // The per-change spans now come from the workers.
+  EXPECT_NE(Json.find("\"name\":\"processChange\""), std::string::npos);
+  // The coordinator's own stage spans are still there.
+  EXPECT_NE(Json.find("\"name\":\"pipeline\""), std::string::npos);
+
+  // traceJson sorts by start time, so epoch-aligned worker timestamps
+  // must leave the document order monotone — a misaligned (unshifted or
+  // wrapped) worker clock would interleave wildly or explode.
+  std::vector<double> Starts = numbersAfterKey(Json, "\"ts\":");
+  ASSERT_FALSE(Starts.empty());
+  for (std::size_t I = 1; I < Starts.size(); ++I)
+    EXPECT_LE(Starts[I - 1], Starts[I]) << I;
+  std::remove(TracePath.c_str());
+}
+
+TEST(CliTrace, SupervisedMetricsCarryWorkerNamespace) {
+  const std::string OutPath =
+      testing::TempDir() + "diffcode_cli_supervised_metrics.json";
+  std::string Cmd = std::string(DIFFCODE_CLI_PATH) + " pipeline " +
+                    DIFFCODE_SMOKE_CORPUS +
+                    " --workers 2 --metrics --json > " + OutPath +
+                    " 2>/dev/null";
+  ASSERT_EQ(std::system(Cmd.c_str()), 0) << Cmd;
+
+  std::ifstream In(OutPath);
+  ASSERT_TRUE(In.good());
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Json = Buffer.str();
+  while (!Json.empty() && (Json.back() == '\n' || Json.back() == '\r'))
+    Json.pop_back();
+  EXPECT_TRUE(JsonChecker(Json).valid());
+  // Worker registries were shipped over the wire and merged under the
+  // exec.worker.* namespace; the transport itself is counted too.
+  EXPECT_NE(Json.find("\"exec.worker."), std::string::npos);
+  EXPECT_NE(Json.find("\"exec.telemetry_frames\""), std::string::npos);
+  std::remove(OutPath.c_str());
 }
 
 TEST(CliTrace, JsonReportCarriesMetricsBlock) {

@@ -323,6 +323,87 @@ TEST(ServiceServer, ForkedScanMatchesLocalScanner) {
   EXPECT_TRUE(support::waitProcess(Pid).cleanExit());
 }
 
+TEST(ServiceServer, StatsReqIntrospectsObservedDaemon) {
+  // An observed server: the daemon-side observer lives in the child and
+  // StatsReq summarizes it live over the wire.
+  int Sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sv), 0);
+  pid_t Pid = support::spawnProcess([Fd = Sv[1], ClientEnd = Sv[0]] {
+    ::close(ClientEnd);
+    obs::Observer Obs;
+    SessionOptions Opts;
+    Opts.Metrics = &Obs;
+    Server S(api(), std::move(Opts));
+    return S.serve(Fd, Fd) == ServeOutcome::Shutdown ? 0 : 2;
+  });
+  ASSERT_GT(Pid, 0);
+  ::close(Sv[1]);
+  int Fd = Sv[0];
+  Client C(Fd);
+  std::string Error;
+
+  // Before any ingest the summary exists but its counters are empty.
+  std::string Summary;
+  ASSERT_TRUE(C.stats(Summary, &Error)) << Error;
+  EXPECT_EQ(Summary.rfind("{\"counters\":[", 0), 0u) << Summary;
+  EXPECT_EQ(Summary.find("\"service.ingests\""), std::string::npos);
+
+  IngestReply Reply;
+  ASSERT_TRUE(C.ingest(sampleChanges(), Reply, &Error)) << Error;
+
+  // Now the live session counters and the ingest stage show up...
+  ASSERT_TRUE(C.stats(Summary, &Error)) << Error;
+  EXPECT_NE(Summary.find("\"service.ingests\""), std::string::npos) << Summary;
+  EXPECT_NE(Summary.find("\"service.changes\""), std::string::npos);
+  EXPECT_NE(Summary.find("\"session.ingest\""), std::string::npos) << Summary;
+
+  // ...and asking never disturbed the session: the snapshot still
+  // matches the cold batch byte for byte.
+  std::string Snapshot;
+  ASSERT_TRUE(C.snapshot(Snapshot, &Error)) << Error;
+  EXPECT_EQ(Snapshot, coldJson(sampleChanges()));
+
+  // A StatsReq with a payload is malformed — error reply, live socket.
+  std::string Bad = exec::encodeFrame(
+      static_cast<std::uint32_t>(ServiceFrame::StatsReq), "junk");
+  ASSERT_EQ(support::writeFull(Fd, Bad.data(), Bad.size()),
+            static_cast<ssize_t>(Bad.size()));
+  {
+    // Drain the ReplyErr by hand so the next round-trip stays aligned.
+    exec::FrameDecoder D;
+    std::optional<exec::Frame> F;
+    char Buf[512];
+    while (!F) {
+      ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+      ASSERT_GT(N, 0);
+      D.feed(Buf, static_cast<std::size_t>(N));
+      F = D.next();
+    }
+    EXPECT_EQ(F->Type, static_cast<std::uint32_t>(ServiceFrame::ReplyErr));
+    ASSERT_EQ(D.pendingBytes(), 0u);
+  }
+  ASSERT_TRUE(C.stats(Summary, &Error)) << Error;
+
+  ASSERT_TRUE(C.shutdown(&Error)) << Error;
+  ::close(Fd);
+  EXPECT_TRUE(support::waitProcess(Pid).cleanExit());
+}
+
+TEST(ServiceServer, StatsReqOnUnobservedDaemonIsAnError) {
+  int Fd = -1;
+  pid_t Pid = forkServer(Fd); // default options: no observer
+  Client C(Fd);
+  std::string Error, Summary;
+  EXPECT_FALSE(C.stats(Summary, &Error));
+  EXPECT_NE(Error.find("not observed"), std::string::npos) << Error;
+  // An error reply, not a poisoned stream: the session still answers.
+  IngestReply Reply;
+  ASSERT_TRUE(C.ingest(sampleChanges(), Reply, &Error)) << Error;
+  ASSERT_TRUE(C.shutdown(&Error)) << Error;
+  ::close(Fd);
+  EXPECT_TRUE(support::waitProcess(Pid).cleanExit());
+}
+
 TEST(ServiceServer, ClientDisconnectEndsServeCleanly) {
   int Fd = -1;
   pid_t Pid = forkServer(Fd);
